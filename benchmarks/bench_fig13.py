@@ -1,0 +1,55 @@
+"""Figure 13 — effect of the beam width ``k`` on running time.
+
+Regenerates the k-ablation: the thread-escape analysis is run with
+``k = 1``, ``k = 5`` and ``k = 10`` on the four smallest benchmarks
+(the paper's choice, because the extremes blow up on the larger ones).
+``k = 1`` under-approximates aggressively (cheap traces, more
+iterations); ``k = 10`` retains big formulas (fewer iterations, costly
+traces); ``k = 5`` balances the two.
+"""
+
+import time
+
+from repro.bench.harness import evaluate_benchmark
+from repro.bench.figures import render_figure13
+from repro.core.stats import summarize_records
+from repro.core.tracer import TracerConfig
+
+SMALLEST = ("tsp", "elevator", "hedc", "weblech")
+KS = (1, 5, 10)
+
+
+def test_figure13(benchmark, instances, save_output):
+    timings = {}
+    iterations = {}
+    for name in SMALLEST:
+        timings[name] = {}
+        iterations[name] = {}
+        for k in KS:
+            config = TracerConfig(k=k, max_iterations=30)
+            started = time.perf_counter()
+            result = evaluate_benchmark(instances[name], "escape", config)
+            timings[name][k] = time.perf_counter() - started
+            agg = summarize_records(result.records)
+            totals = [
+                r.iterations for r in result.records
+            ]
+            iterations[name][k] = sum(totals) / len(totals) if totals else 0.0
+    benchmark.pedantic(
+        lambda: evaluate_benchmark(
+            instances["tsp"], "escape", TracerConfig(k=5, max_iterations=30)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [render_figure13(timings), "", "average iterations per query:"]
+    for name in SMALLEST:
+        per_k = "  ".join(f"k={k}: {iterations[name][k]:.1f}" for k in KS)
+        lines.append(f"  {name:>10} {per_k}")
+    save_output("figure13.txt", "\n".join(lines))
+    # Shape check: aggressive under-approximation (k=1) costs more
+    # TRACER iterations than k=5 on the bigger half of the subset.
+    more_iters = sum(
+        1 for name in SMALLEST if iterations[name][1] >= iterations[name][5]
+    )
+    assert more_iters >= len(SMALLEST) // 2

@@ -1,0 +1,30 @@
+"""Figure 14 — distribution of cheapest-abstraction sizes.
+
+Regenerates the histogram of cheapest-abstraction sizes for proven
+thread-escape queries on the three largest benchmarks.  The paper's
+observation: most queries are proven with 1-2 ``L``-mapped sites, with
+a long, thin tail of queries needing many more.
+"""
+
+from repro.bench.figures import render_figure14
+from repro.core.stats import size_distribution
+
+LARGEST = ("antlr", "avrora", "lusearch")
+
+
+def test_figure14(benchmark, eval_results, save_output):
+    def histograms():
+        return {
+            name: size_distribution(eval_results[name]["escape"].records)
+            for name in LARGEST
+        }
+
+    result = benchmark(histograms)
+    save_output("figure14.txt", render_figure14(result))
+    combined = {}
+    for histogram in result.values():
+        for size, count in histogram.items():
+            combined[size] = combined.get(size, 0) + count
+    assert combined, "no proven escape queries on the largest benchmarks"
+    small = sum(count for size, count in combined.items() if size <= 2)
+    assert small / sum(combined.values()) > 0.5

@@ -1,0 +1,139 @@
+"""Micro-benchmarks of the hot kernels.
+
+Not paper figures — these track the performance of the pieces every
+TRACER iteration exercises: DNF conversion, subsumption simplification,
+the beam, MinCostSAT, one full backward pass, and one collecting run.
+"""
+
+import random
+
+import pytest
+
+from repro.core.formula import conj, disj, drop_k, lit, nlit, simplify, to_dnf
+from repro.core.meta import backward_trace
+from repro.core.minsat import MinCostSat, NegLit, PosLit
+from repro.dataflow import run_collecting
+from repro.escape import EscSchema, EscapeAnalysis, EscapeMeta, VarIs, ESC
+from repro.lang import build_cfg, parse_program
+from tests.randprog import random_escape_program
+from tests.toys import TOY, StateFact
+
+
+def _formula(rng, size):
+    atoms = [lit(StateFact(f"s{i}")) for i in range(8)] + [
+        nlit(StateFact(f"s{i}")) for i in range(8)
+    ]
+    cubes = [
+        conj(*rng.sample(atoms, rng.randint(2, 4))) for _ in range(size)
+    ]
+    return disj(*cubes)
+
+
+def test_to_dnf_and_simplify(benchmark):
+    rng = random.Random(7)
+    formulas = [_formula(rng, 12) for _ in range(20)]
+
+    def kernel():
+        return [simplify(to_dnf(f, TOY), TOY) for f in formulas]
+
+    result = benchmark(kernel)
+    assert all(not dnf.is_false or True for dnf in result)
+
+
+def test_drop_k_beam(benchmark):
+    rng = random.Random(11)
+    dnfs = [simplify(to_dnf(_formula(rng, 16), TOY), TOY) for _ in range(20)]
+    dnfs = [d for d in dnfs if len(d.cubes) > 5]
+
+    def kernel():
+        return [drop_k(d, 5, lambda cube: True) for d in dnfs]
+
+    result = benchmark(kernel)
+    assert all(len(d.cubes) <= 5 for d in result)
+
+
+def test_mincost_sat(benchmark):
+    rng = random.Random(13)
+    variables = [f"v{i}" for i in range(20)]
+    clauses = []
+    for _ in range(40):
+        size = rng.randint(1, 3)
+        clauses.append(
+            [
+                (PosLit if rng.random() < 0.7 else NegLit)(rng.choice(variables))
+                for _ in range(size)
+            ]
+        )
+
+    def kernel():
+        solver = MinCostSat()
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    benchmark(kernel)
+
+
+def test_backward_pass(benchmark):
+    rng = random.Random(17)
+    from tests.randprog import FIELDS, SITES, VARS
+
+    program = random_escape_program(rng, length=12)
+    schema = EscSchema(VARS, FIELDS)
+    analysis = EscapeAnalysis(schema, frozenset(SITES))
+    meta = EscapeMeta(analysis)
+    cfg = build_cfg(program)
+    p = frozenset()
+    result = run_collecting(
+        cfg, lambda c, d: analysis.transfer(c, p, d), analysis.initial_state()
+    )
+    # Find some failing state to drive the backward pass.
+    from repro.core.formula import evaluate, lit as mklit
+
+    fail = mklit(VarIs("x", ESC))
+    witness = None
+    for node, state in result.states_before_observe("q"):
+        if evaluate(fail, meta.theory, p, state):
+            witness = result.trace_to(node, state)
+            break
+    if witness is None:
+        pytest.skip("seed produced no counterexample")
+
+    def kernel():
+        return backward_trace(
+            meta, analysis, witness, p, analysis.initial_state(), fail, k=5
+        )
+
+    benchmark(kernel)
+
+
+def test_collecting_run(benchmark):
+    program = parse_program(
+        """
+        loop {
+          choice {
+            u = new h1
+            v = u
+          } or {
+            $g = v
+            w = $g
+          }
+          v.f = u
+        }
+        observe q
+        """
+    )
+    schema = EscSchema(["u", "v", "w"], ["f"])
+    analysis = EscapeAnalysis(schema, frozenset({"h1"}))
+    cfg = build_cfg(program)
+    p = frozenset({"h1"})
+
+    def kernel():
+        return run_collecting(
+            cfg,
+            lambda c, d: analysis.transfer(c, p, d),
+            analysis.initial_state(),
+        )
+
+    result = benchmark(kernel)
+    assert result.exit_states()

@@ -1,0 +1,62 @@
+"""Scalability study: TRACER cost as program size grows.
+
+Not a paper table — it quantifies the paper's qualitative scalability
+claim on our substrate: the hedc profile is synthesized at increasing
+size scales and all thread-escape queries are resolved; the study
+reports program size, query count, wall time, and time per query.
+TRACER's per-query cost should grow roughly with program size (forward
+runs dominate), not explode combinatorially in the 2^N abstraction
+family.
+"""
+
+import time
+
+from repro.bench.harness import evaluate_benchmark, prepare
+from repro.bench.suite import benchmark_scaled
+from repro.core.stats import summarize_records
+from repro.core.tracer import TracerConfig
+
+SCALES = (0.5, 1.0, 1.5, 2.0)
+CONFIG = TracerConfig(k=5, max_iterations=30)
+
+
+def test_scaling_study(benchmark, save_output):
+    rows = []
+    measurements = {}
+    for factor in SCALES:
+        front = benchmark_scaled("hedc", factor)
+        bench = prepare(f"hedc-x{factor}", front)
+        started = time.perf_counter()
+        result = evaluate_benchmark(bench, "escape", CONFIG)
+        seconds = time.perf_counter() - started
+        agg = summarize_records(result.records)
+        measurements[factor] = (bench.metrics.inlined_commands, agg, seconds)
+        per_query = seconds / agg.total if agg.total else 0.0
+        rows.append(
+            f"  x{factor:<4} {bench.metrics.inlined_commands:5d} commands  "
+            f"{agg.total:3d} queries  {agg.resolved} resolved  "
+            f"{seconds:6.2f}s total  {per_query * 1000:7.1f}ms/query"
+        )
+    benchmark.pedantic(
+        lambda: evaluate_benchmark(
+            prepare("hedc-x0.5", benchmark_scaled("hedc", 0.5)),
+            "escape",
+            CONFIG,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_output(
+        "scaling.txt",
+        "Scalability study: hedc profile at growing sizes (thread-escape)\n"
+        + "\n".join(rows),
+    )
+    # Program size must actually grow across the sweep ...
+    sizes = [measurements[f][0] for f in SCALES]
+    assert sizes[0] < sizes[-1]
+    # ... and resolution stays high throughout (the largest scale
+    # naturally grows an unresolved tail, as avrora does in Figure 12).
+    for factor in SCALES:
+        _cmds, agg, _secs = measurements[factor]
+        assert agg.total > 0
+        assert agg.resolved_fraction >= 0.75, factor

@@ -1,0 +1,22 @@
+"""Table 1 — benchmark statistics.
+
+Regenerates the paper's benchmark-characteristics table: classes,
+methods, code-size proxies, and the log2 abstraction-family sizes for
+both client analyses.  The measured kernel is the whole front-end
+pipeline (synthesis + 0-CFA + inlining + metrics) on one benchmark.
+"""
+
+from repro.bench.harness import prepare
+from repro.bench.tables import render_table1
+
+
+def test_table1(benchmark, instances, save_output):
+    benchmark.pedantic(lambda: prepare("weblech"), rounds=3, iterations=1)
+    metrics = [instances[name].metrics for name in instances]
+    save_output("table1.txt", "Table 1: benchmark statistics\n" + render_table1(metrics))
+    assert len(metrics) == 7
+    # The suite preserves the paper's relative size ordering.
+    by_name = {m.name: m for m in metrics}
+    assert by_name["tsp"].inlined_commands < by_name["weblech"].inlined_commands
+    assert by_name["weblech"].inlined_commands < by_name["avrora"].inlined_commands
+    assert all(m.escape_log2_abstractions > 0 for m in metrics)

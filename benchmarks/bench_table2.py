@@ -1,0 +1,36 @@
+"""Table 2 — scalability: iteration counts and running times.
+
+Regenerates the min/max/avg TRACER iterations for proven and impossible
+queries (both analyses) and thread-escape running times.  The measured
+kernel is one grouped thread-escape TRACER run.
+"""
+
+from repro.bench.harness import evaluate_benchmark
+from repro.bench.tables import render_table2
+from repro.bench.suite import BENCHMARK_NAMES
+
+
+def test_table2(benchmark, instances, aggregates, save_output):
+    benchmark.pedantic(
+        lambda: evaluate_benchmark(instances["elevator"], "escape"),
+        rounds=1,
+        iterations=1,
+    )
+    save_output(
+        "table2.txt", "Table 2: scalability measurements\n" + render_table2(aggregates)
+    )
+    # Shape checks: proven queries need at least one forward run; most
+    # benchmarks resolve queries in under ten iterations on average
+    # (the paper's headline scalability claim).
+    under_ten = 0
+    rows = 0
+    for name in BENCHMARK_NAMES:
+        for agg in aggregates[name]:
+            for stats in (agg.iterations_proven, agg.iterations_impossible):
+                if stats is None:
+                    continue
+                rows += 1
+                assert stats.minimum >= 1
+                if stats.average < 10:
+                    under_ten += 1
+    assert under_ten >= rows * 0.7

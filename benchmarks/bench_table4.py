@@ -1,0 +1,37 @@
+"""Table 4 — cheapest-abstraction reuse across queries.
+
+Regenerates the group statistics: queries proven with the *same*
+cheapest abstraction form a group; the paper observes mostly small
+groups (abstractions are query-specific) with a few large ones.  The
+measured kernel is group-statistics computation over all records.
+"""
+
+from repro.bench.tables import render_table4
+from repro.bench.suite import BENCHMARK_NAMES
+from repro.core.stats import group_stats
+
+
+def test_table4(benchmark, eval_results, aggregates, save_output):
+    all_records = [
+        record
+        for name in BENCHMARK_NAMES
+        for analysis in ("typestate", "escape")
+        for record in eval_results[name][analysis].records
+    ]
+    benchmark(lambda: group_stats(all_records))
+    save_output(
+        "table4.txt",
+        "Table 4: cheapest abstraction reuse for proven queries\n"
+        + render_table4(aggregates),
+    )
+    # Shape check: group count grows with benchmark size, and the
+    # average group stays small (cheapest abstractions tend to differ
+    # across queries, Section 6).
+    for name in BENCHMARK_NAMES:
+        ts, esc = aggregates[name]
+        if esc.proven:
+            assert esc.groups.group_count >= 1
+            assert esc.groups.average <= esc.proven
+    small = aggregates["tsp"][1].groups.group_count
+    large = aggregates["avrora"][1].groups.group_count
+    assert small <= large

@@ -1,0 +1,66 @@
+"""Shared fixtures for the table/figure benchmarks.
+
+The full evaluation (all 7 benchmarks x 2 client analyses) is computed
+once per session and shared by every table/figure module; each module
+additionally *measures* a representative slice of its own pipeline via
+pytest-benchmark.  Rendered tables and figures are written to
+``benchmarks/results/`` so they can be diffed against the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.bench.harness import (
+    BenchmarkInstance,
+    EvalResult,
+    evaluate_benchmark,
+    prepare,
+)
+from repro.bench.suite import BENCHMARK_NAMES
+from repro.core.stats import EvalAggregate, summarize_records
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def instances() -> Dict[str, BenchmarkInstance]:
+    return {name: prepare(name) for name in BENCHMARK_NAMES}
+
+
+@pytest.fixture(scope="session")
+def eval_results(instances) -> Dict[str, Dict[str, EvalResult]]:
+    return {
+        name: {
+            analysis: evaluate_benchmark(instances[name], analysis)
+            for analysis in ("typestate", "escape")
+        }
+        for name in BENCHMARK_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def aggregates(eval_results):
+    """Per benchmark: (typestate aggregate, escape aggregate)."""
+    return {
+        name: (
+            summarize_records(eval_results[name]["typestate"].records),
+            summarize_records(eval_results[name]["escape"].records),
+        )
+        for name in BENCHMARK_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def save_output():
+    def save(filename: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return save

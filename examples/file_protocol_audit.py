@@ -1,0 +1,126 @@
+"""Auditing a File open/close protocol across procedure boundaries.
+
+This example drives the whole pipeline the way the paper's evaluation
+does: a mini-Java program is analysed with 0-CFA, inlined with full
+context sensitivity, and TRACER resolves one query per API call site —
+"is the file in the right state when this call happens?".
+
+The program threads a File through a helper object::
+
+    class Session { use(file) { file.open(); file.close(); } }
+    main() {
+        f = new File; s = new Session;
+        s.use(f);            // open/close through the callee's alias
+        f.open();            // fine: closed again after use()
+        if (*) f.close();
+        f.close();           // double close on one path!
+    }
+
+Expected outcomes:
+
+* calls that need must-alias tracking through the call boundary are
+  proven with a 2-variable abstraction (the caller's ``f`` and the
+  callee's ``file`` parameter);
+* the final ``close`` is *impossible to prove* — on the path that
+  already closed the file no abstraction helps, and TRACER proves
+  that rather than searching forever.
+
+Run:  python examples/file_protocol_audit.py
+"""
+
+from repro import Tracer, TracerConfig, TypestateClient, TypestateQuery, file_automaton
+from repro.frontend import (
+    ClassDef,
+    FrontProgram,
+    MethodDef,
+    SApiCall,
+    SCall,
+    SIf,
+    SNew,
+    build_callgraph,
+    inline_program,
+)
+from repro.frontend.mayalias import MayAliasOracle
+
+
+def build_program() -> FrontProgram:
+    program = FrontProgram()
+    program.add_class(ClassDef(name="File", is_library=True))
+    program.add_class(
+        ClassDef(
+            name="Session",
+            methods={
+                "use": MethodDef(
+                    name="use",
+                    params=("file",),
+                    body=[
+                        SApiCall("file", "open"),
+                        SApiCall("file", "close"),
+                    ],
+                )
+            },
+        )
+    )
+    program.add_class(
+        ClassDef(
+            name="Main",
+            methods={
+                "main": MethodDef(
+                    name="main",
+                    body=[
+                        SNew("f", "File"),
+                        SNew("s", "Session"),
+                        SCall(lhs=None, base="s", method="use", args=("f",)),
+                        SApiCall("f", "open"),
+                        SIf(then=[SApiCall("f", "close")], els=[]),
+                        SApiCall("f", "close"),
+                    ],
+                )
+            },
+        )
+    )
+    return program.finalize()
+
+
+def main() -> None:
+    program = build_program()
+    callgraph = build_callgraph(program)
+    inlined = inline_program(program, callgraph)
+    oracle = MayAliasOracle(callgraph, inlined.var_origin)
+
+    file_site = next(
+        site for site, cls in program.site_class.items() if cls == "File"
+    )
+    client = TypestateClient(
+        inlined.program,
+        file_automaton(),
+        tracked_site=file_site,
+        variables=inlined.variables,
+        may_point=oracle.for_site(file_site),
+    )
+    tracer = Tracer(client, TracerConfig(k=5))
+
+    # One query per API call site: open() needs a closed file,
+    # close() needs an opened one.
+    allowed_for = {"open": frozenset({"closed"}), "close": frozenset({"opened"})}
+    print(f"tracking File objects allocated at site {file_site}\n")
+    for pc, (_cls, _meth, receiver, method) in sorted(inlined.call_points.items()):
+        if method not in allowed_for:
+            continue
+        record = tracer.solve(TypestateQuery(pc, allowed_for[method]))
+        spot = f"{pc} ({receiver}.{method}())"
+        if record.proven:
+            tracked = sorted(record.abstraction)
+            print(f"  {spot:<36} PROVEN   tracking {tracked}")
+        else:
+            print(f"  {spot:<36} {record.status.value.upper()}")
+    print()
+    print(
+        "The double close is reported impossible: along the path that "
+        "already closed the file, no must-alias information can make "
+        "the final close() safe."
+    )
+
+
+if __name__ == "__main__":
+    main()

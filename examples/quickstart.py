@@ -1,0 +1,75 @@
+"""Quickstart — the paper's Figure 1 worked example, end to end.
+
+The program manipulates a File object through two aliased variables.
+TRACER searches the family of 2^N abstractions (which variables the
+type-state analysis may track in must-alias sets) and:
+
+* proves ``check1`` (the file is closed at the end) with the cheapest
+  abstraction ``{x, y}``;
+* shows ``check2`` (the file is opened at the end) is impossible — no
+  abstraction in the family can prove it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Tracer,
+    TracerConfig,
+    TypestateClient,
+    TypestateQuery,
+    file_automaton,
+    parse_program,
+    pretty_program,
+)
+
+PROGRAM = parse_program(
+    """
+    x = new File
+    y = x
+    choice {
+      z = x          # irrelevant to both queries
+    } or {
+      skip
+    }
+    x.open()
+    y.close()
+    observe check1   # is the file closed here?
+    observe check2   # is the file opened here?
+    """
+)
+
+
+def main() -> None:
+    print("Program under analysis:")
+    print(pretty_program(PROGRAM))
+    print()
+
+    client = TypestateClient(
+        PROGRAM,
+        file_automaton(),
+        tracked_site="File",
+        variables=frozenset({"x", "y", "z"}),
+    )
+    tracer = Tracer(client, TracerConfig(k=1))
+
+    check1 = TypestateQuery("check1", allowed=frozenset({"closed"}))
+    record = tracer.solve(check1)
+    print(f"check1 (file closed?):   {record.status.value}")
+    print(f"  cheapest abstraction:  {sorted(record.abstraction)}")
+    print(f"  iterations:            {record.iterations}")
+    assert record.abstraction == frozenset({"x", "y"}), "paper says {x, y}!"
+
+    check2 = TypestateQuery("check2", allowed=frozenset({"opened"}))
+    record = tracer.solve(check2)
+    print(f"check2 (file opened?):   {record.status.value}")
+    print(f"  iterations:            {record.iterations}")
+    print()
+    print(
+        "As in Figure 1: check1 is provable by tracking exactly {x, y}; "
+        "check2 cannot be proven by ANY abstraction, and TRACER proves "
+        "that instead of diverging."
+    )
+
+
+if __name__ == "__main__":
+    main()

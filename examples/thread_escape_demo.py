@@ -1,0 +1,86 @@
+"""Thread-escape analysis with and without under-approximation —
+the paper's Figure 6, plus a look inside the backward meta-analysis.
+
+The program stores a local object into another object's field and asks
+whether the first object stays thread-local.  Proving it requires
+mapping *both* allocation sites to the precise summary ``L``; TRACER
+discovers that minimal abstraction.  The demo contrasts the backward
+meta-analysis with the beam disabled (one iteration, bigger formulas)
+against beam width ``k = 1`` (one cube per formula, one extra
+iteration) and prints the actual formulas it propagates.
+
+Run:  python examples/thread_escape_demo.py
+"""
+
+from repro import EscSchema, EscapeClient, EscapeQuery, Tracer, TracerConfig
+from repro.core import backward_trace
+from repro.lang import parse_program, pretty_command
+
+PROGRAM = parse_program(
+    """
+    u = new h1
+    v = new h2
+    v.f = u
+    observe pc     # local(u)?
+    """
+)
+
+
+def show_backward(client, k, label):
+    """Run one backward pass under the cheapest abstraction and print
+    the formula tracked at every trace point."""
+    query = EscapeQuery("pc", "u")
+    p = frozenset()  # cheapest abstraction: every site summarised as E
+    trace = client.counterexamples([query], p)[query]
+    result = backward_trace(
+        client.meta,
+        client.analysis,
+        trace,
+        p,
+        client.analysis.initial_state(),
+        client.fail_condition(query),
+        k=k,
+    )
+    print(f"--- backward meta-analysis, {label} ---")
+    for formula, command in zip(result.intermediate, list(trace) + [None]):
+        print(f"  nu: {formula}")
+        if command is not None:
+            print(f"      {pretty_command(command)}")
+    print(f"  max tracked disjuncts: {result.max_disjuncts}")
+    print()
+    return result
+
+
+def main() -> None:
+    client = EscapeClient(
+        PROGRAM, EscSchema(["u", "v"], ["f"]), sites=frozenset({"h1", "h2"})
+    )
+    query = EscapeQuery("pc", "u")
+
+    # Figure 6(a): no under-approximation — one counterexample suffices.
+    show_backward(client, k=None, label="no under-approximation (Fig 6a)")
+    full = Tracer(client, TracerConfig(k=None)).solve(query)
+    print(
+        f"k=None : proven in {full.iterations} iterations, cheapest "
+        f"abstraction maps {sorted(full.abstraction)} to L"
+    )
+    print()
+
+    # Figure 6(b): beam width 1 — compact formulas, one extra iteration.
+    show_backward(client, k=1, label="beam k=1 (Fig 6b)")
+    beam = Tracer(client, TracerConfig(k=1)).solve(query)
+    print(
+        f"k=1    : proven in {beam.iterations} iterations, cheapest "
+        f"abstraction maps {sorted(beam.abstraction)} to L"
+    )
+    assert full.abstraction == beam.abstraction == frozenset({"h1", "h2"})
+    print()
+    print(
+        "Both modes find the same minimum abstraction; the beam trades "
+        "an extra CEGAR iteration for much smaller formulas — the "
+        "trade-off Figure 13 quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — Finding Optimum Abstractions in Parametric Dataflow Analysis.
+
+A from-scratch Python reproduction of Zhang, Naik, and Yang (PLDI
+2013).  The package provides:
+
+* :mod:`repro.core` — the paper's contribution: the parametric-
+  analysis framework, the DNF formula machinery with the ``dropk``
+  beam under-approximation, the backward meta-analysis, and the TRACER
+  algorithm that finds a *minimum-cost* abstraction proving a query or
+  shows that none exists;
+* :mod:`repro.typestate` / :mod:`repro.escape` — the two client
+  analyses of the paper (Figures 4/10 and 5/11);
+* :mod:`repro.lang` / :mod:`repro.dataflow` / :mod:`repro.frontend` —
+  the substrate: the analysis language, the disjunctive collecting
+  engine with counterexample witnesses, and a mini-Java front end with
+  0-CFA and context-sensitive inlining;
+* :mod:`repro.bench` — the seven-benchmark suite and the harness
+  regenerating every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import (
+        Tracer, TracerConfig, TypestateClient, TypestateQuery,
+        file_automaton, parse_program,
+    )
+
+    program = parse_program('''
+        x = new File
+        y = x
+        x.open()
+        y.close()
+        observe check1
+    ''')
+    client = TypestateClient(program, file_automaton(), "File",
+                             variables=frozenset({"x", "y"}))
+    record = Tracer(client, TracerConfig(k=1)).solve(
+        TypestateQuery("check1", frozenset({"closed"})))
+    print(record.status, sorted(record.abstraction))
+"""
+
+from repro.core import (
+    BackwardMetaAnalysis,
+    Dnf,
+    MapParamSpace,
+    MetaResult,
+    MinCostSat,
+    ParamSpace,
+    ParametricAnalysis,
+    QueryRecord,
+    QueryStatus,
+    SubsetParamSpace,
+    Theory,
+    Tracer,
+    TracerClient,
+    TracerConfig,
+    ViabilityStore,
+    backward_trace,
+    summarize_records,
+)
+from repro.core import SearchTranscript, narrate
+from repro.escape import EscSchema, EscapeClient, EscapeQuery
+from repro.provenance import ProvenanceClient, ProvenanceQuery, PtSchema
+from repro.lang import parse_program, pretty_program
+from repro.typestate import (
+    TypestateClient,
+    TypestateQuery,
+    file_automaton,
+    stress_automaton,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BackwardMetaAnalysis",
+    "Dnf",
+    "EscSchema",
+    "EscapeClient",
+    "EscapeQuery",
+    "MapParamSpace",
+    "MetaResult",
+    "MinCostSat",
+    "ParamSpace",
+    "ParametricAnalysis",
+    "ProvenanceClient",
+    "ProvenanceQuery",
+    "PtSchema",
+    "QueryRecord",
+    "QueryStatus",
+    "SearchTranscript",
+    "SubsetParamSpace",
+    "Theory",
+    "Tracer",
+    "TracerClient",
+    "TracerConfig",
+    "TypestateClient",
+    "TypestateQuery",
+    "ViabilityStore",
+    "__version__",
+    "backward_trace",
+    "file_automaton",
+    "narrate",
+    "parse_program",
+    "pretty_program",
+    "stress_automaton",
+    "summarize_records",
+]

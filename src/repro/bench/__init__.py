@@ -1,0 +1,56 @@
+"""Benchmark suite, evaluation harness, and table/figure renderers.
+
+The paper evaluates on seven real-world concurrent Java programs (tsp,
+elevator, hedc, weblech, antlr, avrora, lusearch) analysed through
+Chord.  Those binaries and the JDK are not reproducible offline, so
+this package synthesises seven deterministic mini-Java programs whose
+*profiles* mirror the originals' characters (relative size, thread
+usage, sharing behaviour, call depth); queries are generated
+pervasively exactly as in Section 6.
+"""
+
+from repro.bench.generators import BenchmarkProfile, synthesize
+from repro.bench.suite import BENCHMARK_NAMES, benchmark, benchmark_profiles, load_suite
+from repro.bench.harness import (
+    BenchmarkInstance,
+    EvalResult,
+    escape_setup,
+    evaluate_benchmark,
+    prepare,
+    typestate_setup,
+)
+from repro.bench.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.bench.export import export_json, record_to_dict, results_to_dict
+from repro.bench.figures import render_figure12, render_figure13, render_figure14
+from repro.bench.report import full_report
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkInstance",
+    "BenchmarkProfile",
+    "EvalResult",
+    "benchmark",
+    "benchmark_profiles",
+    "escape_setup",
+    "evaluate_benchmark",
+    "export_json",
+    "full_report",
+    "load_suite",
+    "prepare",
+    "record_to_dict",
+    "render_figure12",
+    "render_figure13",
+    "render_figure14",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "results_to_dict",
+    "synthesize",
+    "typestate_setup",
+]

@@ -1,0 +1,96 @@
+"""JSON export of evaluation results.
+
+Makes the harness scriptable: per-query records and per-benchmark
+aggregates serialise to plain JSON for downstream plotting or
+regression tracking (``repro eval --json out.json`` on the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping
+
+from repro.bench.harness import EvalResult
+from repro.core.stats import (
+    EvalAggregate,
+    MinMaxAvg,
+    QueryRecord,
+    summarize_records,
+)
+
+
+def record_to_dict(record: QueryRecord) -> dict:
+    return {
+        "query": record.query_id,
+        "status": record.status.value,
+        "iterations": record.iterations,
+        "abstraction": (
+            sorted(record.abstraction) if record.abstraction is not None else None
+        ),
+        "abstraction_cost": record.abstraction_cost,
+        "time_seconds": round(record.time_seconds, 6),
+        "max_disjuncts": record.max_disjuncts,
+        "forward_runs": record.forward_runs,
+    }
+
+
+def _mma_to_dict(stats: MinMaxAvg) -> dict:
+    return {
+        "min": stats.minimum,
+        "max": stats.maximum,
+        "avg": round(stats.average, 4),
+    }
+
+
+def aggregate_to_dict(aggregate: EvalAggregate) -> dict:
+    return {
+        "total": aggregate.total,
+        "proven": aggregate.proven,
+        "impossible": aggregate.impossible,
+        "unresolved": aggregate.exhausted,
+        "resolved_fraction": round(aggregate.resolved_fraction, 4),
+        "iterations_proven": (
+            _mma_to_dict(aggregate.iterations_proven)
+            if aggregate.iterations_proven
+            else None
+        ),
+        "iterations_impossible": (
+            _mma_to_dict(aggregate.iterations_impossible)
+            if aggregate.iterations_impossible
+            else None
+        ),
+        "abstraction_sizes": (
+            _mma_to_dict(aggregate.abstraction_sizes)
+            if aggregate.abstraction_sizes
+            else None
+        ),
+        "total_time_seconds": round(aggregate.total_time_seconds, 4),
+        "groups": {
+            "count": aggregate.groups.group_count,
+            "min": aggregate.groups.minimum,
+            "max": aggregate.groups.maximum,
+            "avg": round(aggregate.groups.average, 4),
+        },
+    }
+
+
+def results_to_dict(results: Mapping[str, Mapping[str, EvalResult]]) -> dict:
+    """Serialise a full evaluation (``full_report``'s return value)."""
+    out: Dict[str, dict] = {}
+    for benchmark, per_analysis in results.items():
+        out[benchmark] = {}
+        for analysis, result in per_analysis.items():
+            aggregate = summarize_records(result.records)
+            out[benchmark][analysis] = {
+                "wall_seconds": round(result.wall_seconds, 4),
+                "aggregate": aggregate_to_dict(aggregate),
+                "records": [record_to_dict(r) for r in result.records],
+            }
+    return out
+
+
+def export_json(results: Mapping[str, Mapping[str, EvalResult]], path: str) -> None:
+    """Write a full evaluation to ``path`` as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(results_to_dict(results), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,81 @@
+"""Text renderers for the paper's figures (12, 13, 14).
+
+Figures are rendered as labelled ASCII charts: precision stacks
+(Figure 12), per-``k`` running-time bars (Figure 13), and cheapest-
+abstraction size histograms (Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.stats import EvalAggregate
+
+_BAR_WIDTH = 40
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH, char: str = "#") -> str:
+    return char * max(0, round(fraction * width))
+
+
+def render_figure12(results: Dict[str, Tuple[EvalAggregate, EvalAggregate]]) -> str:
+    """Figure 12: per-benchmark precision — fraction of queries proven
+    (``#``), shown impossible (``x``), and unresolved (``.``)."""
+    lines = ["Figure 12: query resolution (#=proven, x=impossible, .=unresolved)"]
+    for analysis_index, analysis in enumerate(("typestate", "thread-escape")):
+        lines.append(f"-- {analysis} --")
+        for name, pair in results.items():
+            agg = pair[analysis_index]
+            if agg.total == 0:
+                lines.append(f"{name:>10} (no queries)")
+                continue
+            proven = agg.proven / agg.total
+            impossible = agg.impossible / agg.total
+            unresolved = agg.exhausted / agg.total
+            bar = (
+                _bar(proven, char="#")
+                + _bar(impossible, char="x")
+                + _bar(unresolved, char=".")
+            )
+            lines.append(
+                f"{name:>10} [{bar:<{_BAR_WIDTH}}] "
+                f"{agg.total:4d} queries: {agg.proven} proven, "
+                f"{agg.impossible} impossible, {agg.exhausted} unresolved"
+            )
+    return "\n".join(lines)
+
+
+def render_figure13(timings: Mapping[str, Mapping[object, float]]) -> str:
+    """Figure 13: thread-escape running time per beam width ``k``.
+
+    ``timings[benchmark][k]`` is total seconds for resolving all
+    queries with that ``k`` (``None`` key = beam disabled)."""
+    lines = ["Figure 13: thread-escape running time by beam width k"]
+    peak = max(
+        (seconds for per_k in timings.values() for seconds in per_k.values()),
+        default=1.0,
+    )
+    for name, per_k in timings.items():
+        lines.append(f"{name}:")
+        for k in sorted(per_k, key=lambda v: (v is None, v)):
+            seconds = per_k[k]
+            label = "k=all" if k is None else f"k={k}"
+            lines.append(
+                f"  {label:>6} [{_bar(seconds / peak):<{_BAR_WIDTH}}] {seconds:.2f}s"
+            )
+    return "\n".join(lines)
+
+
+def render_figure14(histograms: Mapping[str, Mapping[int, int]]) -> str:
+    """Figure 14: distribution of cheapest-abstraction sizes for proven
+    thread-escape queries (largest benchmarks)."""
+    lines = ["Figure 14: cheapest-abstraction size distribution (thread-escape)"]
+    for name, histogram in histograms.items():
+        lines.append(f"{name}:")
+        total = sum(histogram.values()) or 1
+        for size in sorted(histogram):
+            count = histogram[size]
+            lines.append(
+                f"  size {size:>3} [{_bar(count / total):<{_BAR_WIDTH}}] {count}"
+            )
+    return "\n".join(lines)

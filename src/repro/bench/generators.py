@@ -1,0 +1,496 @@
+"""Deterministic synthetic mini-Java program generator.
+
+Each benchmark is synthesised from a :class:`BenchmarkProfile` with a
+fixed seed, so the whole evaluation is reproducible bit-for-bit.  The
+generator produces the program shapes that exercise both client
+analyses the way the paper's Java benchmarks do:
+
+* *aliasing chains* (``y = x; y.m()``) that force the type-state
+  analysis to grow must-alias sets to prove queries;
+* *heap round-trips* (store then load through fields) that make
+  must-alias tracking impossible — the paper's impossible queries;
+* *publication* (global stores, thread starts) and *confinement*
+  (objects that never escape) mixing provable and unprovable
+  thread-escape queries;
+* *layered call graphs* (methods at level ``i`` call only level
+  ``i + 1``) giving deep, acyclic, fully-inlinable call chains, with
+  occasional polymorphic receivers for multi-target dispatch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend.program import (
+    ClassDef,
+    FrontProgram,
+    MethodDef,
+    SAssign,
+    SAssignNull,
+    SCall,
+    SIf,
+    SLoadField,
+    SLoadGlobal,
+    SNew,
+    SReturn,
+    SStoreField,
+    SStoreGlobal,
+    SThreadStart,
+    SWhile,
+    Stmt,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Knobs describing one synthetic benchmark."""
+
+    name: str
+    seed: int
+    app_classes: int = 3
+    lib_classes: int = 2
+    worker_classes: int = 1
+    fields_per_class: int = 2
+    levels: int = 3
+    methods_per_level: int = 2
+    stmts_per_method: int = 6
+    main_stmts: int = 8
+    calls_per_method: int = 1
+    alias_receiver_rate: float = 0.4
+    local_pool: int = 6
+    heap_call_rate: float = 0.25
+    chain_load_rate: float = 0.3
+    self_call_rate: float = 0.35
+    method_chain_rate: float = 0.5
+    double_call_rate: float = 0.3
+    globals_count: int = 2
+    publish_weight: int = 2
+    load_global_weight: int = 2
+    field_store_weight: int = 3
+    field_load_weight: int = 3
+    alias_weight: int = 4
+    alloc_weight: int = 3
+    null_weight: int = 1
+    branch_weight: int = 2
+    loop_weight: int = 1
+    poly_call_rate: float = 0.2
+
+
+class _Synthesizer:
+    def __init__(self, profile: BenchmarkProfile):
+        self.profile = profile
+        self.rng = random.Random(profile.seed)
+        self.program = FrontProgram()
+        # (class, method_name, level) for every generated method.
+        self.methods: List[Tuple[str, str, int]] = []
+        self.class_fields: Dict[str, Tuple[str, ...]] = {}
+        self.fresh_counter = 0
+
+    # -- structure -------------------------------------------------------
+
+    def build(self) -> FrontProgram:
+        profile = self.profile
+        class_names: List[Tuple[str, bool]] = []  # (name, is_library)
+        for i in range(profile.app_classes):
+            class_names.append((f"App{i}", False))
+        for i in range(profile.lib_classes):
+            class_names.append((f"Lib{i}", True))
+        worker_names = [f"Worker{i}" for i in range(profile.worker_classes)]
+
+        for name, is_library in class_names:
+            fields = tuple(
+                f"{name}_f{j}" for j in range(profile.fields_per_class)
+            )
+            self.class_fields[name] = fields
+            self.program.add_class(
+                ClassDef(name=name, fields=fields, is_library=is_library)
+            )
+        for name in worker_names:
+            fields = tuple(f"{name}_f{j}" for j in range(profile.fields_per_class))
+            self.class_fields[name] = fields
+            self.program.add_class(ClassDef(name=name, fields=fields))
+        main_cls = self.program.add_class(ClassDef(name="Main"))
+        self.class_fields["Main"] = ()
+
+        # Method signatures, layered by level for an acyclic call graph.
+        plain = [name for name, _lib in class_names]
+        for level in range(1, profile.levels + 1):
+            for k in range(profile.methods_per_level):
+                cls = plain[self.rng.randrange(len(plain))]
+                # Bias towards same-class chains across consecutive
+                # levels, enabling `this.m()` call chains whose
+                # type-state proofs need deep must-alias tracking.
+                if level > 1 and self.rng.random() < profile.method_chain_rate:
+                    previous = [
+                        c for c, _n, l in self.methods if l == level - 1
+                    ]
+                    if previous:
+                        cls = previous[self.rng.randrange(len(previous))]
+                method_name = f"m{level}_{k}"
+                params = tuple(f"p{i}" for i in range(self.rng.randint(0, 2)))
+                self.program.classes[cls].methods[method_name] = MethodDef(
+                    name=method_name, params=params
+                )
+                self.methods.append((cls, method_name, level))
+        # Occasionally duplicate a method name in a second class so a
+        # polymorphic receiver produces multiple call targets.
+        for cls, method_name, level in list(self.methods):
+            if self.rng.random() < profile.poly_call_rate and len(plain) > 1:
+                other = plain[self.rng.randrange(len(plain))]
+                if other != cls and method_name not in self.program.classes[other].methods:
+                    params = self.program.classes[cls].methods[method_name].params
+                    self.program.classes[other].methods[method_name] = MethodDef(
+                        name=method_name, params=params
+                    )
+                    self.methods.append((other, method_name, level))
+
+        for name in worker_names:
+            self.program.classes[name].methods["run"] = MethodDef(name="run")
+
+        # Bodies.
+        for cls, method_name, level in self.methods:
+            method = self.program.classes[cls].methods[method_name]
+            method.body = self._method_body(cls, method, level)
+        for name in worker_names:
+            method = self.program.classes[name].methods["run"]
+            method.body = self._worker_body(name)
+        main_cls.methods["main"] = MethodDef(
+            name="main", body=self._main_body(worker_names)
+        )
+        return self.program.finalize()
+
+    # -- environments ------------------------------------------------------
+
+    def _fresh(self, prefix: str = "t") -> str:
+        self.fresh_counter += 1
+        return f"{prefix}{self.fresh_counter}"
+
+    def _slot(self, env: Dict[str, Optional[str]]) -> str:
+        """A local name from the method's bounded pool.
+
+        Reusing a small pool (as real method bodies do) keeps the
+        number of live variables — and with it the disjunctive state
+        space of the escape analysis — bounded."""
+        return f"v{self.rng.randrange(self.profile.local_pool)}"
+
+    def _pick_local(self, env: Dict[str, Optional[str]]) -> Optional[str]:
+        names = sorted(env)
+        return names[self.rng.randrange(len(names))] if names else None
+
+    def _pick_typed(self, env: Dict[str, Optional[str]]) -> Optional[str]:
+        names = sorted(name for name, cls in env.items() if cls is not None)
+        return names[self.rng.randrange(len(names))] if names else None
+
+    # -- bodies ------------------------------------------------------------
+
+    def _method_body(self, cls: str, method: MethodDef, level: int) -> List[Stmt]:
+        env: Dict[str, Optional[str]] = {"this": cls}
+        for param in method.params:
+            env[param] = None
+        body = self._statements(
+            env, cls, level, self.profile.stmts_per_method, depth=0
+        )
+        ret = self._pick_local(env)
+        body.append(SReturn(ret))
+        return body
+
+    def _worker_body(self, cls: str) -> List[Stmt]:
+        env: Dict[str, Optional[str]] = {"this": cls}
+        body: List[Stmt] = []
+        # A worker touches its own fields and shared globals.
+        fields = self.class_fields[cls]
+        if fields:
+            local = self._fresh("w")
+            body.append(SLoadField(local, "this", fields[0]))
+            env[local] = None
+        shared = self._fresh("w")
+        body.append(SLoadGlobal(shared, "g0"))
+        env[shared] = None
+        body.extend(
+            self._statements(env, cls, self.profile.levels, 3, depth=0)
+        )
+        return body
+
+    def _main_body(self, worker_names: List[str]) -> List[Stmt]:
+        profile = self.profile
+        env: Dict[str, Optional[str]] = {}
+        body: List[Stmt] = []
+        # Seed the heap with a few application objects.
+        app_classes = [
+            name
+            for name, cls in sorted(self.program.classes.items())
+            if not cls.is_library and name != "Main" and not name.startswith("Worker")
+        ]
+        for name in app_classes[:3]:
+            local = self._fresh("o")
+            body.append(SNew(local, name))
+            env[local] = name
+        # Drive every level-1 method from main so the bulk of the
+        # program is reachable and queried.
+        for target_cls, method_name, tlevel in self.methods:
+            if tlevel != 1:
+                continue
+            receiver = next(
+                (n for n, k in sorted(env.items()) if k == target_cls), None
+            )
+            if receiver is None:
+                receiver = self._fresh("d")
+                body.append(SNew(receiver, target_cls))
+                env[receiver] = target_cls
+            params = self.program.classes[target_cls].methods[method_name].params
+            args = []
+            for _ in params:
+                arg = self._pick_local(env)
+                args.append(arg if arg is not None else receiver)
+            body.append(
+                SCall(lhs=None, base=receiver, method=method_name, args=tuple(args))
+            )
+        body.extend(self._statements(env, "Main", 0, profile.main_stmts, depth=0))
+        # Start the workers on fresh objects.
+        for worker in worker_names:
+            local = self._fresh("wk")
+            body.append(SNew(local, worker))
+            body.append(SThreadStart(local))
+            env[local] = worker
+        # A confined epilogue: provable queries live here.
+        confined_cls = app_classes[0] if app_classes else None
+        if confined_cls and self.class_fields[confined_cls]:
+            quiet = self._fresh("priv")
+            other = self._fresh("priv")
+            field = self.class_fields[confined_cls][0]
+            body.append(SNew(quiet, confined_cls))
+            body.append(SAssign(other, quiet))
+            body.append(SStoreField(other, field, quiet))
+            body.append(SLoadField(self._fresh("priv"), quiet, field))
+        return body
+
+    def _statements(
+        self,
+        env: Dict[str, Optional[str]],
+        cls: str,
+        level: int,
+        count: int,
+        depth: int,
+    ) -> List[Stmt]:
+        body: List[Stmt] = []
+        for _ in range(count):
+            body.extend(self._statement(env, cls, level, depth))
+        return body
+
+    def _statement(self, env, cls, level, depth) -> List[Stmt]:
+        profile = self.profile
+        choices = (
+            ["alloc"] * profile.alloc_weight
+            + ["alias"] * profile.alias_weight
+            + ["null"] * profile.null_weight
+            + ["store_field"] * profile.field_store_weight
+            + ["load_field"] * profile.field_load_weight
+            + ["publish"] * profile.publish_weight
+            + ["load_global"] * profile.load_global_weight
+            + ["call"] * profile.calls_per_method
+            + (["branch"] * profile.branch_weight if depth < 2 else [])
+            + (["loop"] * profile.loop_weight if depth < 2 else [])
+        )
+        kind = choices[self.rng.randrange(len(choices))]
+        if kind == "alloc":
+            target = sorted(self.class_fields)
+            target = target[self.rng.randrange(len(target))]
+            local = self._slot(env)
+            env[local] = target
+            return [SNew(local, target)]
+        if kind == "alias":
+            source = self._pick_local(env)
+            if source is None:
+                return []
+            local = self._slot(env)
+            if local == source:
+                return []
+            env[local] = env[source]
+            return [SAssign(local, source)]
+        if kind == "null":
+            local = self._pick_local(env)
+            if local is None:
+                return []
+            env[local] = None
+            return [SAssignNull(local)]
+        if kind == "store_field":
+            base = self._pick_typed(env)
+            rhs = self._pick_local(env)
+            if base is None or rhs is None:
+                return []
+            fields = self.class_fields.get(env[base], ())
+            if not fields:
+                return []
+            return [SStoreField(base, fields[self.rng.randrange(len(fields))], rhs)]
+        if kind == "load_field":
+            base = self._pick_typed(env)
+            if base is None:
+                return []
+            fields = self.class_fields.get(env[base], ())
+            if not fields:
+                return []
+            local = self._slot(env)
+            if local == base:
+                return []
+            env[local] = None
+            out = [SLoadField(local, base, fields[self.rng.randrange(len(fields))])]
+            # A chained access through the loaded reference: proving its
+            # thread-escape query needs the holder's site *and* every
+            # site stored in the field mapped to L (multi-site cheapest
+            # abstractions, the tail of Figure 14).
+            if self.rng.random() < self.profile.chain_load_rate:
+                all_fields = sorted(
+                    f for fs in self.class_fields.values() for f in fs
+                )
+                if all_fields:
+                    second = self._slot(env)
+                    if second not in (local, base):
+                        env[second] = None
+                        out.append(
+                            SLoadField(
+                                second,
+                                local,
+                                all_fields[self.rng.randrange(len(all_fields))],
+                            )
+                        )
+            return out
+        if kind == "publish":
+            rhs = self._pick_local(env)
+            if rhs is None:
+                return []
+            glob = f"g{self.rng.randrange(self.profile.globals_count)}"
+            return [SStoreGlobal(glob, rhs)]
+        if kind == "load_global":
+            local = self._slot(env)
+            env[local] = None
+            glob = f"g{self.rng.randrange(self.profile.globals_count)}"
+            return [SLoadGlobal(local, glob)]
+        if kind == "call":
+            if self.rng.random() < self.profile.heap_call_rate:
+                return self._heap_call_statement(env, cls, level)
+            return self._call_statement(env, cls, level)
+        if kind == "branch":
+            then = self._statements(env, cls, level, 2, depth + 1)
+            els = self._statements(env, cls, level, 1, depth + 1)
+            return [SIf(then=then, els=els)]
+        if kind == "loop":
+            inner = self._statements(env, cls, level, 2, depth + 1)
+            return [SWhile(body=inner)]
+        return []
+
+    def _call_statement(self, env, cls, level) -> List[Stmt]:
+        targets = [
+            (tcls, name)
+            for tcls, name, tlevel in self.methods
+            if tlevel == level + 1
+        ]
+        if not targets:
+            return []
+        out: List[Stmt] = []
+        # Prefer a self-call chain (`this.m()`) when available: proving
+        # queries inside such chains forces tracking the whole
+        # `this`-binding chain, as in the paper's deep benchmarks.
+        this_cls = env.get("this")
+        same_class = [t for t in targets if t[0] == this_cls]
+        if same_class and self.rng.random() < self.profile.self_call_rate:
+            target_cls, method_name = same_class[
+                self.rng.randrange(len(same_class))
+            ]
+            receiver = "this"
+        else:
+            target_cls, method_name = targets[self.rng.randrange(len(targets))]
+            receiver = None
+        if receiver is None:
+            # Find or make a receiver of the right class.
+            receivers = sorted(
+                name for name, kls in env.items() if kls == target_cls
+            )
+            if receivers:
+                receiver = receivers[self.rng.randrange(len(receivers))]
+            else:
+                receiver = self._slot(env)
+                env[receiver] = target_cls
+                out.append(SNew(receiver, target_cls))
+        params = self.program.classes[target_cls].methods[method_name].params
+        args = []
+        for _ in params:
+            arg = self._pick_local(env)
+            if arg is None:
+                return out
+            args.append(arg)
+        lhs = None
+        if self.rng.random() < 0.5:
+            lhs = self._slot(env)
+            if lhs == receiver or lhs in args:
+                lhs = None
+            else:
+                env[lhs] = None
+        # Occasionally call through a copy of the receiver: proving the
+        # type-state query at such a call requires tracking the alias.
+        if self.rng.random() < self.profile.alias_receiver_rate:
+            alias = self._slot(env)
+            if alias != receiver and alias not in args and alias != lhs:
+                env[alias] = env[receiver]
+                out.append(SAssign(alias, receiver))
+                receiver = alias
+        out.append(
+            SCall(lhs=lhs, base=receiver, method=method_name, args=tuple(args))
+        )
+        # A second call on the same receiver: its query is provable
+        # only by must-alias-tracking the receiver through the first
+        # (weakly-updating, if untracked) event.
+        if self.rng.random() < self.profile.double_call_rate:
+            out.append(
+                SCall(lhs=None, base=receiver, method=method_name, args=tuple(args))
+            )
+        return out
+
+    def _heap_call_statement(self, env, cls, level) -> List[Stmt]:
+        """Store a typed object into a field, load it back, and call a
+        method on the loaded reference.  The receiver can never be
+        must-aliased by the type-state analysis (loads drop variables
+        from must-alias sets), so the query at this call site is
+        *impossible to prove* — the paper's dominant category."""
+        targets = [
+            (tcls, name)
+            for tcls, name, tlevel in self.methods
+            if tlevel == level + 1
+        ]
+        if not targets:
+            return []
+        target_cls, method_name = targets[self.rng.randrange(len(targets))]
+        holder = self._pick_typed(env)
+        if holder is None:
+            return []
+        holder_fields = self.class_fields.get(env[holder], ())
+        if not holder_fields:
+            return []
+        field = holder_fields[self.rng.randrange(len(holder_fields))]
+        obj = self._slot(env)
+        if obj == holder:
+            return []
+        loaded = self._slot(env)
+        if loaded in (holder, obj):
+            return []
+        env[obj] = target_cls
+        env[loaded] = None
+        params = self.program.classes[target_cls].methods[method_name].params
+        args = []
+        for _ in params:
+            arg = self._pick_local(env)
+            if arg is None:
+                return []
+            args.append(arg)
+        return [
+            SNew(obj, target_cls),
+            SStoreField(holder, field, obj),
+            SLoadField(loaded, holder, field),
+            SCall(lhs=None, base=loaded, method=method_name, args=tuple(args)),
+        ]
+
+
+def synthesize(profile: BenchmarkProfile) -> FrontProgram:
+    """Build the deterministic program described by ``profile``."""
+    return _Synthesizer(profile).build()

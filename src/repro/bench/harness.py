@@ -1,0 +1,233 @@
+"""Evaluation harness: benchmarks -> clients -> queries -> records.
+
+Queries are generated pervasively, as in Section 6:
+
+* type-state — one query ``(pc, h)`` per application call site ``pc``
+  whose receiver may (0-CFA) point to an application allocation site
+  ``h``; the property is the paper's fictitious stress automaton and a
+  query is proven when the ``h``-object is still ``init`` at ``pc``;
+* thread-escape — one query per instance-field access in application
+  code, asking that the accessed object is thread-local.
+
+``evaluate_benchmark`` runs grouped TRACER over all queries of one
+benchmark for one client analysis and returns the per-query records
+that every table and figure aggregates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.suite import benchmark
+from repro.core.stats import QueryRecord
+from repro.core.tracer import Tracer, TracerConfig
+from repro.escape.client import EscapeClient, EscapeQuery
+from repro.escape.domain import EscSchema
+from repro.frontend.callgraph import CallGraph, build_callgraph
+from repro.frontend.inline import InlineResult, inline_program
+from repro.frontend.mayalias import MayAliasOracle
+from repro.frontend.metrics import ProgramMetrics, compute_metrics
+from repro.frontend.program import FrontProgram
+from repro.typestate.automaton import stress_automaton
+from repro.typestate.client import TypestateClient, TypestateQuery
+
+
+@dataclass
+class BenchmarkInstance:
+    """One benchmark, fully lowered and ready to analyse."""
+
+    name: str
+    front: FrontProgram
+    callgraph: CallGraph
+    inlined: InlineResult
+    metrics: ProgramMetrics
+    oracle: MayAliasOracle
+
+
+def prepare(name: str, front: Optional[FrontProgram] = None) -> BenchmarkInstance:
+    """Synthesize (or accept) a program and run the front-end pipeline."""
+    if front is None:
+        front = benchmark(name)
+    front.finalize()
+    callgraph = build_callgraph(front)
+    inlined = inline_program(front, callgraph)
+    metrics = compute_metrics(name, front, callgraph, inlined)
+    oracle = MayAliasOracle(callgraph, inlined.var_origin)
+    return BenchmarkInstance(
+        name=name,
+        front=front,
+        callgraph=callgraph,
+        inlined=inlined,
+        metrics=metrics,
+        oracle=oracle,
+    )
+
+
+# -- client construction ------------------------------------------------------
+
+
+def escape_setup(bench: BenchmarkInstance) -> Tuple[EscapeClient, List[EscapeQuery]]:
+    """Build the thread-escape client and its query set."""
+    inlined = bench.inlined
+    schema = EscSchema(
+        locals_=sorted(inlined.variables | inlined.query_vars),
+        fields=sorted(inlined.fields),
+    )
+    client = EscapeClient(inlined.program, schema, inlined.sites)
+    queries = [
+        EscapeQuery(pc, qvar)
+        for pc, (_cls, _meth, _base, qvar) in sorted(inlined.access_points.items())
+    ]
+    return client, queries
+
+
+def escape_setup_interproc(
+    bench: BenchmarkInstance,
+) -> Tuple[EscapeClient, List[EscapeQuery]]:
+    """Like :func:`escape_setup` but through the interprocedural
+    tabulation engine (procedure graph, no inlining)."""
+    from repro.frontend.procedures import lower_procedures
+
+    procs = lower_procedures(bench.front, bench.callgraph)
+    schema = EscSchema(
+        locals_=sorted(procs.variables | procs.query_vars),
+        fields=sorted(procs.fields),
+    )
+    client = EscapeClient(procs.graph, schema, procs.sites)
+    queries = [
+        EscapeQuery(pc, qvar)
+        for pc, (_cls, _meth, _base, qvar) in sorted(procs.access_points.items())
+    ]
+    return client, queries
+
+
+def typestate_setup(
+    bench: BenchmarkInstance,
+) -> List[Tuple[TypestateClient, List[TypestateQuery]]]:
+    """Build one type-state client per queried tracked site.
+
+    Returns ``(client, queries)`` pairs; queries on the same tracked
+    site share a client (and hence TRACER's grouping optimisation)."""
+    inlined = bench.inlined
+    methods = sorted({m for *_rest, m in inlined.call_points.values()})
+    if not methods:
+        return []
+    automaton = stress_automaton(methods)
+    event_labels = frozenset(inlined.call_points)
+    app_sites = set(bench.front.app_sites())
+    per_site: Dict[str, List[TypestateQuery]] = {}
+    for pc, (cls, meth, base, _m) in sorted(inlined.call_points.items()):
+        for site in sorted(bench.callgraph.pts_var(cls, meth, base)):
+            if site in app_sites:
+                per_site.setdefault(site, []).append(
+                    TypestateQuery(pc, frozenset({"init"}))
+                )
+    out: List[Tuple[TypestateClient, List[TypestateQuery]]] = []
+    for site in sorted(per_site):
+        client = TypestateClient(
+            inlined.program,
+            automaton,
+            tracked_site=site,
+            variables=inlined.variables,
+            may_point=bench.oracle.for_site(site),
+            event_labels=event_labels,
+        )
+        out.append((client, per_site[site]))
+    return out
+
+
+def typestate_setup_interproc(
+    bench: BenchmarkInstance,
+) -> List[Tuple[TypestateClient, List[TypestateQuery]]]:
+    """Like :func:`typestate_setup` but over the procedure graph (the
+    interprocedural tabulation engine instead of inlining)."""
+    from repro.frontend.procedures import lower_procedures
+
+    procs = lower_procedures(bench.front, bench.callgraph)
+    methods = sorted({m for *_rest, m in procs.call_points.values()})
+    if not methods:
+        return []
+    automaton = stress_automaton(methods)
+    event_labels = frozenset(procs.call_points)
+    oracle = MayAliasOracle(bench.callgraph, procs.var_origin)
+    app_sites = set(bench.front.app_sites())
+    per_site: Dict[str, List[TypestateQuery]] = {}
+    for pc, (cls, meth, base, _m) in sorted(procs.call_points.items()):
+        for site in sorted(bench.callgraph.pts_var(cls, meth, base)):
+            if site in app_sites:
+                per_site.setdefault(site, []).append(
+                    TypestateQuery(pc, frozenset({"init"}))
+                )
+    out: List[Tuple[TypestateClient, List[TypestateQuery]]] = []
+    for site in sorted(per_site):
+        client = TypestateClient(
+            procs.graph,
+            automaton,
+            tracked_site=site,
+            variables=procs.variables,
+            may_point=oracle.for_site(site),
+            event_labels=event_labels,
+        )
+        out.append((client, per_site[site]))
+    return out
+
+
+# -- evaluation ---------------------------------------------------------------
+
+
+@dataclass
+class EvalResult:
+    """All records of one benchmark under one client analysis."""
+
+    benchmark: str
+    analysis: str
+    records: List[QueryRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def query_count(self) -> int:
+        return len(self.records)
+
+
+#: Default per-query effort budget for the evaluation, playing the role
+#: of the paper's 1000-minute timeout: queries still unresolved after
+#: this many TRACER iterations are reported as unresolved (Figure 12).
+DEFAULT_CONFIG = TracerConfig(k=5, max_iterations=30)
+
+
+def evaluate_benchmark(
+    bench: BenchmarkInstance,
+    analysis: str,
+    config: TracerConfig = DEFAULT_CONFIG,
+) -> EvalResult:
+    """Run grouped TRACER over every query of one client analysis."""
+    started = time.perf_counter()
+    records: List[QueryRecord] = []
+    if analysis == "escape":
+        client, queries = escape_setup(bench)
+        if queries:
+            solved = Tracer(client, config).solve_all(queries)
+            records.extend(solved[q] for q in queries)
+    elif analysis == "escape-interproc":
+        client, queries = escape_setup_interproc(bench)
+        if queries:
+            solved = Tracer(client, config).solve_all(queries)
+            records.extend(solved[q] for q in queries)
+    elif analysis == "typestate":
+        for client, queries in typestate_setup(bench):
+            solved = Tracer(client, config).solve_all(queries)
+            records.extend(solved[q] for q in queries)
+    elif analysis == "typestate-interproc":
+        for client, queries in typestate_setup_interproc(bench):
+            solved = Tracer(client, config).solve_all(queries)
+            records.extend(solved[q] for q in queries)
+    else:
+        raise ValueError(f"unknown analysis {analysis!r}")
+    return EvalResult(
+        benchmark=bench.name,
+        analysis=analysis,
+        records=records,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,104 @@
+"""One-call reproduction of the paper's whole evaluation section.
+
+Used by both ``examples/full_evaluation.py`` and the ``repro eval``
+CLI command: prepares the requested benchmarks, resolves every query
+of both client analyses with grouped TRACER, and renders Tables 1-4
+and Figures 12-14.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.bench.figures import render_figure12, render_figure13, render_figure14
+from repro.bench.harness import BenchmarkInstance, evaluate_benchmark, prepare
+from repro.bench.suite import BENCHMARK_NAMES
+from repro.bench.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.stats import size_distribution, summarize_records
+from repro.core.tracer import TracerConfig
+
+SMALLEST: Tuple[str, ...] = ("tsp", "elevator", "hedc", "weblech")
+LARGEST: Tuple[str, ...] = ("antlr", "avrora", "lusearch")
+
+
+def full_report(
+    names: Sequence[str] = BENCHMARK_NAMES,
+    k: Optional[int] = 5,
+    max_iterations: int = 30,
+    emit: Callable[[str], None] = print,
+    k_sweep: Sequence[int] = (1, 5, 10),
+) -> Dict[str, Dict[str, object]]:
+    """Run the evaluation on ``names`` and emit the report.
+
+    Returns the raw per-benchmark evaluation results keyed by analysis
+    so callers can post-process them.
+    """
+    config = TracerConfig(k=k, max_iterations=max_iterations)
+    emit(f"Preparing {len(names)} benchmarks ...")
+    instances: Dict[str, BenchmarkInstance] = {
+        name: prepare(name) for name in names
+    }
+    emit(render_table1([instances[name].metrics for name in names]))
+    emit("")
+
+    results: Dict[str, Dict[str, object]] = {}
+    aggregates = {}
+    for name in names:
+        started = time.perf_counter()
+        results[name] = {
+            analysis: evaluate_benchmark(instances[name], analysis, config)
+            for analysis in ("typestate", "escape")
+        }
+        aggregates[name] = (
+            summarize_records(results[name]["typestate"].records),
+            summarize_records(results[name]["escape"].records),
+        )
+        queries = sum(r.query_count for r in results[name].values())
+        emit(
+            f"  {name}: evaluated {queries} queries in "
+            f"{time.perf_counter() - started:.1f}s"
+        )
+    emit("")
+    emit(render_figure12(aggregates))
+    emit("")
+    emit("Table 2: scalability measurements")
+    emit(render_table2(aggregates))
+    emit("")
+    emit("Table 3: cheapest abstraction sizes for proven queries")
+    emit(render_table3(aggregates))
+    emit("")
+    emit("Table 4: cheapest abstraction reuse for proven queries")
+    emit(render_table4(aggregates))
+    emit("")
+
+    sweep_names = [n for n in SMALLEST if n in instances]
+    if sweep_names and k_sweep:
+        emit("Figure 13 (k ablation on the smallest benchmarks) ...")
+        timings = {}
+        for name in sweep_names:
+            timings[name] = {}
+            for k_value in k_sweep:
+                started = time.perf_counter()
+                evaluate_benchmark(
+                    instances[name],
+                    "escape",
+                    TracerConfig(k=k_value, max_iterations=max_iterations),
+                )
+                timings[name][k_value] = time.perf_counter() - started
+        emit(render_figure13(timings))
+        emit("")
+
+    histograms = {
+        name: size_distribution(results[name]["escape"].records)
+        for name in LARGEST
+        if name in results
+    }
+    if histograms:
+        emit(render_figure14(histograms))
+    return results

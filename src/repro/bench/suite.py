@@ -1,0 +1,188 @@
+"""The seven-benchmark suite.
+
+Profiles mirror the relative character of the paper's Table 1 suite:
+``tsp`` and ``elevator`` are small; ``hedc`` and ``weblech`` are
+medium, thread- and sharing-heavy; ``antlr`` is large with deep call
+chains and little concurrency; ``avrora`` is the largest with many
+classes and workers; ``lusearch`` is large with shared indexes.
+Absolute sizes are scaled down so the full evaluation runs on a laptop
+in minutes; the *relative* ordering matches the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.bench.generators import BenchmarkProfile, synthesize
+from repro.frontend.program import FrontProgram
+
+BENCHMARK_NAMES: Tuple[str, ...] = (
+    "tsp",
+    "elevator",
+    "hedc",
+    "weblech",
+    "antlr",
+    "avrora",
+    "lusearch",
+)
+
+_PROFILES: Dict[str, BenchmarkProfile] = {
+    "tsp": BenchmarkProfile(
+        name="tsp",
+        seed=101,
+        app_classes=2,
+        lib_classes=1,
+        worker_classes=1,
+        fields_per_class=2,
+        levels=2,
+        methods_per_level=2,
+        stmts_per_method=5,
+        main_stmts=6,
+        publish_weight=1,
+        loop_weight=2,
+    ),
+    "elevator": BenchmarkProfile(
+        name="elevator",
+        seed=232,
+        app_classes=3,
+        lib_classes=1,
+        worker_classes=1,
+        fields_per_class=2,
+        levels=2,
+        methods_per_level=2,
+        stmts_per_method=6,
+        main_stmts=7,
+        branch_weight=3,
+        loop_weight=2,
+    ),
+    "hedc": BenchmarkProfile(
+        name="hedc",
+        seed=323,
+        app_classes=4,
+        lib_classes=3,
+        worker_classes=2,
+        fields_per_class=2,
+        levels=3,
+        methods_per_level=2,
+        stmts_per_method=6,
+        main_stmts=9,
+        publish_weight=3,
+        load_global_weight=3,
+    ),
+    "weblech": BenchmarkProfile(
+        name="weblech",
+        seed=404,
+        app_classes=4,
+        lib_classes=3,
+        worker_classes=2,
+        fields_per_class=3,
+        levels=3,
+        methods_per_level=3,
+        stmts_per_method=6,
+        main_stmts=10,
+        publish_weight=4,
+        field_store_weight=4,
+    ),
+    "antlr": BenchmarkProfile(
+        name="antlr",
+        seed=535,
+        app_classes=6,
+        lib_classes=3,
+        worker_classes=1,
+        fields_per_class=3,
+        levels=4,
+        methods_per_level=3,
+        stmts_per_method=7,
+        main_stmts=10,
+        calls_per_method=2,
+        alias_weight=5,
+        publish_weight=1,
+    ),
+    "avrora": BenchmarkProfile(
+        name="avrora",
+        seed=626,
+        app_classes=9,
+        lib_classes=4,
+        worker_classes=3,
+        fields_per_class=3,
+        levels=5,
+        methods_per_level=3,
+        stmts_per_method=7,
+        main_stmts=14,
+        calls_per_method=2,
+        alias_weight=6,
+        publish_weight=2,
+    ),
+    "lusearch": BenchmarkProfile(
+        name="lusearch",
+        seed=717,
+        app_classes=6,
+        lib_classes=4,
+        worker_classes=2,
+        fields_per_class=3,
+        levels=3,
+        methods_per_level=3,
+        stmts_per_method=7,
+        main_stmts=11,
+        calls_per_method=2,
+        publish_weight=3,
+        load_global_weight=3,
+    ),
+}
+
+
+def benchmark_profiles() -> Dict[str, BenchmarkProfile]:
+    """All benchmark profiles, keyed by name."""
+    return dict(_PROFILES)
+
+
+def benchmark(name: str) -> FrontProgram:
+    """Synthesize one benchmark program."""
+    try:
+        profile = _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        ) from None
+    return synthesize(profile)
+
+
+def load_suite() -> Dict[str, FrontProgram]:
+    """Synthesize the whole suite."""
+    return {name: benchmark(name) for name in BENCHMARK_NAMES}
+
+
+def scaled_profile(profile: BenchmarkProfile, factor: float) -> BenchmarkProfile:
+    """Scale a profile's size knobs by ``factor`` (>= 0.5).
+
+    Used by the scalability study: the same benchmark character at
+    growing program sizes."""
+    import dataclasses
+
+    if factor < 0.5:
+        raise ValueError("scale factor must be >= 0.5")
+
+    def scale(value: int, minimum: int = 1) -> int:
+        return max(minimum, round(value * factor))
+
+    return dataclasses.replace(
+        profile,
+        app_classes=scale(profile.app_classes),
+        lib_classes=scale(profile.lib_classes),
+        worker_classes=scale(profile.worker_classes),
+        levels=min(profile.levels + 2, scale(profile.levels, 2)),
+        methods_per_level=scale(profile.methods_per_level),
+        stmts_per_method=scale(profile.stmts_per_method, 3),
+        main_stmts=scale(profile.main_stmts, 3),
+    )
+
+
+def benchmark_scaled(name: str, factor: float) -> FrontProgram:
+    """Synthesize a benchmark at a different size scale."""
+    try:
+        profile = _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        ) from None
+    return synthesize(scaled_profile(profile, factor))

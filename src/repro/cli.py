@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``solve-typestate FILE`` — resolve a type-state query on a program
+  written in the text syntax of :mod:`repro.lang.parser`;
+* ``solve-escape FILE`` — resolve a thread-escape (object locality)
+  query on such a program;
+* ``eval`` — run the paper's full evaluation (Tables 1-4, Figures
+  12-14) on the synthetic benchmark suite;
+* ``info NAME`` — print one benchmark's Table 1 row and query counts.
+
+Variable/site/field universes are inferred from the program text, so a
+minimal invocation is just::
+
+    python -m repro solve-typestate prog.rp --query check1 --allowed closed
+    python -m repro solve-escape prog.rp --query pc --var u
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.narrate import narrate
+from repro.core.stats import QueryStatus
+from repro.core.tracer import Tracer, TracerConfig
+from repro.escape.client import EscapeClient, EscapeQuery
+from repro.escape.domain import EscSchema
+from repro.lang.parser import parse_program
+from repro.lang.universe import collect_universe
+from repro.provenance.client import ProvenanceClient, ProvenanceQuery
+from repro.provenance.domain import PtSchema
+from repro.typestate.automaton import file_automaton, stress_automaton
+from repro.typestate.client import TypestateClient, TypestateQuery
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--k", type=_beam, default=5, metavar="K",
+                        help="beam width of the meta-analysis; 'none' disables it")
+    parser.add_argument("--max-iterations", type=int, default=60)
+    parser.add_argument("--narrate", action="store_true",
+                        help="print the full Figure-1 style transcript")
+
+
+def _beam(text: str) -> Optional[int]:
+    if text.lower() in ("none", "all", "off"):
+        return None
+    return int(text)
+
+
+def _config(args) -> TracerConfig:
+    return TracerConfig(k=args.k, max_iterations=args.max_iterations)
+
+
+def _report(client, query, args) -> int:
+    if args.narrate:
+        transcript = narrate(client, query, _config(args))
+        print(transcript.render())
+        status = transcript.status
+        abstraction = transcript.abstraction
+        iterations = len(transcript.iterations)
+    else:
+        record = Tracer(client, _config(args)).solve(query)
+        status = record.status
+        abstraction = record.abstraction
+        iterations = record.iterations
+        if status is QueryStatus.PROVEN:
+            shown = "{" + ", ".join(sorted(abstraction)) + "}"
+            print(f"PROVEN with cheapest abstraction {shown} "
+                  f"({iterations} iterations)")
+        elif status is QueryStatus.IMPOSSIBLE:
+            print(f"IMPOSSIBLE: no abstraction in the family proves the "
+                  f"query ({iterations} iterations)")
+        else:
+            print(f"UNRESOLVED after {iterations} iterations")
+    return 0 if status is not QueryStatus.EXHAUSTED else 1
+
+
+def _cmd_solve_typestate(args) -> int:
+    with open(args.file) as handle:
+        program = parse_program(handle.read())
+    universe = collect_universe(program)
+    if args.query not in universe.observe_labels:
+        _die(f"no 'observe {args.query}' in the program "
+             f"(labels: {sorted(universe.observe_labels)})")
+    if args.automaton == "file":
+        automaton = file_automaton()
+    else:
+        if not universe.methods:
+            _die("stress automaton needs at least one method call in the program")
+        automaton = stress_automaton(sorted(universe.methods))
+    site = args.site or (sorted(universe.sites)[0] if universe.sites else None)
+    if site is None:
+        _die("the program allocates nothing; pass --site explicitly")
+    allowed = frozenset(args.allowed.split(","))
+    unknown = allowed - automaton.states
+    if unknown:
+        _die(f"unknown type-states {sorted(unknown)}; "
+             f"automaton has {sorted(automaton.states)}")
+    client = TypestateClient(
+        program, automaton, site, universe.variables
+    )
+    print(f"tracking site {site} with the {automaton.name} automaton; "
+          f"{len(universe.variables)} variables (2^{len(universe.variables)} abstractions)")
+    return _report(client, TypestateQuery(args.query, allowed), args)
+
+
+def _cmd_solve_escape(args) -> int:
+    with open(args.file) as handle:
+        program = parse_program(handle.read())
+    universe = collect_universe(program)
+    if args.query not in universe.observe_labels:
+        _die(f"no 'observe {args.query}' in the program "
+             f"(labels: {sorted(universe.observe_labels)})")
+    if args.var not in universe.variables:
+        _die(f"unknown variable {args.var!r} "
+             f"(variables: {sorted(universe.variables)})")
+    schema = EscSchema(sorted(universe.variables), sorted(universe.fields))
+    client = EscapeClient(program, schema, universe.sites)
+    print(f"{len(universe.sites)} allocation sites "
+          f"(2^{len(universe.sites)} abstractions)")
+    return _report(client, EscapeQuery(args.query, args.var), args)
+
+
+def _cmd_solve_provenance(args) -> int:
+    with open(args.file) as handle:
+        program = parse_program(handle.read())
+    universe = collect_universe(program)
+    if args.query not in universe.observe_labels:
+        _die(f"no 'observe {args.query}' in the program "
+             f"(labels: {sorted(universe.observe_labels)})")
+    if args.var not in universe.variables:
+        _die(f"unknown variable {args.var!r} "
+             f"(variables: {sorted(universe.variables)})")
+    if args.allowed:
+        allowed = frozenset(args.allowed.split(","))
+        unknown = allowed - universe.sites
+        if unknown:
+            _die(f"unknown sites {sorted(unknown)} "
+                 f"(sites: {sorted(universe.sites)})")
+    else:
+        allowed = universe.sites
+    client = ProvenanceClient(program, PtSchema(universe.variables), universe.sites)
+    print(f"{len(universe.sites)} allocation sites "
+          f"(2^{len(universe.sites)} abstractions); "
+          f"allowed: {sorted(allowed)}")
+    return _report(client, ProvenanceQuery(args.query, args.var, allowed), args)
+
+
+def _cmd_eval(args) -> int:
+    from repro.bench.report import SMALLEST, full_report
+    from repro.bench.suite import BENCHMARK_NAMES
+
+    names = SMALLEST if args.quick else BENCHMARK_NAMES
+    results = full_report(names=names, k=args.k)
+    if args.json:
+        from repro.bench.export import export_json
+
+        export_json(results, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.bench.harness import escape_setup, prepare, typestate_setup
+    from repro.bench.tables import render_table1
+
+    bench = prepare(args.name)
+    print(render_table1([bench.metrics]))
+    _client, escape_queries = escape_setup(bench)
+    typestate_queries = sum(len(qs) for _c, qs in typestate_setup(bench))
+    print(f"\nqueries: {typestate_queries} type-state, {len(escape_queries)} thread-escape")
+    print(f"recursion cuts during inlining: {bench.inlined.recursion_cuts}")
+    return 0
+
+
+def _die(message: str) -> None:
+    raise SystemExit(f"error: {message}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    typestate = commands.add_parser(
+        "solve-typestate", help="resolve a type-state query on a program file"
+    )
+    typestate.add_argument("file")
+    typestate.add_argument("--query", required=True, help="observe label to check")
+    typestate.add_argument(
+        "--allowed", default="closed",
+        help="comma-separated type-states allowed at the query (default: closed)",
+    )
+    typestate.add_argument(
+        "--automaton", choices=("file", "stress"), default="file"
+    )
+    typestate.add_argument("--site", help="tracked allocation site (default: first)")
+    _add_common(typestate)
+    typestate.set_defaults(func=_cmd_solve_typestate)
+
+    escape = commands.add_parser(
+        "solve-escape", help="resolve an object-locality query on a program file"
+    )
+    escape.add_argument("file")
+    escape.add_argument("--query", required=True, help="observe label to check")
+    escape.add_argument("--var", required=True, help="variable whose locality to prove")
+    _add_common(escape)
+    escape.set_defaults(func=_cmd_solve_escape)
+
+    provenance = commands.add_parser(
+        "solve-provenance",
+        help="resolve an allocation-site provenance query on a program file",
+    )
+    provenance.add_argument("file")
+    provenance.add_argument("--query", required=True, help="observe label to check")
+    provenance.add_argument("--var", required=True, help="variable whose provenance to prove")
+    provenance.add_argument(
+        "--allowed",
+        default="",
+        help="comma-separated allowed allocation sites (default: all)",
+    )
+    _add_common(provenance)
+    provenance.set_defaults(func=_cmd_solve_provenance)
+
+    evaluation = commands.add_parser(
+        "eval", help="run the paper's full evaluation on the synthetic suite"
+    )
+    evaluation.add_argument(
+        "--quick", action="store_true", help="only the 4 smallest benchmarks"
+    )
+    evaluation.add_argument("--k", type=_beam, default=5, metavar="K")
+    evaluation.add_argument(
+        "--json", metavar="PATH", help="also write results as JSON"
+    )
+    evaluation.set_defaults(func=_cmd_eval)
+
+    info = commands.add_parser("info", help="print one benchmark's statistics")
+    info.add_argument("name")
+    info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""The paper's contribution: parametric analysis + TRACER + meta-analysis.
+
+Sub-modules:
+
+* :mod:`repro.core.formula` — boolean formulas over client primitives,
+  DNF normal form, ``simplify`` and ``dropk`` (Figure 8).
+* :mod:`repro.core.parametric` — the parametric-analysis interface
+  ``(P, <=, D, [[.]]p)`` of Section 3.2 and parameter spaces.
+* :mod:`repro.core.meta` — the backward meta-analysis ``B[t]``
+  (Figure 7) with the generic under-approximation operator of
+  Section 4.1.
+* :mod:`repro.core.minsat` — branch-and-bound minimum-cost SAT used to
+  pick a cheapest viable abstraction.
+* :mod:`repro.core.viability` — the ``viable`` constraint store of
+  Algorithm 1.
+* :mod:`repro.core.tracer` — Algorithm 1 (TRACER) plus the multi-query
+  group driver of Section 6.
+* :mod:`repro.core.stats` — per-query resolution records and aggregates.
+"""
+
+from repro.core.formula import (
+    And,
+    Bottom,
+    Cube,
+    Dnf,
+    FALSE,
+    Formula,
+    FormulaExplosion,
+    Lit,
+    Literal,
+    Or,
+    Primitive,
+    TRUE,
+    Theory,
+    Top,
+    conj,
+    cube_entails,
+    disj,
+    drop_k,
+    evaluate,
+    evaluate_cube,
+    lit,
+    merge_cubes,
+    neg,
+    nlit,
+    simplify,
+    to_dnf,
+    wp_substitute,
+)
+from repro.core.meta import BackwardMetaAnalysis, MetaResult, backward_trace
+from repro.core.narrate import IterationTranscript, SearchTranscript, narrate
+from repro.core.selfcheck import (
+    Violation,
+    check_soundness_on_trace,
+    check_transfer_total,
+    check_wp,
+)
+from repro.core.synthesis import FootprintModel, SynthesizedMeta, synthesize_wp
+from repro.core.minsat import Clause, MinCostSat, PosLit, NegLit
+from repro.core.parametric import (
+    MapParamSpace,
+    ParamSpace,
+    ParametricAnalysis,
+    SubsetParamSpace,
+)
+from repro.core.stats import EvalAggregate, QueryRecord, QueryStatus, summarize_records
+from repro.core.tracer import Tracer, TracerClient, TracerConfig, run_query_group
+from repro.core.viability import ViabilityStore
+
+__all__ = [
+    "And",
+    "BackwardMetaAnalysis",
+    "Bottom",
+    "Clause",
+    "Cube",
+    "Dnf",
+    "EvalAggregate",
+    "FALSE",
+    "Formula",
+    "IterationTranscript",
+    "FormulaExplosion",
+    "FootprintModel",
+    "Lit",
+    "Literal",
+    "MapParamSpace",
+    "MetaResult",
+    "MinCostSat",
+    "NegLit",
+    "Or",
+    "ParamSpace",
+    "ParametricAnalysis",
+    "PosLit",
+    "Primitive",
+    "QueryRecord",
+    "QueryStatus",
+    "SearchTranscript",
+    "SubsetParamSpace",
+    "SynthesizedMeta",
+    "TRUE",
+    "Theory",
+    "Top",
+    "Tracer",
+    "TracerClient",
+    "TracerConfig",
+    "ViabilityStore",
+    "Violation",
+    "backward_trace",
+    "check_soundness_on_trace",
+    "check_transfer_total",
+    "check_wp",
+    "conj",
+    "cube_entails",
+    "disj",
+    "drop_k",
+    "evaluate",
+    "evaluate_cube",
+    "lit",
+    "merge_cubes",
+    "narrate",
+    "neg",
+    "nlit",
+    "run_query_group",
+    "simplify",
+    "synthesize_wp",
+    "summarize_records",
+    "to_dnf",
+    "wp_substitute",
+]

@@ -1,0 +1,169 @@
+"""The backward meta-analysis ``B[t]`` (Figure 7, Section 4).
+
+Given a trace ``t`` on which the forward analysis instantiated with
+abstraction ``p`` failed to prove a query, the meta-analysis propagates
+a *sufficient condition for failure* backwards through ``t``.  The
+resulting formula ``B[t](p, dI, not(q))`` denotes a set of pairs
+``(p', d')`` such that running the ``p'``-instance from ``d'`` along
+``t`` is guaranteed to end in a state violating the query
+(Theorem 3.2); and it always contains the current ``(p, dI)``
+(Theorem 3.1), so at least the current abstraction is eliminated.
+
+Each backward step is ``approx(p, d, [[a]]b(f))``:
+
+* ``[[a]]b`` is the weakest precondition of the forward transfer
+  function.  Transfer functions are total and deterministic, so wp is a
+  boolean homomorphism and clients only supply wp on *primitive*
+  formulas (:meth:`BackwardMetaAnalysis.wp_primitive`).
+* ``approx`` is the generic under-approximation of Section 4.1:
+  DNF-normalise, ``simplify``, then ``drop_k`` with beam width ``k``,
+  always retaining a disjunct containing the current ``(p, d)``.
+
+Setting ``k = None`` disables the beam (the "without
+under-approximation" mode of Figure 6(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.formula import (
+    Dnf,
+    Formula,
+    Lit,
+    Literal,
+    Theory,
+    drop_k,
+    evaluate,
+    evaluate_cube,
+    simplify,
+    to_dnf,
+    wp_substitute,
+)
+from repro.core.parametric import ParametricAnalysis
+from repro.lang.ast import AtomicCommand, Trace
+
+
+class BackwardMetaAnalysis:
+    """Client interface: the theory plus primitive weakest preconditions."""
+
+    theory: Theory
+
+    def wp_primitive(self, command: AtomicCommand, prim) -> Formula:
+        """The weakest precondition of ``[[command]]p`` w.r.t. ``prim``.
+
+        Must satisfy requirement (2) of Section 4:
+        ``gamma(wp(prim)) = {(p, d) | (p, [[command]]p(d)) in gamma(prim)}``.
+        """
+        raise NotImplementedError
+
+    def wp_cached(self, command: AtomicCommand, prim) -> Formula:
+        """Memoised :meth:`wp_primitive` — the same (command, primitive)
+        pairs recur along every trace and TRACER iteration."""
+        cache = getattr(self, "_wp_cache", None)
+        if cache is None:
+            cache = self._wp_cache = {}
+        key = (command, prim)
+        if key in cache:
+            return cache[key]
+        if len(cache) > 200_000:
+            cache.clear()
+        result = cache[key] = self.wp_primitive(command, prim)
+        return result
+
+
+@dataclass
+class MetaResult:
+    """The outcome of one backward pass over a counterexample trace."""
+
+    condition: Dnf
+    """``B[t](p, dI, not(q))`` — sufficient condition for failure."""
+
+    intermediate: Tuple[Dnf, ...]
+    """Backward states at every trace point, ``intermediate[i]`` holding
+    before command ``i`` (so ``intermediate[0]`` is ``condition`` and
+    ``intermediate[-1]`` is the normalised post-condition)."""
+
+    max_disjuncts: int
+    """Largest number of disjuncts in any *tracked* (post-``approx``)
+    formula — the formula-compactness statistic Figure 6 is about."""
+
+
+def approx(
+    dnf: Dnf,
+    theory: Theory,
+    p: object,
+    d: object,
+    k: Optional[int],
+) -> Dnf:
+    """``approx(p, d, f)`` of Section 4.1: simplify, then beam-prune."""
+    simplified = simplify(dnf, theory)
+    if k is None:
+        return simplified
+    return drop_k(
+        simplified, k, lambda cube: evaluate_cube(cube, theory, p, d)
+    )
+
+
+def backward_trace(
+    meta: BackwardMetaAnalysis,
+    analysis: ParametricAnalysis,
+    trace: Trace,
+    p: object,
+    d_init: object,
+    post: Formula,
+    k: Optional[int] = 5,
+    max_cubes: Optional[int] = 100_000,
+) -> MetaResult:
+    """Run ``B[t](p, d_init, post)`` (Figure 7).
+
+    ``post`` is the failure condition at the end of the trace,
+    typically ``not(q)``.  The forward states along the trace are
+    replayed first (``B[t ; t'](p, d, f) = B[t](p, d, B[t'](p,
+    Fp[t](d), f))`` threads them through), then the weakest
+    precondition is folded backwards with ``approx`` applied at every
+    step.
+
+    Precondition (checked): ``(p, Fp[t](d_init))`` satisfies ``post`` —
+    the trace really is a counterexample.  Guarantee (Theorem 3): the
+    returned condition contains ``(p, d_init)``.
+    """
+    theory = meta.theory
+    states = analysis.trace_states(trace, p, d_init)
+    current = to_dnf(post, theory, max_cubes)
+    current = approx(current, theory, p, states[-1], k)
+    if not evaluate(current, theory, p, states[-1]):
+        raise ValueError(
+            "backward_trace: the final forward state does not satisfy the "
+            "post-condition; the given trace is not a counterexample"
+        )
+    intermediate = [current]
+    max_disjuncts = len(current.cubes)
+    for index in range(len(trace) - 1, -1, -1):
+        command = trace[index]
+        # Fast path: when the command leaves every tracked primitive
+        # unchanged (the common case on long traces), the weakest
+        # precondition is the formula itself.
+        wp_cache = {
+            prim: meta.wp_cached(command, prim)
+            for cube in current.cubes
+            for literal in cube
+            for prim in [literal.prim]
+        }
+        if all(
+            pre == Lit(Literal(prim, True)) for prim, pre in wp_cache.items()
+        ):
+            intermediate.append(current)
+            continue
+        pre_formula = wp_substitute(current, wp_cache.__getitem__)
+        pre = to_dnf(pre_formula, theory, max_cubes)
+        current = approx(pre, theory, p, states[index], k)
+        max_disjuncts = max(max_disjuncts, len(current.cubes))
+        intermediate.append(current)
+    intermediate.reverse()
+    return MetaResult(
+        condition=current,
+        intermediate=tuple(intermediate),
+        max_disjuncts=max_disjuncts,
+    )

@@ -1,0 +1,189 @@
+"""Branch-and-bound minimum-cost SAT.
+
+TRACER stores the set of still-viable abstractions as a conjunction of
+clauses over *parameter primitives* (each eliminated failure condition
+contributes negated cubes).  Choosing "a minimum ``p`` in ``viable``"
+(Algorithm 1, line 8) is then exactly MinCostSAT: find a model of the
+clause set minimising the total cost of the variables set to true
+(tracked variables / ``L``-mapped sites), and "``viable`` is empty"
+(line 5) is plain unsatisfiability.
+
+The solver is a classic DPLL branch-and-bound:
+
+* unit propagation at every node;
+* branching tries ``false`` first (the zero-cost value), so cheap
+  models are found early and prune aggressively;
+* lower bound: greedily pick variable-disjoint all-positive clauses —
+  each must pay at least its cheapest variable.
+
+Instances arising here are small (tens of variables, tens of clauses),
+but a ``max_nodes`` safety budget guards against pathological inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+Var = Hashable
+LitPair = Tuple[Var, bool]
+Clause = FrozenSet[LitPair]
+
+
+def PosLit(var: Var) -> LitPair:
+    """A positive literal for :class:`MinCostSat` clauses."""
+    return (var, True)
+
+
+def NegLit(var: Var) -> LitPair:
+    """A negative literal for :class:`MinCostSat` clauses."""
+    return (var, False)
+
+
+class SolverBudgetExceeded(RuntimeError):
+    """Raised when the branch-and-bound search exceeds ``max_nodes``."""
+
+
+class MinCostSat:
+    """Minimum-cost SAT over clauses of ``(variable, polarity)`` literals."""
+
+    def __init__(
+        self,
+        costs: Optional[Dict[Var, int]] = None,
+        default_cost: int = 1,
+        max_nodes: int = 2_000_000,
+    ):
+        self._clauses: List[Clause] = []
+        self._clause_set = set()
+        self._costs: Dict[Var, int] = dict(costs or {})
+        self._default_cost = default_cost
+        self._max_nodes = max_nodes
+        self._nodes = 0
+
+    def cost_of(self, var: Var) -> int:
+        return self._costs.get(var, self._default_cost)
+
+    def add_clause(self, literals: Iterable[LitPair]) -> None:
+        """Add a disjunction of literals; an empty clause makes the
+        instance unsatisfiable."""
+        clause = frozenset(literals)
+        # Drop tautologies (v | !v | ...).
+        if any((var, not sign) in clause for var, sign in clause):
+            return
+        if clause not in self._clause_set:
+            self._clause_set.add(clause)
+            self._clauses.append(clause)
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        return tuple(self._clauses)
+
+    def is_satisfiable(self) -> bool:
+        return self.solve() is not None
+
+    def solve(self) -> Optional[FrozenSet[Var]]:
+        """Return the set of true variables in a minimum-cost model, or
+        ``None`` when unsatisfiable.  Deterministic: among equal-cost
+        models, the search order fixes the result."""
+        self._nodes = 0
+        self._best_cost = None
+        self._best_model: Optional[Dict[Var, bool]] = None
+        self._search({}, list(self._clauses), 0)
+        if self._best_model is None:
+            return None
+        return frozenset(
+            var for var, value in self._best_model.items() if value
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._nodes += 1
+        if self._nodes > self._max_nodes:
+            raise SolverBudgetExceeded(
+                f"MinCostSat exceeded {self._max_nodes} search nodes"
+            )
+
+    def _search(
+        self, assign: Dict[Var, bool], clauses: List[Clause], cost: int
+    ) -> None:
+        self._tick()
+        result = _propagate(assign, clauses)
+        if result is None:
+            return
+        assign, clauses = result
+        cost = sum(
+            self.cost_of(var) for var, value in assign.items() if value
+        )
+        if self._best_cost is not None and cost + self._lower_bound(
+            clauses
+        ) >= self._best_cost:
+            return
+        if not clauses:
+            if self._best_cost is None or cost < self._best_cost:
+                self._best_cost = cost
+                self._best_model = dict(assign)
+            return
+        var = self._pick_variable(clauses)
+        for value in (False, True):
+            child = dict(assign)
+            child[var] = value
+            self._search(child, clauses, cost)
+
+    def _pick_variable(self, clauses: List[Clause]) -> Var:
+        shortest = min(clauses, key=lambda c: (len(c), _clause_key(c)))
+        var, _sign = min(shortest, key=_lit_key)
+        return var
+
+    def _lower_bound(self, clauses: List[Clause]) -> int:
+        used: set = set()
+        bound = 0
+        for clause in sorted(clauses, key=lambda c: (len(c), _clause_key(c))):
+            if any(not sign for _var, sign in clause):
+                continue
+            vars_in = {var for var, _sign in clause}
+            if vars_in & used:
+                continue
+            used |= vars_in
+            bound += min(self.cost_of(var) for var in vars_in)
+        return bound
+
+
+def _lit_key(literal: LitPair) -> Tuple:
+    var, sign = literal
+    return (str(var), sign)
+
+
+def _clause_key(clause: Clause) -> Tuple:
+    return tuple(sorted(_lit_key(l) for l in clause))
+
+
+def _propagate(
+    assign: Dict[Var, bool], clauses: List[Clause]
+) -> Optional[Tuple[Dict[Var, bool], List[Clause]]]:
+    """Unit propagation; returns ``None`` on conflict."""
+    assign = dict(assign)
+    while True:
+        reduced: List[Clause] = []
+        unit: Optional[LitPair] = None
+        for clause in clauses:
+            live: List[LitPair] = []
+            satisfied = False
+            for var, sign in clause:
+                if var in assign:
+                    if assign[var] == sign:
+                        satisfied = True
+                        break
+                else:
+                    live.append((var, sign))
+            if satisfied:
+                continue
+            if not live:
+                return None
+            if len(live) == 1 and unit is None:
+                unit = live[0]
+            reduced.append(frozenset(live))
+        if unit is None:
+            return assign, reduced
+        var, sign = unit
+        assign[var] = sign
+        clauses = reduced

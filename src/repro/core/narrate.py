@@ -1,0 +1,140 @@
+"""Human-readable transcripts of TRACER runs (the Figure 1/6 layout).
+
+The paper explains its technique through annotated counterexample
+traces: each trace point carries the forward abstract state computed by
+the client analysis and the backward formula tracked by the
+meta-analysis.  This module replays a TRACER search and renders exactly
+that — one block per CEGAR iteration — which is invaluable both for
+debugging client analyses and for teaching the algorithm::
+
+    == iteration 1: p = {} ==
+    nu: (closed in ts) & !(opened in ts) & !param(x)
+        x = new File                    d = ({closed}, {})
+    ...
+    eliminated: abstractions satisfying the start condition
+
+The transcript generator is deliberately independent of
+:class:`repro.core.tracer.Tracer` so it can replay any client/query
+pair without touching the search's production code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.formula import Dnf, evaluate
+from repro.core.meta import backward_trace
+from repro.core.stats import QueryStatus
+from repro.core.tracer import TracerClient, TracerConfig
+from repro.core.viability import ParamTheory, ViabilityStore
+from repro.lang.ast import Trace
+from repro.lang.pretty import pretty_command
+
+
+@dataclass
+class IterationTranscript:
+    """One CEGAR iteration: the abstraction tried, the counterexample
+    (if the proof failed), and the meta-analysis formulas."""
+
+    index: int
+    abstraction: frozenset
+    proven: bool
+    trace: Optional[Trace] = None
+    forward_states: Tuple[object, ...] = ()
+    backward_formulas: Tuple[Dnf, ...] = ()
+
+    def render(self) -> str:
+        p = "{" + ", ".join(sorted(self.abstraction)) + "}"
+        lines = [f"== iteration {self.index}: p = {p} =="]
+        if self.proven:
+            lines.append("query PROVEN under this abstraction")
+            return "\n".join(lines)
+        assert self.trace is not None
+        for i, command in enumerate(self.trace):
+            lines.append(f"  nu: {self.backward_formulas[i]}")
+            lines.append(
+                f"      {pretty_command(command):<40} "
+                f"d = {self.forward_states[i + 1]}"
+            )
+        lines.append(f"  nu: {self.backward_formulas[-1]}  (failure condition)")
+        return "\n".join(lines)
+
+
+@dataclass
+class SearchTranscript:
+    """A full TRACER run on one query."""
+
+    query: object
+    status: QueryStatus
+    iterations: List[IterationTranscript]
+    abstraction: Optional[frozenset] = None
+
+    def render(self) -> str:
+        blocks = [block.render() for block in self.iterations]
+        if self.status is QueryStatus.PROVEN:
+            p = "{" + ", ".join(sorted(self.abstraction)) + "}"
+            blocks.append(f"RESULT: proven with cheapest abstraction {p}")
+        elif self.status is QueryStatus.IMPOSSIBLE:
+            blocks.append(
+                "RESULT: impossible — no abstraction in the family proves the query"
+            )
+        else:
+            blocks.append("RESULT: unresolved (budget exhausted)")
+        return "\n\n".join(blocks)
+
+
+def narrate(
+    client: TracerClient,
+    query,
+    config: TracerConfig = TracerConfig(),
+) -> SearchTranscript:
+    """Replay Algorithm 1 on one query, capturing every intermediate.
+
+    Functionally identical to ``Tracer(client, config).solve(query)``
+    (same abstractions tried in the same order) but additionally
+    records, per iteration, the counterexample trace, the forward
+    states along it, and the backward formula at every trace point.
+    """
+    theory = client.meta.theory
+    if not isinstance(theory, ParamTheory):
+        raise TypeError("the meta-analysis theory must be a ParamTheory")
+    d_init = client.analysis.initial_state()
+    store = ViabilityStore(theory, d_init)
+    iterations: List[IterationTranscript] = []
+    for index in range(1, config.max_iterations + 1):
+        p = store.choose_minimum()
+        if p is None:
+            return SearchTranscript(
+                query, QueryStatus.IMPOSSIBLE, iterations
+            )
+        trace = client.counterexamples([query], p)[query]
+        if trace is None:
+            iterations.append(
+                IterationTranscript(index, p, proven=True)
+            )
+            return SearchTranscript(
+                query, QueryStatus.PROVEN, iterations, abstraction=p
+            )
+        result = backward_trace(
+            client.meta,
+            client.analysis,
+            trace,
+            p,
+            d_init,
+            client.fail_condition(query),
+            k=config.k,
+            max_cubes=config.max_cubes,
+        )
+        iterations.append(
+            IterationTranscript(
+                index,
+                p,
+                proven=False,
+                trace=trace,
+                forward_states=client.analysis.trace_states(trace, p, d_init),
+                backward_formulas=result.intermediate,
+            )
+        )
+        store.add_failure_condition(result.condition)
+    return SearchTranscript(query, QueryStatus.EXHAUSTED, iterations)

@@ -1,0 +1,134 @@
+"""Parametric dataflow analyses (Section 3.2).
+
+A parametric analysis is a triple ``(P, <=, D, [[a]]p)``: a preordered
+set of abstractions, a finite set of abstract states, and per-command
+transfer functions parameterised by the abstraction.  The preorder
+compares analysis *cost*; every nonempty subset of ``P`` must have a
+minimum element, which TRACER exploits when choosing the next
+abstraction to try.
+
+Two concrete parameter spaces cover the paper's clients:
+
+* :class:`SubsetParamSpace` — ``P = 2^V`` ordered by cardinality
+  (type-state analysis, Figure 4);
+* :class:`MapParamSpace` — ``P = H -> {cheap, costly}`` ordered by the
+  number of costly bindings (thread-escape analysis, Figure 5, where
+  ``costly = L``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Mapping, Sequence, Tuple
+
+from repro.lang.ast import AtomicCommand, Trace
+
+
+class ParamSpace:
+    """The ``(P, <=)`` component of a parametric analysis."""
+
+    def cost(self, p: object) -> int:
+        """The cost rank of ``p``; ``p <= p'`` iff ``cost(p) <= cost(p')``."""
+        raise NotImplementedError
+
+    def bottom(self) -> object:
+        """The minimum (cheapest) abstraction of the full family."""
+        raise NotImplementedError
+
+    def iter_all(self) -> Iterator[object]:
+        """Enumerate the whole family (test oracles only; may be huge)."""
+        raise NotImplementedError
+
+    def size_log2(self) -> int:
+        """``log2 |P|`` — the statistic reported in Table 1."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SubsetParamSpace(ParamSpace):
+    """Abstractions are subsets of a finite universe; cost = cardinality."""
+
+    universe: FrozenSet[str]
+
+    def cost(self, p: FrozenSet[str]) -> int:
+        return len(p)
+
+    def bottom(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def iter_all(self) -> Iterator[FrozenSet[str]]:
+        items = sorted(self.universe)
+        for r in range(len(items) + 1):
+            for combo in itertools.combinations(items, r):
+                yield frozenset(combo)
+
+    def size_log2(self) -> int:
+        return len(self.universe)
+
+
+@dataclass(frozen=True)
+class MapParamSpace(ParamSpace):
+    """Abstractions map keys to one of two values; cost = #costly keys.
+
+    ``cheap`` is the default (e.g. ``E`` for thread-escape), ``costly``
+    the precise one (``L``).  Abstractions are represented as frozen
+    sets of the keys mapped to ``costly``.
+    """
+
+    keys: FrozenSet[str]
+    cheap: str = "E"
+    costly: str = "L"
+
+    def cost(self, p: FrozenSet[str]) -> int:
+        return len(p)
+
+    def bottom(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def iter_all(self) -> Iterator[FrozenSet[str]]:
+        items = sorted(self.keys)
+        for r in range(len(items) + 1):
+            for combo in itertools.combinations(items, r):
+                yield frozenset(combo)
+
+    def size_log2(self) -> int:
+        return len(self.keys)
+
+    def lookup(self, p: FrozenSet[str], key: str) -> str:
+        """The value ``p`` assigns to ``key``."""
+        return self.costly if key in p else self.cheap
+
+
+class ParametricAnalysis:
+    """The forward analysis: ``(P, <=, D, [[a]]p)``.
+
+    ``transfer`` must be a *total deterministic* function of the
+    abstract state for every command and abstraction — the property the
+    backward meta-analysis exploits to treat weakest preconditions as
+    boolean homomorphisms.
+    """
+
+    param_space: ParamSpace
+
+    def transfer(self, command: AtomicCommand, p: object, d: object) -> object:
+        """Apply ``[[command]]p`` to one abstract state."""
+        raise NotImplementedError
+
+    def initial_state(self) -> object:
+        """The initial abstract state ``dI``."""
+        raise NotImplementedError
+
+    def run_trace(self, trace: Trace, p: object, d: object) -> object:
+        """``Fp[t](d)`` — analyse a single trace (Figure 3, right)."""
+        for command in trace:
+            d = self.transfer(command, p, d)
+        return d
+
+    def trace_states(self, trace: Trace, p: object, d: object) -> Tuple[object, ...]:
+        """All intermediate states ``d0 .. dn`` along ``trace``."""
+        states = [d]
+        for command in trace:
+            d = self.transfer(command, p, d)
+            states.append(d)
+        return tuple(states)

@@ -1,0 +1,150 @@
+"""Per-query resolution records and evaluation aggregates.
+
+These are the raw materials of the paper's evaluation section: every
+table and figure (Tables 2-4, Figures 12-14) is an aggregation of
+:class:`QueryRecord` values produced by TRACER.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+class QueryStatus(enum.Enum):
+    """Outcome of TRACER on one query (the three bars of Figure 12)."""
+
+    PROVEN = "proven"
+    IMPOSSIBLE = "impossible"
+    EXHAUSTED = "exhausted"  # budget ran out — the paper's "unresolved"
+
+
+@dataclass
+class QueryRecord:
+    """Everything TRACER learned about one query."""
+
+    query_id: str
+    status: QueryStatus
+    iterations: int
+    abstraction: Optional[FrozenSet[str]] = None
+    abstraction_cost: Optional[int] = None
+    time_seconds: float = 0.0
+    max_disjuncts: int = 0
+    forward_runs: int = 0
+
+    @property
+    def proven(self) -> bool:
+        return self.status is QueryStatus.PROVEN
+
+    @property
+    def impossible(self) -> bool:
+        return self.status is QueryStatus.IMPOSSIBLE
+
+
+@dataclass(frozen=True)
+class MinMaxAvg:
+    """The min/max/avg triple the paper's tables report."""
+
+    minimum: int
+    maximum: int
+    average: float
+
+    def __str__(self) -> str:
+        return f"{self.minimum}/{self.maximum}/{self.average:.1f}"
+
+
+def min_max_avg(values: Sequence[float]) -> Optional[MinMaxAvg]:
+    if not values:
+        return None
+    return MinMaxAvg(
+        minimum=min(values),
+        maximum=max(values),
+        average=sum(values) / len(values),
+    )
+
+
+@dataclass
+class EvalAggregate:
+    """Aggregate statistics over one benchmark x one client analysis."""
+
+    total: int
+    proven: int
+    impossible: int
+    exhausted: int
+    iterations_proven: Optional[MinMaxAvg]
+    iterations_impossible: Optional[MinMaxAvg]
+    time_proven: Optional[MinMaxAvg]
+    time_impossible: Optional[MinMaxAvg]
+    abstraction_sizes: Optional[MinMaxAvg]
+    total_time_seconds: float
+    groups: "GroupStats"
+
+    @property
+    def resolved(self) -> int:
+        return self.proven + self.impossible
+
+    @property
+    def resolved_fraction(self) -> float:
+        return self.resolved / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Cheapest-abstraction reuse statistics (Table 4): queries proven
+    with the *same* cheapest abstraction form a group."""
+
+    group_count: int
+    minimum: int
+    maximum: int
+    average: float
+
+
+def group_stats(records: Iterable[QueryRecord]) -> GroupStats:
+    groups: Dict[FrozenSet[str], int] = {}
+    for record in records:
+        if record.status is QueryStatus.PROVEN and record.abstraction is not None:
+            groups[record.abstraction] = groups.get(record.abstraction, 0) + 1
+    if not groups:
+        return GroupStats(0, 0, 0, 0.0)
+    sizes = list(groups.values())
+    return GroupStats(
+        group_count=len(groups),
+        minimum=min(sizes),
+        maximum=max(sizes),
+        average=sum(sizes) / len(sizes),
+    )
+
+
+def summarize_records(records: Sequence[QueryRecord]) -> EvalAggregate:
+    """Fold raw query records into the aggregate the tables consume."""
+    proven = [r for r in records if r.status is QueryStatus.PROVEN]
+    impossible = [r for r in records if r.status is QueryStatus.IMPOSSIBLE]
+    exhausted = [r for r in records if r.status is QueryStatus.EXHAUSTED]
+    return EvalAggregate(
+        total=len(records),
+        proven=len(proven),
+        impossible=len(impossible),
+        exhausted=len(exhausted),
+        iterations_proven=min_max_avg([r.iterations for r in proven]),
+        iterations_impossible=min_max_avg([r.iterations for r in impossible]),
+        time_proven=min_max_avg([r.time_seconds for r in proven]),
+        time_impossible=min_max_avg([r.time_seconds for r in impossible]),
+        abstraction_sizes=min_max_avg(
+            [r.abstraction_cost for r in proven if r.abstraction_cost is not None]
+        ),
+        total_time_seconds=sum(r.time_seconds for r in records),
+        groups=group_stats(records),
+    )
+
+
+def size_distribution(records: Iterable[QueryRecord]) -> Dict[int, int]:
+    """Histogram of cheapest-abstraction sizes over proven queries
+    (the data behind Figure 14)."""
+    histogram: Dict[int, int] = {}
+    for record in records:
+        if record.status is QueryStatus.PROVEN and record.abstraction_cost is not None:
+            histogram[record.abstraction_cost] = (
+                histogram.get(record.abstraction_cost, 0) + 1
+            )
+    return dict(sorted(histogram.items()))

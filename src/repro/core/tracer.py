@@ -1,0 +1,232 @@
+"""TRACER — the iterative forward-backward analysis (Algorithm 1).
+
+The single-query algorithm is the paper's Algorithm 1:
+
+1. pick a minimum abstraction ``p`` from the viable set (MinCostSAT
+   over the accumulated clauses; initially everything is viable and
+   the bottom abstraction is picked);
+2. run the forward analysis instantiated with ``p``; if the query
+   holds, return ``p`` — it is a *minimum* abstraction proving the
+   query;
+3. otherwise take an abstract counterexample trace, run the backward
+   meta-analysis to get a sufficient condition for failure, and remove
+   the abstractions it denotes from the viable set;
+4. if the viable set becomes empty, the query is *impossible* — no
+   abstraction in the family proves it.
+
+The multi-query driver implements the grouping optimisation of
+Section 6: queries whose sets of unviable abstractions coincide are
+kept in one group and share forward runs; a group splits when the
+meta-analysis derives different failure clauses for its members.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.formula import Formula, FormulaExplosion
+from repro.core.meta import BackwardMetaAnalysis, backward_trace
+from repro.core.parametric import ParametricAnalysis
+from repro.core.stats import QueryRecord, QueryStatus
+from repro.core.viability import ParamTheory, ViabilityStore
+from repro.lang.ast import Trace
+
+Query = Hashable
+
+
+class TracerClient:
+    """Everything TRACER needs to know about a client analysis.
+
+    A client binds a program, a parametric forward analysis, a backward
+    meta-analysis, and a query vocabulary together.
+    """
+
+    analysis: ParametricAnalysis
+    meta: BackwardMetaAnalysis
+
+    def fail_condition(self, query: Query) -> Formula:
+        """``not(q)`` — the condition under which ``query`` fails."""
+        raise NotImplementedError
+
+    def counterexamples(
+        self, queries: Sequence[Query], p: FrozenSet[str]
+    ) -> Dict[Query, Optional[Trace]]:
+        """Run the ``p``-instantiated forward analysis once and report,
+        for every query, ``None`` (proved) or a counterexample trace —
+        a sequence of atomic commands from program entry to the query
+        point ending in a state satisfying ``fail_condition``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TracerConfig:
+    """Knobs of the search.
+
+    ``k`` is the beam width of the meta-analysis under-approximation
+    (``None`` disables the beam entirely); the paper uses ``k = 5`` for
+    the evaluation and studies ``k`` in Figure 13.  ``max_iterations``
+    and ``max_seconds`` bound the per-query effort; exceeding either
+    marks the query ``EXHAUSTED`` (the paper's unresolved bucket).
+    """
+
+    k: Optional[int] = 5
+    max_iterations: int = 60
+    max_seconds: Optional[float] = None
+    max_cubes: Optional[int] = 200_000
+
+
+class ProgressError(RuntimeError):
+    """The meta-analysis failed to eliminate the current abstraction —
+    a soundness bug (Theorem 3.1 guarantees elimination)."""
+
+
+@dataclass
+class _Group:
+    """One group of queries sharing an identical unviable set."""
+
+    store: ViabilityStore
+    queries: List[Query]
+
+
+class Tracer:
+    """Single-query and grouped multi-query TRACER driver."""
+
+    def __init__(self, client: TracerClient, config: TracerConfig = TracerConfig()):
+        self.client = client
+        self.config = config
+
+    def solve(self, query: Query) -> QueryRecord:
+        """Resolve a single query (Algorithm 1)."""
+        return self.solve_all([query])[query]
+
+    def solve_all(self, queries: Sequence[Query]) -> Dict[Query, QueryRecord]:
+        """Resolve many queries with the Section 6 grouping optimisation."""
+        return run_query_group(self.client, queries, self.config)
+
+
+def run_query_group(
+    client: TracerClient,
+    queries: Sequence[Query],
+    config: TracerConfig = TracerConfig(),
+) -> Dict[Query, QueryRecord]:
+    """The grouped TRACER driver; see :class:`Tracer`."""
+    theory = client.meta.theory
+    if not isinstance(theory, ParamTheory):
+        raise TypeError("the meta-analysis theory must be a ParamTheory")
+    d_init = client.analysis.initial_state()
+    records: Dict[Query, QueryRecord] = {}
+    iterations: Dict[Query, int] = {q: 0 for q in queries}
+    elapsed: Dict[Query, float] = {q: 0.0 for q in queries}
+    forward_runs: Dict[Query, int] = {q: 0 for q in queries}
+    max_disjuncts: Dict[Query, int] = {q: 0 for q in queries}
+    groups: List[_Group] = [
+        _Group(store=ViabilityStore(theory, d_init), queries=list(queries))
+    ]
+
+    def resolve(query: Query, status: QueryStatus, p=None) -> None:
+        records[query] = QueryRecord(
+            query_id=str(query),
+            status=status,
+            iterations=iterations[query],
+            abstraction=p,
+            abstraction_cost=(
+                client.analysis.param_space.cost(p) if p is not None else None
+            ),
+            time_seconds=elapsed[query],
+            max_disjuncts=max_disjuncts[query],
+            forward_runs=forward_runs[query],
+        )
+
+    while groups:
+        next_groups: List[_Group] = []
+        for group in groups:
+            started = time.perf_counter()
+            p = group.store.choose_minimum()
+            if p is None:
+                _charge(group.queries, started, elapsed)
+                for query in group.queries:
+                    resolve(query, QueryStatus.IMPOSSIBLE)
+                continue
+            witnesses = client.counterexamples(group.queries, p)
+            survivors: List[Query] = []
+            for query in group.queries:
+                iterations[query] += 1
+                forward_runs[query] += 1
+                if witnesses[query] is None:
+                    resolve(query, QueryStatus.PROVEN, p)
+                else:
+                    survivors.append(query)
+            # Backward meta-analysis per failing query; split the group
+            # by the clause sets learned.
+            splits: Dict[Tuple, _Group] = {}
+            for query in survivors:
+                trace = witnesses[query]
+                try:
+                    result = backward_trace(
+                        client.meta,
+                        client.analysis,
+                        trace,
+                        p,
+                        d_init,
+                        client.fail_condition(query),
+                        k=config.k,
+                        max_cubes=config.max_cubes,
+                    )
+                except FormulaExplosion:
+                    # The meta-analysis formula outgrew the budget (the
+                    # analogue of the paper's k=None memory blow-ups):
+                    # give up on this query rather than on the run.
+                    resolve(query, QueryStatus.EXHAUSTED)
+                    continue
+                max_disjuncts[query] = max(
+                    max_disjuncts[query], result.max_disjuncts
+                )
+                probe = group.store.copy()
+                added = probe.add_failure_condition(result.condition)
+                if not probe.excludes(p):
+                    raise ProgressError(
+                        f"query {query!r}: abstraction {sorted(p)} was not "
+                        "eliminated by its own counterexample"
+                    )
+                signature = _clause_signature(added)
+                bucket = splits.get(signature)
+                if bucket is None:
+                    bucket = _Group(store=probe, queries=[])
+                    splits[signature] = bucket
+                bucket.queries.append(query)
+            _charge(group.queries, started, elapsed)
+            for bucket in splits.values():
+                live: List[Query] = []
+                for query in bucket.queries:
+                    if iterations[query] >= config.max_iterations or (
+                        config.max_seconds is not None
+                        and elapsed[query] >= config.max_seconds
+                    ):
+                        resolve(query, QueryStatus.EXHAUSTED)
+                    else:
+                        live.append(query)
+                if live:
+                    bucket.queries = live
+                    next_groups.append(bucket)
+        groups = next_groups
+    return records
+
+
+def _charge(queries: Sequence[Query], started: float, elapsed: Dict) -> None:
+    """Attribute a group round's wall time equally to its queries."""
+    if not queries:
+        return
+    share = (time.perf_counter() - started) / len(queries)
+    for query in queries:
+        elapsed[query] += share
+
+
+def _clause_signature(clauses) -> Tuple:
+    return tuple(
+        sorted(
+            tuple(sorted(((str(v), s) for v, s in clause)))
+            for clause in clauses
+        )
+    )

@@ -1,0 +1,113 @@
+"""The ``viable`` abstraction store of Algorithm 1.
+
+TRACER tracks the set of abstractions that may still prove the query.
+A failure condition learned by the backward meta-analysis is a DNF
+formula over parameter primitives and state primitives; evaluated at
+the (fixed) initial abstract state ``dI`` it denotes the set of
+*unviable* abstractions ``{p | (p, dI) in gamma(condition)}``
+(Algorithm 1, line 14).  This store keeps ``viable`` implicitly as a
+CNF over boolean parameter variables:
+
+* every cube of the failure condition whose state literals hold at
+  ``dI`` eliminates the abstractions satisfying its parameter
+  literals, so its negation — a clause of negated parameter literals —
+  is conjoined onto the store (line 15);
+* choosing a minimum viable abstraction (line 8) is MinCostSAT;
+* emptiness (line 5) is unsatisfiability.
+
+Parameter primitives are mapped to SAT variables by the client theory
+via :meth:`ParamTheory.param_var`; an abstraction is reconstructed
+from a model as the set of true variables, which matches both clients
+(tracked-variable sets; ``L``-mapped site sets).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.formula import Cube, Dnf, Theory, evaluate_literal
+from repro.core.minsat import Clause, MinCostSat
+
+
+class ParamTheory(Theory):
+    """A theory whose parameter primitives map onto boolean variables."""
+
+    def param_var(self, prim) -> Tuple[object, bool]:
+        """Return ``(variable, polarity)`` for a parameter primitive:
+        the primitive holds of ``p`` iff ``variable in p`` equals
+        ``polarity``."""
+        raise NotImplementedError
+
+
+class ViabilityStore:
+    """Implicit representation of the viable-abstraction set."""
+
+    def __init__(self, theory: ParamTheory, d_init: object):
+        self._theory = theory
+        self._d_init = d_init
+        self._clauses: List[Clause] = []
+        self._impossible = False
+
+    def copy(self) -> "ViabilityStore":
+        dup = ViabilityStore(self._theory, self._d_init)
+        dup._clauses = list(self._clauses)
+        dup._impossible = self._impossible
+        return dup
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        return tuple(self._clauses)
+
+    def add_failure_condition(self, condition: Dnf) -> Tuple[Clause, ...]:
+        """Conjoin ``not condition|dI`` onto the store; returns the
+        clauses actually derived (used by the group driver to decide
+        how to split query groups)."""
+        added: List[Clause] = []
+        for cube in condition.cubes:
+            clause = self._clause_of_cube(cube)
+            if clause is None:
+                continue
+            if not clause:
+                self._impossible = True
+            added.append(clause)
+            self._clauses.append(clause)
+        return tuple(added)
+
+    def _clause_of_cube(self, cube: Cube) -> Optional[Clause]:
+        """Negate one eliminated cube into a clause, or ``None`` when
+        the cube eliminates nothing (a state literal fails at ``dI``)."""
+        literals = []
+        for l in cube:
+            if self._theory.is_param(l.prim):
+                var, polarity = self._theory.param_var(l.prim)
+                asserted = polarity if l.positive else not polarity
+                literals.append((var, not asserted))
+            else:
+                # State literal: evaluated at dI (state primitives do
+                # not inspect the abstraction, so any p works here).
+                if not evaluate_literal(l, self._theory, frozenset(), self._d_init):
+                    return None
+        return frozenset(literals)
+
+    def _solver(self) -> MinCostSat:
+        solver = MinCostSat()
+        for clause in self._clauses:
+            solver.add_clause(clause)
+        return solver
+
+    def choose_minimum(self) -> Optional[FrozenSet[object]]:
+        """A minimum-cost viable abstraction, or ``None`` when the
+        viable set is empty (the query is impossible to prove)."""
+        if self._impossible:
+            return None
+        return self._solver().solve()
+
+    def excludes(self, p: FrozenSet[object]) -> bool:
+        """Whether abstraction ``p`` is already eliminated — used to
+        assert TRACER's progress guarantee after every iteration."""
+        if self._impossible:
+            return True
+        for clause in self._clauses:
+            if not any((var in p) == sign for var, sign in clause):
+                return True
+        return False

@@ -1,0 +1,30 @@
+"""Dataflow engines.
+
+* :mod:`repro.dataflow.worklist` — a generic worklist fixpoint solver
+  over join semilattices (used by the front end's 0-CFA and may-alias
+  analyses).
+* :mod:`repro.dataflow.collecting` — the disjunctive collecting engine
+  computing ``Fp[s]({dI})`` (Figure 3) over a CFG, with per-state
+  witness links so abstract counterexample traces can be extracted
+  (the role Chord's RHS tabulation plays in the paper).
+"""
+
+from repro.dataflow.collecting import CollectingResult, run_collecting
+from repro.dataflow.engines import CollectingEngine, ForwardResult, TabulationEngine, engine_for
+from repro.dataflow.interproc import ProcGraph, TabulationResult, run_tabulation
+from repro.dataflow.worklist import JoinSemilattice, PowersetLattice, solve_forward
+
+__all__ = [
+    "CollectingEngine",
+    "CollectingResult",
+    "ForwardResult",
+    "ProcGraph",
+    "TabulationEngine",
+    "TabulationResult",
+    "JoinSemilattice",
+    "PowersetLattice",
+    "engine_for",
+    "run_collecting",
+    "run_tabulation",
+    "solve_forward",
+]

@@ -1,0 +1,100 @@
+"""The disjunctive collecting engine with counterexample witnesses.
+
+This plays the role of the RHS tabulation engine in the paper's
+implementation: it computes, for a ``p``-instantiated analysis, the set
+of abstract states reaching every CFG node — ``Fp[s]({dI})`` of
+Figure 3 — and records for every *first derivation* of a state a
+witness link ``(predecessor node, predecessor state, edge)``.
+
+Because the analysis is disjunctive (transfer functions are applied to
+states one at a time; node results are plain unions), Lemma 1 applies:
+every reachable ``(node, state)`` pair is produced by some loop-free
+derivation, and following witness links backwards yields a concrete
+*abstract counterexample trace* — a straight-line sequence of atomic
+commands ``t`` with ``Fp[t](dI) = state`` — exactly what the backward
+meta-analysis consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lang.ast import AtomicCommand, Trace
+from repro.lang.cfg import Cfg, CfgEdge
+
+Step = Callable[[AtomicCommand, object], object]
+_Witness = Optional[Tuple[int, object, CfgEdge]]
+
+
+@dataclass
+class CollectingResult:
+    """Fixpoint of the collecting semantics plus witness links."""
+
+    cfg: Cfg
+    entry_state: object
+    states: Dict[int, Dict[object, _Witness]]
+    steps: int  # number of transfer-function applications (a cost proxy)
+
+    def states_at(self, node: int) -> Tuple[object, ...]:
+        """All abstract states reaching ``node``, deterministically ordered."""
+        table = self.states.get(node, {})
+        return tuple(sorted(table.keys(), key=repr))
+
+    def exit_states(self) -> Tuple[object, ...]:
+        return self.states_at(self.cfg.exit)
+
+    def states_before_observe(self, label: str) -> Tuple[Tuple[int, object], ...]:
+        """All ``(node, state)`` pairs flowing into the ``Observe``
+        edges carrying ``label`` — the states at the query point."""
+        out: List[Tuple[int, object]] = []
+        for edge_label, edges in self.cfg.observe_edges().items():
+            if edge_label != label:
+                continue
+            for edge in edges:
+                for state in self.states_at(edge.src):
+                    out.append((edge.src, state))
+        return tuple(out)
+
+    def trace_to(self, node: int, state: object) -> Trace:
+        """The witness trace deriving ``state`` at ``node`` from the
+        entry state: a sequence of atomic commands (epsilon edges are
+        dropped).  Raises ``KeyError`` if the pair was never derived."""
+        commands: List[AtomicCommand] = []
+        current: Tuple[int, object] = (node, state)
+        while True:
+            witness = self.states[current[0]][current[1]]
+            if witness is None:
+                break
+            pred_node, pred_state, edge = witness
+            if edge.command is not None:
+                commands.append(edge.command)
+            current = (pred_node, pred_state)
+        commands.reverse()
+        return tuple(commands)
+
+
+def run_collecting(cfg: Cfg, step: Step, entry_state: object) -> CollectingResult:
+    """Compute the collecting fixpoint from ``entry_state``.
+
+    ``step`` is the (already ``p``-instantiated) transfer function; it
+    must be total and deterministic on abstract states, and the state
+    space reachable from ``entry_state`` must be finite.
+    """
+    states: Dict[int, Dict[object, _Witness]] = {cfg.entry: {entry_state: None}}
+    pending = deque([(cfg.entry, entry_state)])
+    steps = 0
+    while pending:
+        node, state = pending.popleft()
+        for edge in cfg.successors(node):
+            if edge.command is None:
+                out = state
+            else:
+                out = step(edge.command, state)
+                steps += 1
+            table = states.setdefault(edge.dst, {})
+            if out not in table:
+                table[out] = (node, state, edge)
+                pending.append((edge.dst, out))
+    return CollectingResult(cfg=cfg, entry_state=entry_state, states=states, steps=steps)

@@ -1,0 +1,53 @@
+"""Forward-engine adapters shared by the client analyses.
+
+A TRACER client needs, per abstraction, a forward run exposing the
+states reaching every ``Observe`` label plus witness traces.  Two
+engines provide that interface:
+
+* :class:`CollectingEngine` — the intraprocedural disjunctive engine
+  over one CFG (used with fully inlined programs);
+* :class:`TabulationEngine` — the interprocedural summary-based engine
+  over a :class:`repro.dataflow.interproc.ProcGraph` (full context
+  sensitivity via entry states; supports recursion).
+
+Both results expose ``states_before_observe(label)`` and
+``trace_to(handle, state)``; clients treat handles opaquely.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.dataflow.collecting import CollectingResult, run_collecting
+from repro.dataflow.interproc import ProcGraph, TabulationResult, run_tabulation
+from repro.lang.ast import Program
+from repro.lang.cfg import Cfg, build_cfg
+
+ForwardResult = Union[CollectingResult, TabulationResult]
+
+
+class CollectingEngine:
+    """Intraprocedural engine over a single CFG."""
+
+    def __init__(self, cfg: Cfg):
+        self.cfg = cfg
+
+    def run(self, step, entry_state) -> CollectingResult:
+        return run_collecting(self.cfg, step, entry_state)
+
+
+class TabulationEngine:
+    """Interprocedural summary-based engine over a procedure graph."""
+
+    def __init__(self, graph: ProcGraph):
+        self.graph = graph
+
+    def run(self, step, entry_state) -> TabulationResult:
+        return run_tabulation(self.graph, step, entry_state)
+
+
+def engine_for(program: Union[Program, ProcGraph]):
+    """Pick the engine matching the program representation."""
+    if isinstance(program, ProcGraph):
+        return TabulationEngine(program)
+    return CollectingEngine(build_cfg(program))

@@ -1,0 +1,225 @@
+"""Interprocedural tabulation with procedure summaries.
+
+This is the reproduction's analogue of the RHS tabulation framework
+the paper's implementation builds on: instead of inlining call bodies,
+procedures are analysed once per *entry abstract state* and the
+resulting ``entry -> exit`` summaries are reused at every call site —
+which is fully context-sensitive on finite domains and, unlike
+inlining, handles recursion.
+
+The unit of work is a *path edge* ``(proc, node, entry, d)``: "if
+``proc`` is entered in abstract state ``entry``, then ``d`` reaches
+``node``".  Atomic edges apply the client transfer function; a
+:class:`repro.lang.ast.CallProc` edge suspends on the callee's
+summaries (registering the caller for resumption as new exit states
+are discovered) and seeds the callee with path edge
+``(callee, entry_node, d, d)``.
+
+Every path edge records one *witness*, so abstract counterexample
+traces are reconstructed across procedure boundaries: an intra edge
+prepends its command; a return edge splices the callee's own witness
+trace between the caller's prefix and the continuation — yielding the
+same flat command sequences the backward meta-analysis consumes in the
+intraprocedural mode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.lang.ast import AtomicCommand, CallProc, Observe, Trace
+from repro.lang.cfg import Cfg, CfgEdge
+
+Step = Callable[[AtomicCommand, object], object]
+
+
+@dataclass
+class ProcGraph:
+    """A program as a set of procedures with one distinguished main."""
+
+    procedures: Dict[str, Cfg]
+    main: str
+
+    def __post_init__(self) -> None:
+        if self.main not in self.procedures:
+            raise ValueError(f"main procedure {self.main!r} missing")
+        for name, cfg in self.procedures.items():
+            for edge in cfg.edges:
+                if isinstance(edge.command, CallProc):
+                    if edge.command.callee not in self.procedures:
+                        raise ValueError(
+                            f"procedure {name!r} calls unknown "
+                            f"{edge.command.callee!r}"
+                        )
+
+
+PathEdge = Tuple[str, int, object, object]  # (proc, node, entry, d)
+_Witness = Tuple  # ("intra", pred, edge) | ("return", caller, edge, callee_exit)
+
+
+@dataclass
+class TabulationResult:
+    """Fixpoint of the tabulation plus witness links.
+
+    Exposes the same query surface as
+    :class:`repro.dataflow.collecting.CollectingResult` — states before
+    ``Observe`` labels, and witness traces — with opaque node handles
+    (path-edge prefixes) instead of bare CFG nodes."""
+
+    graph: ProcGraph
+    entry_state: object
+    edges: Dict[PathEdge, Optional[_Witness]]
+    summaries: Dict[str, Dict[object, Set[object]]]
+    steps: int
+
+    def states_before_observe(self, label: str) -> Tuple[Tuple[object, object], ...]:
+        out: List[Tuple[object, object]] = []
+        for proc_name, cfg in sorted(self.graph.procedures.items()):
+            for edge in cfg.edges:
+                if not isinstance(edge.command, Observe):
+                    continue
+                if edge.command.label != label:
+                    continue
+                for path_edge in self._edges_at(proc_name, edge.src):
+                    handle = (path_edge[0], path_edge[1], path_edge[2])
+                    out.append((handle, path_edge[3]))
+        return tuple(sorted(out, key=repr))
+
+    def exit_states(self) -> Tuple[object, ...]:
+        main = self.graph.procedures[self.graph.main]
+        return tuple(
+            sorted(
+                {
+                    pe[3]
+                    for pe in self.edges
+                    if pe[0] == self.graph.main
+                    and pe[1] == main.exit
+                    and pe[2] == self.entry_state
+                },
+                key=repr,
+            )
+        )
+
+    def _edges_at(self, proc: str, node: int) -> List[PathEdge]:
+        return sorted(
+            (pe for pe in self.edges if pe[0] == proc and pe[1] == node),
+            key=repr,
+        )
+
+    def trace_to(self, handle, state) -> Trace:
+        """Reconstruct the witness trace for ``state`` at ``handle``
+        (a ``(proc, node, entry)`` triple from ``states_before_observe``),
+        all the way back to the main entry."""
+        proc, node, entry = handle
+        target: PathEdge = (proc, node, entry, state)
+        prefix = self._trace_within(target)
+        # Walk out of callees: find how (proc, entry) was entered.
+        while True:
+            caller = self._caller_of(proc, entry)
+            if caller is None:
+                break
+            caller_pe, _edge = caller
+            prefix = self._trace_within(caller_pe) + prefix
+            proc, _node, entry, _d = caller_pe
+        return prefix
+
+    def _caller_of(self, proc: str, entry: object) -> Optional[Tuple[PathEdge, CfgEdge]]:
+        witness = self.edges.get((proc, self.graph.procedures[proc].entry, entry, entry))
+        if witness is None:
+            return None
+        assert witness[0] == "callseed"
+        return witness[1], witness[2]
+
+    def _trace_within(self, path_edge: PathEdge) -> Trace:
+        """Commands from the procedure's entry (at ``entry``) to this
+        path edge, with callee bodies spliced in at return sites."""
+        commands: List[AtomicCommand] = []
+        current = path_edge
+        while True:
+            witness = self.edges[current]
+            if witness is None or witness[0] == "callseed":
+                break
+            if witness[0] == "intra":
+                _kind, pred, edge = witness
+                if edge.command is not None:
+                    commands.append(edge.command)
+                current = pred
+            else:  # return
+                _kind, caller_pe, _edge, callee_exit = witness
+                callee_body = self._trace_within(callee_exit)
+                commands.extend(reversed(callee_body))
+                current = caller_pe
+        commands.reverse()
+        return tuple(commands)
+
+
+def run_tabulation(
+    graph: ProcGraph, step: Step, entry_state: object
+) -> TabulationResult:
+    """Compute the interprocedural fixpoint from ``entry_state``."""
+    edges: Dict[PathEdge, Optional[_Witness]] = {}
+    summaries: Dict[str, Dict[object, Set[object]]] = {
+        name: {} for name in graph.procedures
+    }
+    # (callee, entry) -> list of (caller path edge at call src, call edge)
+    waiting: Dict[Tuple[str, object], List[Tuple[PathEdge, CfgEdge]]] = {}
+    pending = deque()
+    steps = 0
+
+    def discover(path_edge: PathEdge, witness: Optional[_Witness]) -> None:
+        if path_edge not in edges:
+            edges[path_edge] = witness
+            pending.append(path_edge)
+
+    main_cfg = graph.procedures[graph.main]
+    discover((graph.main, main_cfg.entry, entry_state, entry_state), None)
+
+    while pending:
+        path_edge = pending.popleft()
+        proc, node, entry, d = path_edge
+        cfg = graph.procedures[proc]
+        if node == cfg.exit:
+            # New summary exit state: resume every waiting caller.
+            bucket = summaries[proc].setdefault(entry, set())
+            if d not in bucket:
+                bucket.add(d)
+                for caller_pe, call_edge in waiting.get((proc, entry), ()):
+                    discover(
+                        (caller_pe[0], call_edge.dst, caller_pe[2], d),
+                        ("return", caller_pe, call_edge, path_edge),
+                    )
+        for edge in cfg.successors(node):
+            command = edge.command
+            if isinstance(command, CallProc):
+                callee = command.callee
+                callers = waiting.setdefault((callee, d), [])
+                callers.append((path_edge, edge))
+                callee_cfg = graph.procedures[callee]
+                discover(
+                    (callee, callee_cfg.entry, d, d),
+                    ("callseed", path_edge, edge),
+                )
+                for exit_state in sorted(
+                    summaries[callee].get(d, ()), key=repr
+                ):
+                    callee_exit = (callee, callee_cfg.exit, d, exit_state)
+                    discover(
+                        (proc, edge.dst, entry, exit_state),
+                        ("return", path_edge, edge, callee_exit),
+                    )
+                continue
+            if command is None:
+                out = d
+            else:
+                out = step(command, d)
+                steps += 1
+            discover((proc, edge.dst, entry, out), ("intra", path_edge, edge))
+    return TabulationResult(
+        graph=graph,
+        entry_state=entry_state,
+        edges=edges,
+        summaries=summaries,
+        steps=steps,
+    )

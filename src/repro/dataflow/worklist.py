@@ -1,0 +1,63 @@
+"""A generic forward worklist solver over join semilattices."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Generic, Hashable, TypeVar
+
+from repro.lang.cfg import Cfg, CfgEdge
+
+V = TypeVar("V")
+
+
+class JoinSemilattice(Generic[V]):
+    """The join-semilattice interface the solver needs."""
+
+    def bottom(self) -> V:
+        raise NotImplementedError
+
+    def join(self, a: V, b: V) -> V:
+        raise NotImplementedError
+
+    def leq(self, a: V, b: V) -> bool:
+        raise NotImplementedError
+
+
+class PowersetLattice(JoinSemilattice[FrozenSet]):
+    """Finite powerset lattice ordered by inclusion."""
+
+    def bottom(self) -> FrozenSet:
+        return frozenset()
+
+    def join(self, a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return a | b
+
+    def leq(self, a: FrozenSet, b: FrozenSet) -> bool:
+        return a <= b
+
+
+def solve_forward(
+    cfg: Cfg,
+    lattice: JoinSemilattice[V],
+    transfer: Callable[[CfgEdge, V], V],
+    entry_value: V,
+) -> Dict[int, V]:
+    """Least fixpoint of the forward dataflow equations over ``cfg``.
+
+    ``transfer`` must be monotone in its value argument for the result
+    to be the least solution; termination requires the lattice to have
+    no infinite ascending chains among the values encountered.
+    """
+    values: Dict[int, V] = {cfg.entry: entry_value}
+    pending = deque([cfg.entry])
+    while pending:
+        node = pending.popleft()
+        value = values.get(node, lattice.bottom())
+        for edge in cfg.successors(node):
+            out = transfer(edge, value)
+            old = values.get(edge.dst, lattice.bottom())
+            joined = lattice.join(old, out)
+            if edge.dst not in values or not lattice.leq(joined, old):
+                values[edge.dst] = joined
+                pending.append(edge.dst)
+    return values

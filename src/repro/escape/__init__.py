@@ -1,0 +1,38 @@
+"""The parametric thread-escape analysis client (Figures 5, 6, 11).
+
+Abstract states map local variables and fields-of-local-objects to one
+of three abstract values: ``L`` (thread-local objects), ``E``
+(possibly escaping objects, incl. null), ``N`` (null).  The
+abstraction maps each allocation site to ``L`` or ``E``; cost is the
+number of ``L``-mapped sites.
+"""
+
+from repro.escape.domain import EscSchema, EscState, LOC, ESC, NIL
+from repro.escape.analysis import EscapeAnalysis
+from repro.escape.meta import (
+    EscapeMeta,
+    EscapeTheory,
+    FieldIs,
+    SiteIs,
+    VarIs,
+)
+from repro.escape.client import EscapeClient, EscapeQuery
+from repro.escape.synth import EscapeFootprint, synthesized_escape_meta
+
+__all__ = [
+    "ESC",
+    "EscSchema",
+    "EscState",
+    "EscapeAnalysis",
+    "EscapeClient",
+    "EscapeFootprint",
+    "EscapeMeta",
+    "EscapeQuery",
+    "EscapeTheory",
+    "FieldIs",
+    "LOC",
+    "NIL",
+    "SiteIs",
+    "VarIs",
+    "synthesized_escape_meta",
+]

@@ -1,0 +1,91 @@
+"""Forward transfer functions of the thread-escape analysis (Figure 5).
+
+The interesting commands are the two publication points — a store to a
+global and handing an object to a new thread — which trigger ``esc``
+when the published object is ``L``-summarised, and the field store
+``v.f = v'``, whose effect depends on the current bindings of ``v``,
+``f`` and ``v'``:
+
+* ``d(v) = E`` and ``d(v') = L`` — a local object becomes reachable
+  from an escaped one: ``esc(d)``;
+* ``d(v) = L`` — the field summary ``f`` (covering *all* ``L``
+  objects) must absorb ``d(v')``: equal values are a no-op, ``N``
+  joins with ``L``/``E`` to that value, and mixing ``L`` with ``E``
+  forces ``esc(d)`` (the two-location domain cannot represent it);
+* otherwise the store is invisible at this abstraction.
+
+Method-call commands are no-ops here: the front end inlines bodies.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.core.parametric import MapParamSpace, ParametricAnalysis
+from repro.escape.domain import ESC, LOC, NIL, EscSchema, EscState
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    AtomicCommand,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+
+
+class EscapeAnalysis(ParametricAnalysis):
+    """The parametric thread-escape analysis ``(H -> {L,E}, #L, D, [[.]]p)``."""
+
+    def __init__(self, schema: EscSchema, sites: FrozenSet[str]):
+        self.schema = schema
+        self.param_space = MapParamSpace(frozenset(sites), cheap=ESC, costly=LOC)
+
+    def initial_state(self) -> EscState:
+        return self.schema.initial()
+
+    def site_value(self, p: FrozenSet[str], site: str) -> str:
+        """``p(h)`` — the abstract location summarising site ``h``."""
+        return self.param_space.lookup(p, site)
+
+    def transfer(self, command: AtomicCommand, p: FrozenSet[str], d: EscState) -> EscState:
+        if isinstance(command, New):
+            return d.set(command.lhs, self.site_value(p, command.site))
+        if isinstance(command, Assign):
+            return d.set(command.lhs, d.get(command.rhs))
+        if isinstance(command, AssignNull):
+            return d.set(command.lhs, NIL)
+        if isinstance(command, LoadGlobal):
+            return d.set(command.lhs, ESC)
+        if isinstance(command, (StoreGlobal, ThreadStart)):
+            var = command.rhs if isinstance(command, StoreGlobal) else command.var
+            return d.esc() if d.get(var) == LOC else d
+        if isinstance(command, LoadField):
+            if d.get(command.base) == LOC:
+                return d.set(command.lhs, d.get(command.field))
+            return d.set(command.lhs, ESC)
+        if isinstance(command, StoreField):
+            return self._store_field(command, d)
+        if isinstance(command, (Invoke, Observe)):
+            return d
+        raise TypeError(f"unknown command: {command!r}")
+
+    def _store_field(self, command: StoreField, d: EscState) -> EscState:
+        base = d.get(command.base)
+        rhs = d.get(command.rhs)
+        if base == ESC and rhs == LOC:
+            return d.esc()
+        if base == LOC:
+            old = d.get(command.field)
+            if old == rhs:
+                return d
+            if {old, rhs} == {NIL, LOC}:
+                return d.set(command.field, LOC)
+            if {old, rhs} == {NIL, ESC}:
+                return d.set(command.field, ESC)
+            return d.esc()  # {old, rhs} == {L, E}
+        return d

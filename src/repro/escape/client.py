@@ -1,0 +1,78 @@
+"""TRACER client for the thread-escape analysis.
+
+A query ``(pc, v)`` (Section 6) asks whether the object ``v`` denotes
+at the field/array access labelled ``pc`` is thread-local.  The query
+holds when ``d(v) != E`` in every state reaching ``pc``, so::
+
+    not(q) = v.E
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from repro.core.formula import Formula, evaluate, lit
+from repro.core.tracer import TracerClient
+from repro.dataflow.engines import ForwardResult, engine_for
+from repro.escape.analysis import EscapeAnalysis
+from repro.escape.domain import ESC, EscSchema
+from repro.escape.meta import EscapeMeta, VarIs
+from repro.lang.ast import Program, Trace
+from repro.lang.cfg import Cfg, build_cfg
+
+
+@dataclass(frozen=True)
+class EscapeQuery:
+    """Prove that at ``Observe(label)`` variable ``var`` is not ``E``."""
+
+    label: str
+    var: str
+
+    def __str__(self) -> str:
+        return f"escape:{self.label}:{self.var}"
+
+
+class EscapeClient(TracerClient):
+    """Binds a program and its site/variable/field universes."""
+
+    def __init__(
+        self,
+        program: Program,
+        schema: EscSchema,
+        sites: FrozenSet[str],
+    ):
+        """``program`` is a structured program (intraprocedural
+        collecting engine) or a :class:`repro.dataflow.interproc.ProcGraph`
+        (interprocedural tabulation engine)."""
+        self.program = program
+        self.engine = engine_for(program)
+        self.cfg: Optional[Cfg] = getattr(self.engine, "cfg", None)
+        self.schema = schema
+        self.analysis = EscapeAnalysis(schema, sites)
+        self.meta = EscapeMeta(self.analysis)
+
+    def fail_condition(self, query: EscapeQuery) -> Formula:
+        return lit(VarIs(query.var, ESC))
+
+    def run_forward(self, p: FrozenSet[str]) -> ForwardResult:
+        return self.engine.run(
+            lambda command, d: self.analysis.transfer(command, p, d),
+            self.analysis.initial_state(),
+        )
+
+    def counterexamples(
+        self, queries: Sequence[EscapeQuery], p: FrozenSet[str]
+    ) -> Dict[EscapeQuery, Optional[Trace]]:
+        result = self.run_forward(p)
+        theory = self.meta.theory
+        out: Dict[EscapeQuery, Optional[Trace]] = {}
+        for query in queries:
+            fail = self.fail_condition(query)
+            witness: Optional[Trace] = None
+            for node, state in result.states_before_observe(query.label):
+                if evaluate(fail, theory, p, state):
+                    witness = result.trace_to(node, state)
+                    break
+            out[query] = witness
+        return out

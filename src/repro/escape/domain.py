@@ -1,0 +1,118 @@
+"""Abstract states of the thread-escape analysis (Figure 5).
+
+``D = (L + F) -> {L, E, N}``: every local variable and every field (of
+``L``-summarised objects) is bound to an abstract location.  The
+``esc`` operation models the information loss when a local object is
+published: locals become ``E`` (unless null), fields reset to ``N``.
+
+States are immutable; a shared :class:`EscSchema` fixes the variable
+and field universes so states can be stored compactly as value tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+LOC = "L"
+ESC = "E"
+NIL = "N"
+
+VALUES = (LOC, ESC, NIL)
+
+
+class EscSchema:
+    """The (ordered) universes of local variables and fields."""
+
+    __slots__ = ("locals", "fields", "_index")
+
+    def __init__(self, locals_: Iterable[str], fields: Iterable[str]):
+        self.locals: Tuple[str, ...] = tuple(sorted(set(locals_)))
+        self.fields: Tuple[str, ...] = tuple(sorted(set(fields)))
+        overlap = set(self.locals) & set(self.fields)
+        if overlap:
+            raise ValueError(f"names used as both local and field: {sorted(overlap)}")
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.locals + self.fields)
+        }
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self.locals + self.fields
+
+    def is_local(self, name: str) -> bool:
+        return name in self._index and self._index[name] < len(self.locals)
+
+    def is_field(self, name: str) -> bool:
+        return name in self._index and self._index[name] >= len(self.locals)
+
+    def index(self, name: str) -> int:
+        return self._index[name]
+
+    def initial(self) -> "EscState":
+        """Everything starts null."""
+        return EscState(self, (NIL,) * len(self.names))
+
+    def state(self, bindings: Mapping[str, str]) -> "EscState":
+        """Build a state from explicit bindings; unmentioned names are ``N``."""
+        values = [NIL] * len(self.names)
+        for name, value in bindings.items():
+            if value not in VALUES:
+                raise ValueError(f"not an abstract value: {value!r}")
+            values[self.index(name)] = value
+        return EscState(self, tuple(values))
+
+    def all_states(self):
+        """Enumerate the full (exponential) state space — test oracles only."""
+        import itertools
+
+        for combo in itertools.product(VALUES, repeat=len(self.names)):
+            yield EscState(self, combo)
+
+
+class EscState:
+    """An immutable abstract state over a fixed schema."""
+
+    __slots__ = ("schema", "values", "_hash")
+
+    def __init__(self, schema: EscSchema, values: Tuple[str, ...]):
+        self.schema = schema
+        self.values = values
+        self._hash = hash(values)
+
+    def get(self, name: str) -> str:
+        return self.values[self.schema.index(name)]
+
+    def set(self, name: str, value: str) -> "EscState":
+        index = self.schema.index(name)
+        if self.values[index] == value:
+            return self
+        values = list(self.values)
+        values[index] = value
+        return EscState(self.schema, tuple(values))
+
+    def esc(self) -> "EscState":
+        """``esc(d)`` of Figure 5: non-null locals to ``E``, fields to ``N``."""
+        local_count = len(self.schema.locals)
+        values = [
+            (NIL if v == NIL else ESC) if i < local_count else NIL
+            for i, v in enumerate(self.values)
+        ]
+        return EscState(self.schema, tuple(values))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, EscState)
+            and self.schema is other.schema
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}->{value}"
+            for name, value in zip(self.schema.names, self.values)
+            if value != NIL
+        )
+        return f"[{inner}]"

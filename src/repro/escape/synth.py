@@ -1,0 +1,110 @@
+"""Footprint model for synthesizing the thread-escape backward
+transfer functions (Figure 11) automatically from Figure 5.
+
+Location groups are exactly the primitive groups of
+:class:`repro.escape.meta.EscapeTheory`: one per local (values
+``{L, E, N}``), one per field (``{L, E, N}``), one per allocation site
+(``{L, E}``).  Every heap command touches at most three of them, so
+synthesis enumerates at most ``3^4`` assignments per primitive.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.formula import Literal
+from repro.core.synthesis import FootprintModel, SynthesizedMeta
+from repro.escape.analysis import EscapeAnalysis
+from repro.escape.domain import ESC, LOC, NIL, VALUES
+from repro.escape.meta import EscapeTheory, FieldIs, SiteIs, VarIs
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    AtomicCommand,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+
+
+class EscapeFootprint(FootprintModel):
+    """Footprints of the Figure 5 transfer functions."""
+
+    def __init__(self, analysis: EscapeAnalysis):
+        self.analysis = analysis
+        self.schema = analysis.schema
+
+    def groups_of_command(self, command: AtomicCommand) -> FrozenSet:
+        if isinstance(command, New):
+            return frozenset([("var", command.lhs), ("site", command.site)])
+        if isinstance(command, Assign):
+            return frozenset([("var", command.lhs), ("var", command.rhs)])
+        if isinstance(command, (AssignNull, LoadGlobal)):
+            return frozenset([("var", command.lhs)])
+        if isinstance(command, StoreGlobal):
+            return frozenset([("var", command.rhs)])
+        if isinstance(command, ThreadStart):
+            return frozenset([("var", command.var)])
+        if isinstance(command, LoadField):
+            return frozenset(
+                [
+                    ("var", command.lhs),
+                    ("var", command.base),
+                    ("field", command.field),
+                ]
+            )
+        if isinstance(command, StoreField):
+            return frozenset(
+                [
+                    ("var", command.base),
+                    ("var", command.rhs),
+                    ("field", command.field),
+                ]
+            )
+        if isinstance(command, (Invoke, Observe)):
+            return frozenset()
+        raise TypeError(f"unknown command: {command!r}")
+
+    def group_of_primitive(self, prim):
+        if isinstance(prim, SiteIs):
+            return ("site", prim.site)
+        if isinstance(prim, VarIs):
+            return ("var", prim.var)
+        if isinstance(prim, FieldIs):
+            return ("field", prim.field)
+        raise TypeError(f"not an escape primitive: {prim!r}")
+
+    def group_values(self, group) -> Tuple[str, ...]:
+        kind, _name = group
+        return (LOC, ESC) if kind == "site" else VALUES
+
+    def group_literal(self, group, value) -> Literal:
+        kind, name = group
+        if kind == "site":
+            return Literal(SiteIs(name, value), True)
+        if kind == "var":
+            return Literal(VarIs(name, value), True)
+        return Literal(FieldIs(name, value), True)
+
+    def instantiate(self, assignment) -> Optional[Tuple[frozenset, object]]:
+        d = self.schema.initial()
+        p = set()
+        for (kind, name), value in assignment.items():
+            if kind == "site":
+                if value == LOC:
+                    p.add(name)
+            else:
+                d = d.set(name, value)
+        return frozenset(p), d
+
+
+def synthesized_escape_meta(analysis: EscapeAnalysis) -> SynthesizedMeta:
+    """A drop-in replacement for :class:`repro.escape.meta.EscapeMeta`
+    whose backward transfer functions are synthesized from the forward
+    analysis rather than handwritten."""
+    return SynthesizedMeta(analysis, EscapeTheory(), EscapeFootprint(analysis))

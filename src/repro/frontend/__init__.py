@@ -1,0 +1,65 @@
+"""Mini-Java front end.
+
+The paper's implementation analyses JVM bytecode through Chord; this
+front end plays that role for the reproduction: an object-oriented IR
+(classes, fields, virtual methods, allocation sites, globals, thread
+starts), a 0-CFA call-graph/points-to analysis, and a
+context-sensitive inliner lowering whole programs to the analysis
+language of :mod:`repro.lang` — which makes the two client dataflow
+analyses fully context-sensitive, as in the paper.
+"""
+
+from repro.frontend.program import (
+    ClassDef,
+    FrontendError,
+    FrontProgram,
+    MethodDef,
+    SApiCall,
+    SAssign,
+    SAssignNull,
+    SCall,
+    SIf,
+    SLoadField,
+    SLoadGlobal,
+    SNew,
+    SReturn,
+    SStoreField,
+    SStoreGlobal,
+    SThreadStart,
+    SWhile,
+)
+from repro.frontend.callgraph import CallGraph, build_callgraph
+from repro.frontend.mayalias import MayAliasOracle
+from repro.frontend.inline import InlineResult, inline_program
+from repro.frontend.procedures import ProcResult, lower_procedures, proc_name
+from repro.frontend.metrics import ProgramMetrics, compute_metrics
+
+__all__ = [
+    "CallGraph",
+    "ClassDef",
+    "FrontProgram",
+    "FrontendError",
+    "InlineResult",
+    "MayAliasOracle",
+    "MethodDef",
+    "ProcResult",
+    "ProgramMetrics",
+    "SApiCall",
+    "SAssign",
+    "SAssignNull",
+    "SCall",
+    "SIf",
+    "SLoadField",
+    "SLoadGlobal",
+    "SNew",
+    "SReturn",
+    "SStoreField",
+    "SStoreGlobal",
+    "SThreadStart",
+    "SWhile",
+    "build_callgraph",
+    "compute_metrics",
+    "inline_program",
+    "lower_procedures",
+    "proc_name",
+]

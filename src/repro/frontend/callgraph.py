@@ -1,0 +1,187 @@
+"""0-CFA call-graph and points-to analysis.
+
+The paper's implementation uses Chord's 0-CFA call graph both to
+resolve virtual calls and as the may-alias oracle of the type-state
+client (Section 6, condition (i)).  This module reproduces that role:
+a context-insensitive, flow-insensitive, field-based (one summary per
+field name) inclusion analysis computed to a fixpoint, growing the set
+of reachable methods from the entry as call targets are discovered.
+
+Points-to keys:
+
+* ``("var", cls, method, name)`` — a local (or parameter/``this``);
+* ``("glob", name)`` — a global variable;
+* ``("field", name)`` — the summary of field ``name``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.frontend.program import (
+    FrontProgram,
+    MethodDef,
+    SApiCall,
+    SAssign,
+    SAssignNull,
+    SCall,
+    SLoadField,
+    SLoadGlobal,
+    SNew,
+    SReturn,
+    SStoreField,
+    SStoreGlobal,
+    SThreadStart,
+    walk_statements,
+)
+
+VarKey = Tuple[str, ...]
+
+
+@dataclass
+class CallGraph:
+    """Result of the 0-CFA analysis."""
+
+    program: FrontProgram
+    points_to: Dict[VarKey, FrozenSet[str]]
+    reachable: FrozenSet[Tuple[str, str]]
+    call_targets: Dict[str, FrozenSet[Tuple[str, str]]]
+    """Per call-site pc: the resolved ``(class, method)`` targets."""
+
+    def pts_var(self, cls: str, method: str, name: str) -> FrozenSet[str]:
+        return self.points_to.get(("var", cls, method, name), frozenset())
+
+    def reachable_methods(self) -> List[Tuple[str, str]]:
+        return sorted(self.reachable)
+
+
+class _Solver:
+    def __init__(self, program: FrontProgram):
+        self.program = program
+        self.pts: Dict[VarKey, Set[str]] = {}
+        self.reachable: Set[Tuple[str, str]] = set()
+        self.call_targets: Dict[str, Set[Tuple[str, str]]] = {}
+        self.changed = True
+
+    def get(self, key: VarKey) -> Set[str]:
+        return self.pts.setdefault(key, set())
+
+    def add(self, key: VarKey, sites: Set[str]) -> None:
+        bucket = self.get(key)
+        before = len(bucket)
+        bucket |= sites
+        if len(bucket) != before:
+            self.changed = True
+
+    def reach(self, cls: str, method: str) -> None:
+        if (cls, method) not in self.reachable:
+            self.reachable.add((cls, method))
+            self.changed = True
+
+    def solve(self) -> CallGraph:
+        program = self.program
+        self.reach(program.entry_class, program.entry_method)
+        while self.changed:
+            self.changed = False
+            for cls, method in sorted(self.reachable):
+                self._process(cls, program.method(cls, method))
+        return CallGraph(
+            program=program,
+            points_to={k: frozenset(v) for k, v in self.pts.items()},
+            reachable=frozenset(self.reachable),
+            call_targets={
+                pc: frozenset(targets) for pc, targets in self.call_targets.items()
+            },
+        )
+
+    def _process(self, cls: str, method: MethodDef) -> None:
+        var = lambda name: ("var", cls, method.name, name)
+        for stmt in walk_statements(method.body):
+            if isinstance(stmt, SNew):
+                self.add(var(stmt.lhs), {stmt.site})
+            elif isinstance(stmt, SAssign):
+                self.add(var(stmt.lhs), self.get(var(stmt.rhs)))
+            elif isinstance(stmt, SAssignNull):
+                pass
+            elif isinstance(stmt, SLoadField):
+                self.add(var(stmt.lhs), self.get(("field", stmt.fld)))
+            elif isinstance(stmt, SStoreField):
+                self.add(("field", stmt.fld), self.get(var(stmt.rhs)))
+            elif isinstance(stmt, SLoadGlobal):
+                self.add(var(stmt.lhs), self.get(("glob", stmt.glob)))
+            elif isinstance(stmt, SStoreGlobal):
+                self.add(("glob", stmt.glob), self.get(var(stmt.rhs)))
+            elif isinstance(stmt, SCall):
+                self._process_call(cls, method, stmt)
+            elif isinstance(stmt, SThreadStart):
+                self._process_thread_start(cls, method, stmt)
+            elif isinstance(stmt, (SApiCall, SReturn)):
+                pass
+
+    def _targets_of(self, base_sites: Set[str], method_name: str):
+        for site in sorted(base_sites):
+            target_cls = self.program.site_class[site]
+            if method_name in self.program.classes[target_cls].methods:
+                yield target_cls, method_name
+
+    def _process_call(self, cls: str, method: MethodDef, stmt: SCall) -> None:
+        base_sites = self.get(("var", cls, method.name, stmt.base))
+        targets = self.call_targets.setdefault(stmt.pc, set())
+        for target in self._targets_of(base_sites, stmt.method):
+            if target not in targets:
+                targets.add(target)
+                self.changed = True
+            self.reach(*target)
+            target_cls, target_name = target
+            callee = self.program.method(target_cls, target_name)
+            self.add(
+                ("var", target_cls, target_name, "this"),
+                {
+                    site
+                    for site in base_sites
+                    if self.program.site_class[site] == target_cls
+                },
+            )
+            for param, arg in zip(callee.params, stmt.args):
+                self.add(
+                    ("var", target_cls, target_name, param),
+                    self.get(("var", cls, method.name, arg)),
+                )
+            if stmt.lhs is not None:
+                ret = self._return_var(callee)
+                if ret is not None:
+                    self.add(
+                        ("var", cls, method.name, stmt.lhs),
+                        self.get(("var", target_cls, target_name, ret)),
+                    )
+
+    def _process_thread_start(self, cls: str, method: MethodDef, stmt) -> None:
+        base_sites = self.get(("var", cls, method.name, stmt.var))
+        targets = self.call_targets.setdefault(stmt.pc, set())
+        for target in self._targets_of(base_sites, "run"):
+            if target not in targets:
+                targets.add(target)
+                self.changed = True
+            self.reach(*target)
+            target_cls, _name = target
+            self.add(
+                ("var", target_cls, "run", "this"),
+                {
+                    site
+                    for site in base_sites
+                    if self.program.site_class[site] == target_cls
+                },
+            )
+
+    @staticmethod
+    def _return_var(callee: MethodDef):
+        if callee.body and isinstance(callee.body[-1], SReturn):
+            return callee.body[-1].var
+        return None
+
+
+def build_callgraph(program: FrontProgram) -> CallGraph:
+    """Run 0-CFA on a finalized program."""
+    program.finalize()
+    return _Solver(program).solve()

@@ -1,0 +1,333 @@
+"""Context-sensitive inlining: mini-Java IR -> analysis language.
+
+The paper's client analyses are fully flow- *and context-*sensitive.
+We obtain context sensitivity the classic way for non-recursive call
+graphs: every call site gets its own clone of the callee body, with
+locals renamed per clone (``x`` in clone ``c7`` becomes ``x_c7``).
+Parameter passing and returns become explicit assignments, so the
+must-alias and escape information flows through calls precisely.
+
+Query plumbing inserted during lowering:
+
+* every call site (virtual or API) emits ``Observe(pc)`` followed by an
+  ``Invoke`` marker carrying the original pc — the type-state client
+  generates one query per such pc and reads the abstract state at the
+  ``Observe``;
+* every instance-field access emits ``q = base`` into a dedicated
+  *query variable* shared by all clones of the pc, then ``Observe(pc)``
+  — the thread-escape client queries the locality of ``q``, which by
+  construction equals the locality of the (per-clone renamed) base.
+
+Recursive calls are cut: the call becomes ``lhs = null`` and the cut is
+counted in the result, mirroring how bounded context-cloning analyses
+truncate recursion.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.frontend.callgraph import CallGraph
+from repro.frontend.program import (
+    FrontProgram,
+    MethodDef,
+    SApiCall,
+    SAssign,
+    SAssignNull,
+    SCall,
+    SIf,
+    SLoadField,
+    SLoadGlobal,
+    SNew,
+    SReturn,
+    SStoreField,
+    SStoreGlobal,
+    SThreadStart,
+    SWhile,
+    Stmt,
+)
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    Program,
+    Skip,
+    Star,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+    choice,
+    seq,
+)
+
+
+@dataclass
+class InlineResult:
+    """The lowered program plus everything clients need around it."""
+
+    program: Program
+    variables: FrozenSet[str]
+    query_vars: FrozenSet[str]
+    sites: FrozenSet[str]
+    fields: FrozenSet[str]
+    globals: FrozenSet[str]
+    var_origin: Dict[str, Tuple[str, str, str]]
+    call_points: Dict[str, Tuple[str, str, str, str]]
+    """pc -> (class, method, receiver local, invoked method) for every
+    call site in *application* code (type-state query candidates)."""
+    access_points: Dict[str, Tuple[str, str, str, str]]
+    """pc -> (class, method, base local, query variable) for every
+    instance-field access in application code (escape query candidates)."""
+    recursion_cuts: int
+    command_count: int
+
+
+def query_var_for(pc: str) -> str:
+    """The canonical query variable name for a field-access pc."""
+    return "q_" + re.sub(r"[^0-9A-Za-z_]", "_", pc)
+
+
+class _Inliner:
+    def __init__(self, program: FrontProgram, callgraph: CallGraph):
+        self.front = program
+        self.cg = callgraph
+        self.ctx_counter = 0
+        self.variables: Set[str] = set()
+        self.query_vars: Set[str] = set()
+        self.globals: Set[str] = set()
+        self.var_origin: Dict[str, Tuple[str, str, str]] = {}
+        self.call_points: Dict[str, Tuple[str, str, str, str]] = {}
+        self.access_points: Dict[str, Tuple[str, str, str, str]] = {}
+        self.recursion_cuts = 0
+
+    def run(self) -> InlineResult:
+        entry = self.front.entry()
+        body = self._inline_method(
+            self.front.entry_class, entry, stack=(), bindings=None
+        )
+        fields = sorted(
+            {f for cls in self.front.classes.values() for f in cls.fields}
+        )
+        from repro.lang.ast import atoms_of
+
+        count = sum(1 for _ in atoms_of(body))
+        return InlineResult(
+            program=body,
+            variables=frozenset(self.variables),
+            query_vars=frozenset(self.query_vars),
+            sites=frozenset(self.front.site_class),
+            fields=frozenset(fields),
+            globals=frozenset(self.globals),
+            var_origin=dict(self.var_origin),
+            call_points=dict(self.call_points),
+            access_points=dict(self.access_points),
+            recursion_cuts=self.recursion_cuts,
+            command_count=count,
+        )
+
+    # -- naming --------------------------------------------------------------
+
+    def _fresh_ctx(self) -> str:
+        ctx = f"c{self.ctx_counter}"
+        self.ctx_counter += 1
+        return ctx
+
+    def _renamer(self, cls: str, method: str, ctx: str, clone_vars: Set[str]):
+        def rename(name: str) -> str:
+            renamed = f"{name}_{ctx}"
+            if renamed not in self.variables:
+                self.variables.add(renamed)
+                self.var_origin[renamed] = (cls, method, name)
+            clone_vars.add(renamed)
+            return renamed
+
+        return rename
+
+    def _is_app(self, cls: str) -> bool:
+        return not self.front.classes[cls].is_library
+
+    # -- lowering ------------------------------------------------------------
+
+    def _inline_method(
+        self,
+        cls: str,
+        method: MethodDef,
+        stack: Tuple[Tuple[str, str], ...],
+        bindings,
+    ) -> Program:
+        """Lower one method clone; ``bindings`` is the prelude program
+        binding ``this``/params (``None`` for the entry method)."""
+        ctx = self._fresh_ctx()
+        clone_vars: Set[str] = set()
+        rename = self._renamer(cls, method.name, ctx, clone_vars)
+        parts: List[Program] = []
+        if bindings is not None:
+            receiver, args, _lhs_slot = bindings
+            parts.append(seq(Assign(rename("this"), receiver)))
+            for param, arg in zip(method.params, args):
+                parts.append(seq(Assign(rename(param), arg)))
+        parts.append(
+            self._lower_body(cls, method, method.body, rename, stack)
+        )
+        if bindings is not None and bindings[2] is not None:
+            lhs_slot = bindings[2]
+            ret = self._return_var(method)
+            if ret is None:
+                parts.append(seq(AssignNull(lhs_slot)))
+            else:
+                parts.append(seq(Assign(lhs_slot, rename(ret))))
+        if bindings is not None:
+            # Kill the clone's locals on exit: they are dead beyond this
+            # point, and nulling them keeps the disjunctive state space
+            # of the forward analyses from multiplying across dead
+            # bindings (the classic liveness trick).
+            parts.append(seq(*(AssignNull(v) for v in sorted(clone_vars))))
+        return seq(*parts)
+
+    @staticmethod
+    def _return_var(method: MethodDef) -> Optional[str]:
+        if method.body and isinstance(method.body[-1], SReturn):
+            return method.body[-1].var
+        return None
+
+    def _lower_body(self, cls, method, body, rename, stack) -> Program:
+        parts = [self._lower_stmt(cls, method, stmt, rename, stack) for stmt in body]
+        return seq(*parts)
+
+    def _lower_stmt(self, cls, method, stmt: Stmt, rename, stack) -> Program:
+        if isinstance(stmt, SNew):
+            return seq(New(rename(stmt.lhs), stmt.site))
+        if isinstance(stmt, SAssign):
+            return seq(Assign(rename(stmt.lhs), rename(stmt.rhs)))
+        if isinstance(stmt, SAssignNull):
+            return seq(AssignNull(rename(stmt.lhs)))
+        if isinstance(stmt, SLoadGlobal):
+            self.globals.add(stmt.glob)
+            return seq(LoadGlobal(rename(stmt.lhs), stmt.glob))
+        if isinstance(stmt, SStoreGlobal):
+            self.globals.add(stmt.glob)
+            return seq(StoreGlobal(stmt.glob, rename(stmt.rhs)))
+        if isinstance(stmt, SLoadField):
+            prelude, epilogue = self._access_wrap(cls, method, stmt, stmt.base, rename)
+            return seq(
+                *prelude,
+                LoadField(rename(stmt.lhs), rename(stmt.base), stmt.fld),
+                *epilogue,
+            )
+        if isinstance(stmt, SStoreField):
+            prelude, epilogue = self._access_wrap(cls, method, stmt, stmt.base, rename)
+            return seq(
+                *prelude,
+                StoreField(rename(stmt.base), stmt.fld, rename(stmt.rhs)),
+                *epilogue,
+            )
+        if isinstance(stmt, SApiCall):
+            return seq(*self._event_prelude(cls, method, stmt, stmt.base, stmt.method, rename))
+        if isinstance(stmt, SCall):
+            return self._lower_call(cls, method, stmt, rename, stack)
+        if isinstance(stmt, SThreadStart):
+            return self._lower_thread_start(cls, method, stmt, rename, stack)
+        if isinstance(stmt, SIf):
+            return choice(
+                self._lower_body(cls, method, stmt.then, rename, stack),
+                self._lower_body(cls, method, stmt.els, rename, stack),
+            )
+        if isinstance(stmt, SWhile):
+            return Star(self._lower_body(cls, method, stmt.body, rename, stack))
+        if isinstance(stmt, SReturn):
+            return Skip()  # handled at the call site
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    def _event_prelude(self, cls, method, stmt, base, method_name, rename):
+        """Observe + Invoke marker for a call-site query point."""
+        commands = [Observe(stmt.pc), Invoke(rename(base), method_name, stmt.pc)]
+        if self._is_app(cls):
+            self.call_points.setdefault(
+                stmt.pc, (cls, method.name, base, method_name)
+            )
+        return commands
+
+    def _access_wrap(self, cls, method, stmt, base, rename):
+        """Query-variable copy + Observe before a field access, and the
+        query variable's kill after it (it is dead past the access)."""
+        if not self._is_app(cls):
+            return [], []
+        qvar = query_var_for(stmt.pc)
+        self.query_vars.add(qvar)
+        self.access_points.setdefault(
+            stmt.pc, (cls, method.name, base, qvar)
+        )
+        return [Assign(qvar, rename(base)), Observe(stmt.pc)], [AssignNull(qvar)]
+
+    def _lower_call(self, cls, method, stmt: SCall, rename, stack) -> Program:
+        parts: List[Program] = [
+            seq(*self._event_prelude(cls, method, stmt, stmt.base, stmt.method, rename))
+        ]
+        targets = sorted(self.cg.call_targets.get(stmt.pc, frozenset()))
+        lhs_slot = rename(stmt.lhs) if stmt.lhs is not None else None
+        live_targets = []
+        for target in targets:
+            if target in stack or (cls, method.name) == target:
+                self.recursion_cuts += 1
+                continue
+            live_targets.append(target)
+        if not live_targets:
+            if lhs_slot is not None:
+                parts.append(seq(AssignNull(lhs_slot)))
+            return seq(*parts)
+        branches = []
+        receiver = rename(stmt.base)
+        args = tuple(rename(a) for a in stmt.args)
+        for target_cls, target_name in live_targets:
+            callee = self.front.method(target_cls, target_name)
+            branches.append(
+                self._inline_method(
+                    target_cls,
+                    callee,
+                    stack + ((cls, method.name),),
+                    (receiver, args, lhs_slot),
+                )
+            )
+        parts.append(choice(*branches))
+        return seq(*parts)
+
+    def _lower_thread_start(self, cls, method, stmt, rename, stack) -> Program:
+        parts: List[Program] = [seq(ThreadStart(rename(stmt.var)))]
+        targets = sorted(self.cg.call_targets.get(stmt.pc, frozenset()))
+        receiver = rename(stmt.var)
+        branches = []
+        for target in targets:
+            if target in stack or (cls, method.name) == target:
+                self.recursion_cuts += 1
+                continue
+            target_cls, target_name = target
+            callee = self.front.method(target_cls, target_name)
+            branches.append(
+                self._inline_method(
+                    target_cls,
+                    callee,
+                    stack + ((cls, method.name),),
+                    (receiver, (), None),
+                )
+            )
+        if branches:
+            # The thread body runs concurrently; analysing it after the
+            # start is a sound linearisation for our disjunctive clients.
+            parts.append(choice(*branches))
+        return seq(*parts)
+
+
+def inline_program(program: FrontProgram, callgraph: Optional[CallGraph] = None) -> InlineResult:
+    """Inline a finalized frontend program into the analysis language."""
+    from repro.frontend.callgraph import build_callgraph
+
+    program.finalize()
+    if callgraph is None:
+        callgraph = build_callgraph(program)
+    return _Inliner(program, callgraph).run()

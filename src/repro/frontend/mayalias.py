@@ -1,0 +1,41 @@
+"""May-alias oracle derived from the 0-CFA points-to results.
+
+The type-state analysis consults this oracle to decide whether a call
+``v.m()`` is an event for the tracked allocation site (condition (i) of
+Section 6).  After inlining, variables are renamed per context; the
+oracle resolves renamed names back to their 0-CFA points-to sets via
+the inliner's origin map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.frontend.callgraph import CallGraph
+
+
+class MayAliasOracle:
+    """``may_point(var, site)`` for inlined (renamed) variables."""
+
+    def __init__(
+        self,
+        callgraph: CallGraph,
+        var_origin: Dict[str, Tuple[str, str, str]],
+    ):
+        self._callgraph = callgraph
+        self._var_origin = var_origin
+
+    def points_to(self, renamed_var: str) -> FrozenSet[str]:
+        origin = self._var_origin.get(renamed_var)
+        if origin is None:
+            return frozenset()
+        cls, method, name = origin
+        return self._callgraph.pts_var(cls, method, name)
+
+    def may_point(self, renamed_var: str, site: str) -> bool:
+        return site in self.points_to(renamed_var)
+
+    def for_site(self, site: str):
+        """A ``var -> bool`` predicate specialised to one site, in the
+        shape the type-state analysis expects."""
+        return lambda var: self.may_point(var, site)

@@ -1,0 +1,385 @@
+"""Procedure-level lowering: mini-Java IR -> ProcGraph (no inlining).
+
+The alternative to :mod:`repro.frontend.inline`: each reachable method
+becomes one procedure with procedure-local variable renaming
+(``x__Cls_m``); calls stay calls (``CallProc``) with parameter and
+return passing as explicit assignments at the call site; the
+interprocedural tabulation engine then provides full context
+sensitivity *by entry state* and supports recursion.
+
+Soundness around recursion: procedures share one global variable
+namespace, so a call that can transitively re-enter the caller's own
+procedure clobbers the caller's frame.  After any such call the
+caller's locals are *havocked* (assigned from an unknown global),
+which is conservative for all three client analyses — exactly how
+bounded-context production analyses treat recursive cycles.
+
+Query plumbing matches the inliner: ``Observe(pc)`` + ``Invoke``
+markers at call sites, shared query variables at field accesses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.dataflow.interproc import ProcGraph
+from repro.frontend.callgraph import CallGraph, build_callgraph
+from repro.frontend.inline import query_var_for
+from repro.frontend.program import (
+    FrontProgram,
+    MethodDef,
+    SApiCall,
+    SAssign,
+    SAssignNull,
+    SCall,
+    SIf,
+    SLoadField,
+    SLoadGlobal,
+    SNew,
+    SReturn,
+    SStoreField,
+    SStoreGlobal,
+    SThreadStart,
+    SWhile,
+    Stmt,
+)
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    CallProc,
+    Invoke,
+    LoadGlobal,
+    LoadField,
+    New,
+    Observe,
+    Program,
+    Skip,
+    Star,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+    choice,
+    seq,
+)
+from repro.lang.cfg import build_cfg
+
+HAVOC_GLOBAL = "__havoc__"
+
+
+@dataclass
+class ProcResult:
+    """The lowered procedure graph plus client-facing metadata
+    (mirrors :class:`repro.frontend.inline.InlineResult`)."""
+
+    graph: ProcGraph
+    variables: FrozenSet[str]
+    query_vars: FrozenSet[str]
+    sites: FrozenSet[str]
+    fields: FrozenSet[str]
+    globals: FrozenSet[str]
+    var_origin: Dict[str, Tuple[str, str, str]]
+    call_points: Dict[str, Tuple[str, str, str, str]]
+    access_points: Dict[str, Tuple[str, str, str, str]]
+    recursive_procs: FrozenSet[str]
+    command_count: int
+
+
+def proc_name(cls: str, method: str) -> str:
+    return f"{cls}.{method}"
+
+
+class _Lowerer:
+    def __init__(self, front: FrontProgram, callgraph: CallGraph):
+        self.front = front
+        self.cg = callgraph
+        self.variables: Set[str] = set()
+        self.query_vars: Set[str] = set()
+        self.globals: Set[str] = set()
+        self.var_origin: Dict[str, Tuple[str, str, str]] = {}
+        self.call_points: Dict[str, Tuple[str, str, str, str]] = {}
+        self.access_points: Dict[str, Tuple[str, str, str, str]] = {}
+        self.proc_locals: Dict[str, Set[str]] = {}
+        self.reaches: Dict[str, Set[str]] = {}
+
+    def run(self) -> ProcResult:
+        reachable = sorted(self.cg.reachable)
+        self._compute_reachability(reachable)
+        # Pre-scan every method's variables so recursion havoc (emitted
+        # mid-body) covers locals that only appear later in the body.
+        for cls, method_name in reachable:
+            self._prescan(cls, self.front.method(cls, method_name))
+        bodies: Dict[str, Program] = {}
+        for cls, method_name in reachable:
+            method = self.front.method(cls, method_name)
+            bodies[proc_name(cls, method_name)] = self._lower_method(cls, method)
+        main = proc_name(self.front.entry_class, self.front.entry_method)
+        graph = ProcGraph(
+            procedures={name: build_cfg(body) for name, body in bodies.items()},
+            main=main,
+        )
+        from repro.lang.ast import atoms_of
+
+        count = sum(1 for body in bodies.values() for _ in atoms_of(body))
+        fields = sorted(
+            {f for cls_def in self.front.classes.values() for f in cls_def.fields}
+        )
+        recursive = frozenset(
+            name for name, closure in self.reaches.items() if name in closure
+        )
+        return ProcResult(
+            graph=graph,
+            variables=frozenset(self.variables),
+            query_vars=frozenset(self.query_vars),
+            sites=frozenset(self.front.site_class),
+            fields=frozenset(fields),
+            globals=frozenset(self.globals),
+            var_origin=dict(self.var_origin),
+            call_points=dict(self.call_points),
+            access_points=dict(self.access_points),
+            recursive_procs=recursive,
+            command_count=count,
+        )
+
+    # -- call-graph reachability (for recursion havoc) ---------------------
+
+    def _targets_of_pc(self, pc: str) -> List[str]:
+        return sorted(
+            proc_name(*target)
+            for target in self.cg.call_targets.get(pc, frozenset())
+        )
+
+    def _compute_reachability(self, reachable) -> None:
+        direct: Dict[str, Set[str]] = {}
+        for cls, method_name in reachable:
+            name = proc_name(cls, method_name)
+            direct[name] = set()
+            method = self.front.method(cls, method_name)
+            from repro.frontend.program import walk_statements
+
+            for stmt in walk_statements(method.body):
+                if isinstance(stmt, (SCall, SThreadStart)):
+                    direct[name].update(self._targets_of_pc(stmt.pc))
+        # Transitive closure (the graphs are tiny).
+        for name in direct:
+            closure: Set[str] = set()
+            frontier = set(direct[name])
+            while frontier:
+                closure |= frontier
+                frontier = {
+                    succ
+                    for proc in frontier
+                    for succ in direct.get(proc, ())
+                } - closure
+            self.reaches[name] = closure
+
+    def _may_reenter(self, caller: str, pc: str) -> bool:
+        """Whether the call at ``pc`` can transitively re-enter
+        ``caller`` (and hence clobber its frame)."""
+        for target in self._targets_of_pc(pc):
+            if target == caller or caller in self.reaches.get(target, ()):
+                return True
+        return False
+
+    # -- lowering -----------------------------------------------------------
+
+    def _renamer(self, cls: str, method: str):
+        suffix = re.sub(r"[^0-9A-Za-z_]", "_", f"{cls}_{method}")
+        name = proc_name(cls, method)
+        locals_ = self.proc_locals.setdefault(name, set())
+
+        def rename(var: str) -> str:
+            renamed = f"{var}__{suffix}"
+            if renamed not in self.variables:
+                self.variables.add(renamed)
+                self.var_origin[renamed] = (cls, method, var)
+            locals_.add(renamed)
+            return renamed
+
+        return rename
+
+    def _is_app(self, cls: str) -> bool:
+        return not self.front.classes[cls].is_library
+
+    def _prescan(self, cls: str, method: MethodDef) -> None:
+        """Rename every variable the method mentions (fills
+        ``proc_locals`` before any havoc sequence is built)."""
+        from repro.frontend.program import walk_statements
+
+        rename = self._renamer(cls, method.name)
+        rename("this")
+        for param in method.params:
+            rename(param)
+        for stmt in walk_statements(method.body):
+            for attr in ("lhs", "rhs", "base", "var"):
+                value = getattr(stmt, attr, None)
+                if isinstance(value, str):
+                    rename(value)
+            for arg in getattr(stmt, "args", ()):
+                rename(arg)
+
+    def _lower_method(self, cls: str, method: MethodDef) -> Program:
+        rename = self._renamer(cls, method.name)
+        # Touch this and the parameters so callers can bind them.
+        rename("this")
+        for param in method.params:
+            rename(param)
+        return self._lower_body(cls, method, method.body, rename)
+
+    def _lower_body(self, cls, method, body, rename) -> Program:
+        return seq(
+            *(self._lower_stmt(cls, method, stmt, rename) for stmt in body)
+        )
+
+    def _lower_stmt(self, cls, method, stmt: Stmt, rename) -> Program:
+        caller = proc_name(cls, method.name)
+        if isinstance(stmt, SNew):
+            return seq(New(rename(stmt.lhs), stmt.site))
+        if isinstance(stmt, SAssign):
+            return seq(Assign(rename(stmt.lhs), rename(stmt.rhs)))
+        if isinstance(stmt, SAssignNull):
+            return seq(AssignNull(rename(stmt.lhs)))
+        if isinstance(stmt, SLoadGlobal):
+            self.globals.add(stmt.glob)
+            return seq(LoadGlobal(rename(stmt.lhs), stmt.glob))
+        if isinstance(stmt, SStoreGlobal):
+            self.globals.add(stmt.glob)
+            return seq(StoreGlobal(stmt.glob, rename(stmt.rhs)))
+        if isinstance(stmt, SLoadField):
+            prelude, epilogue = self._access_wrap(cls, method, stmt, rename)
+            return seq(
+                *prelude,
+                LoadField(rename(stmt.lhs), rename(stmt.base), stmt.fld),
+                *epilogue,
+            )
+        if isinstance(stmt, SStoreField):
+            prelude, epilogue = self._access_wrap(cls, method, stmt, rename)
+            return seq(
+                *prelude,
+                StoreField(rename(stmt.base), stmt.fld, rename(stmt.rhs)),
+                *epilogue,
+            )
+        if isinstance(stmt, SApiCall):
+            return seq(
+                *self._event_prelude(cls, method, stmt, stmt.base, stmt.method, rename)
+            )
+        if isinstance(stmt, SCall):
+            return self._lower_call(cls, method, stmt, rename)
+        if isinstance(stmt, SThreadStart):
+            return self._lower_thread_start(cls, method, stmt, rename)
+        if isinstance(stmt, SIf):
+            return choice(
+                self._lower_body(cls, method, stmt.then, rename),
+                self._lower_body(cls, method, stmt.els, rename),
+            )
+        if isinstance(stmt, SWhile):
+            return Star(self._lower_body(cls, method, stmt.body, rename))
+        if isinstance(stmt, SReturn):
+            return Skip()  # callers read the renamed return variable
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    def _event_prelude(self, cls, method, stmt, base, method_name, rename):
+        commands = [Observe(stmt.pc), Invoke(rename(base), method_name, stmt.pc)]
+        if self._is_app(cls):
+            self.call_points.setdefault(
+                stmt.pc, (cls, method.name, base, method_name)
+            )
+        return commands
+
+    def _access_wrap(self, cls, method, stmt, rename):
+        if not self._is_app(cls):
+            return [], []
+        qvar = query_var_for(stmt.pc)
+        self.query_vars.add(qvar)
+        self.access_points.setdefault(
+            stmt.pc, (cls, method.name, stmt.base, qvar)
+        )
+        return (
+            [Assign(qvar, rename(stmt.base)), Observe(stmt.pc)],
+            [AssignNull(qvar)],
+        )
+
+    def _return_var_of(self, target_cls: str, target_name: str) -> Optional[str]:
+        callee = self.front.method(target_cls, target_name)
+        if callee.body and isinstance(callee.body[-1], SReturn):
+            return callee.body[-1].var
+        return None
+
+    def _lower_call(self, cls, method, stmt: SCall, rename) -> Program:
+        caller = proc_name(cls, method.name)
+        parts: List[Program] = [
+            seq(*self._event_prelude(cls, method, stmt, stmt.base, stmt.method, rename))
+        ]
+        targets = sorted(self.cg.call_targets.get(stmt.pc, frozenset()))
+        lhs_slot = rename(stmt.lhs) if stmt.lhs is not None else None
+        if not targets:
+            if lhs_slot is not None:
+                parts.append(seq(AssignNull(lhs_slot)))
+            return seq(*parts)
+        havoc = self._may_reenter(caller, stmt.pc)
+        receiver = rename(stmt.base)
+        args = tuple(rename(a) for a in stmt.args)
+        branches = []
+        for target_cls, target_name in targets:
+            callee_rename = self._renamer(target_cls, target_name)
+            binding: List[Program] = [
+                seq(Assign(callee_rename("this"), receiver))
+            ]
+            callee = self.front.method(target_cls, target_name)
+            for param, arg in zip(callee.params, args):
+                binding.append(seq(Assign(callee_rename(param), arg)))
+            binding.append(seq(CallProc(proc_name(target_cls, target_name))))
+            if havoc:
+                binding.append(self._havoc_frame(caller, keep=lhs_slot))
+            if lhs_slot is not None:
+                ret = self._return_var_of(target_cls, target_name)
+                if ret is None:
+                    binding.append(seq(AssignNull(lhs_slot)))
+                else:
+                    binding.append(seq(Assign(lhs_slot, callee_rename(ret))))
+            branches.append(seq(*binding))
+        parts.append(choice(*branches))
+        return seq(*parts)
+
+    def _lower_thread_start(self, cls, method, stmt, rename) -> Program:
+        caller = proc_name(cls, method.name)
+        parts: List[Program] = [seq(ThreadStart(rename(stmt.var)))]
+        targets = sorted(self.cg.call_targets.get(stmt.pc, frozenset()))
+        havoc = self._may_reenter(caller, stmt.pc)
+        receiver = rename(stmt.var)
+        branches = []
+        for target_cls, target_name in targets:
+            callee_rename = self._renamer(target_cls, target_name)
+            body: List[Program] = [
+                seq(Assign(callee_rename("this"), receiver)),
+                seq(CallProc(proc_name(target_cls, target_name))),
+            ]
+            if havoc:
+                body.append(self._havoc_frame(caller, keep=None))
+            branches.append(seq(*body))
+        if branches:
+            parts.append(choice(*branches))
+        return seq(*parts)
+
+    def _havoc_frame(self, caller: str, keep: Optional[str]) -> Program:
+        """Conservatively forget the caller's frame after a call that
+        may have re-entered it (recursion clobbers shared locals)."""
+        self.globals.add(HAVOC_GLOBAL)
+        return seq(
+            *(
+                LoadGlobal(local, HAVOC_GLOBAL)
+                for local in sorted(self.proc_locals.get(caller, ()))
+                if local != keep
+            )
+        )
+
+
+def lower_procedures(
+    front: FrontProgram, callgraph: Optional[CallGraph] = None
+) -> ProcResult:
+    """Lower a finalized frontend program to a procedure graph."""
+    front.finalize()
+    if callgraph is None:
+        callgraph = build_callgraph(front)
+    return _Lowerer(front, callgraph).run()

@@ -1,0 +1,244 @@
+"""The mini-Java intermediate representation.
+
+A :class:`FrontProgram` is a set of classes; each class declares fields
+and virtual methods; method bodies are statement lists with the usual
+heap operations, virtual calls, non-deterministic branching/looping,
+API calls (type-state events on library objects whose bodies are
+opaque), and thread starts.
+
+``finalize`` assigns stable identifiers: every allocation gets a site
+id ``h<n>``, every statement a program-counter label
+``<Class>.<method>/<n>`` — the unit at which queries are generated,
+shared by all inlined copies of the statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class FrontendError(ValueError):
+    """Raised on malformed frontend programs."""
+
+
+@dataclass
+class Stmt:
+    """Base class of IR statements; ``pc`` is set by ``finalize``."""
+
+    def __post_init__(self) -> None:
+        self.pc: str = ""
+
+
+@dataclass
+class SNew(Stmt):
+    """``lhs = new cls`` — ``site`` is assigned by ``finalize``."""
+
+    lhs: str
+    cls: str
+    site: str = ""
+
+
+@dataclass
+class SAssign(Stmt):
+    lhs: str
+    rhs: str
+
+
+@dataclass
+class SAssignNull(Stmt):
+    lhs: str
+
+
+@dataclass
+class SLoadField(Stmt):
+    lhs: str
+    base: str
+    fld: str
+
+
+@dataclass
+class SStoreField(Stmt):
+    base: str
+    fld: str
+    rhs: str
+
+
+@dataclass
+class SLoadGlobal(Stmt):
+    lhs: str
+    glob: str
+
+
+@dataclass
+class SStoreGlobal(Stmt):
+    glob: str
+    rhs: str
+
+
+@dataclass
+class SCall(Stmt):
+    """``lhs = base.method(args)`` — virtual, resolved by 0-CFA."""
+
+    lhs: Optional[str]
+    base: str
+    method: str
+    args: Tuple[str, ...] = ()
+
+
+@dataclass
+class SApiCall(Stmt):
+    """``base.method()`` on a library object: a type-state event with
+    no body to inline."""
+
+    base: str
+    method: str
+
+
+@dataclass
+class SThreadStart(Stmt):
+    """``start(var)`` — publishes ``var`` and runs its ``run`` method
+    on a new thread."""
+
+    var: str
+
+
+@dataclass
+class SIf(Stmt):
+    """Non-deterministic branch (conditions are abstracted away)."""
+
+    then: List[Stmt]
+    els: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class SWhile(Stmt):
+    """Non-deterministic loop."""
+
+    body: List[Stmt]
+
+
+@dataclass
+class SReturn(Stmt):
+    """Return a variable (or null); only legal as a method's final
+    top-level statement."""
+
+    var: Optional[str] = None
+
+
+@dataclass
+class MethodDef:
+    """A method; ``this`` is an implicit first parameter of virtual
+    methods and is available in the body."""
+
+    name: str
+    params: Tuple[str, ...] = ()
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ClassDef:
+    name: str
+    fields: Tuple[str, ...] = ()
+    methods: Dict[str, MethodDef] = field(default_factory=dict)
+    is_library: bool = False
+
+
+@dataclass
+class FrontProgram:
+    """A whole program with an entry method (a static main)."""
+
+    classes: Dict[str, ClassDef] = field(default_factory=dict)
+    entry_class: str = "Main"
+    entry_method: str = "main"
+    site_class: Dict[str, str] = field(default_factory=dict)
+    site_pc: Dict[str, str] = field(default_factory=dict)
+    finalized: bool = False
+
+    def add_class(self, cls: ClassDef) -> ClassDef:
+        if cls.name in self.classes:
+            raise FrontendError(f"duplicate class {cls.name!r}")
+        self.classes[cls.name] = cls
+        return cls
+
+    def entry(self) -> MethodDef:
+        return self.method(self.entry_class, self.entry_method)
+
+    def method(self, cls: str, name: str) -> MethodDef:
+        try:
+            return self.classes[cls].methods[name]
+        except KeyError:
+            raise FrontendError(f"no such method {cls}.{name}") from None
+
+    def methods(self) -> Iterator[Tuple[str, MethodDef]]:
+        """Yield ``(class_name, method)`` pairs for every method."""
+        for cls_name in sorted(self.classes):
+            for meth_name in sorted(self.classes[cls_name].methods):
+                yield cls_name, self.classes[cls_name].methods[meth_name]
+
+    def finalize(self) -> "FrontProgram":
+        """Assign site ids and pc labels; validate the program."""
+        if self.finalized:
+            return self
+        if self.entry_class not in self.classes:
+            raise FrontendError(f"entry class {self.entry_class!r} missing")
+        self.entry()  # validates the entry method exists
+        site_counter = 0
+        for cls_name, method in self.methods():
+            counter = [0]
+            for stmt, depth in _walk(method.body):
+                stmt.pc = f"{cls_name}.{method.name}/{counter[0]}"
+                counter[0] += 1
+                if isinstance(stmt, SNew):
+                    if stmt.cls not in self.classes:
+                        raise FrontendError(
+                            f"allocation of unknown class {stmt.cls!r} at {stmt.pc}"
+                        )
+                    if not stmt.site:
+                        stmt.site = f"h{site_counter}"
+                        site_counter += 1
+                    self.site_class[stmt.site] = stmt.cls
+                    self.site_pc[stmt.site] = stmt.pc
+                if isinstance(stmt, SReturn) and depth > 0:
+                    raise FrontendError(
+                        f"return inside a branch/loop at {stmt.pc} is unsupported"
+                    )
+            for stmt in method.body[:-1]:
+                if isinstance(stmt, SReturn):
+                    raise FrontendError(
+                        f"return must be the final statement ({cls_name}.{method.name})"
+                    )
+        self.finalized = True
+        return self
+
+    def app_classes(self) -> List[str]:
+        return [name for name, cls in sorted(self.classes.items()) if not cls.is_library]
+
+    def app_sites(self) -> List[str]:
+        """Allocation sites occurring in application (non-library) code."""
+        return sorted(
+            site
+            for site, pc in self.site_pc.items()
+            if not self.classes[_pc_class(pc)].is_library
+        )
+
+
+def _pc_class(pc: str) -> str:
+    return pc.split(".", 1)[0]
+
+
+def _walk(body: Sequence[Stmt], depth: int = 0) -> Iterator[Tuple[Stmt, int]]:
+    """Yield every statement with its nesting depth, in syntax order."""
+    for stmt in body:
+        yield stmt, depth
+        if isinstance(stmt, SIf):
+            yield from _walk(stmt.then, depth + 1)
+            yield from _walk(stmt.els, depth + 1)
+        elif isinstance(stmt, SWhile):
+            yield from _walk(stmt.body, depth + 1)
+
+
+def walk_statements(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Public flat iterator over a statement tree."""
+    for stmt, _depth in _walk(body):
+        yield stmt

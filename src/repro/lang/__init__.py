@@ -1,0 +1,72 @@
+"""The paper's Section 3.1 imperative language.
+
+A program is built from atomic commands using sequential composition,
+non-deterministic choice, and iteration (Kleene star).  Client analyses
+interpret the atomic commands; the structured program is lowered to a
+control-flow graph (:mod:`repro.lang.cfg`) for fixpoint solving, and its
+finite traces can be enumerated (:mod:`repro.lang.traces`) for testing.
+"""
+
+from repro.lang.ast import (
+    Assign,
+    CallProc,
+    AssignNull,
+    Atom,
+    AtomicCommand,
+    Choice,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    Program,
+    Seq,
+    Skip,
+    Star,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+    atoms_of,
+    choice,
+    seq,
+)
+from repro.lang.cfg import Cfg, CfgEdge, build_cfg
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.pretty import pretty_command, pretty_program
+from repro.lang.traces import enumerate_traces, trace_count
+from repro.lang.universe import Universe, collect_universe
+
+__all__ = [
+    "Assign",
+    "AssignNull",
+    "Atom",
+    "AtomicCommand",
+    "CallProc",
+    "Cfg",
+    "CfgEdge",
+    "Choice",
+    "Invoke",
+    "LoadField",
+    "LoadGlobal",
+    "New",
+    "Observe",
+    "ParseError",
+    "Program",
+    "Seq",
+    "Skip",
+    "Star",
+    "StoreField",
+    "StoreGlobal",
+    "ThreadStart",
+    "Universe",
+    "atoms_of",
+    "build_cfg",
+    "choice",
+    "collect_universe",
+    "enumerate_traces",
+    "parse_program",
+    "pretty_command",
+    "pretty_program",
+    "seq",
+    "trace_count",
+]

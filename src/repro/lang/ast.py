@@ -1,0 +1,238 @@
+"""Abstract syntax of the paper's imperative language (Section 3.1).
+
+The language has an open-ended set of atomic commands ``a`` and three
+compound constructs::
+
+    s ::= a | s ; s' | s + s' | s*
+
+We fix a concrete vocabulary of atomic commands rich enough for both
+client analyses of the paper (type-state and thread-escape):
+
+* heap commands (Figure 5): ``v = new h``, ``g = v``, ``v = g``,
+  ``v = null``, ``v = v'``, ``v = v'.f``, ``v.f = v'``;
+* ``Invoke`` — a method-call event ``v.m()`` driving type-state automata
+  (Figure 4); heap-wise it is a no-op because call bodies are inlined by
+  the front end;
+* ``ThreadStart`` — ``v`` is handed to a newly started thread, which
+  makes it escape (the thread-escape analysis treats it like ``g = v``);
+* ``Observe`` — a labelled no-op marking a program point where a query
+  is evaluated.
+
+All nodes are immutable and hashable so they can serve as dictionary
+keys in dataflow engines and witness tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+
+class AtomicCommand:
+    """Base class for atomic commands.
+
+    Subclasses are frozen dataclasses; equality and hashing are
+    structural.  Analyses dispatch on the concrete class.
+    """
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class New(AtomicCommand):
+    """``lhs = new site`` — allocate at allocation site ``site``."""
+
+    lhs: str
+    site: str
+
+
+@dataclass(frozen=True)
+class Assign(AtomicCommand):
+    """``lhs = rhs`` — copy a local variable."""
+
+    lhs: str
+    rhs: str
+
+
+@dataclass(frozen=True)
+class AssignNull(AtomicCommand):
+    """``lhs = null``."""
+
+    lhs: str
+
+
+@dataclass(frozen=True)
+class LoadGlobal(AtomicCommand):
+    """``lhs = g`` — read a global (static) variable."""
+
+    lhs: str
+    glob: str
+
+
+@dataclass(frozen=True)
+class StoreGlobal(AtomicCommand):
+    """``g = rhs`` — write a global (static) variable."""
+
+    glob: str
+    rhs: str
+
+
+@dataclass(frozen=True)
+class LoadField(AtomicCommand):
+    """``lhs = base.field`` — read an instance field."""
+
+    lhs: str
+    base: str
+    field: str
+
+
+@dataclass(frozen=True)
+class StoreField(AtomicCommand):
+    """``base.field = rhs`` — write an instance field."""
+
+    base: str
+    field: str
+    rhs: str
+
+
+@dataclass(frozen=True)
+class Invoke(AtomicCommand):
+    """``base.method()`` — a type-state event at a call site.
+
+    ``site_label`` identifies the originating call site; the type-state
+    client keys queries on it.
+    """
+
+    base: str
+    method: str
+    site_label: str = ""
+
+
+@dataclass(frozen=True)
+class ThreadStart(AtomicCommand):
+    """``start(v)`` — hand object ``v`` to a freshly started thread."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class Observe(AtomicCommand):
+    """A labelled no-op marking a query program point."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class CallProc(AtomicCommand):
+    """Transfer control to procedure ``callee`` (interprocedural mode).
+
+    Only the tabulation engine interprets this command; client transfer
+    functions never see it.  Parameter/return passing is encoded as
+    explicit ``Assign`` commands around the call by the front end."""
+
+    callee: str
+
+
+# ---------------------------------------------------------------------------
+# Structured programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A program consisting of a single atomic command."""
+
+    command: AtomicCommand
+
+
+@dataclass(frozen=True)
+class Seq:
+    """Sequential composition ``first ; second``."""
+
+    first: "Program"
+    second: "Program"
+
+
+@dataclass(frozen=True)
+class Choice:
+    """Non-deterministic choice ``left + right``."""
+
+    left: "Program"
+    right: "Program"
+
+
+@dataclass(frozen=True)
+class Star:
+    """Iteration ``body*`` — zero or more repetitions."""
+
+    body: "Program"
+
+
+@dataclass(frozen=True)
+class Skip:
+    """The empty program (unit of sequential composition)."""
+
+
+Program = Union[Atom, Seq, Choice, Star, Skip]
+
+
+def seq(*programs: Program) -> Program:
+    """Right-associated sequential composition of any number of programs.
+
+    Atomic commands may be passed directly; ``seq()`` is ``Skip``.
+    """
+    parts = [_coerce(part) for part in programs]
+    parts = [part for part in parts if not isinstance(part, Skip)]
+    if not parts:
+        return Skip()
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = Seq(part, result)
+    return result
+
+
+def choice(*programs: Program) -> Program:
+    """Right-associated non-deterministic choice of the given programs."""
+    parts = [_coerce(part) for part in programs]
+    if not parts:
+        raise ValueError("choice() requires at least one branch")
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = Choice(part, result)
+    return result
+
+
+def _coerce(part: object) -> Program:
+    if isinstance(part, AtomicCommand):
+        return Atom(part)
+    if isinstance(part, (Atom, Seq, Choice, Star, Skip)):
+        return part
+    raise TypeError(f"not a program or atomic command: {part!r}")
+
+
+def atoms_of(program: Program) -> Iterator[AtomicCommand]:
+    """Yield every atomic command occurring in ``program``, in syntax order."""
+    stack = [program]
+    out = []
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            out.append(node.command)
+        elif isinstance(node, Seq):
+            stack.append(node.second)
+            stack.append(node.first)
+        elif isinstance(node, Choice):
+            stack.append(node.right)
+            stack.append(node.left)
+        elif isinstance(node, Star):
+            stack.append(node.body)
+        elif isinstance(node, Skip):
+            pass
+        else:
+            raise TypeError(f"not a program node: {node!r}")
+    # The stack discipline above visits children in reverse, so `out`
+    # already lists atoms in left-to-right syntax order for Seq/Choice.
+    return iter(out)
+
+
+Trace = Tuple[AtomicCommand, ...]

@@ -1,0 +1,102 @@
+"""Control-flow graphs for structured programs.
+
+The disjunctive collecting engine (:mod:`repro.dataflow.collecting`)
+computes fixpoints over a CFG rather than by structural recursion, so
+that per-state *witness links* can be recorded and abstract
+counterexample traces extracted (the input TRACER's backward
+meta-analysis needs).
+
+Construction is the standard one: every sub-program gets an entry and
+an exit node; ``Atom`` contributes a labelled edge, ``Seq`` splices,
+``Choice`` forks with epsilon edges, and ``Star`` adds back/skip
+epsilon edges.  Epsilon edges carry ``command is None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lang.ast import Atom, AtomicCommand, Choice, Observe, Program, Seq, Skip, Star
+
+
+@dataclass(frozen=True)
+class CfgEdge:
+    """A CFG edge; ``command is None`` marks an epsilon (no-op) edge."""
+
+    src: int
+    command: Optional[AtomicCommand]
+    dst: int
+
+
+@dataclass
+class Cfg:
+    """A control-flow graph with a single entry and a single exit."""
+
+    entry: int
+    exit: int
+    edges: List[CfgEdge] = field(default_factory=list)
+    out_edges: Dict[int, List[CfgEdge]] = field(default_factory=dict)
+    in_edges: Dict[int, List[CfgEdge]] = field(default_factory=dict)
+    node_count: int = 0
+
+    def successors(self, node: int) -> List[CfgEdge]:
+        return self.out_edges.get(node, [])
+
+    def predecessors(self, node: int) -> List[CfgEdge]:
+        return self.in_edges.get(node, [])
+
+    def observe_edges(self) -> Dict[str, List[CfgEdge]]:
+        """Map each ``Observe`` label to the edges carrying it."""
+        table: Dict[str, List[CfgEdge]] = {}
+        for edge in self.edges:
+            if isinstance(edge.command, Observe):
+                table.setdefault(edge.command.label, []).append(edge)
+        return table
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.edges: List[CfgEdge] = []
+        self._next = 0
+
+    def fresh(self) -> int:
+        node = self._next
+        self._next += 1
+        return node
+
+    def edge(self, src: int, command: Optional[AtomicCommand], dst: int) -> None:
+        self.edges.append(CfgEdge(src, command, dst))
+
+    def lower(self, program: Program, entry: int, exit_: int) -> None:
+        if isinstance(program, Skip):
+            self.edge(entry, None, exit_)
+        elif isinstance(program, Atom):
+            self.edge(entry, program.command, exit_)
+        elif isinstance(program, Seq):
+            mid = self.fresh()
+            self.lower(program.first, entry, mid)
+            self.lower(program.second, mid, exit_)
+        elif isinstance(program, Choice):
+            self.lower(program.left, entry, exit_)
+            self.lower(program.right, entry, exit_)
+        elif isinstance(program, Star):
+            head = self.fresh()
+            self.edge(entry, None, head)
+            self.lower(program.body, head, head)
+            self.edge(head, None, exit_)
+        else:
+            raise TypeError(f"not a program node: {program!r}")
+
+
+def build_cfg(program: Program) -> Cfg:
+    """Lower a structured program to a control-flow graph."""
+    builder = _Builder()
+    entry = builder.fresh()
+    exit_ = builder.fresh()
+    builder.lower(program, entry, exit_)
+    cfg = Cfg(entry=entry, exit=exit_, edges=builder.edges, node_count=builder._next)
+    for edge in cfg.edges:
+        cfg.out_edges.setdefault(edge.src, []).append(edge)
+        cfg.in_edges.setdefault(edge.dst, []).append(edge)
+    return cfg

@@ -1,0 +1,181 @@
+"""A small text syntax for programs, used by examples and tests.
+
+Grammar (line oriented)::
+
+    program  := stmt*
+    stmt     := atomic
+              | "choice" "{" program "}" "or" "{" program "}"
+              | "loop" "{" program "}"
+              | "skip"
+    atomic   := VAR "=" "new" SITE
+              | VAR "=" "null"
+              | VAR "=" "$" GLOBAL
+              | "$" GLOBAL "=" VAR
+              | VAR "=" VAR "." FIELD
+              | VAR "." FIELD "=" VAR
+              | VAR "=" VAR
+              | VAR "." METHOD "(" ")" [ "[" LABEL "]" ]
+              | "start" "(" VAR ")"
+              | "observe" LABEL
+
+Identifiers are ``[A-Za-z_][A-Za-z0-9_]*``.  ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    CallProc,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    Program,
+    Skip,
+    Star,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+    choice,
+    seq,
+)
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+
+_PATTERNS = [
+    ("new", re.compile(rf"^({_IDENT})\s*=\s*new\s+({_IDENT})$")),
+    ("null", re.compile(rf"^({_IDENT})\s*=\s*null$")),
+    ("loadg", re.compile(rf"^({_IDENT})\s*=\s*\$({_IDENT})$")),
+    ("storeg", re.compile(rf"^\$({_IDENT})\s*=\s*({_IDENT})$")),
+    ("loadf", re.compile(rf"^({_IDENT})\s*=\s*({_IDENT})\.({_IDENT})$")),
+    ("storef", re.compile(rf"^({_IDENT})\.({_IDENT})\s*=\s*({_IDENT})$")),
+    ("invoke", re.compile(rf"^({_IDENT})\.({_IDENT})\(\)\s*(?:\[({_IDENT})\])?$")),
+    ("start", re.compile(rf"^start\(({_IDENT})\)$")),
+    ("observe", re.compile(rf"^observe\s+({_IDENT})$")),
+    ("callproc", re.compile(rf"^call\s+([A-Za-z_][A-Za-z0-9_.]*)$")),
+    ("assign", re.compile(rf"^({_IDENT})\s*=\s*({_IDENT})$")),
+]
+
+
+class ParseError(ValueError):
+    """Raised on malformed program text, with a 1-based line number."""
+
+    def __init__(self, message: str, line_no: int):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+class _Lines:
+    def __init__(self, text: str):
+        self.items: List[tuple] = []
+        for number, raw in enumerate(text.splitlines(), start=1):
+            stripped = raw.split("#", 1)[0].strip()
+            if stripped:
+                self.items.append((number, stripped))
+        self.pos = 0
+
+    def peek(self):
+        return self.items[self.pos] if self.pos < len(self.items) else None
+
+    def take(self):
+        item = self.peek()
+        if item is None:
+            raise ParseError("unexpected end of input", self._last_line())
+        self.pos += 1
+        return item
+
+    def _last_line(self) -> int:
+        return self.items[-1][0] if self.items else 0
+
+
+def parse_program(text: str) -> Program:
+    """Parse ``text`` into a structured program."""
+    lines = _Lines(text)
+    program = _parse_block(lines, top_level=True)
+    if lines.peek() is not None:
+        number, content = lines.peek()
+        raise ParseError(f"unexpected {content!r}", number)
+    return program
+
+
+def _parse_block(lines: _Lines, top_level: bool = False) -> Program:
+    parts: List[Program] = []
+    while True:
+        item = lines.peek()
+        if item is None:
+            if top_level:
+                break
+            raise ParseError("unexpected end of input, missing '}'", lines._last_line())
+        number, content = item
+        if content in ("}", "} or {") and not top_level:
+            break
+        lines.take()
+        if content == "skip":
+            parts.append(Skip())
+        elif content.startswith("choice"):
+            parts.append(_parse_choice(lines, number, content))
+        elif content.startswith("loop"):
+            parts.append(_parse_loop(lines, number, content))
+        else:
+            parts.append(seq(_parse_atomic(content, number)))
+    return seq(*parts) if parts else Skip()
+
+
+def _expect(lines: _Lines, expected: str) -> None:
+    number, content = lines.take()
+    if content != expected:
+        raise ParseError(f"expected {expected!r}, got {content!r}", number)
+
+
+def _parse_choice(lines: _Lines, number: int, content: str) -> Program:
+    if content != "choice {":
+        raise ParseError("expected 'choice {'", number)
+    left = _parse_block(lines)
+    _expect(lines, "} or {")
+    right = _parse_block(lines)
+    _expect(lines, "}")
+    return choice(left, right)
+
+
+def _parse_loop(lines: _Lines, number: int, content: str) -> Program:
+    if content != "loop {":
+        raise ParseError("expected 'loop {'", number)
+    body = _parse_block(lines)
+    _expect(lines, "}")
+    return Star(body)
+
+
+def _parse_atomic(content: str, number: int):
+    for kind, pattern in _PATTERNS:
+        match = pattern.match(content)
+        if not match:
+            continue
+        groups = match.groups()
+        if kind == "new":
+            return New(groups[0], groups[1])
+        if kind == "null":
+            return AssignNull(groups[0])
+        if kind == "loadg":
+            return LoadGlobal(groups[0], groups[1])
+        if kind == "storeg":
+            return StoreGlobal(groups[0], groups[1])
+        if kind == "loadf":
+            return LoadField(groups[0], groups[1], groups[2])
+        if kind == "storef":
+            return StoreField(groups[0], groups[1], groups[2])
+        if kind == "invoke":
+            return Invoke(groups[0], groups[1], groups[2] or "")
+        if kind == "start":
+            return ThreadStart(groups[0])
+        if kind == "observe":
+            return Observe(groups[0])
+        if kind == "callproc":
+            return CallProc(groups[0])
+        if kind == "assign":
+            return Assign(groups[0], groups[1])
+    raise ParseError(f"cannot parse statement {content!r}", number)

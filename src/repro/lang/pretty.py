@@ -1,0 +1,79 @@
+"""Pretty printer for programs and atomic commands."""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    Assign,
+    CallProc,
+    AssignNull,
+    Atom,
+    AtomicCommand,
+    Choice,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    Program,
+    Seq,
+    Skip,
+    Star,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+
+
+def pretty_command(command: AtomicCommand) -> str:
+    """Render one atomic command in the concrete syntax of the parser."""
+    if isinstance(command, New):
+        return f"{command.lhs} = new {command.site}"
+    if isinstance(command, Assign):
+        return f"{command.lhs} = {command.rhs}"
+    if isinstance(command, AssignNull):
+        return f"{command.lhs} = null"
+    if isinstance(command, LoadGlobal):
+        return f"{command.lhs} = ${command.glob}"
+    if isinstance(command, StoreGlobal):
+        return f"${command.glob} = {command.rhs}"
+    if isinstance(command, LoadField):
+        return f"{command.lhs} = {command.base}.{command.field}"
+    if isinstance(command, StoreField):
+        return f"{command.base}.{command.field} = {command.rhs}"
+    if isinstance(command, Invoke):
+        return f"{command.base}.{command.method}()"
+    if isinstance(command, ThreadStart):
+        return f"start({command.var})"
+    if isinstance(command, Observe):
+        return f"observe {command.label}"
+    if isinstance(command, CallProc):
+        return f"call {command.callee}"
+    raise TypeError(f"not an atomic command: {command!r}")
+
+
+def pretty_program(program: Program, indent: int = 0) -> str:
+    """Render a structured program, one construct per line."""
+    pad = "  " * indent
+    if isinstance(program, Skip):
+        return f"{pad}skip"
+    if isinstance(program, Atom):
+        return f"{pad}{pretty_command(program.command)}"
+    if isinstance(program, Seq):
+        return (
+            pretty_program(program.first, indent)
+            + "\n"
+            + pretty_program(program.second, indent)
+        )
+    if isinstance(program, Choice):
+        return (
+            f"{pad}choice {{\n"
+            + pretty_program(program.left, indent + 1)
+            + f"\n{pad}}} or {{\n"
+            + pretty_program(program.right, indent + 1)
+            + f"\n{pad}}}"
+        )
+    if isinstance(program, Star):
+        return (
+            f"{pad}loop {{\n" + pretty_program(program.body, indent + 1) + f"\n{pad}}}"
+        )
+    raise TypeError(f"not a program node: {program!r}")

@@ -1,0 +1,52 @@
+"""Trace semantics of programs (Figure 2 of the paper).
+
+``trace(s)`` is the set of finite sequences of atomic commands one
+execution of ``s`` may take.  For ``Star`` the set is infinite, so the
+enumeration here is bounded by the number of loop unrollings; this is
+exactly what the test oracles need (Lemma 1 is checked on bounded
+unrollings, and the collecting engine's witness traces are always
+finite).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lang.ast import Atom, Choice, Program, Seq, Skip, Star, Trace
+
+
+def enumerate_traces(program: Program, max_unroll: int = 2) -> Iterator[Trace]:
+    """Enumerate the traces of ``program``.
+
+    Loops are unrolled at most ``max_unroll`` times, so the result is an
+    under-approximation of ``trace(s)`` for programs containing ``Star``
+    and exact otherwise.  Traces are yielded in a deterministic order;
+    duplicates (possible via overlapping choice branches) are preserved
+    to mirror the paper's multiset-free set semantics only up to
+    enumeration — use ``set()`` at call sites needing set semantics.
+    """
+    if isinstance(program, Skip):
+        yield ()
+    elif isinstance(program, Atom):
+        yield (program.command,)
+    elif isinstance(program, Seq):
+        for left in enumerate_traces(program.first, max_unroll):
+            for right in enumerate_traces(program.second, max_unroll):
+                yield left + right
+    elif isinstance(program, Choice):
+        yield from enumerate_traces(program.left, max_unroll)
+        yield from enumerate_traces(program.right, max_unroll)
+    elif isinstance(program, Star):
+        body_traces = list(enumerate_traces(program.body, max_unroll))
+        rounds: list[Trace] = [()]
+        yield ()
+        for _ in range(max_unroll):
+            rounds = [prefix + body for prefix in rounds for body in body_traces]
+            yield from rounds
+    else:
+        raise TypeError(f"not a program node: {program!r}")
+
+
+def trace_count(program: Program, max_unroll: int = 2) -> int:
+    """Number of traces ``enumerate_traces`` yields (for tests and stats)."""
+    return sum(1 for _ in enumerate_traces(program, max_unroll))

@@ -1,0 +1,81 @@
+"""Syntactic universes of a program.
+
+Client analyses need the sets of variables, allocation sites, fields
+and globals a program mentions (to size abstraction families and state
+schemas).  This module collects them in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    Program,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+    atoms_of,
+)
+
+
+@dataclass(frozen=True)
+class Universe:
+    """Everything a program's atomic commands mention."""
+
+    variables: FrozenSet[str]
+    sites: FrozenSet[str]
+    fields: FrozenSet[str]
+    globals: FrozenSet[str]
+    methods: FrozenSet[str]
+    observe_labels: FrozenSet[str]
+
+
+def collect_universe(program: Program) -> Universe:
+    """Collect the syntactic universes of ``program``."""
+    variables, sites, fields = set(), set(), set()
+    globals_, methods, labels = set(), set(), set()
+    for command in atoms_of(program):
+        if isinstance(command, New):
+            variables.add(command.lhs)
+            sites.add(command.site)
+        elif isinstance(command, Assign):
+            variables.update((command.lhs, command.rhs))
+        elif isinstance(command, AssignNull):
+            variables.add(command.lhs)
+        elif isinstance(command, LoadGlobal):
+            variables.add(command.lhs)
+            globals_.add(command.glob)
+        elif isinstance(command, StoreGlobal):
+            variables.add(command.rhs)
+            globals_.add(command.glob)
+        elif isinstance(command, LoadField):
+            variables.update((command.lhs, command.base))
+            fields.add(command.field)
+        elif isinstance(command, StoreField):
+            variables.update((command.base, command.rhs))
+            fields.add(command.field)
+        elif isinstance(command, Invoke):
+            variables.add(command.base)
+            methods.add(command.method)
+        elif isinstance(command, ThreadStart):
+            variables.add(command.var)
+        elif isinstance(command, Observe):
+            labels.add(command.label)
+        else:
+            raise TypeError(f"unknown command: {command!r}")
+    return Universe(
+        variables=frozenset(variables),
+        sites=frozenset(sites),
+        fields=frozenset(fields),
+        globals=frozenset(globals_),
+        methods=frozenset(methods),
+        observe_labels=frozenset(labels),
+    )

@@ -1,0 +1,42 @@
+"""A third client analysis: parametric allocation-site provenance.
+
+This client is *not* in the paper — it exists to demonstrate that the
+generic framework (Sections 3-5) really is generic: a new parametric
+dataflow analysis plugs in by supplying a domain, forward transfer
+functions, a primitive vocabulary with its theory, and weakest
+preconditions on primitives; TRACER, the meta-analysis engine, the
+viability store, and the optimality guarantees come for free.
+
+The analysis tracks, flow-sensitively, the set of allocation sites
+each variable may point to.  The abstraction ``p`` selects which sites
+are tracked *precisely*; a variable assigned from an untracked site
+(or from the heap) degrades to ``TOP``.  A query
+``(pc, v, allowed_sites)`` asks whether ``v`` can only denote objects
+allocated at ``allowed_sites`` — the guarantee a compiler needs to
+devirtualise a call through ``v``.
+"""
+
+from repro.provenance.domain import PT_TOP, PtSchema, PtState
+from repro.provenance.analysis import ProvenanceAnalysis
+from repro.provenance.meta import (
+    ProvenanceMeta,
+    ProvenanceTheory,
+    PtHas,
+    PtParam,
+    PtTop,
+)
+from repro.provenance.client import ProvenanceClient, ProvenanceQuery
+
+__all__ = [
+    "PT_TOP",
+    "ProvenanceAnalysis",
+    "ProvenanceClient",
+    "ProvenanceMeta",
+    "ProvenanceQuery",
+    "ProvenanceTheory",
+    "PtHas",
+    "PtParam",
+    "PtSchema",
+    "PtState",
+    "PtTop",
+]

@@ -1,0 +1,60 @@
+"""Forward transfer functions of the provenance analysis.
+
+Only commands that bind a variable matter:
+
+* ``v = new h`` — ``{h}`` when ``h`` is tracked by the abstraction,
+  ``TOP`` otherwise;
+* ``v = w`` — copy; ``v = null`` — the empty set;
+* heap and global loads — ``TOP`` (field summaries are not modelled;
+  the query-relevant precision lives in the locals);
+* stores, calls and thread starts leave the state unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.core.parametric import ParametricAnalysis, SubsetParamSpace
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    AtomicCommand,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+from repro.provenance.domain import PT_TOP, PtSchema, PtState
+
+
+class ProvenanceAnalysis(ParametricAnalysis):
+    """The parametric provenance analysis ``(2^H, |.|, D, [[.]]p)``."""
+
+    def __init__(self, schema: PtSchema, sites: FrozenSet[str]):
+        self.schema = schema
+        self.sites = frozenset(sites)
+        self.param_space = SubsetParamSpace(self.sites)
+
+    def initial_state(self) -> PtState:
+        return self.schema.initial()
+
+    def transfer(self, command: AtomicCommand, p: FrozenSet[str], d: PtState) -> PtState:
+        if isinstance(command, New):
+            if command.site in p:
+                return d.set(command.lhs, frozenset([command.site]))
+            return d.set(command.lhs, PT_TOP)
+        if isinstance(command, Assign):
+            return d.set(command.lhs, d.get(command.rhs))
+        if isinstance(command, AssignNull):
+            return d.set(command.lhs, frozenset())
+        if isinstance(command, (LoadField, LoadGlobal)):
+            return d.set(command.lhs, PT_TOP)
+        if isinstance(
+            command, (StoreField, StoreGlobal, ThreadStart, Invoke, Observe)
+        ):
+            return d
+        raise TypeError(f"unknown command: {command!r}")

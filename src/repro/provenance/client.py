@@ -1,0 +1,78 @@
+"""TRACER client for the provenance analysis.
+
+A query ``(pc, v, allowed)`` asks whether ``v`` at ``Observe(pc)`` can
+only denote null or objects allocated at sites in ``allowed``::
+
+    not(q) = v.top | \\/ {h in v | h not in allowed}
+
+Provable exactly when (a) every allocation reaching ``v`` is tracked
+by some abstraction and (b) all of those sites lie in ``allowed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from repro.core.formula import Formula, disj, evaluate, lit
+from repro.core.tracer import TracerClient
+from repro.dataflow.engines import ForwardResult, engine_for
+from repro.lang.ast import Program, Trace
+from repro.lang.cfg import Cfg, build_cfg
+from repro.provenance.analysis import ProvenanceAnalysis
+from repro.provenance.domain import PtSchema
+from repro.provenance.meta import ProvenanceMeta, PtHas, PtTop
+
+
+@dataclass(frozen=True)
+class ProvenanceQuery:
+    """Prove that at ``Observe(label)`` variable ``var`` denotes only
+    objects from ``allowed`` allocation sites (or null)."""
+
+    label: str
+    var: str
+    allowed: FrozenSet[str]
+
+    def __str__(self) -> str:
+        return f"provenance:{self.label}:{self.var}"
+
+
+class ProvenanceClient(TracerClient):
+    """Binds a program and its variable/site universes."""
+
+    def __init__(self, program: Program, schema: PtSchema, sites: FrozenSet[str]):
+        self.program = program
+        self.engine = engine_for(program)
+        self.cfg: Optional[Cfg] = getattr(self.engine, "cfg", None)
+        self.schema = schema
+        self.analysis = ProvenanceAnalysis(schema, sites)
+        self.meta = ProvenanceMeta(self.analysis)
+
+    def fail_condition(self, query: ProvenanceQuery) -> Formula:
+        bad_sites = sorted(self.analysis.sites - query.allowed)
+        return disj(
+            lit(PtTop(query.var)),
+            *(lit(PtHas(query.var, h)) for h in bad_sites),
+        )
+
+    def run_forward(self, p: FrozenSet[str]) -> ForwardResult:
+        return self.engine.run(
+            lambda command, d: self.analysis.transfer(command, p, d),
+            self.analysis.initial_state(),
+        )
+
+    def counterexamples(
+        self, queries: Sequence[ProvenanceQuery], p: FrozenSet[str]
+    ) -> Dict[ProvenanceQuery, Optional[Trace]]:
+        result = self.run_forward(p)
+        theory = self.meta.theory
+        out: Dict[ProvenanceQuery, Optional[Trace]] = {}
+        for query in queries:
+            fail = self.fail_condition(query)
+            witness: Optional[Trace] = None
+            for node, state in result.states_before_observe(query.label):
+                if evaluate(fail, theory, p, state):
+                    witness = result.trace_to(node, state)
+                    break
+            out[query] = witness
+        return out

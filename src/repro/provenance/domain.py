@@ -1,0 +1,98 @@
+"""Abstract states of the provenance analysis.
+
+``d : V -> 2^H + {TOP}``: each variable is bound either to the exact
+set of (tracked) allocation sites it may originate from — the empty
+set meaning definitely-null — or to ``TOP``, meaning the analysis lost
+track (untracked allocation, heap or global load).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
+
+
+class _PtTopValue:
+    """Singleton sentinel for the unknown binding."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+PT_TOP = _PtTopValue()
+
+PtValue = Union[FrozenSet[str], _PtTopValue]
+
+
+class PtSchema:
+    """The ordered variable universe of one program."""
+
+    __slots__ = ("variables", "_index")
+
+    def __init__(self, variables: Iterable[str]):
+        self.variables: Tuple[str, ...] = tuple(sorted(set(variables)))
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.variables)
+        }
+
+    def index(self, name: str) -> int:
+        return self._index[name]
+
+    def initial(self) -> "PtState":
+        """Everything starts definitely-null."""
+        return PtState(self, (frozenset(),) * len(self.variables))
+
+    def state(self, bindings: Mapping[str, PtValue]) -> "PtState":
+        values = [frozenset()] * len(self.variables)
+        for name, value in bindings.items():
+            values[self.index(name)] = value
+        return PtState(self, tuple(values))
+
+
+class PtState:
+    """An immutable provenance state over a fixed schema."""
+
+    __slots__ = ("schema", "values", "_hash")
+
+    def __init__(self, schema: PtSchema, values: Tuple[PtValue, ...]):
+        self.schema = schema
+        self.values = values
+        self._hash = hash(
+            tuple(v if isinstance(v, frozenset) else PT_TOP for v in values)
+        )
+
+    def get(self, name: str) -> PtValue:
+        return self.values[self.schema.index(name)]
+
+    def set(self, name: str, value: PtValue) -> "PtState":
+        index = self.schema.index(name)
+        if self.values[index] == value or (
+            self.values[index] is PT_TOP and value is PT_TOP
+        ):
+            return self
+        values = list(self.values)
+        values[index] = value
+        return PtState(self.schema, tuple(values))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PtState) or self.schema is not other.schema:
+            return False
+        for a, b in zip(self.values, other.values):
+            if (a is PT_TOP) != (b is PT_TOP):
+                return False
+            if a is not PT_TOP and a != b:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, value in zip(self.schema.variables, self.values):
+            if value is PT_TOP:
+                parts.append(f"{name}->TOP")
+            elif value:
+                parts.append(f"{name}->{{{', '.join(sorted(value))}}}")
+        return "[" + ", ".join(parts) + "]"

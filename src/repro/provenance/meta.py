@@ -1,0 +1,210 @@
+"""Backward meta-analysis for the provenance analysis.
+
+Primitive formulas over pairs ``(p, d)``:
+
+* ``PtParam(h)`` — site ``h`` is tracked (``h in p``);
+* ``PtTop(v)``   — ``d(v) = TOP``;
+* ``PtHas(v, h)`` — ``d(v) != TOP`` and ``h in d(v)``.
+
+``PtTop`` and ``PtHas`` on the same variable are mutually exclusive,
+which the theory exploits exactly as the type-state theory does for
+``err`` vs ``var``/``type``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.formula import (
+    FALSE,
+    Formula,
+    Literal,
+    Primitive,
+    TRUE,
+    lit,
+    nlit,
+)
+from repro.core.meta import BackwardMetaAnalysis
+from repro.core.viability import ParamTheory
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    AtomicCommand,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+from repro.provenance.analysis import ProvenanceAnalysis
+from repro.provenance.domain import PT_TOP, PtState
+
+
+@dataclass(frozen=True)
+class PtParam(Primitive):
+    """``h in p``."""
+
+    site: str
+
+    def __str__(self) -> str:
+        return f"tracked({self.site})"
+
+
+@dataclass(frozen=True)
+class PtTop(Primitive):
+    """``d(v) = TOP``."""
+
+    var: str
+
+    def __str__(self) -> str:
+        return f"{self.var}.top"
+
+
+@dataclass(frozen=True)
+class PtHas(Primitive):
+    """``d(v) != TOP`` and ``h in d(v)``."""
+
+    var: str
+    site: str
+
+    def __str__(self) -> str:
+        return f"{self.site} in {self.var}"
+
+
+class ProvenanceTheory(ParamTheory):
+    """Semantics and cube normalisation of the provenance primitives."""
+
+    def holds(self, prim: Primitive, p, d: PtState) -> bool:
+        if isinstance(prim, PtParam):
+            return prim.site in p
+        if isinstance(prim, PtTop):
+            return d.get(prim.var) is PT_TOP
+        if isinstance(prim, PtHas):
+            value = d.get(prim.var)
+            return value is not PT_TOP and prim.site in value
+        raise TypeError(f"not a provenance primitive: {prim!r}")
+
+    def is_param(self, prim: Primitive) -> bool:
+        return isinstance(prim, PtParam)
+
+    def param_var(self, prim: Primitive) -> Tuple[str, bool]:
+        assert isinstance(prim, PtParam)
+        return (prim.site, True)
+
+    def lit_entails(self, a: Literal, b: Literal) -> bool:
+        if a == b:
+            return True
+        if a.positive and isinstance(a.prim, PtHas):
+            if (
+                not b.positive
+                and isinstance(b.prim, PtTop)
+                and b.prim.var == a.prim.var
+            ):
+                return True
+        if a.positive and isinstance(a.prim, PtTop):
+            if (
+                not b.positive
+                and isinstance(b.prim, PtHas)
+                and b.prim.var == a.prim.var
+            ):
+                return True
+        return False
+
+    def cube_entails_literal(self, stronger, b: Literal) -> bool:
+        if b in stronger:
+            return True
+        if b.positive:
+            return False
+        if isinstance(b.prim, PtHas):
+            return Literal(PtTop(b.prim.var), True) in stronger
+        if isinstance(b.prim, PtTop):
+            return any(
+                a.positive
+                and isinstance(a.prim, PtHas)
+                and a.prim.var == b.prim.var
+                for a in stronger
+            )
+        return False
+
+    def normalize_cube(self, literals) -> Optional[frozenset]:
+        for l in literals:
+            if l.negate() in literals:
+                return None
+        tops = {
+            l.prim.var
+            for l in literals
+            if l.positive and isinstance(l.prim, PtTop)
+        }
+        out = set()
+        for l in literals:
+            if isinstance(l.prim, PtHas) and l.prim.var in tops:
+                if l.positive:
+                    return None  # top and has are exclusive
+                continue  # !has is implied by top
+            if (
+                not l.positive
+                and isinstance(l.prim, PtTop)
+                and any(
+                    l2.positive
+                    and isinstance(l2.prim, PtHas)
+                    and l2.prim.var == l.prim.var
+                    for l2 in literals
+                )
+            ):
+                continue  # !top implied by a positive has
+            out.add(l)
+        return frozenset(out)
+
+
+class ProvenanceMeta(BackwardMetaAnalysis):
+    """Weakest preconditions on provenance primitives."""
+
+    def __init__(self, analysis: ProvenanceAnalysis):
+        self.analysis = analysis
+        self.theory = ProvenanceTheory()
+
+    def wp_primitive(self, command: AtomicCommand, prim: Primitive) -> Formula:
+        if isinstance(prim, PtParam):
+            return lit(prim)
+        if isinstance(command, New):
+            return self._wp_new(command, prim)
+        if isinstance(command, Assign):
+            if self._on_var(prim, command.lhs):
+                return lit(self._rebind(prim, command.rhs))
+            return lit(prim)
+        if isinstance(command, AssignNull):
+            if self._on_var(prim, command.lhs):
+                return FALSE  # null binding is neither TOP nor any site
+            return lit(prim)
+        if isinstance(command, (LoadField, LoadGlobal)):
+            if self._on_var(prim, command.lhs):
+                return TRUE if isinstance(prim, PtTop) else FALSE
+            return lit(prim)
+        if isinstance(
+            command, (StoreField, StoreGlobal, ThreadStart, Invoke, Observe)
+        ):
+            return lit(prim)
+        raise TypeError(f"unknown command: {command!r}")
+
+    @staticmethod
+    def _on_var(prim: Primitive, var: str) -> bool:
+        return isinstance(prim, (PtTop, PtHas)) and prim.var == var
+
+    @staticmethod
+    def _rebind(prim: Primitive, var: str) -> Primitive:
+        if isinstance(prim, PtTop):
+            return PtTop(var)
+        return PtHas(var, prim.site)
+
+    def _wp_new(self, command: New, prim: Primitive) -> Formula:
+        if not self._on_var(prim, command.lhs):
+            return lit(prim)
+        if isinstance(prim, PtTop):
+            return nlit(PtParam(command.site))
+        if prim.site == command.site:
+            return lit(PtParam(command.site))
+        return FALSE

@@ -1,0 +1,47 @@
+"""The parametric type-state analysis client (Figures 4, 9, 10).
+
+The analysis tracks, for one allocation site of interest, the pair
+``(ts, vs)`` of possible type-states and must-alias variables, or the
+error state ``TOP``.  The abstraction ``p`` is the set of variables
+allowed to appear in must-alias sets; cost is ``|p|``.
+"""
+
+from repro.typestate.automaton import (
+    TOP_TRANSITION,
+    TypestateAutomaton,
+    file_automaton,
+    stress_automaton,
+)
+from repro.typestate.domain import TOP, TsState, TsTop
+from repro.typestate.analysis import TypestateAnalysis
+from repro.typestate.meta import (
+    TsErr,
+    TsParam,
+    TsType,
+    TsVar,
+    TypestateMeta,
+    TypestateTheory,
+)
+from repro.typestate.client import TypestateClient, TypestateQuery
+from repro.typestate.synth import TypestateFootprint, synthesized_typestate_meta
+
+__all__ = [
+    "TOP",
+    "TOP_TRANSITION",
+    "TsErr",
+    "TsParam",
+    "TsState",
+    "TsTop",
+    "TsType",
+    "TsVar",
+    "TypestateAnalysis",
+    "TypestateAutomaton",
+    "TypestateClient",
+    "TypestateFootprint",
+    "TypestateMeta",
+    "TypestateQuery",
+    "TypestateTheory",
+    "file_automaton",
+    "stress_automaton",
+    "synthesized_typestate_meta",
+]

@@ -1,0 +1,116 @@
+"""Forward transfer functions of the type-state analysis (Figure 4).
+
+One analysis instance tracks the objects of a single allocation site
+``tracked_site``.  A call ``v.m()`` is an *event* when ``m`` belongs to
+the automaton and ``v`` may point to the tracked site according to a
+may-alias oracle (the 0-CFA analysis of the front end); other commands
+affect only the must-alias set:
+
+* ``x = y`` adds ``x`` to the must-alias set iff ``y`` is in it *and*
+  the abstraction ``p`` tracks ``x`` — otherwise ``x`` is dropped;
+* any other assignment to ``x`` (``null``, a fresh allocation at a
+  different site, a field/global load) drops ``x``;
+* ``x = new tracked_site`` (re)starts tracking: the state becomes
+  ``({init}, {x} ∩ p)``;
+* heap stores and thread starts leave the state unchanged.
+
+``TOP`` is absorbing: every command maps ``TOP`` to ``TOP``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional
+
+from repro.core.parametric import ParametricAnalysis, SubsetParamSpace
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    AtomicCommand,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+from repro.typestate.automaton import TOP_TRANSITION, TypestateAutomaton
+from repro.typestate.domain import TOP, TsState, TsTop
+
+MayPoint = Callable[[str], bool]
+
+
+class TypestateAnalysis(ParametricAnalysis):
+    """The parametric type-state analysis ``(2^V, |.|, D, [[.]]p)``."""
+
+    def __init__(
+        self,
+        automaton: TypestateAutomaton,
+        tracked_site: str,
+        variables: FrozenSet[str],
+        may_point: Optional[MayPoint] = None,
+        event_labels: Optional[FrozenSet[str]] = None,
+    ):
+        self.automaton = automaton
+        self.tracked_site = tracked_site
+        self.param_space = SubsetParamSpace(frozenset(variables))
+        self.may_point: MayPoint = may_point or (lambda _var: True)
+        self.event_labels = event_labels
+
+    def initial_state(self) -> TsState:
+        """Before any allocation the tracked object is (vacuously) in
+        its initial type-state with an empty must-alias set."""
+        return TsState.make([self.automaton.init], [])
+
+    def is_event(self, command: AtomicCommand) -> bool:
+        """Whether ``command`` drives the automaton for this instance.
+
+        A call is an event when its method belongs to the automaton,
+        its receiver may point to the tracked site, and — when
+        ``event_labels`` is set — it originates from an event call
+        site (the paper's "method call in application code")."""
+        return (
+            isinstance(command, Invoke)
+            and self.automaton.is_event(command.method)
+            and self.may_point(command.base)
+            and (self.event_labels is None or command.site_label in self.event_labels)
+        )
+
+    def transfer(self, command: AtomicCommand, p: FrozenSet[str], d):
+        if isinstance(d, TsTop):
+            return TOP
+        if isinstance(command, New):
+            if command.site == self.tracked_site:
+                vs = frozenset([command.lhs]) if command.lhs in p else frozenset()
+                return TsState(frozenset([self.automaton.init]), vs)
+            return d.with_vs(d.vs - {command.lhs})
+        if isinstance(command, Assign):
+            if command.rhs in d.vs and command.lhs in p:
+                return d.with_vs(d.vs | {command.lhs})
+            return d.with_vs(d.vs - {command.lhs})
+        if isinstance(command, (AssignNull, LoadField, LoadGlobal)):
+            return d.with_vs(d.vs - {command.lhs})
+        if isinstance(command, Invoke) and self.is_event(command):
+            return self._event(command, d)
+        if isinstance(
+            command, (StoreField, StoreGlobal, ThreadStart, Observe, Invoke)
+        ):
+            return d
+        raise TypeError(f"unknown command: {command!r}")
+
+    def _event(self, command: Invoke, d: TsState):
+        method = command.method
+        automaton = self.automaton
+        if command.base in d.vs:
+            if d.ts & automaton.strong_error_states(method):
+                return TOP
+            return d.with_ts(
+                automaton.strong_target(method, s) for s in d.ts
+            )
+        if d.ts & automaton.weak_error_states(method):
+            return TOP
+        return d.with_ts(
+            d.ts | {automaton.weak_target(method, s) for s in d.ts}
+        )

@@ -1,0 +1,176 @@
+"""Type-state automata.
+
+An automaton supplies, per method, the transition function
+``[[m]] : T -> T + {TOP}`` of Figure 4, where the distinguished result
+:data:`TOP_TRANSITION` signals a type-state error.
+
+The paper's evaluation uses a *fictitious stress-test property*
+(Section 6) whose error transition fires exactly when the analysis is
+imprecise — a call on a receiver *not* in the current must-alias set.
+To express it, an automaton carries two transition tables:
+
+* ``strong`` — applied when the receiver is in the must-alias set
+  (the analysis performs a strong update);
+* ``weak`` — applied (and unioned with the old type-states) when the
+  receiver may-aliases the tracked object but is not must-aliased.
+
+Ordinary automata (e.g. the File protocol of Figure 1) use the same
+table for both, which recovers Figure 4 verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+TOP_TRANSITION = "<top>"
+"""Sentinel transition target: the method call is a type-state error."""
+
+_Table = Mapping[str, Mapping[str, str]]
+
+
+@dataclass(frozen=True)
+class TypestateAutomaton:
+    """A finite type-state automaton with strong/weak transition tables.
+
+    ``strong[m][s]`` (resp. ``weak[m][s]``) is the new type-state when
+    method ``m`` is called on an object in state ``s`` under a strong
+    (resp. weak) update, or :data:`TOP_TRANSITION` for an error.
+    Methods absent from the tables are not events of this automaton.
+    """
+
+    name: str
+    states: FrozenSet[str]
+    init: str
+    strong: Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...]
+    weak: Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...]
+
+    @staticmethod
+    def make(
+        name: str,
+        states: Iterable[str],
+        init: str,
+        strong: _Table,
+        weak: Optional[_Table] = None,
+    ) -> "TypestateAutomaton":
+        """Build an automaton; ``weak`` defaults to ``strong``.
+
+        Every transition table must be total over ``states`` for each
+        method it mentions, and strong/weak must mention the same
+        methods.
+        """
+        states = frozenset(states)
+        if init not in states:
+            raise ValueError(f"init state {init!r} not in {sorted(states)}")
+        weak = strong if weak is None else weak
+        if set(strong) != set(weak):
+            raise ValueError("strong and weak tables must cover the same methods")
+        for table in (strong, weak):
+            for method, row in table.items():
+                missing = states - set(row)
+                if missing:
+                    raise ValueError(
+                        f"method {method!r} lacks transitions for {sorted(missing)}"
+                    )
+                for target in row.values():
+                    if target != TOP_TRANSITION and target not in states:
+                        raise ValueError(f"unknown target state {target!r}")
+        return TypestateAutomaton(
+            name=name,
+            states=states,
+            init=init,
+            strong=_freeze(strong),
+            weak=_freeze(weak),
+        )
+
+    @property
+    def methods(self) -> FrozenSet[str]:
+        return frozenset(method for method, _row in self.strong)
+
+    def is_event(self, method: str) -> bool:
+        return method in self.methods
+
+    def strong_target(self, method: str, state: str) -> str:
+        return _lookup(self.strong, method, state)
+
+    def weak_target(self, method: str, state: str) -> str:
+        return _lookup(self.weak, method, state)
+
+    def strong_error_states(self, method: str) -> FrozenSet[str]:
+        """States from which a strongly-updated call on ``method`` errs."""
+        return frozenset(
+            s for s in self.states if self.strong_target(method, s) == TOP_TRANSITION
+        )
+
+    def weak_error_states(self, method: str) -> FrozenSet[str]:
+        return frozenset(
+            s for s in self.states if self.weak_target(method, s) == TOP_TRANSITION
+        )
+
+    def strong_preimage(self, method: str, state: str) -> FrozenSet[str]:
+        """States ``s`` with ``strong[m](s) = state``."""
+        return frozenset(
+            s for s in self.states if self.strong_target(method, s) == state
+        )
+
+    def weak_preimage(self, method: str, state: str) -> FrozenSet[str]:
+        return frozenset(
+            s for s in self.states if self.weak_target(method, s) == state
+        )
+
+    @property
+    def uniform(self) -> bool:
+        """Whether strong and weak tables coincide (a Figure 4 automaton)."""
+        return self.strong == self.weak
+
+
+def _freeze(table: _Table) -> Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...]:
+    return tuple(
+        sorted(
+            (method, tuple(sorted(row.items())))
+            for method, row in table.items()
+        )
+    )
+
+
+def _lookup(table, method: str, state: str) -> str:
+    for m, row in table:
+        if m == method:
+            for s, target in row:
+                if s == state:
+                    return target
+    raise KeyError((method, state))
+
+
+def file_automaton() -> TypestateAutomaton:
+    """The File protocol of Figure 1: ``open`` in state opened and
+    ``close`` in state closed are errors."""
+    return TypestateAutomaton.make(
+        name="File",
+        states=["closed", "opened"],
+        init="closed",
+        strong={
+            "open": {"closed": "opened", "opened": TOP_TRANSITION},
+            "close": {"opened": "closed", "closed": TOP_TRANSITION},
+        },
+    )
+
+
+def stress_automaton(methods: Iterable[str]) -> TypestateAutomaton:
+    """The paper's fictitious stress-test property (Section 6).
+
+    Two states, ``init`` and ``error``.  A strongly-updated call (the
+    receiver is must-aliased — condition (ii) of Section 6 fails) keeps
+    the object in its state; a weakly-updated call drives ``init`` to
+    ``error``.  Once in ``error`` the object stays there.
+    """
+    methods = sorted(set(methods))
+    if not methods:
+        raise ValueError("stress automaton needs at least one method")
+    return TypestateAutomaton.make(
+        name="stress",
+        states=["init", "error"],
+        init="init",
+        strong={m: {"init": "init", "error": "error"} for m in methods},
+        weak={m: {"init": "error", "error": "error"} for m in methods},
+    )

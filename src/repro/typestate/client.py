@@ -1,0 +1,86 @@
+"""TRACER client for the type-state analysis.
+
+A query ``(pc, h)`` of Section 6 asks whether, at the program point
+labelled ``pc``, every object allocated at site ``h`` that the receiver
+may denote is in an *allowed* type-state.  The failure condition is::
+
+    not(q) = err | \\/ {type(s) | s not allowed}
+
+One :class:`TypestateClient` binds a program and a single tracked
+allocation site; queries on different sites use different client
+instances (their forward analyses track different objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from repro.core.formula import Formula, disj, evaluate, lit
+from repro.core.tracer import TracerClient
+from repro.dataflow.engines import ForwardResult, engine_for
+from repro.lang.ast import Program, Trace
+from repro.lang.cfg import Cfg, build_cfg
+from repro.typestate.analysis import MayPoint, TypestateAnalysis
+from repro.typestate.automaton import TypestateAutomaton
+from repro.typestate.meta import ERR, TsType, TypestateMeta
+
+
+@dataclass(frozen=True)
+class TypestateQuery:
+    """Prove that at ``Observe(label)`` the tracked object's type-state
+    is within ``allowed`` (and no error occurred)."""
+
+    label: str
+    allowed: FrozenSet[str]
+
+    def __str__(self) -> str:
+        return f"typestate:{self.label}"
+
+
+class TypestateClient(TracerClient):
+    """Binds program + automaton + tracked site into a TRACER client."""
+
+    def __init__(
+        self,
+        program: Program,
+        automaton: TypestateAutomaton,
+        tracked_site: str,
+        variables: FrozenSet[str],
+        may_point: Optional[MayPoint] = None,
+        event_labels: Optional[FrozenSet[str]] = None,
+    ):
+        self.program = program
+        self.engine = engine_for(program)
+        self.cfg: Optional[Cfg] = getattr(self.engine, "cfg", None)
+        self.analysis = TypestateAnalysis(
+            automaton, tracked_site, variables, may_point, event_labels
+        )
+        self.meta = TypestateMeta(self.analysis)
+
+    def fail_condition(self, query: TypestateQuery) -> Formula:
+        bad_states = sorted(self.analysis.automaton.states - query.allowed)
+        return disj(lit(ERR), *(lit(TsType(s)) for s in bad_states))
+
+    def run_forward(self, p: FrozenSet[str]) -> ForwardResult:
+        """One forward run of the ``p``-instantiated analysis."""
+        return self.engine.run(
+            lambda command, d: self.analysis.transfer(command, p, d),
+            self.analysis.initial_state(),
+        )
+
+    def counterexamples(
+        self, queries: Sequence[TypestateQuery], p: FrozenSet[str]
+    ) -> Dict[TypestateQuery, Optional[Trace]]:
+        result = self.run_forward(p)
+        theory = self.meta.theory
+        out: Dict[TypestateQuery, Optional[Trace]] = {}
+        for query in queries:
+            fail = self.fail_condition(query)
+            witness: Optional[Trace] = None
+            for node, state in result.states_before_observe(query.label):
+                if evaluate(fail, theory, p, state):
+                    witness = result.trace_to(node, state)
+                    break
+            out[query] = witness
+        return out

@@ -1,0 +1,109 @@
+"""Footprint model for synthesizing the type-state backward transfer
+functions (Figure 10) automatically from Figure 4.
+
+The pair ``(p, d)`` is viewed as a boolean assignment over the
+primitive formulas themselves: ``err``, one ``type(s)`` bit per
+automaton state, one ``var(x)``/``param(x)`` bit per variable.  The
+only consistency constraint is that ``err`` excludes every positive
+``var``/``type`` bit (``TOP`` carries no must-alias or type-state
+information), which :meth:`TypestateFootprint.instantiate` enforces by
+returning ``None`` for contradictory assignments.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.formula import Literal
+from repro.core.synthesis import FootprintModel, SynthesizedMeta
+from repro.lang.ast import (
+    Assign,
+    AssignNull,
+    AtomicCommand,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+from repro.typestate.analysis import TypestateAnalysis
+from repro.typestate.domain import TOP, TsState
+from repro.typestate.meta import ERR, TsErr, TsParam, TsType, TsVar, TypestateTheory
+
+
+class TypestateFootprint(FootprintModel):
+    """Footprints of the Figure 4 transfer functions."""
+
+    def __init__(self, analysis: TypestateAnalysis):
+        self.analysis = analysis
+        self.automaton = analysis.automaton
+
+    def groups_of_command(self, command: AtomicCommand) -> FrozenSet:
+        if isinstance(command, New):
+            if command.site == self.analysis.tracked_site:
+                return frozenset([("err",), ("param", command.lhs)])
+            return frozenset([("var", command.lhs)])
+        if isinstance(command, Assign):
+            return frozenset(
+                [("param", command.lhs), ("var", command.lhs), ("var", command.rhs)]
+            )
+        if isinstance(command, (AssignNull, LoadField, LoadGlobal)):
+            return frozenset([("var", command.lhs)])
+        if isinstance(command, Invoke) and self.analysis.is_event(command):
+            return frozenset(
+                {("err",), ("var", command.base)}
+                | {("type", s) for s in self.automaton.states}
+            )
+        if isinstance(
+            command, (StoreField, StoreGlobal, ThreadStart, Observe, Invoke)
+        ):
+            return frozenset()
+        raise TypeError(f"unknown command: {command!r}")
+
+    def group_of_primitive(self, prim):
+        if isinstance(prim, TsErr):
+            return ("err",)
+        if isinstance(prim, TsParam):
+            return ("param", prim.var)
+        if isinstance(prim, TsVar):
+            return ("var", prim.var)
+        if isinstance(prim, TsType):
+            return ("type", prim.state)
+        raise TypeError(f"not a type-state primitive: {prim!r}")
+
+    def group_values(self, group) -> Tuple[bool, ...]:
+        return (False, True)
+
+    def group_literal(self, group, value) -> Literal:
+        kind = group[0]
+        if kind == "err":
+            prim = ERR
+        elif kind == "param":
+            prim = TsParam(group[1])
+        elif kind == "var":
+            prim = TsVar(group[1])
+        else:
+            prim = TsType(group[1])
+        return Literal(prim, bool(value))
+
+    def instantiate(self, assignment) -> Optional[Tuple[frozenset, object]]:
+        err = assignment.get(("err",), False)
+        ts = {g[1] for g, v in assignment.items() if g[0] == "type" and v}
+        vs = {g[1] for g, v in assignment.items() if g[0] == "var" and v}
+        p = frozenset(g[1] for g, v in assignment.items() if g[0] == "param" and v)
+        if err:
+            # TOP is incompatible with any positive var/type bit.
+            if ts or vs:
+                return None
+            return p, TOP
+        return p, TsState(frozenset(ts), frozenset(vs))
+
+
+def synthesized_typestate_meta(analysis: TypestateAnalysis) -> SynthesizedMeta:
+    """A drop-in replacement for :class:`repro.typestate.meta.TypestateMeta`
+    whose backward transfer functions are synthesized from the forward
+    analysis rather than handwritten."""
+    return SynthesizedMeta(analysis, TypestateTheory(), TypestateFootprint(analysis))

@@ -1,0 +1,76 @@
+"""Tests for the JSON export of evaluation results."""
+
+import json
+
+import pytest
+
+from repro.bench.export import export_json, record_to_dict, results_to_dict
+from repro.bench.harness import EvalResult
+from repro.core.stats import QueryRecord, QueryStatus
+
+
+def _result():
+    return EvalResult(
+        benchmark="tsp",
+        analysis="escape",
+        records=[
+            QueryRecord(
+                "q1",
+                QueryStatus.PROVEN,
+                2,
+                frozenset({"h1"}),
+                1,
+                0.25,
+                max_disjuncts=3,
+                forward_runs=2,
+            ),
+            QueryRecord("q2", QueryStatus.IMPOSSIBLE, 4, None, None, 0.5),
+        ],
+        wall_seconds=1.0,
+    )
+
+
+class TestRecordToDict:
+    def test_proven_record(self):
+        data = record_to_dict(_result().records[0])
+        assert data["status"] == "proven"
+        assert data["abstraction"] == ["h1"]
+        assert data["abstraction_cost"] == 1
+        assert data["iterations"] == 2
+
+    def test_impossible_record_has_null_abstraction(self):
+        data = record_to_dict(_result().records[1])
+        assert data["abstraction"] is None
+        assert data["status"] == "impossible"
+
+
+class TestResultsToDict:
+    def test_structure(self):
+        data = results_to_dict({"tsp": {"escape": _result()}})
+        entry = data["tsp"]["escape"]
+        assert entry["aggregate"]["total"] == 2
+        assert entry["aggregate"]["proven"] == 1
+        assert entry["aggregate"]["groups"]["count"] == 1
+        assert len(entry["records"]) == 2
+
+    def test_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        export_json({"tsp": {"escape": _result()}}, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["tsp"]["escape"]["aggregate"]["impossible"] == 1
+
+
+class TestEndToEndExport:
+    def test_real_benchmark_exports(self, tmp_path):
+        from repro.bench.harness import evaluate_benchmark, prepare
+
+        bench = prepare("tsp")
+        results = {
+            "tsp": {"escape": evaluate_benchmark(bench, "escape")}
+        }
+        path = tmp_path / "eval.json"
+        export_json(results, str(path))
+        loaded = json.loads(path.read_text())
+        aggregate = loaded["tsp"]["escape"]["aggregate"]
+        assert aggregate["total"] == len(results["tsp"]["escape"].records)
+        assert aggregate["resolved_fraction"] > 0

@@ -1,0 +1,60 @@
+"""Tests for the figure renderers."""
+
+from repro.bench.figures import render_figure12, render_figure13, render_figure14
+from repro.core.stats import QueryRecord, QueryStatus, summarize_records
+
+
+def _aggregate(proven, impossible, exhausted):
+    records = []
+    for i in range(proven):
+        records.append(
+            QueryRecord(f"p{i}", QueryStatus.PROVEN, 1, frozenset({"x"}), 1)
+        )
+    for i in range(impossible):
+        records.append(QueryRecord(f"i{i}", QueryStatus.IMPOSSIBLE, 1))
+    for i in range(exhausted):
+        records.append(QueryRecord(f"e{i}", QueryStatus.EXHAUSTED, 9))
+    return summarize_records(records)
+
+
+class TestFigure12:
+    def test_bars_reflect_fractions(self):
+        agg = _aggregate(5, 5, 0)
+        text = render_figure12({"tsp": (agg, agg)})
+        assert "5 proven" in text
+        assert "#" in text and "x" in text
+
+    def test_empty_query_set(self):
+        agg = _aggregate(0, 0, 0)
+        text = render_figure12({"tsp": (agg, agg)})
+        assert "no queries" in text
+
+    def test_unresolved_marked(self):
+        agg = _aggregate(1, 1, 8)
+        text = render_figure12({"b": (agg, agg)})
+        assert "8 unresolved" in text
+        assert "." in text
+
+
+class TestFigure13:
+    def test_bars_scale_to_peak(self):
+        text = render_figure13({"tsp": {1: 1.0, 5: 2.0, 10: 4.0}})
+        lines = [l for l in text.splitlines() if "k=" in l]
+        assert len(lines) == 3
+        assert lines[0].count("#") < lines[2].count("#")
+
+    def test_beam_disabled_labelled(self):
+        text = render_figure13({"tsp": {None: 1.0, 1: 0.5}})
+        assert "k=all" in text
+
+
+class TestFigure14:
+    def test_histogram_rows(self):
+        text = render_figure14({"avrora": {1: 10, 7: 2}})
+        assert "size   1" in text
+        assert "size   7" in text
+        assert "10" in text
+
+    def test_empty_histogram(self):
+        text = render_figure14({"antlr": {}})
+        assert "antlr" in text

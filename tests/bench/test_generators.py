@@ -1,0 +1,102 @@
+"""Tests for the synthetic benchmark generator."""
+
+import dataclasses
+
+from repro.bench.generators import BenchmarkProfile, synthesize
+from repro.frontend import build_callgraph, inline_program
+from repro.frontend.program import (
+    SCall,
+    SLoadField,
+    SNew,
+    SStoreGlobal,
+    SThreadStart,
+    walk_statements,
+)
+
+PROFILE = BenchmarkProfile(name="toy", seed=42, app_classes=3, lib_classes=1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        a = synthesize(PROFILE)
+        b = synthesize(PROFILE)
+        assert sorted(a.classes) == sorted(b.classes)
+        assert a.site_class == b.site_class
+        a_inline = inline_program(a)
+        b_inline = inline_program(b)
+        assert a_inline.command_count == b_inline.command_count
+        assert a_inline.variables == b_inline.variables
+
+    def test_different_seed_different_program(self):
+        a = synthesize(PROFILE)
+        b = synthesize(dataclasses.replace(PROFILE, seed=43))
+        a_cmds = inline_program(a).command_count
+        b_cmds = inline_program(b).command_count
+        assert a.site_class != b.site_class or a_cmds != b_cmds
+
+
+class TestWellFormedness:
+    def test_finalizes_without_error(self):
+        program = synthesize(PROFILE)
+        assert program.finalized
+
+    def test_callgraph_is_acyclic_for_inliner(self):
+        program = synthesize(PROFILE)
+        result = inline_program(program)
+        assert result.recursion_cuts == 0  # layered levels forbid cycles
+
+    def test_entry_exists(self):
+        program = synthesize(PROFILE)
+        assert program.entry() is not None
+
+    def test_workers_have_run_methods(self):
+        profile = dataclasses.replace(PROFILE, worker_classes=2)
+        program = synthesize(profile)
+        for name in ("Worker0", "Worker1"):
+            assert "run" in program.classes[name].methods
+
+    def test_thread_starts_emitted(self):
+        profile = dataclasses.replace(PROFILE, worker_classes=1)
+        program = synthesize(profile)
+        main = program.entry()
+        assert any(
+            isinstance(s, SThreadStart) for s in walk_statements(main.body)
+        )
+
+
+class TestPatternMix:
+    def _all_stmts(self, program):
+        return [
+            stmt
+            for _cls, method in program.methods()
+            for stmt in walk_statements(method.body)
+        ]
+
+    def test_contains_allocations_calls_and_heap_ops(self):
+        stmts = self._all_stmts(synthesize(PROFILE))
+        kinds = {type(s) for s in stmts}
+        assert SNew in kinds
+        assert SCall in kinds
+
+    def test_publication_sites_exist(self):
+        profile = dataclasses.replace(PROFILE, publish_weight=6)
+        stmts = self._all_stmts(synthesize(profile))
+        assert any(isinstance(s, SStoreGlobal) for s in stmts)
+
+    def test_queries_generated_on_field_accesses(self):
+        program = synthesize(PROFILE)
+        result = inline_program(program)
+        accesses = [
+            s
+            for _cls, m in program.methods()
+            for s in walk_statements(m.body)
+            if isinstance(s, SLoadField)
+        ]
+        if accesses:
+            assert result.access_points
+
+    def test_reachability_from_main(self):
+        program = synthesize(PROFILE)
+        cg = build_callgraph(program)
+        # main plus at least one callee should be reachable.
+        assert len(cg.reachable) >= 2

@@ -1,0 +1,111 @@
+"""Tests for the evaluation harness on the smallest benchmark."""
+
+import pytest
+
+from repro.bench.harness import (
+    escape_setup,
+    evaluate_benchmark,
+    prepare,
+    typestate_setup,
+)
+from repro.core.stats import QueryStatus
+from repro.core.tracer import TracerConfig
+
+
+@pytest.fixture(scope="module")
+def tsp():
+    return prepare("tsp")
+
+
+class TestPrepare:
+    def test_pipeline_artifacts(self, tsp):
+        assert tsp.metrics.inlined_commands > 0
+        assert tsp.inlined.sites
+        assert tsp.callgraph.reachable
+
+    def test_accepts_custom_program(self, tsp):
+        again = prepare("tsp", tsp.front)
+        assert again.metrics.inlined_commands == tsp.metrics.inlined_commands
+
+
+class TestEscapeSetup:
+    def test_queries_match_access_points(self, tsp):
+        _client, queries = escape_setup(tsp)
+        assert len(queries) == len(tsp.inlined.access_points)
+
+    def test_query_vars_in_schema(self, tsp):
+        client, queries = escape_setup(tsp)
+        for query in queries:
+            assert client.schema.is_local(query.var)
+
+
+class TestTypestateSetup:
+    def test_one_client_per_tracked_site(self, tsp):
+        setups = typestate_setup(tsp)
+        sites = [client.analysis.tracked_site for client, _q in setups]
+        assert len(sites) == len(set(sites))
+        app_sites = set(tsp.front.app_sites())
+        assert all(site in app_sites for site in sites)
+
+    def test_queries_ask_for_init(self, tsp):
+        for _client, queries in typestate_setup(tsp):
+            for query in queries:
+                assert query.allowed == frozenset({"init"})
+
+
+class TestEvaluate:
+    def test_escape_records_cover_all_queries(self, tsp):
+        result = evaluate_benchmark(tsp, "escape")
+        _client, queries = escape_setup(tsp)
+        assert result.query_count == len(queries)
+        assert all(r.iterations >= 1 for r in result.records)
+
+    def test_typestate_evaluation(self, tsp):
+        result = evaluate_benchmark(tsp, "typestate")
+        assert result.analysis == "typestate"
+        assert all(
+            r.status in (QueryStatus.PROVEN, QueryStatus.IMPOSSIBLE, QueryStatus.EXHAUSTED)
+            for r in result.records
+        )
+
+    def test_interproc_mode_agrees_with_inlined(self, tsp):
+        inline = evaluate_benchmark(tsp, "escape")
+        interp = evaluate_benchmark(tsp, "escape-interproc")
+        assert inline.query_count == interp.query_count
+        by_pc = lambda recs: {
+            r.query_id.rsplit(":", 1)[0]: (r.status, r.abstraction_cost)
+            for r in recs
+        }
+        assert by_pc(inline.records) == by_pc(interp.records)
+
+    def test_typestate_interproc_statuses_match_inlined(self, tsp):
+        """Proof/impossibility statuses agree between engines; cheapest
+        *costs* may legitimately differ because the inlined mode names
+        variables per calling context while the procedure mode names
+        them per procedure."""
+        inline = evaluate_benchmark(tsp, "typestate")
+        interp = evaluate_benchmark(tsp, "typestate-interproc")
+        by_id = lambda recs: {r.query_id: r.status for r in recs}
+        assert by_id(inline.records) == by_id(interp.records)
+
+    def test_unknown_analysis_rejected(self, tsp):
+        with pytest.raises(ValueError):
+            evaluate_benchmark(tsp, "alias")
+
+    def test_iteration_budget_respected(self, tsp):
+        config = TracerConfig(k=5, max_iterations=1)
+        result = evaluate_benchmark(tsp, "escape", config)
+        for record in result.records:
+            assert record.iterations <= 1
+
+    def test_proven_abstractions_verified(self, tsp):
+        client, queries = escape_setup(tsp)
+        result = evaluate_benchmark(tsp, "escape")
+        by_id = {str(q): q for q in queries}
+        for record in result.records:
+            if record.status is QueryStatus.PROVEN:
+                query = by_id[record.query_id]
+                assert (
+                    client.counterexamples([query], record.abstraction)[query]
+                    is None
+                )

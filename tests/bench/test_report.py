@@ -1,0 +1,29 @@
+"""Tests for the one-call evaluation report."""
+
+from repro.bench.report import full_report
+
+
+class TestFullReport:
+    def test_single_benchmark_report(self):
+        lines = []
+        results = full_report(
+            names=["tsp"], k=5, emit=lines.append, k_sweep=()
+        )
+        text = "\n".join(lines)
+        assert "tsp" in text
+        assert "Figure 12" in text
+        assert "Table 2" in text
+        assert "Table 3" in text
+        assert "Table 4" in text
+        assert set(results) == {"tsp"}
+        assert set(results["tsp"]) == {"typestate", "escape"}
+
+    def test_k_sweep_included_for_small_benchmarks(self):
+        lines = []
+        full_report(names=["tsp"], k=5, emit=lines.append, k_sweep=(1,))
+        assert any("Figure 13" in line for line in lines)
+
+    def test_figure14_only_for_largest(self):
+        lines = []
+        full_report(names=["tsp"], k=5, emit=lines.append, k_sweep=())
+        assert not any("Figure 14" in line for line in lines)

@@ -1,0 +1,77 @@
+"""Tests for the seven-benchmark suite definitions."""
+
+import pytest
+
+from repro.bench.suite import BENCHMARK_NAMES, benchmark, benchmark_profiles, load_suite
+from repro.frontend import compute_metrics
+
+
+class TestSuite:
+    def test_seven_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 7
+        assert BENCHMARK_NAMES[0] == "tsp"
+
+    def test_profiles_cover_all_names(self):
+        assert set(benchmark_profiles()) == set(BENCHMARK_NAMES)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark("doom3")
+
+    def test_each_benchmark_builds(self):
+        for name in BENCHMARK_NAMES:
+            program = benchmark(name)
+            assert program.finalized
+            assert program.site_class
+
+    def test_load_suite_builds_everything(self):
+        suite = load_suite()
+        assert set(suite) == set(BENCHMARK_NAMES)
+
+    def test_deterministic_rebuild(self):
+        first = benchmark("hedc")
+        second = benchmark("hedc")
+        assert first.site_class == second.site_class
+
+    def test_relative_size_ordering(self):
+        """The suite preserves the paper's relative size ordering."""
+        sizes = {
+            name: compute_metrics(name, benchmark(name)).inlined_commands
+            for name in BENCHMARK_NAMES
+        }
+        assert sizes["tsp"] < sizes["hedc"] < sizes["weblech"]
+        assert sizes["weblech"] < sizes["antlr"] < sizes["avrora"]
+        assert max(sizes, key=sizes.get) == "avrora"
+
+
+class TestScaledProfiles:
+    def test_scaling_grows_programs(self):
+        from repro.bench.suite import benchmark_scaled
+        from repro.frontend import compute_metrics
+
+        small = compute_metrics("s", benchmark_scaled("tsp", 0.5))
+        large = compute_metrics("l", benchmark_scaled("tsp", 2.0))
+        assert small.inlined_commands < large.inlined_commands
+
+    def test_scale_one_is_the_suite_program(self):
+        from repro.bench.suite import benchmark, benchmark_scaled
+
+        base = benchmark("elevator")
+        scaled = benchmark_scaled("elevator", 1.0)
+        assert base.site_class == scaled.site_class
+
+    def test_rejects_tiny_factor(self):
+        import pytest as _pytest
+
+        from repro.bench.suite import benchmark_scaled
+
+        with _pytest.raises(ValueError):
+            benchmark_scaled("tsp", 0.1)
+
+    def test_unknown_name_rejected(self):
+        import pytest as _pytest
+
+        from repro.bench.suite import benchmark_scaled
+
+        with _pytest.raises(KeyError):
+            benchmark_scaled("doom3", 1.0)

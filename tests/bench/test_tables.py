@@ -1,0 +1,89 @@
+"""Tests for the table renderers."""
+
+from repro.bench.tables import (
+    _format_seconds,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.stats import QueryRecord, QueryStatus, summarize_records
+from repro.frontend.metrics import ProgramMetrics
+
+
+def _metrics(name="tsp"):
+    return ProgramMetrics(
+        name=name,
+        app_classes=2,
+        total_classes=4,
+        app_methods=3,
+        total_methods=6,
+        app_statements=30,
+        total_statements=60,
+        reachable_methods=5,
+        inlined_commands=120,
+        typestate_log2_abstractions=20,
+        escape_log2_abstractions=8,
+    )
+
+
+def _aggregates():
+    proven = [
+        QueryRecord("a", QueryStatus.PROVEN, 2, frozenset({"x"}), 1, 0.5),
+        QueryRecord("b", QueryStatus.PROVEN, 3, frozenset({"x", "y"}), 2, 1.5),
+    ]
+    impossible = [QueryRecord("c", QueryStatus.IMPOSSIBLE, 4, None, None, 2.0)]
+    agg = summarize_records(proven + impossible)
+    return {"tsp": (agg, agg)}
+
+
+class TestTable1:
+    def test_contains_all_columns(self):
+        text = render_table1([_metrics()])
+        assert "tsp" in text
+        assert "log2|P| ts" in text
+        assert "20" in text and "120" in text
+
+    def test_one_row_per_benchmark(self):
+        text = render_table1([_metrics("a"), _metrics("b")])
+        assert len(text.splitlines()) == 4  # header + rule + 2 rows
+
+
+class TestTable2:
+    def test_iteration_triples(self):
+        text = render_table2(_aggregates())
+        assert "2/3/2.5" in text  # proven iterations min/max/avg
+        assert "4/4/4.0" in text  # impossible iterations
+
+    def test_times_rendered_human_readable(self):
+        text = render_table2(_aggregates())
+        assert "500ms" in text or "0.5" in text
+
+
+class TestTable3:
+    def test_abstraction_sizes(self):
+        text = render_table3(_aggregates())
+        assert "1" in text and "2" in text and "1.5" in text
+
+    def test_handles_missing_stats(self):
+        agg = summarize_records(
+            [QueryRecord("c", QueryStatus.IMPOSSIBLE, 1)]
+        )
+        text = render_table3({"x": (agg, agg)})
+        assert "-" in text
+
+
+class TestTable4:
+    def test_group_columns(self):
+        text = render_table4(_aggregates())
+        # Two proven queries with distinct abstractions: 2 groups of 1.
+        assert "2" in text
+        assert "1.0" in text
+
+
+class TestFormatSeconds:
+    def test_scales(self):
+        assert _format_seconds(0.02) == "20ms"
+        assert _format_seconds(2.5) == "2.5s"
+        assert _format_seconds(90) == "1.5m"
+        assert _format_seconds(7200) == "2.0h"

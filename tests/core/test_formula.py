@@ -1,0 +1,251 @@
+"""Unit tests for the formula domain and the Figure 8 operators."""
+
+import pytest
+
+from repro.core.formula import (
+    FALSE,
+    TRUE,
+    Dnf,
+    FormulaExplosion,
+    Literal,
+    conj,
+    cube_entails,
+    disj,
+    drop_k,
+    evaluate,
+    evaluate_cube,
+    lit,
+    neg,
+    nlit,
+    simplify,
+    to_dnf,
+    wp_substitute,
+)
+from tests.toys import TOY, ParamFact, StateFact
+
+A = StateFact("a")
+B = StateFact("b")
+C = StateFact("c")
+PX = ParamFact("x")
+
+
+def dnf(formula):
+    return to_dnf(formula, TOY)
+
+
+class TestSmartConstructors:
+    def test_conj_unit(self):
+        assert conj() is TRUE
+        assert conj(lit(A)) == lit(A)
+
+    def test_conj_absorbs_false(self):
+        assert conj(lit(A), FALSE) is FALSE
+
+    def test_conj_drops_true(self):
+        assert conj(TRUE, lit(A)) == lit(A)
+
+    def test_disj_unit(self):
+        assert disj() is FALSE
+        assert disj(lit(A)) == lit(A)
+
+    def test_disj_absorbs_true(self):
+        assert disj(lit(A), TRUE) is TRUE
+
+    def test_conj_flattens_nested(self):
+        inner = conj(lit(A), lit(B))
+        outer = conj(inner, lit(C))
+        assert len(outer.args) == 3
+
+    def test_neg_involution_on_literal(self):
+        assert neg(neg(lit(A))) == lit(A)
+
+    def test_neg_dualizes(self):
+        formula = neg(conj(lit(A), lit(B)))
+        assert formula == disj(nlit(A), nlit(B))
+
+    def test_neg_constants(self):
+        assert neg(TRUE) is FALSE
+        assert neg(FALSE) is TRUE
+
+
+class TestToDnf:
+    def test_true_is_single_empty_cube(self):
+        result = dnf(TRUE)
+        assert result.is_true
+        assert not result.is_false
+
+    def test_false_has_no_cubes(self):
+        result = dnf(FALSE)
+        assert result.is_false
+
+    def test_literal(self):
+        result = dnf(lit(A))
+        assert result.cubes == (frozenset([Literal(A, True)]),)
+
+    def test_distributes_and_over_or(self):
+        formula = conj(disj(lit(A), lit(B)), lit(C))
+        result = dnf(formula)
+        assert set(result.cubes) == {
+            frozenset([Literal(A, True), Literal(C, True)]),
+            frozenset([Literal(B, True), Literal(C, True)]),
+        }
+
+    def test_contradictory_cube_removed(self):
+        formula = conj(lit(A), nlit(A))
+        assert dnf(formula).is_false
+
+    def test_cubes_sorted_by_size(self):
+        formula = disj(conj(lit(A), lit(B)), lit(C))
+        result = dnf(formula)
+        assert len(result.cubes[0]) == 1
+        assert len(result.cubes[1]) == 2
+
+    def test_duplicate_cubes_merged(self):
+        formula = disj(lit(A), lit(A))
+        assert len(dnf(formula).cubes) == 1
+
+    def test_explosion_budget(self):
+        # (a1|b1) & (a2|b2) & ... blows up to 2^n cubes.
+        parts = [
+            disj(lit(StateFact(f"a{i}")), lit(StateFact(f"b{i}")))
+            for i in range(12)
+        ]
+        with pytest.raises(FormulaExplosion):
+            to_dnf(conj(*parts), TOY, max_cubes=100)
+
+    def test_semantics_preserved(self):
+        formula = disj(conj(lit(A), nlit(B)), conj(lit(C), lit(PX)))
+        result = dnf(formula)
+        for p in [frozenset(), frozenset({"x"})]:
+            for d_bits in range(8):
+                d = frozenset(
+                    name
+                    for i, name in enumerate(["a", "b", "c"])
+                    if d_bits >> i & 1
+                )
+                assert evaluate(result, TOY, p, d) == evaluate(
+                    formula, TOY, p, d
+                )
+
+
+class TestSimplify:
+    def test_subsumed_longer_cube_removed(self):
+        formula = disj(lit(A), conj(lit(A), lit(B)))
+        result = simplify(dnf(formula), TOY)
+        assert result.cubes == (frozenset([Literal(A, True)]),)
+
+    def test_incomparable_cubes_kept(self):
+        formula = disj(lit(A), conj(lit(B), lit(C)))
+        result = simplify(dnf(formula), TOY)
+        assert len(result.cubes) == 2
+
+    def test_true_subsumes_everything(self):
+        formula = disj(TRUE, conj(lit(A), lit(B)))
+        result = simplify(dnf(formula), TOY)
+        assert result.is_true
+
+    def test_cube_entails_reflexive(self):
+        cube = frozenset([Literal(A, True), Literal(B, False)])
+        assert cube_entails(cube, cube, TOY)
+
+    def test_cube_entails_superset_is_stronger(self):
+        strong = frozenset([Literal(A, True), Literal(B, True)])
+        weak = frozenset([Literal(A, True)])
+        assert cube_entails(strong, weak, TOY)
+        assert not cube_entails(weak, strong, TOY)
+
+
+class TestDropK:
+    def _three_cube_dnf(self):
+        return simplify(
+            dnf(disj(lit(A), conj(lit(B), lit(C)), conj(lit(B), nlit(A), lit(PX)))),
+            TOY,
+        )
+
+    def test_no_drop_when_within_beam(self):
+        result = self._three_cube_dnf()
+        assert drop_k(result, 3, lambda cube: True) == result
+
+    def test_keeps_k_minus_one_plus_current(self):
+        result = self._three_cube_dnf()
+        # Current (p, d) only in the largest cube.
+        p, d = frozenset({"x"}), frozenset({"b"})
+        pruned = drop_k(
+            result, 2, lambda cube: evaluate_cube(cube, TOY, p, d)
+        )
+        assert len(pruned.cubes) == 2
+        assert any(evaluate_cube(c, TOY, p, d) for c in pruned.cubes)
+
+    def test_current_in_first_cube_keeps_k_minus_one(self):
+        result = self._three_cube_dnf()
+        p, d = frozenset(), frozenset({"a"})
+        pruned = drop_k(result, 2, lambda cube: evaluate_cube(cube, TOY, p, d))
+        # Smallest cube (a) contains current, so only k-1 = 1 cube kept.
+        assert len(pruned.cubes) == 1
+
+    def test_under_approximates(self):
+        result = self._three_cube_dnf()
+        p, d = frozenset({"x"}), frozenset({"b"})
+        pruned = drop_k(result, 2, lambda c: evaluate_cube(c, TOY, p, d))
+        for pp in [frozenset(), frozenset({"x"})]:
+            for bits in range(8):
+                dd = frozenset(
+                    n for i, n in enumerate(["a", "b", "c"]) if bits >> i & 1
+                )
+                if evaluate(pruned, TOY, pp, dd):
+                    assert evaluate(result, TOY, pp, dd)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            drop_k(self._three_cube_dnf(), 0, lambda c: True)
+
+    def test_missing_current_raises(self):
+        result = self._three_cube_dnf()
+        with pytest.raises(ValueError):
+            drop_k(result, 1, lambda cube: False)
+
+
+class TestWpSubstitute:
+    def test_positive_literal_substituted(self):
+        source = dnf(lit(A))
+        out = wp_substitute(source, lambda prim: lit(B))
+        assert out == lit(B)
+
+    def test_negative_literal_negates_wp(self):
+        source = dnf(nlit(A))
+        out = wp_substitute(source, lambda prim: conj(lit(B), lit(C)))
+        assert out == disj(nlit(B), nlit(C))
+
+    def test_false_stays_false(self):
+        out = wp_substitute(dnf(FALSE), lambda prim: TRUE)
+        assert out is FALSE
+
+    def test_homomorphism_against_semantics(self):
+        # Toy command: swaps facts a and b in d; wp(a) = b, wp(b) = a.
+        def step(d):
+            out = set(d)
+            has_a, has_b = "a" in d, "b" in d
+            out.discard("a")
+            out.discard("b")
+            if has_a:
+                out.add("b")
+            if has_b:
+                out.add("a")
+            return frozenset(out)
+
+        def wp(prim):
+            if prim == A:
+                return lit(B)
+            if prim == B:
+                return lit(A)
+            return lit(prim)
+
+        formula = dnf(disj(conj(lit(A), nlit(B)), lit(C)))
+        pre = wp_substitute(formula, wp)
+        for bits in range(8):
+            d = frozenset(
+                n for i, n in enumerate(["a", "b", "c"]) if bits >> i & 1
+            )
+            assert evaluate(pre, TOY, frozenset(), d) == evaluate(
+                formula, TOY, frozenset(), step(d)
+            )

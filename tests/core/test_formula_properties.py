@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the formula machinery.
+
+Ground truth is brute-force evaluation over a tiny (p, d) universe;
+every syntactic transformation must be checked against it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.formula import (
+    FALSE,
+    TRUE,
+    conj,
+    disj,
+    drop_k,
+    evaluate,
+    evaluate_cube,
+    lit,
+    neg,
+    nlit,
+    simplify,
+    to_dnf,
+)
+from tests.toys import TOY, ParamFact, StateFact
+
+PARAMS = ["px", "py"]
+STATES = ["a", "b", "c"]
+
+
+def universe():
+    for p_bits in range(2 ** len(PARAMS)):
+        p = frozenset(n for i, n in enumerate(PARAMS) if p_bits >> i & 1)
+        for d_bits in range(2 ** len(STATES)):
+            d = frozenset(n for i, n in enumerate(STATES) if d_bits >> i & 1)
+            yield p, d
+
+
+UNIVERSE = list(universe())
+
+atoms = st.sampled_from(
+    [lit(StateFact(n)) for n in STATES]
+    + [nlit(StateFact(n)) for n in STATES]
+    + [lit(ParamFact(n)) for n in PARAMS]
+    + [nlit(ParamFact(n)) for n in PARAMS]
+    + [TRUE, FALSE]
+)
+
+
+def formulas(depth=3):
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(lambda fs: conj(*fs)),
+            st.lists(children, min_size=1, max_size=3).map(lambda fs: disj(*fs)),
+            children.map(neg),
+        ),
+        max_leaves=12,
+    )
+
+
+@given(formulas())
+@settings(max_examples=200, deadline=None)
+def test_to_dnf_preserves_semantics(formula):
+    dnf = to_dnf(formula, TOY)
+    for p, d in UNIVERSE:
+        assert evaluate(dnf, TOY, p, d) == evaluate(formula, TOY, p, d)
+
+
+@given(formulas())
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_semantics(formula):
+    dnf = to_dnf(formula, TOY)
+    simplified = simplify(dnf, TOY)
+    for p, d in UNIVERSE:
+        assert evaluate(simplified, TOY, p, d) == evaluate(dnf, TOY, p, d)
+
+
+@given(formulas())
+@settings(max_examples=200, deadline=None)
+def test_double_negation_preserves_semantics(formula):
+    double = neg(neg(formula))
+    for p, d in UNIVERSE:
+        assert evaluate(double, TOY, p, d) == evaluate(formula, TOY, p, d)
+
+
+@given(formulas())
+@settings(max_examples=200, deadline=None)
+def test_negation_complements(formula):
+    negated = neg(formula)
+    for p, d in UNIVERSE:
+        assert evaluate(negated, TOY, p, d) != evaluate(formula, TOY, p, d)
+
+
+@given(formulas(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=200, deadline=None)
+def test_drop_k_under_approximates_and_keeps_current(formula, k):
+    dnf = simplify(to_dnf(formula, TOY), TOY)
+    for current_p, current_d in UNIVERSE:
+        if not evaluate(dnf, TOY, current_p, current_d):
+            continue
+        pruned = drop_k(
+            dnf, k, lambda cube: evaluate_cube(cube, TOY, current_p, current_d)
+        )
+        # Requirement 2: (p, d) stays covered.
+        assert evaluate(pruned, TOY, current_p, current_d)
+        # Requirement 1: under-approximation.
+        for p, d in UNIVERSE:
+            if evaluate(pruned, TOY, p, d):
+                assert evaluate(dnf, TOY, p, d)
+        # Beam width respected.
+        assert len(pruned.cubes) <= max(k, 1)
+        break  # one current pair per example keeps the test fast
+
+
+@given(formulas())
+@settings(max_examples=100, deadline=None)
+def test_dnf_cubes_sorted_by_size(formula):
+    dnf = to_dnf(formula, TOY)
+    sizes = [len(cube) for cube in dnf.cubes]
+    assert sizes == sorted(sizes)

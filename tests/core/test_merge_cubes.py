@@ -1,0 +1,105 @@
+"""Tests for semantics-preserving cube merging (used by wp synthesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.formula import (
+    Literal,
+    conj,
+    disj,
+    evaluate,
+    lit,
+    merge_cubes,
+    nlit,
+    simplify,
+    to_dnf,
+)
+from repro.escape.domain import ESC, LOC, NIL
+from repro.escape.meta import EscapeTheory, SiteIs, VarIs
+from tests.toys import TOY, StateFact
+
+ESCAPE = EscapeTheory()
+
+
+class TestBooleanMerging:
+    def test_complementary_pair_collapses(self):
+        a, b = StateFact("a"), StateFact("b")
+        formula = disj(conj(lit(a), lit(b)), conj(lit(a), nlit(b)))
+        merged = merge_cubes(to_dnf(formula, TOY), TOY)
+        assert merged.cubes == (frozenset([Literal(a, True)]),)
+
+    def test_no_merge_without_exhaustion(self):
+        a, b, c = StateFact("a"), StateFact("b"), StateFact("c")
+        formula = disj(conj(lit(a), lit(b)), conj(lit(a), lit(c)))
+        merged = merge_cubes(to_dnf(formula, TOY), TOY)
+        assert len(merged.cubes) == 2
+
+    def test_cascading_merges(self):
+        a, b, c = StateFact("a"), StateFact("b"), StateFact("c")
+        formula = disj(
+            conj(lit(a), lit(b), lit(c)),
+            conj(lit(a), lit(b), nlit(c)),
+            conj(lit(a), nlit(b)),
+        )
+        merged = merge_cubes(to_dnf(formula, TOY), TOY)
+        assert merged.cubes == (frozenset([Literal(a, True)]),)
+
+
+class TestExclusiveValueMerging:
+    def test_full_value_sweep_collapses(self):
+        u_all = disj(
+            *(
+                conj(lit(VarIs("u", o)), lit(VarIs("v", LOC)))
+                for o in (LOC, ESC, NIL)
+            )
+        )
+        merged = merge_cubes(to_dnf(u_all, ESCAPE), ESCAPE)
+        assert merged.cubes == (frozenset([Literal(VarIs("v", LOC), True)]),)
+
+    def test_partial_sweep_not_merged(self):
+        partial = disj(
+            conj(lit(VarIs("u", LOC)), lit(VarIs("v", LOC))),
+            conj(lit(VarIs("u", ESC)), lit(VarIs("v", LOC))),
+        )
+        merged = merge_cubes(to_dnf(partial, ESCAPE), ESCAPE)
+        assert len(merged.cubes) == 2
+
+    def test_site_groups_have_two_values(self):
+        sweep = disj(
+            conj(lit(SiteIs("h", LOC)), lit(VarIs("v", NIL))),
+            conj(lit(SiteIs("h", ESC)), lit(VarIs("v", NIL))),
+        )
+        merged = merge_cubes(to_dnf(sweep, ESCAPE), ESCAPE)
+        assert merged.cubes == (frozenset([Literal(VarIs("v", NIL), True)]),)
+
+
+formulas = st.recursive(
+    st.sampled_from(
+        [lit(StateFact(n)) for n in "abc"]
+        + [nlit(StateFact(n)) for n in "abc"]
+    ),
+    lambda children: st.one_of(
+        st.lists(children, min_size=1, max_size=3).map(lambda fs: conj(*fs)),
+        st.lists(children, min_size=1, max_size=3).map(lambda fs: disj(*fs)),
+    ),
+    max_leaves=10,
+)
+
+
+@given(formulas)
+@settings(max_examples=200, deadline=None)
+def test_merge_preserves_semantics(formula):
+    dnf = simplify(to_dnf(formula, TOY), TOY)
+    merged = merge_cubes(dnf, TOY)
+    for bits in range(8):
+        d = frozenset(n for i, n in enumerate("abc") if bits >> i & 1)
+        assert evaluate(merged, TOY, frozenset(), d) == evaluate(
+            dnf, TOY, frozenset(), d
+        )
+
+
+@given(formulas)
+@settings(max_examples=100, deadline=None)
+def test_merge_never_grows(formula):
+    dnf = simplify(to_dnf(formula, TOY), TOY)
+    merged = merge_cubes(dnf, TOY)
+    assert len(merged.cubes) <= len(dnf.cubes)

@@ -1,0 +1,142 @@
+"""Unit tests for the branch-and-bound MinCostSAT solver."""
+
+import pytest
+
+from repro.core.minsat import MinCostSat, NegLit, PosLit, SolverBudgetExceeded
+
+
+class TestBasics:
+    def test_empty_instance_has_empty_minimum(self):
+        solver = MinCostSat()
+        assert solver.solve() == frozenset()
+
+    def test_single_positive_clause(self):
+        solver = MinCostSat()
+        solver.add_clause([PosLit("x")])
+        assert solver.solve() == frozenset({"x"})
+
+    def test_single_negative_clause(self):
+        solver = MinCostSat()
+        solver.add_clause([NegLit("x")])
+        assert solver.solve() == frozenset()
+
+    def test_empty_clause_is_unsat(self):
+        solver = MinCostSat()
+        solver.add_clause([])
+        assert solver.solve() is None
+        assert not solver.is_satisfiable()
+
+    def test_direct_contradiction_is_unsat(self):
+        solver = MinCostSat()
+        solver.add_clause([PosLit("x")])
+        solver.add_clause([NegLit("x")])
+        assert solver.solve() is None
+
+    def test_tautology_dropped(self):
+        solver = MinCostSat()
+        solver.add_clause([PosLit("x"), NegLit("x")])
+        assert solver.clauses == ()
+
+    def test_duplicate_clause_dropped(self):
+        solver = MinCostSat()
+        solver.add_clause([PosLit("x"), PosLit("y")])
+        solver.add_clause([PosLit("y"), PosLit("x")])
+        assert len(solver.clauses) == 1
+
+
+class TestMinimality:
+    def test_prefers_cheaper_of_two(self):
+        solver = MinCostSat()
+        # x | (y & z) encoded: (x|y) & (x|z): minimum is {x}.
+        solver.add_clause([PosLit("x"), PosLit("y")])
+        solver.add_clause([PosLit("x"), PosLit("z")])
+        assert solver.solve() == frozenset({"x"})
+
+    def test_respects_costs(self):
+        solver = MinCostSat(costs={"x": 10, "y": 1, "z": 1})
+        solver.add_clause([PosLit("x"), PosLit("y")])
+        solver.add_clause([PosLit("x"), PosLit("z")])
+        assert solver.solve() == frozenset({"y", "z"})
+
+    def test_negative_literals_do_not_cost(self):
+        solver = MinCostSat()
+        solver.add_clause([NegLit("x"), PosLit("y")])
+        assert solver.solve() == frozenset()
+
+    def test_implication_chain(self):
+        # a, a->b, b->c: model must contain all three.
+        solver = MinCostSat()
+        solver.add_clause([PosLit("a")])
+        solver.add_clause([NegLit("a"), PosLit("b")])
+        solver.add_clause([NegLit("b"), PosLit("c")])
+        assert solver.solve() == frozenset({"a", "b", "c"})
+
+    def test_minimum_vertex_cover_triangle(self):
+        solver = MinCostSat()
+        for u, v in [("a", "b"), ("b", "c"), ("a", "c")]:
+            solver.add_clause([PosLit(u), PosLit(v)])
+        model = solver.solve()
+        assert len(model) == 2
+
+    def test_exclusion_forces_more_expensive(self):
+        solver = MinCostSat()
+        solver.add_clause([PosLit("x"), PosLit("y")])
+        solver.add_clause([NegLit("x")])
+        assert solver.solve() == frozenset({"y"})
+
+    def test_deterministic_result(self):
+        solver = MinCostSat()
+        solver.add_clause([PosLit("b"), PosLit("a")])
+        first = solver.solve()
+        second = solver.solve()
+        assert first == second
+        assert len(first) == 1
+
+
+class TestBruteForceAgreement:
+    def _brute_force(self, variables, clauses, costs):
+        import itertools
+
+        best = None
+        for bits in itertools.product([False, True], repeat=len(variables)):
+            assign = dict(zip(variables, bits))
+            if all(
+                any(assign[v] == s for v, s in clause) for clause in clauses
+            ):
+                cost = sum(costs.get(v, 1) for v in variables if assign[v])
+                if best is None or cost < best:
+                    best = cost
+        return best
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_small_instances(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        variables = [f"v{i}" for i in range(rng.randint(2, 7))]
+        costs = {v: rng.randint(1, 4) for v in variables}
+        clauses = []
+        for _ in range(rng.randint(1, 10)):
+            size = rng.randint(1, 3)
+            clause = frozenset(
+                (rng.choice(variables), rng.random() < 0.5)
+                for _ in range(size)
+            )
+            clauses.append(clause)
+        solver = MinCostSat(costs=costs)
+        for clause in clauses:
+            solver.add_clause(clause)
+        expected = self._brute_force(variables, clauses, costs)
+        model = solver.solve()
+        if expected is None:
+            assert model is None
+        else:
+            assert model is not None
+            assert sum(costs[v] for v in model) == expected
+
+    def test_budget_guard(self):
+        solver = MinCostSat(max_nodes=1)
+        solver.add_clause([PosLit("a"), PosLit("b")])
+        solver.add_clause([PosLit("c"), PosLit("d")])
+        with pytest.raises(SolverBudgetExceeded):
+            solver.solve()

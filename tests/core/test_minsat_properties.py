@@ -1,0 +1,62 @@
+"""Property-based tests (hypothesis) for the MinCostSAT solver."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.minsat import MinCostSat
+
+VARS = ["v0", "v1", "v2", "v3", "v4"]
+
+literals = st.tuples(st.sampled_from(VARS), st.booleans())
+clauses = st.lists(
+    st.frozensets(literals, min_size=1, max_size=3), min_size=0, max_size=8
+)
+costs = st.fixed_dictionaries({v: st.integers(1, 5) for v in VARS})
+
+
+def brute_force(clause_list, cost_map):
+    best = None
+    for bits in itertools.product([False, True], repeat=len(VARS)):
+        assign = dict(zip(VARS, bits))
+        if all(any(assign[v] == s for v, s in c) for c in clause_list):
+            cost = sum(cost_map[v] for v in VARS if assign[v])
+            best = cost if best is None or cost < best else best
+    return best
+
+
+@given(clauses, costs)
+@settings(max_examples=300, deadline=None)
+def test_solver_finds_minimum_cost(clause_list, cost_map):
+    solver = MinCostSat(costs=cost_map)
+    for clause in clause_list:
+        solver.add_clause(clause)
+    expected = brute_force(clause_list, cost_map)
+    model = solver.solve()
+    if expected is None:
+        assert model is None
+    else:
+        assert model is not None
+        # The model satisfies every clause ...
+        for clause in clause_list:
+            assert any((v in model) == s for v, s in clause)
+        # ... at exactly the minimum cost.
+        assert sum(cost_map[v] for v in model) == expected
+
+
+@given(clauses)
+@settings(max_examples=200, deadline=None)
+def test_solve_is_deterministic(clause_list):
+    solver = MinCostSat()
+    for clause in clause_list:
+        solver.add_clause(clause)
+    assert solver.solve() == solver.solve()
+
+
+@given(clauses)
+@settings(max_examples=200, deadline=None)
+def test_satisfiable_iff_model_exists(clause_list):
+    solver = MinCostSat()
+    for clause in clause_list:
+        solver.add_clause(clause)
+    assert solver.is_satisfiable() == (solver.solve() is not None)

@@ -1,0 +1,71 @@
+"""Tests for the TRACER transcript generator."""
+
+import pytest
+
+from repro.core import Tracer, TracerConfig
+from repro.core.narrate import narrate
+from repro.core.stats import QueryStatus
+from repro.lang import parse_program
+from repro.typestate import TypestateClient, TypestateQuery, file_automaton
+
+PROGRAM = parse_program(
+    """
+    x = new File
+    y = x
+    x.open()
+    y.close()
+    observe check1
+    observe check2
+    """
+)
+
+
+@pytest.fixture
+def client():
+    return TypestateClient(
+        PROGRAM, file_automaton(), "File", frozenset({"x", "y"})
+    )
+
+
+CHECK1 = TypestateQuery("check1", frozenset({"closed"}))
+CHECK2 = TypestateQuery("check2", frozenset({"opened"}))
+
+
+class TestNarrate:
+    def test_agrees_with_tracer(self, client):
+        config = TracerConfig(k=1)
+        transcript = narrate(client, CHECK1, config)
+        record = Tracer(client, config).solve(CHECK1)
+        assert transcript.status == record.status
+        assert transcript.abstraction == record.abstraction
+        assert len(transcript.iterations) == record.iterations
+
+    def test_failed_iterations_carry_traces(self, client):
+        transcript = narrate(client, CHECK1, TracerConfig(k=1))
+        failed = [b for b in transcript.iterations if not b.proven]
+        assert failed
+        for block in failed:
+            assert block.trace
+            # One forward state per trace point, one formula per point.
+            assert len(block.forward_states) == len(block.trace) + 1
+            assert len(block.backward_formulas) == len(block.trace) + 1
+
+    def test_render_mentions_abstractions_and_result(self, client):
+        text = narrate(client, CHECK1, TracerConfig(k=1)).render()
+        assert "iteration 1: p = {}" in text
+        assert "proven with cheapest abstraction {x, y}" in text
+        assert "x = new File" in text
+
+    def test_impossible_render(self, client):
+        text = narrate(client, CHECK2, TracerConfig(k=1)).render()
+        assert "impossible" in text
+
+    def test_exhausted_status(self, client):
+        transcript = narrate(client, CHECK1, TracerConfig(k=1, max_iterations=1))
+        assert transcript.status is QueryStatus.EXHAUSTED
+        assert "unresolved" in transcript.render()
+
+    def test_proven_iteration_has_no_trace(self, client):
+        transcript = narrate(client, CHECK1, TracerConfig(k=1))
+        assert transcript.iterations[-1].proven
+        assert transcript.iterations[-1].trace is None

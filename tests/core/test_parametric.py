@@ -1,0 +1,66 @@
+"""Tests for parameter spaces and the parametric-analysis interface."""
+
+import pytest
+
+from repro.core.parametric import MapParamSpace, SubsetParamSpace
+from repro.lang import Assign, Invoke, New
+from repro.typestate import TsState, TypestateAnalysis, file_automaton
+
+
+class TestSubsetParamSpace:
+    def test_cost_is_cardinality(self):
+        space = SubsetParamSpace(frozenset({"a", "b", "c"}))
+        assert space.cost(frozenset()) == 0
+        assert space.cost(frozenset({"a", "b"})) == 2
+
+    def test_bottom_is_empty(self):
+        space = SubsetParamSpace(frozenset({"a"}))
+        assert space.bottom() == frozenset()
+
+    def test_iter_all_enumerates_powerset_by_cost(self):
+        space = SubsetParamSpace(frozenset({"a", "b"}))
+        all_ps = list(space.iter_all())
+        assert len(all_ps) == 4
+        costs = [space.cost(p) for p in all_ps]
+        assert costs == sorted(costs)
+
+    def test_size_log2(self):
+        assert SubsetParamSpace(frozenset({"a", "b", "c"})).size_log2() == 3
+
+
+class TestMapParamSpace:
+    def test_lookup(self):
+        space = MapParamSpace(frozenset({"h1", "h2"}), cheap="E", costly="L")
+        p = frozenset({"h1"})
+        assert space.lookup(p, "h1") == "L"
+        assert space.lookup(p, "h2") == "E"
+
+    def test_cost_counts_costly_keys(self):
+        space = MapParamSpace(frozenset({"h1", "h2", "h3"}))
+        assert space.cost(frozenset({"h1", "h3"})) == 2
+
+    def test_iter_all(self):
+        space = MapParamSpace(frozenset({"h1", "h2"}))
+        assert len(list(space.iter_all())) == 4
+
+
+class TestRunTrace:
+    def test_trace_states_includes_every_point(self):
+        analysis = TypestateAnalysis(
+            file_automaton(), "h", frozenset({"x", "y"})
+        )
+        trace = (New("x", "h"), Assign("y", "x"), Invoke("x", "open"))
+        p = frozenset({"x", "y"})
+        states = analysis.trace_states(trace, p, analysis.initial_state())
+        assert len(states) == 4
+        assert states[-1] == TsState.make(["opened"], ["x", "y"])
+
+    def test_run_trace_matches_last_state(self):
+        analysis = TypestateAnalysis(file_automaton(), "h", frozenset({"x"}))
+        trace = (New("x", "h"), Invoke("x", "open"))
+        p = frozenset({"x"})
+        d0 = analysis.initial_state()
+        assert (
+            analysis.run_trace(trace, p, d0)
+            == analysis.trace_states(trace, p, d0)[-1]
+        )

@@ -1,0 +1,148 @@
+"""Tests for the client self-checking utilities."""
+
+import itertools
+
+import pytest
+
+from repro.core.formula import FALSE, TRUE, disj, lit
+from repro.core.selfcheck import (
+    check_soundness_on_trace,
+    check_transfer_total,
+    check_wp,
+)
+from repro.lang import Assign, Invoke, New
+from repro.typestate import (
+    TypestateAnalysis,
+    TypestateMeta,
+    file_automaton,
+)
+from repro.typestate.meta import ERR, TsType, TsVar
+
+VARS = ("x", "y")
+
+
+def _analysis():
+    return TypestateAnalysis(file_automaton(), "h", frozenset(VARS))
+
+
+def _pairs(analysis):
+    from tests.typestate.test_backward_wp import all_params, all_states
+
+    return [
+        (p, d)
+        for p in all_params()
+        for d in all_states(analysis.automaton)
+    ]
+
+
+COMMANDS = [New("x", "h"), Assign("y", "x"), Invoke("x", "open")]
+PRIMS = [ERR, TsVar("x"), TsVar("y"), TsType("closed"), TsType("opened")]
+
+
+class TestCheckWp:
+    def test_correct_meta_passes(self):
+        analysis = _analysis()
+        meta = TypestateMeta(analysis)
+        violations = check_wp(
+            analysis, meta, COMMANDS, PRIMS, _pairs(analysis)
+        )
+        assert violations == []
+
+    def test_broken_meta_caught(self):
+        analysis = _analysis()
+        meta = TypestateMeta(analysis)
+
+        class Broken(TypestateMeta):
+            def wp_primitive(self, command, prim):
+                if isinstance(command, Assign) and prim == TsVar("y"):
+                    return TRUE  # wrong: loses the param/alias condition
+                return super().wp_primitive(command, prim)
+
+        violations = check_wp(
+            analysis, Broken(analysis), COMMANDS, PRIMS, _pairs(analysis)
+        )
+        assert violations
+        assert all(v.kind == "wp-mismatch" for v in violations)
+        assert "wp evaluates to" in str(violations[0])
+
+    def test_violation_limit_respected(self):
+        analysis = _analysis()
+
+        class VeryBroken(TypestateMeta):
+            def wp_primitive(self, command, prim):
+                return FALSE
+
+        violations = check_wp(
+            analysis,
+            VeryBroken(analysis),
+            COMMANDS,
+            PRIMS,
+            _pairs(analysis),
+            max_violations=3,
+        )
+        assert len(violations) == 3
+
+
+class TestCheckTransferTotal:
+    def test_correct_transfer_passes(self):
+        analysis = _analysis()
+        assert (
+            check_transfer_total(analysis, COMMANDS, _pairs(analysis)) == []
+        )
+
+    def test_partial_transfer_caught(self):
+        analysis = _analysis()
+        original = analysis.transfer
+
+        class Partial(TypestateAnalysis):
+            def transfer(self, command, p, d):
+                if isinstance(command, Invoke):
+                    raise RuntimeError("boom")
+                return original(command, p, d)
+
+        broken = Partial(file_automaton(), "h", frozenset(VARS))
+        violations = check_transfer_total(
+            broken, COMMANDS, _pairs(analysis), max_violations=2
+        )
+        assert violations
+        assert violations[0].kind == "transfer-partial"
+
+
+class TestCheckSoundness:
+    def test_sound_meta_passes(self):
+        analysis = _analysis()
+        meta = TypestateMeta(analysis)
+        trace = (New("x", "h"), Invoke("x", "open"))
+        fail = disj(lit(ERR), lit(TsType("opened")))
+        params = [
+            frozenset(c)
+            for r in range(3)
+            for c in itertools.combinations(VARS, r)
+        ]
+        violations = check_soundness_on_trace(
+            analysis,
+            meta,
+            trace,
+            frozenset(),
+            analysis.initial_state(),
+            fail,
+            params,
+        )
+        assert violations == []
+
+    def test_non_counterexample_reported(self):
+        analysis = _analysis()
+        meta = TypestateMeta(analysis)
+        trace = (New("x", "h"),)
+        fail = lit(TsType("opened"))
+        violations = check_soundness_on_trace(
+            analysis,
+            meta,
+            trace,
+            frozenset(),
+            analysis.initial_state(),
+            fail,
+            [],
+        )
+        assert violations
+        assert violations[0].kind == "not-a-counterexample"

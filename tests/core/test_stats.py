@@ -1,0 +1,92 @@
+"""Tests for the query-record aggregation used by every table."""
+
+from repro.core.stats import (
+    GroupStats,
+    QueryRecord,
+    QueryStatus,
+    group_stats,
+    min_max_avg,
+    size_distribution,
+    summarize_records,
+)
+
+
+def record(qid, status, iterations=1, abstraction=None, cost=None, secs=0.1):
+    return QueryRecord(
+        query_id=qid,
+        status=status,
+        iterations=iterations,
+        abstraction=abstraction,
+        abstraction_cost=cost,
+        time_seconds=secs,
+    )
+
+
+SAMPLE = [
+    record("a", QueryStatus.PROVEN, 2, frozenset({"x"}), 1),
+    record("b", QueryStatus.PROVEN, 4, frozenset({"x"}), 1),
+    record("c", QueryStatus.PROVEN, 3, frozenset({"x", "y"}), 2),
+    record("d", QueryStatus.IMPOSSIBLE, 5),
+    record("e", QueryStatus.EXHAUSTED, 30),
+]
+
+
+class TestMinMaxAvg:
+    def test_empty_is_none(self):
+        assert min_max_avg([]) is None
+
+    def test_triple(self):
+        stats = min_max_avg([1, 5, 3])
+        assert (stats.minimum, stats.maximum) == (1, 5)
+        assert stats.average == 3.0
+
+    def test_str_format(self):
+        assert str(min_max_avg([2])) == "2/2/2.0"
+
+
+class TestSummarize:
+    def test_counts(self):
+        agg = summarize_records(SAMPLE)
+        assert (agg.total, agg.proven, agg.impossible, agg.exhausted) == (5, 3, 1, 1)
+        assert agg.resolved == 4
+        assert agg.resolved_fraction == 0.8
+
+    def test_iteration_stats_split_by_status(self):
+        agg = summarize_records(SAMPLE)
+        assert agg.iterations_proven.maximum == 4
+        assert agg.iterations_impossible.minimum == 5
+
+    def test_abstraction_sizes_only_proven(self):
+        agg = summarize_records(SAMPLE)
+        assert agg.abstraction_sizes.minimum == 1
+        assert agg.abstraction_sizes.maximum == 2
+
+    def test_empty_records(self):
+        agg = summarize_records([])
+        assert agg.total == 0
+        assert agg.iterations_proven is None
+        assert agg.resolved_fraction == 0.0
+
+
+class TestGroups:
+    def test_grouping_by_cheapest_abstraction(self):
+        stats = group_stats(SAMPLE)
+        assert stats.group_count == 2
+        assert stats.maximum == 2  # {x} shared by two queries
+        assert stats.minimum == 1
+
+    def test_no_proven_queries(self):
+        stats = group_stats([record("d", QueryStatus.IMPOSSIBLE)])
+        assert stats == GroupStats(0, 0, 0, 0.0)
+
+
+class TestSizeDistribution:
+    def test_histogram(self):
+        assert size_distribution(SAMPLE) == {1: 2, 2: 1}
+
+    def test_sorted_keys(self):
+        records = [
+            record("a", QueryStatus.PROVEN, 1, frozenset({"a", "b", "c"}), 3),
+            record("b", QueryStatus.PROVEN, 1, frozenset(), 0),
+        ]
+        assert list(size_distribution(records)) == [0, 3]

@@ -1,0 +1,134 @@
+"""Tests for automatic wp synthesis (the paper's Section 8 future work).
+
+Ground truth on two levels: (1) requirement (2) of Section 4 checked
+by exhaustive enumeration against the forward semantics; (2) semantic
+equivalence with the handwritten Figure 10/11 functions.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.formula import evaluate
+from repro.core import Tracer, TracerConfig
+from repro.core.stats import QueryStatus
+from repro.escape import EscSchema, EscapeAnalysis, EscapeClient, EscapeMeta, EscapeQuery
+from repro.escape.meta import FieldIs, SiteIs, VarIs
+from repro.escape.domain import ESC, LOC, NIL
+from repro.escape.synth import synthesized_escape_meta
+from repro.typestate import (
+    TypestateAnalysis,
+    TypestateClient,
+    TypestateMeta,
+    TypestateQuery,
+    file_automaton,
+    stress_automaton,
+)
+from repro.typestate.synth import synthesized_typestate_meta
+from tests.escape.test_backward_wp import COMMANDS as ESC_COMMANDS
+from tests.escape.test_backward_wp import SCHEMA, SITES, all_params, all_primitives
+from tests.typestate.test_backward_wp import COMMANDS as TS_COMMANDS
+from tests.typestate.test_backward_wp import (
+    STRESS_COMMANDS,
+    VARS,
+    all_params as ts_all_params,
+    all_primitives as ts_all_primitives,
+    all_states as ts_all_states,
+)
+from tests.randprog import random_escape_program, random_typestate_program
+
+
+class TestEscapeSynthesis:
+    @pytest.mark.parametrize("command", ESC_COMMANDS, ids=repr)
+    def test_matches_forward_semantics(self, command):
+        analysis = EscapeAnalysis(SCHEMA, frozenset(SITES))
+        meta = synthesized_escape_meta(analysis)
+        theory = meta.theory
+        for prim in all_primitives():
+            pre = meta.wp_primitive(command, prim)
+            for p in all_params():
+                for d in SCHEMA.all_states():
+                    post = analysis.transfer(command, p, d)
+                    assert evaluate(pre, theory, p, d) == theory.holds(
+                        prim, p, post
+                    ), (command, prim)
+
+    @pytest.mark.parametrize("command", ESC_COMMANDS, ids=repr)
+    def test_equivalent_to_handwritten(self, command):
+        analysis = EscapeAnalysis(SCHEMA, frozenset(SITES))
+        synthesized = synthesized_escape_meta(analysis)
+        handwritten = EscapeMeta(analysis)
+        theory = handwritten.theory
+        for prim in all_primitives():
+            synth = synthesized.wp_primitive(command, prim)
+            hand = handwritten.wp_primitive(command, prim)
+            for p in all_params():
+                for d in SCHEMA.all_states():
+                    assert evaluate(synth, theory, p, d) == evaluate(
+                        hand, theory, p, d
+                    ), (command, prim)
+
+
+class TestTypestateSynthesis:
+    @pytest.mark.parametrize("command", TS_COMMANDS, ids=repr)
+    def test_matches_forward_semantics_file(self, command):
+        self._check(file_automaton(), command)
+
+    @pytest.mark.parametrize("command", STRESS_COMMANDS, ids=repr)
+    def test_matches_forward_semantics_stress(self, command):
+        self._check(stress_automaton(["m"]), command)
+
+    def _check(self, automaton, command):
+        analysis = TypestateAnalysis(automaton, "h", frozenset(VARS))
+        meta = synthesized_typestate_meta(analysis)
+        handwritten = TypestateMeta(analysis)
+        theory = meta.theory
+        for prim in ts_all_primitives(automaton):
+            pre = meta.wp_primitive(command, prim)
+            hand = handwritten.wp_primitive(command, prim)
+            for p in ts_all_params():
+                for d in ts_all_states(automaton):
+                    post = analysis.transfer(command, p, d)
+                    expected = theory.holds(prim, p, post)
+                    assert evaluate(pre, theory, p, d) == expected, (command, prim)
+                    assert evaluate(hand, theory, p, d) == expected
+
+
+class TestEndToEndWithSynthesizedMeta:
+    """TRACER with synthesized backward functions is still optimum."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_escape_optimality(self, seed):
+        rng = random.Random(500 + seed)
+        program = random_escape_program(rng, length=6)
+        from tests.randprog import FIELDS, SITES as RSITES, VARS as RVARS
+
+        client = EscapeClient(
+            program, EscSchema(RVARS, FIELDS), frozenset(RSITES)
+        )
+        handwritten = Tracer(client, TracerConfig(k=3, max_iterations=100)).solve(
+            EscapeQuery("q", "x")
+        )
+        client.meta = synthesized_escape_meta(client.analysis)
+        synthesized = Tracer(client, TracerConfig(k=3, max_iterations=100)).solve(
+            EscapeQuery("q", "x")
+        )
+        assert synthesized.status == handwritten.status
+        assert synthesized.abstraction_cost == handwritten.abstraction_cost
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_typestate_optimality(self, seed):
+        rng = random.Random(900 + seed)
+        program = random_typestate_program(rng, length=6)
+        from tests.randprog import VARS as RVARS
+
+        client = TypestateClient(
+            program, file_automaton(), "h1", frozenset(RVARS)
+        )
+        query = TypestateQuery("q", frozenset({"closed"}))
+        handwritten = Tracer(client, TracerConfig(k=3, max_iterations=100)).solve(query)
+        client.meta = synthesized_typestate_meta(client.analysis)
+        synthesized = Tracer(client, TracerConfig(k=3, max_iterations=100)).solve(query)
+        assert synthesized.status == handwritten.status
+        assert synthesized.abstraction_cost == handwritten.abstraction_cost

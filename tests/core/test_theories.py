@@ -1,0 +1,160 @@
+"""Property tests for the client theories' semantic rewrites.
+
+``normalize_cube``, ``lit_entails``, ``cube_entails_literal`` and
+``literals_exhaust`` feed every DNF manipulation; each is validated
+against brute-force evaluation over small (p, d) universes for all
+three client theories.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.formula import Literal, evaluate_cube, evaluate_literal
+from repro.escape.domain import ESC, EscSchema, LOC, NIL
+from repro.escape.meta import EscapeTheory, FieldIs, SiteIs, VarIs
+from repro.provenance.domain import PT_TOP, PtSchema
+from repro.provenance.meta import ProvenanceTheory, PtHas, PtParam, PtTop
+from repro.typestate import TypestateTheory, file_automaton
+from repro.typestate.meta import ERR, TsParam, TsType, TsVar
+
+# -- universes ---------------------------------------------------------------
+
+ESC_SCHEMA = EscSchema(["u", "v"], ["f"])
+PT_SCHEMA = PtSchema(["x", "y"])
+SITES = ("h1", "h2")
+
+
+def escape_pairs():
+    for p_bits in range(4):
+        p = frozenset(s for i, s in enumerate(SITES) if p_bits >> i & 1)
+        for d in ESC_SCHEMA.all_states():
+            yield p, d
+
+
+def typestate_pairs():
+    from tests.typestate.test_backward_wp import all_params, all_states
+
+    automaton = file_automaton()
+    for p in all_params():
+        for d in all_states(automaton):
+            yield p, d
+
+
+def provenance_pairs():
+    values = [PT_TOP, frozenset(), frozenset({"h1"}), frozenset({"h1", "h2"})]
+    for p_bits in range(4):
+        p = frozenset(s for i, s in enumerate(SITES) if p_bits >> i & 1)
+        for vx in values:
+            for vy in values:
+                yield p, PT_SCHEMA.state({"x": vx, "y": vy})
+
+
+ESCAPE_LITS = [
+    Literal(prim, positive)
+    for positive in (True, False)
+    for prim in (
+        [VarIs(v, o) for v in ("u", "v") for o in (LOC, ESC, NIL)]
+        + [FieldIs("f", o) for o in (LOC, ESC, NIL)]
+        + [SiteIs(h, o) for h in SITES for o in (LOC, ESC)]
+    )
+]
+
+TS_LITS = [
+    Literal(prim, positive)
+    for positive in (True, False)
+    for prim in (
+        [ERR]
+        + [TsVar(v) for v in ("x", "y")]
+        + [TsParam(v) for v in ("x", "y")]
+        + [TsType(s) for s in ("closed", "opened")]
+    )
+]
+
+PT_LITS = [
+    Literal(prim, positive)
+    for positive in (True, False)
+    for prim in (
+        [PtTop(v) for v in ("x", "y")]
+        + [PtHas(v, h) for v in ("x", "y") for h in SITES]
+        + [PtParam(h) for h in SITES]
+    )
+]
+
+CASES = [
+    ("escape", EscapeTheory(), ESCAPE_LITS, list(escape_pairs())),
+    ("typestate", TypestateTheory(), TS_LITS, list(typestate_pairs())),
+    ("provenance", ProvenanceTheory(), PT_LITS, list(provenance_pairs())),
+]
+
+
+def _cube_strategy(literals):
+    return st.frozensets(st.sampled_from(literals), min_size=0, max_size=5)
+
+
+@pytest.mark.parametrize("name,theory,literals,pairs", CASES, ids=lambda c: c if isinstance(c, str) else "")
+def test_normalize_cube_preserves_semantics(name, theory, literals, pairs):
+    @given(_cube_strategy(literals))
+    @settings(max_examples=150, deadline=None)
+    def run(cube):
+        normalized = theory.normalize_cube(cube)
+        for p, d in pairs:
+            before = evaluate_cube(cube, theory, p, d)
+            after = (
+                False
+                if normalized is None
+                else evaluate_cube(normalized, theory, p, d)
+            )
+            assert before == after, (cube, normalized, p, d)
+
+    run()
+
+
+@pytest.mark.parametrize("name,theory,literals,pairs", CASES, ids=lambda c: c if isinstance(c, str) else "")
+def test_normalize_cube_idempotent(name, theory, literals, pairs):
+    @given(_cube_strategy(literals))
+    @settings(max_examples=150, deadline=None)
+    def run(cube):
+        normalized = theory.normalize_cube(cube)
+        if normalized is not None:
+            assert theory.normalize_cube(normalized) == normalized
+
+    run()
+
+
+@pytest.mark.parametrize("name,theory,literals,pairs", CASES, ids=lambda c: c if isinstance(c, str) else "")
+def test_lit_entails_sound(name, theory, literals, pairs):
+    for a in literals:
+        for b in literals:
+            if theory.lit_entails(a, b):
+                for p, d in pairs:
+                    if evaluate_literal(a, theory, p, d):
+                        assert evaluate_literal(b, theory, p, d), (a, b)
+
+
+@pytest.mark.parametrize("name,theory,literals,pairs", CASES, ids=lambda c: c if isinstance(c, str) else "")
+def test_cube_entails_literal_sound(name, theory, literals, pairs):
+    @given(_cube_strategy(literals), st.sampled_from(literals))
+    @settings(max_examples=150, deadline=None)
+    def run(cube, target):
+        if theory.cube_entails_literal(cube, target):
+            for p, d in pairs:
+                if evaluate_cube(cube, theory, p, d):
+                    assert evaluate_literal(target, theory, p, d)
+
+    run()
+
+
+@pytest.mark.parametrize("name,theory,literals,pairs", CASES, ids=lambda c: c if isinstance(c, str) else "")
+def test_literals_exhaust_sound(name, theory, literals, pairs):
+    @given(st.frozensets(st.sampled_from(literals), min_size=1, max_size=4))
+    @settings(max_examples=150, deadline=None)
+    def run(lits):
+        if theory.literals_exhaust(lits):
+            for p, d in pairs:
+                assert any(
+                    evaluate_literal(l, theory, p, d) for l in lits
+                ), lits
+
+    run()

@@ -1,0 +1,70 @@
+"""Failure-injection tests for TRACER's robustness guarantees."""
+
+import pytest
+
+from repro.core import Tracer, TracerConfig
+from repro.core.formula import TRUE, lit
+from repro.core.stats import QueryStatus
+from repro.core.tracer import ProgressError
+from repro.lang import parse_program
+from repro.typestate import (
+    TypestateClient,
+    TypestateMeta,
+    TypestateQuery,
+    file_automaton,
+)
+from repro.typestate.meta import TsParam
+
+PROGRAM = parse_program(
+    """
+    x = new File
+    x.open()
+    x.close()
+    observe pc
+    """
+)
+
+
+def _client():
+    return TypestateClient(
+        PROGRAM, file_automaton(), "File", frozenset({"x"})
+    )
+
+
+QUERY = TypestateQuery("pc", frozenset({"closed"}))
+
+
+class TestProgressGuard:
+    def test_broken_meta_raises_progress_error(self):
+        """A meta whose failure condition never covers the current
+        abstraction would loop forever; TRACER detects it instead."""
+
+        class NoProgress(TypestateMeta):
+            def wp_primitive(self, command, prim):
+                # Constant absurd condition: only abstractions
+                # containing a variable that does not exist.
+                return lit(TsParam("ghost"))
+
+        client = _client()
+        client.meta = NoProgress(client.analysis)
+        with pytest.raises(ProgressError):
+            Tracer(client, TracerConfig(k=None)).solve(QUERY)
+
+
+class TestFormulaBudget:
+    def test_blowup_marks_query_exhausted(self):
+        """An absurdly small cube budget makes the backward pass blow
+        up; the query is reported unresolved, not crashed — mirroring
+        how the paper's k=None runs exhaust memory on big benchmarks."""
+        client = _client()
+        record = Tracer(
+            client, TracerConfig(k=None, max_cubes=1)
+        ).solve(QUERY)
+        assert record.status is QueryStatus.EXHAUSTED
+
+    def test_generous_budget_unaffected(self):
+        client = _client()
+        record = Tracer(
+            client, TracerConfig(k=None, max_cubes=100_000)
+        ).solve(QUERY)
+        assert record.status in (QueryStatus.PROVEN, QueryStatus.IMPOSSIBLE)

@@ -1,0 +1,80 @@
+"""Tests for the viable-abstraction constraint store."""
+
+from repro.core.formula import Dnf, Literal, to_dnf, conj, disj, lit, nlit
+from repro.core.viability import ViabilityStore
+from tests.toys import TOY, ParamFact, StateFact
+
+D_INIT = frozenset({"a"})  # the fixed initial state: fact `a` holds
+
+
+def _dnf(formula):
+    return to_dnf(formula, TOY)
+
+
+class TestClauseExtraction:
+    def test_param_only_cube_becomes_clause(self):
+        store = ViabilityStore(TOY, D_INIT)
+        store.add_failure_condition(_dnf(lit(ParamFact("x"))))
+        # Everything containing x is unviable; minimum is {}.
+        assert store.choose_minimum() == frozenset()
+        assert store.excludes(frozenset({"x"}))
+        assert not store.excludes(frozenset())
+
+    def test_negated_param_cube(self):
+        store = ViabilityStore(TOY, D_INIT)
+        store.add_failure_condition(_dnf(nlit(ParamFact("x"))))
+        # Everything NOT containing x is unviable; minimum is {x}.
+        assert store.choose_minimum() == frozenset({"x"})
+
+    def test_state_literal_true_at_dinit_keeps_clause(self):
+        store = ViabilityStore(TOY, D_INIT)
+        store.add_failure_condition(
+            _dnf(conj(lit(StateFact("a")), nlit(ParamFact("x"))))
+        )
+        assert store.choose_minimum() == frozenset({"x"})
+
+    def test_state_literal_false_at_dinit_drops_cube(self):
+        store = ViabilityStore(TOY, D_INIT)
+        added = store.add_failure_condition(
+            _dnf(conj(lit(StateFact("b")), nlit(ParamFact("x"))))
+        )
+        assert added == ()
+        assert store.choose_minimum() == frozenset()
+
+    def test_pure_state_cube_makes_impossible(self):
+        store = ViabilityStore(TOY, D_INIT)
+        store.add_failure_condition(_dnf(lit(StateFact("a"))))
+        assert store.choose_minimum() is None
+        assert store.excludes(frozenset({"anything"}))
+
+    def test_multiple_cubes_multiple_clauses(self):
+        store = ViabilityStore(TOY, D_INIT)
+        condition = _dnf(
+            disj(nlit(ParamFact("x")), conj(lit(ParamFact("x")), nlit(ParamFact("y"))))
+        )
+        store.add_failure_condition(condition)
+        # not(x notin p) and not(x in p and y notin p): must have x and y.
+        assert store.choose_minimum() == frozenset({"x", "y"})
+
+    def test_accumulation_until_unsat(self):
+        store = ViabilityStore(TOY, D_INIT)
+        store.add_failure_condition(_dnf(nlit(ParamFact("x"))))
+        assert store.choose_minimum() == frozenset({"x"})
+        store.add_failure_condition(_dnf(lit(ParamFact("x"))))
+        assert store.choose_minimum() is None
+
+    def test_copy_is_independent(self):
+        store = ViabilityStore(TOY, D_INIT)
+        store.add_failure_condition(_dnf(nlit(ParamFact("x"))))
+        clone = store.copy()
+        clone.add_failure_condition(_dnf(lit(ParamFact("x"))))
+        assert clone.choose_minimum() is None
+        assert store.choose_minimum() == frozenset({"x"})
+
+    def test_excludes_reflects_clauses(self):
+        store = ViabilityStore(TOY, D_INIT)
+        store.add_failure_condition(
+            _dnf(conj(lit(ParamFact("x")), lit(ParamFact("y"))))
+        )
+        assert store.excludes(frozenset({"x", "y"}))
+        assert not store.excludes(frozenset({"x"}))

@@ -1,0 +1,114 @@
+"""Tests for the disjunctive collecting engine and witness traces.
+
+Toy abstract domain: a state is the frozenset of variables that
+definitely point to *some* object; ``New`` gens, ``AssignNull`` kills,
+``Assign`` copies.
+"""
+
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Atom,
+    New,
+    Observe,
+    Star,
+    build_cfg,
+    choice,
+    enumerate_traces,
+    seq,
+)
+from repro.dataflow import run_collecting
+
+
+def step(command, state):
+    if isinstance(command, New):
+        return state | {command.lhs}
+    if isinstance(command, AssignNull):
+        return state - {command.lhs}
+    if isinstance(command, Assign):
+        if command.rhs in state:
+            return state | {command.lhs}
+        return state - {command.lhs}
+    return state
+
+
+def run(program, init=frozenset()):
+    return run_collecting(build_cfg(program), step, init)
+
+
+class TestFixpoint:
+    def test_straight_line(self):
+        result = run(seq(New("x", "h"), Assign("y", "x")))
+        assert result.exit_states() == (frozenset({"x", "y"}),)
+
+    def test_choice_collects_both_branches(self):
+        result = run(choice(New("x", "h"), AssignNull("x")))
+        assert set(result.exit_states()) == {frozenset(), frozenset({"x"})}
+
+    def test_loop_reaches_fixpoint(self):
+        # Loop toggles x: states {} and {x} both reachable at exit.
+        program = Star(choice(New("x", "h"), AssignNull("x")))
+        result = run(program)
+        assert set(result.exit_states()) == {frozenset(), frozenset({"x"})}
+
+    def test_agrees_with_trace_semantics(self):
+        program = seq(
+            choice(New("x", "h"), AssignNull("x")),
+            Star(Atom(Assign("y", "x"))),
+            choice(Assign("z", "y"), AssignNull("z")),
+        )
+        collected = set(run(program).exit_states())
+        via_traces = set()
+        for trace in enumerate_traces(program, max_unroll=3):
+            state = frozenset()
+            for command in trace:
+                state = step(command, state)
+            via_traces.add(state)
+        assert collected == via_traces
+
+    def test_steps_counted(self):
+        result = run(seq(New("x", "h"), Assign("y", "x")))
+        assert result.steps == 2
+
+
+class TestWitnessTraces:
+    def test_trace_replays_to_state(self):
+        program = seq(
+            choice(New("x", "h"), AssignNull("x")),
+            Assign("y", "x"),
+        )
+        result = run(program)
+        for state in result.exit_states():
+            trace = result.trace_to(result.cfg.exit, state)
+            replay = frozenset()
+            for command in trace:
+                replay = step(command, replay)
+            assert replay == state
+
+    def test_trace_through_loop(self):
+        program = Star(Atom(New("x", "h")))
+        result = run(program)
+        trace = result.trace_to(result.cfg.exit, frozenset({"x"}))
+        assert trace == (New("x", "h"),)
+
+    def test_entry_state_has_empty_trace(self):
+        result = run(seq(New("x", "h")))
+        assert result.trace_to(result.cfg.entry, frozenset()) == ()
+
+    def test_states_before_observe(self):
+        program = seq(
+            choice(New("x", "h"), AssignNull("x")),
+            Observe("q"),
+            AssignNull("x"),
+        )
+        result = run(program)
+        observed = result.states_before_observe("q")
+        states = {state for _node, state in observed}
+        assert states == {frozenset(), frozenset({"x"})}
+
+    def test_observe_trace_ends_at_query_point(self):
+        program = seq(New("x", "h"), Observe("q"), AssignNull("x"))
+        result = run(program)
+        ((node, state),) = result.states_before_observe("q")
+        trace = result.trace_to(node, state)
+        assert trace == (New("x", "h"),)

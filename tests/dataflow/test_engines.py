@@ -1,0 +1,55 @@
+"""Tests for the forward-engine adapters and CallProc syntax."""
+
+from repro.dataflow import (
+    CollectingEngine,
+    ProcGraph,
+    TabulationEngine,
+    engine_for,
+)
+from repro.lang import (
+    Assign,
+    CallProc,
+    New,
+    build_cfg,
+    parse_program,
+    pretty_command,
+    seq,
+)
+from tests.dataflow.test_collecting import step
+
+
+class TestEngineFor:
+    def test_structured_program_gets_collecting(self):
+        engine = engine_for(seq(New("x", "h")))
+        assert isinstance(engine, CollectingEngine)
+
+    def test_proc_graph_gets_tabulation(self):
+        graph = ProcGraph(
+            procedures={"main": build_cfg(seq(New("x", "h")))}, main="main"
+        )
+        engine = engine_for(graph)
+        assert isinstance(engine, TabulationEngine)
+
+    def test_engines_agree_on_call_free_program(self):
+        program = seq(New("x", "h"), Assign("y", "x"))
+        collecting = engine_for(program).run(step, frozenset())
+        graph = ProcGraph(
+            procedures={"main": build_cfg(program)}, main="main"
+        )
+        tabulated = engine_for(graph).run(step, frozenset())
+        assert set(collecting.exit_states()) == set(tabulated.exit_states())
+
+
+class TestCallProcSyntax:
+    def test_parse_call(self):
+        from repro.lang import Atom
+
+        program = parse_program("call Node.grow")
+        assert program == Atom(CallProc("Node.grow"))
+
+    def test_pretty_round_trip(self):
+        command = CallProc("helper")
+        assert pretty_command(command) == "call helper"
+        from repro.lang import Atom
+
+        assert parse_program(pretty_command(command)) == Atom(command)

@@ -1,0 +1,220 @@
+"""Tests for the interprocedural tabulation engine.
+
+The toy domain from the collecting tests is reused: states are
+frozensets of variables known to point somewhere; ``New`` gens,
+``AssignNull`` kills, ``Assign`` copies.
+"""
+
+import pytest
+
+from repro.dataflow.interproc import ProcGraph, run_tabulation
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Atom,
+    New,
+    Observe,
+    Star,
+    build_cfg,
+    choice,
+    seq,
+)
+from repro.lang.ast import CallProc
+
+
+def step(command, state):
+    if isinstance(command, New):
+        return state | {command.lhs}
+    if isinstance(command, AssignNull):
+        return state - {command.lhs}
+    if isinstance(command, Assign):
+        if command.rhs in state:
+            return state | {command.lhs}
+        return state - {command.lhs}
+    return state
+
+
+def graph(**procedures):
+    return ProcGraph(
+        procedures={name: build_cfg(body) for name, body in procedures.items()},
+        main="main",
+    )
+
+
+class TestValidation:
+    def test_missing_main_rejected(self):
+        with pytest.raises(ValueError):
+            ProcGraph(procedures={}, main="main")
+
+    def test_unknown_callee_rejected(self):
+        with pytest.raises(ValueError):
+            graph(main=seq(CallProc("ghost")))
+
+
+class TestBasics:
+    def test_plain_procedure_matches_collecting(self):
+        g = graph(main=seq(New("x", "h"), Assign("y", "x")))
+        result = run_tabulation(g, step, frozenset())
+        assert result.exit_states() == (frozenset({"x", "y"}),)
+
+    def test_call_splices_callee_effect(self):
+        g = graph(
+            main=seq(New("x", "h"), CallProc("helper"), Assign("z", "y")),
+            helper=seq(Assign("y", "x")),
+        )
+        result = run_tabulation(g, step, frozenset())
+        assert result.exit_states() == (frozenset({"x", "y", "z"}),)
+
+    def test_summary_reused_across_call_sites(self):
+        # Both branches call helper from the same state: one summary.
+        g = graph(
+            main=seq(
+                New("x", "h"),
+                choice(seq(CallProc("helper")), seq(CallProc("helper"))),
+            ),
+            helper=seq(Assign("y", "x")),
+        )
+        result = run_tabulation(g, step, frozenset())
+        assert set(result.summaries["helper"]) == {frozenset({"x"})}
+
+    def test_repeated_call_gets_new_entry_summary(self):
+        # The second call's entry state includes the first call's
+        # effect, so a second summary is tabulated (context sensitivity
+        # by entry state, not by call site).
+        g = graph(
+            main=seq(New("x", "h"), CallProc("helper"), CallProc("helper")),
+            helper=seq(Assign("y", "x")),
+        )
+        result = run_tabulation(g, step, frozenset())
+        assert set(result.summaries["helper"]) == {
+            frozenset({"x"}),
+            frozenset({"x", "y"}),
+        }
+
+    def test_polyvariant_summaries(self):
+        g = graph(
+            main=seq(
+                choice(New("x", "h"), AssignNull("x")),
+                CallProc("helper"),
+            ),
+            helper=seq(Assign("y", "x")),
+        )
+        result = run_tabulation(g, step, frozenset())
+        # Two entry states, two summaries: full context sensitivity.
+        assert set(result.summaries["helper"]) == {
+            frozenset(),
+            frozenset({"x"}),
+        }
+        assert set(result.exit_states()) == {
+            frozenset(),
+            frozenset({"x", "y"}),
+        }
+
+    def test_nested_calls(self):
+        g = graph(
+            main=seq(New("a", "h"), CallProc("outer")),
+            outer=seq(Assign("b", "a"), CallProc("inner")),
+            inner=seq(Assign("c", "b")),
+        )
+        result = run_tabulation(g, step, frozenset())
+        assert result.exit_states() == (frozenset({"a", "b", "c"}),)
+
+
+class TestRecursion:
+    def test_self_recursion_terminates(self):
+        # rec() { if (*) { x = new h; rec() } }
+        g = graph(
+            main=seq(CallProc("rec")),
+            rec=choice(seq(New("x", "h"), CallProc("rec")), seq()),
+        )
+        result = run_tabulation(g, step, frozenset())
+        assert set(result.exit_states()) == {frozenset(), frozenset({"x"})}
+
+    def test_mutual_recursion_terminates(self):
+        g = graph(
+            main=seq(CallProc("even")),
+            even=choice(seq(New("e", "h"), CallProc("odd")), seq()),
+            odd=choice(seq(New("o", "h"), CallProc("even")), seq()),
+        )
+        result = run_tabulation(g, step, frozenset())
+        states = set(result.exit_states())
+        assert frozenset() in states
+        assert frozenset({"e", "o"}) in states
+
+
+class TestWitnessTraces:
+    def _replay(self, trace):
+        state = frozenset()
+        for command in trace:
+            state = step(command, state)
+        return state
+
+    def test_trace_through_call(self):
+        g = graph(
+            main=seq(New("x", "h"), CallProc("helper"), Observe("q")),
+            helper=seq(Assign("y", "x")),
+        )
+        result = run_tabulation(g, step, frozenset())
+        for handle, state in result.states_before_observe("q"):
+            trace = result.trace_to(handle, state)
+            assert self._replay(trace) == state
+            assert not any(isinstance(c, CallProc) for c in trace)
+
+    def test_observe_inside_callee(self):
+        g = graph(
+            main=seq(
+                choice(New("x", "h"), AssignNull("x")),
+                CallProc("helper"),
+            ),
+            helper=seq(Assign("y", "x"), Observe("inside")),
+        )
+        result = run_tabulation(g, step, frozenset())
+        observed = result.states_before_observe("inside")
+        states = {state for _h, state in observed}
+        assert states == {frozenset(), frozenset({"x", "y"})}
+        for handle, state in observed:
+            assert self._replay(result.trace_to(handle, state)) == state
+
+    def test_trace_through_recursion(self):
+        g = graph(
+            main=seq(CallProc("rec"), Observe("q")),
+            rec=choice(seq(New("x", "h"), CallProc("rec")), seq()),
+        )
+        result = run_tabulation(g, step, frozenset())
+        for handle, state in result.states_before_observe("q"):
+            assert self._replay(result.trace_to(handle, state)) == state
+
+    def test_trace_through_loop_with_calls(self):
+        g = graph(
+            main=seq(
+                Star(seq(CallProc("toggle"))),
+                Observe("q"),
+            ),
+            toggle=choice(seq(New("x", "h")), seq(AssignNull("x"))),
+        )
+        result = run_tabulation(g, step, frozenset())
+        for handle, state in result.states_before_observe("q"):
+            assert self._replay(result.trace_to(handle, state)) == state
+
+
+class TestEquivalenceWithCollecting:
+    """On call-free programs the tabulation engine must agree exactly
+    with the collecting engine (states at exit and per-observe)."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_programs(self, seed):
+        import random
+
+        from repro.dataflow.collecting import run_collecting
+        from tests.randprog import random_escape_program
+
+        rng = random.Random(2000 + seed)
+        program = random_escape_program(rng, length=7)
+        cfg = build_cfg(program)
+        collecting = run_collecting(cfg, step, frozenset())
+        g = ProcGraph(procedures={"main": cfg}, main="main")
+        tabulated = run_tabulation(g, step, frozenset())
+        assert set(tabulated.exit_states()) == set(collecting.exit_states())
+        col_states = {s for _n, s in collecting.states_before_observe("q")}
+        tab_states = {s for _h, s in tabulated.states_before_observe("q")}
+        assert col_states == tab_states

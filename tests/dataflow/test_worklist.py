@@ -1,0 +1,47 @@
+"""Tests for the generic worklist solver."""
+
+from repro.dataflow import PowersetLattice, solve_forward
+from repro.lang import Assign, AssignNull, New, Star, build_cfg, choice, seq
+
+
+def transfer(edge, value):
+    command = edge.command
+    if command is None:
+        return value
+    if isinstance(command, New):
+        return value | {command.lhs}
+    if isinstance(command, AssignNull):
+        return value - {command.lhs}
+    if isinstance(command, Assign):
+        return value | {command.lhs} if command.rhs in value else value
+    return value
+
+
+class TestSolveForward:
+    def test_straight_line(self):
+        cfg = build_cfg(seq(New("x", "h"), Assign("y", "x")))
+        values = solve_forward(cfg, PowersetLattice(), transfer, frozenset())
+        assert values[cfg.exit] == frozenset({"x", "y"})
+
+    def test_join_at_merge_point(self):
+        cfg = build_cfg(choice(New("x", "h"), New("y", "h")))
+        values = solve_forward(cfg, PowersetLattice(), transfer, frozenset())
+        # May-information joins both branches.
+        assert values[cfg.exit] == frozenset({"x", "y"})
+
+    def test_loop_terminates_with_fixpoint(self):
+        cfg = build_cfg(Star(seq(New("x", "h"), Assign("y", "x"))))
+        values = solve_forward(cfg, PowersetLattice(), transfer, frozenset())
+        assert values[cfg.exit] == frozenset({"x", "y"})
+
+    def test_entry_value_preserved(self):
+        cfg = build_cfg(seq(AssignNull("z")))
+        values = solve_forward(
+            cfg, PowersetLattice(), transfer, frozenset({"z", "w"})
+        )
+        assert values[cfg.exit] == frozenset({"w"})
+
+    def test_unreachable_nodes_absent(self):
+        cfg = build_cfg(seq(New("x", "h")))
+        values = solve_forward(cfg, PowersetLattice(), transfer, frozenset())
+        assert cfg.exit in values

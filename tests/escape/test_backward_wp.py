@@ -1,0 +1,140 @@
+"""Exhaustive validation of the thread-escape backward transfer
+functions against the forward semantics (requirement (2), Section 4)."""
+
+import itertools
+
+import pytest
+
+from repro.core.formula import Lit, Literal, evaluate
+from repro.escape import (
+    ESC,
+    EscSchema,
+    EscapeAnalysis,
+    EscapeMeta,
+    FieldIs,
+    LOC,
+    NIL,
+    SiteIs,
+    VarIs,
+)
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+
+SCHEMA = EscSchema(["u", "v"], ["f"])
+SITES = ("h1", "h2")
+
+
+def all_params():
+    for r in range(len(SITES) + 1):
+        for combo in itertools.combinations(SITES, r):
+            yield frozenset(combo)
+
+
+def all_primitives():
+    for h in SITES:
+        for o in (LOC, ESC):
+            yield SiteIs(h, o)
+    for v in SCHEMA.locals:
+        for o in (LOC, ESC, NIL):
+            yield VarIs(v, o)
+    for f in SCHEMA.fields:
+        for o in (LOC, ESC, NIL):
+            yield FieldIs(f, o)
+
+
+COMMANDS = [
+    New("u", "h1"),
+    New("v", "h2"),
+    Assign("u", "v"),
+    Assign("v", "u"),
+    Assign("u", "u"),
+    AssignNull("u"),
+    LoadGlobal("v", "g"),
+    StoreGlobal("g", "u"),
+    ThreadStart("v"),
+    LoadField("u", "v", "f"),
+    LoadField("u", "u", "f"),
+    LoadField("v", "v", "f"),
+    StoreField("v", "f", "u"),
+    StoreField("u", "f", "u"),
+    StoreField("u", "f", "v"),
+    Invoke("u", "m"),
+    Observe("q"),
+]
+
+
+@pytest.mark.parametrize("command", COMMANDS, ids=repr)
+def test_wp_matches_forward(command):
+    analysis = EscapeAnalysis(SCHEMA, frozenset(SITES))
+    meta = EscapeMeta(analysis)
+    theory = meta.theory
+    failures = []
+    for prim in all_primitives():
+        pre = meta.wp_primitive(command, prim)
+        for p in all_params():
+            for d in SCHEMA.all_states():
+                post = analysis.transfer(command, p, d)
+                expected = theory.holds(prim, p, post)
+                actual = evaluate(pre, theory, p, d)
+                if expected != actual:
+                    failures.append((prim, sorted(p), repr(d), expected, actual))
+    assert not failures, failures[:5]
+
+
+def test_site_primitives_are_invariant():
+    analysis = EscapeAnalysis(SCHEMA, frozenset(SITES))
+    meta = EscapeMeta(analysis)
+    for command in COMMANDS:
+        pre = meta.wp_primitive(command, SiteIs("h1", LOC))
+        assert pre == Lit(Literal(SiteIs("h1", LOC), True))
+
+
+class TestTheoryNormalisation:
+    def test_two_positive_values_contradict(self):
+        theory = EscapeMeta(EscapeAnalysis(SCHEMA, frozenset(SITES))).theory
+        cube = frozenset(
+            [Literal(VarIs("u", LOC), True), Literal(VarIs("u", ESC), True)]
+        )
+        assert theory.normalize_cube(cube) is None
+
+    def test_all_values_negated_contradict(self):
+        theory = EscapeMeta(EscapeAnalysis(SCHEMA, frozenset(SITES))).theory
+        cube = frozenset(
+            Literal(VarIs("u", o), False) for o in (LOC, ESC, NIL)
+        )
+        assert theory.normalize_cube(cube) is None
+
+    def test_two_negatives_collapse_to_positive(self):
+        theory = EscapeMeta(EscapeAnalysis(SCHEMA, frozenset(SITES))).theory
+        cube = frozenset(
+            [Literal(VarIs("u", LOC), False), Literal(VarIs("u", ESC), False)]
+        )
+        assert theory.normalize_cube(cube) == frozenset(
+            [Literal(VarIs("u", NIL), True)]
+        )
+
+    def test_site_group_has_two_values(self):
+        theory = EscapeMeta(EscapeAnalysis(SCHEMA, frozenset(SITES))).theory
+        cube = frozenset([Literal(SiteIs("h1", LOC), False)])
+        assert theory.normalize_cube(cube) == frozenset(
+            [Literal(SiteIs("h1", ESC), True)]
+        )
+
+    def test_positive_drops_redundant_negative(self):
+        theory = EscapeMeta(EscapeAnalysis(SCHEMA, frozenset(SITES))).theory
+        cube = frozenset(
+            [Literal(VarIs("u", LOC), True), Literal(VarIs("u", ESC), False)]
+        )
+        assert theory.normalize_cube(cube) == frozenset(
+            [Literal(VarIs("u", LOC), True)]
+        )

@@ -1,0 +1,67 @@
+"""Unit tests for the escape TRACER client plumbing."""
+
+import pytest
+
+from repro.core.formula import Lit, Literal, evaluate
+from repro.escape import ESC, EscSchema, EscapeClient, EscapeQuery, VarIs
+from repro.lang import parse_program
+
+PROGRAM = parse_program(
+    """
+    u = new h1
+    choice {
+      $g = u
+    } or {
+      skip
+    }
+    observe pc
+    """
+)
+
+
+@pytest.fixture
+def client():
+    return EscapeClient(PROGRAM, EscSchema(["u"], []), frozenset({"h1"}))
+
+
+class TestFailCondition:
+    def test_fail_condition_is_escape_literal(self, client):
+        fail = client.fail_condition(EscapeQuery("pc", "u"))
+        assert fail == Lit(Literal(VarIs("u", ESC), True))
+
+
+class TestCounterexamples:
+    def test_counterexample_trace_is_replayable(self, client):
+        query = EscapeQuery("pc", "u")
+        p = frozenset({"h1"})
+        trace = client.counterexamples([query], p)[query]
+        assert trace is not None
+        final = client.analysis.run_trace(
+            trace, p, client.analysis.initial_state()
+        )
+        assert evaluate(
+            client.fail_condition(query), client.meta.theory, p, final
+        )
+
+    def test_no_counterexample_on_safe_path_query(self, client):
+        # Variable never bound at pc in one variant: query on a program
+        # point that never sees an escaping state.
+        program = parse_program("u = new h1\nobserve pc")
+        safe = EscapeClient(program, EscSchema(["u"], []), frozenset({"h1"}))
+        query = EscapeQuery("pc", "u")
+        assert safe.counterexamples([query], frozenset({"h1"}))[query] is None
+
+    def test_unknown_label_is_trivially_proven(self, client):
+        query = EscapeQuery("ghost", "u")
+        assert client.counterexamples([query], frozenset())[query] is None
+
+    def test_deterministic_witness(self, client):
+        query = EscapeQuery("pc", "u")
+        first = client.counterexamples([query], frozenset())[query]
+        second = client.counterexamples([query], frozenset())[query]
+        assert first == second
+
+    def test_many_queries_one_forward_run(self, client):
+        queries = [EscapeQuery("pc", "u"), EscapeQuery("pc", "u")]
+        result = client.counterexamples(queries, frozenset())
+        assert len(result) == 1  # identical queries collapse by equality

@@ -1,0 +1,66 @@
+"""Tests for the escape abstract-state representation."""
+
+import pytest
+
+from repro.escape import ESC, EscSchema, LOC, NIL
+
+
+@pytest.fixture
+def schema():
+    return EscSchema(["u", "v"], ["f"])
+
+
+class TestSchema:
+    def test_names_are_sorted_and_deduped(self):
+        schema = EscSchema(["b", "a", "a"], ["g", "f"])
+        assert schema.locals == ("a", "b")
+        assert schema.fields == ("f", "g")
+
+    def test_rejects_local_field_collision(self):
+        with pytest.raises(ValueError):
+            EscSchema(["x"], ["x"])
+
+    def test_kind_predicates(self, schema):
+        assert schema.is_local("u") and not schema.is_field("u")
+        assert schema.is_field("f") and not schema.is_local("f")
+        assert not schema.is_local("ghost")
+
+    def test_state_rejects_bad_value(self, schema):
+        with pytest.raises(ValueError):
+            schema.state({"u": "Z"})
+
+    def test_all_states_cardinality(self, schema):
+        assert sum(1 for _ in schema.all_states()) == 3 ** 3
+
+
+class TestState:
+    def test_initial_all_null(self, schema):
+        state = schema.initial()
+        assert all(state.get(name) == NIL for name in schema.names)
+
+    def test_set_returns_new_state(self, schema):
+        state = schema.initial()
+        updated = state.set("u", LOC)
+        assert updated.get("u") == LOC
+        assert state.get("u") == NIL
+
+    def test_set_same_value_returns_self(self, schema):
+        state = schema.state({"u": ESC})
+        assert state.set("u", ESC) is state
+
+    def test_esc_semantics(self, schema):
+        state = schema.state({"u": LOC, "v": NIL, "f": LOC})
+        escaped = state.esc()
+        assert escaped.get("u") == ESC
+        assert escaped.get("v") == NIL
+        assert escaped.get("f") == NIL
+
+    def test_equality_and_hash(self, schema):
+        a = schema.state({"u": LOC})
+        b = schema.state({"u": LOC})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != schema.state({"u": ESC})
+
+    def test_repr_elides_nulls(self, schema):
+        assert repr(schema.state({"u": LOC})) == "[u->L]"

@@ -1,0 +1,132 @@
+"""Unit tests for the thread-escape forward transfer functions (Figure 5)."""
+
+import pytest
+
+from repro.escape import ESC, LOC, NIL, EscSchema, EscapeAnalysis
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+
+
+@pytest.fixture
+def schema():
+    return EscSchema(["u", "v", "w"], ["f", "g_fld"])
+
+
+@pytest.fixture
+def analysis(schema):
+    return EscapeAnalysis(schema, frozenset({"h1", "h2"}))
+
+
+P_H1 = frozenset({"h1"})
+
+
+class TestSimpleCommands:
+    def test_new_local_site(self, schema, analysis):
+        d = analysis.transfer(New("u", "h1"), P_H1, schema.initial())
+        assert d.get("u") == LOC
+
+    def test_new_escaping_site(self, schema, analysis):
+        d = analysis.transfer(New("u", "h2"), P_H1, schema.initial())
+        assert d.get("u") == ESC
+
+    def test_copy(self, schema, analysis):
+        d0 = schema.state({"u": LOC})
+        d = analysis.transfer(Assign("v", "u"), P_H1, d0)
+        assert d.get("v") == LOC
+
+    def test_null(self, schema, analysis):
+        d0 = schema.state({"u": LOC})
+        assert analysis.transfer(AssignNull("u"), P_H1, d0).get("u") == NIL
+
+    def test_load_global_escapes(self, schema, analysis):
+        d = analysis.transfer(LoadGlobal("u", "g"), P_H1, schema.initial())
+        assert d.get("u") == ESC
+
+    def test_observe_and_invoke_are_identity(self, schema, analysis):
+        d0 = schema.state({"u": LOC, "f": ESC})
+        assert analysis.transfer(Observe("q"), P_H1, d0) == d0
+        assert analysis.transfer(Invoke("u", "m"), P_H1, d0) == d0
+
+
+class TestPublication:
+    def test_store_global_of_local_escapes_everything(self, schema, analysis):
+        d0 = schema.state({"u": LOC, "v": LOC, "w": NIL, "f": LOC})
+        d = analysis.transfer(StoreGlobal("g", "u"), P_H1, d0)
+        assert d.get("u") == ESC
+        assert d.get("v") == ESC
+        assert d.get("w") == NIL  # null stays null
+        assert d.get("f") == NIL  # fields reset
+
+    def test_store_global_of_escaped_is_noop(self, schema, analysis):
+        d0 = schema.state({"u": ESC, "v": LOC})
+        assert analysis.transfer(StoreGlobal("g", "u"), P_H1, d0) == d0
+
+    def test_thread_start_behaves_like_store_global(self, schema, analysis):
+        d0 = schema.state({"u": LOC, "v": LOC})
+        d = analysis.transfer(ThreadStart("u"), P_H1, d0)
+        assert d.get("v") == ESC
+
+
+class TestLoadField:
+    def test_through_local_base_reads_field_summary(self, schema, analysis):
+        d0 = schema.state({"v": LOC, "f": LOC})
+        assert analysis.transfer(LoadField("u", "v", "f"), P_H1, d0).get("u") == LOC
+
+    def test_through_escaped_base_gives_escaped(self, schema, analysis):
+        d0 = schema.state({"v": ESC, "f": LOC})
+        assert analysis.transfer(LoadField("u", "v", "f"), P_H1, d0).get("u") == ESC
+
+    def test_through_null_base_gives_escaped(self, schema, analysis):
+        d0 = schema.state({"v": NIL})
+        assert analysis.transfer(LoadField("u", "v", "f"), P_H1, d0).get("u") == ESC
+
+
+class TestStoreField:
+    def test_local_into_escaped_base_escapes(self, schema, analysis):
+        d0 = schema.state({"u": LOC, "v": ESC, "w": LOC})
+        d = analysis.transfer(StoreField("v", "f", "u"), P_H1, d0)
+        assert d.get("u") == ESC
+        assert d.get("w") == ESC
+
+    def test_escaped_into_escaped_base_is_noop(self, schema, analysis):
+        d0 = schema.state({"u": ESC, "v": ESC})
+        assert analysis.transfer(StoreField("v", "f", "u"), P_H1, d0) == d0
+
+    def test_null_base_is_noop(self, schema, analysis):
+        d0 = schema.state({"u": LOC, "v": NIL})
+        assert analysis.transfer(StoreField("v", "f", "u"), P_H1, d0) == d0
+
+    def test_local_base_null_field_takes_rhs(self, schema, analysis):
+        d0 = schema.state({"u": LOC, "v": LOC})
+        d = analysis.transfer(StoreField("v", "f", "u"), P_H1, d0)
+        assert d.get("f") == LOC
+
+    def test_local_base_equal_values_noop(self, schema, analysis):
+        d0 = schema.state({"u": ESC, "v": LOC, "f": ESC})
+        assert analysis.transfer(StoreField("v", "f", "u"), P_H1, d0) == d0
+
+    def test_local_base_null_rhs_keeps_field(self, schema, analysis):
+        d0 = schema.state({"u": NIL, "v": LOC, "f": ESC})
+        assert analysis.transfer(StoreField("v", "f", "u"), P_H1, d0) == d0
+
+    def test_local_base_mixing_L_and_E_escapes(self, schema, analysis):
+        d0 = schema.state({"u": ESC, "v": LOC, "f": LOC, "w": LOC})
+        d = analysis.transfer(StoreField("v", "f", "u"), P_H1, d0)
+        assert d.get("w") == ESC
+        assert d.get("f") == NIL
+
+
+class TestInitialState:
+    def test_everything_starts_null(self, schema, analysis):
+        d = analysis.initial_state()
+        assert all(d.get(name) == NIL for name in schema.names)

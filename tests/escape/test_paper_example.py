@@ -1,0 +1,131 @@
+"""End-to-end reproduction of the paper's Figure 6 worked example.
+
+Program::
+
+    u = new h1; v = new h2; v.f = u; pc: local(u)?
+
+Expected:
+
+* the cheapest abstraction proving ``local(u)`` maps both sites to
+  ``L`` (cost 2);
+* without under-approximation (``k = None``) one counterexample
+  suffices: the failure condition at the start is
+  ``h1.E | (h1.L & h2.E)``;
+* with ``k = 1`` an extra iteration is needed, but the formulas stay
+  small and the same cheapest abstraction is found.
+"""
+
+import pytest
+
+from repro.core import Tracer, TracerConfig, backward_trace
+from repro.core.formula import evaluate
+from repro.core.stats import QueryStatus
+from repro.escape import EscSchema, EscapeClient, EscapeQuery
+from repro.lang import parse_program
+
+PROGRAM_TEXT = """
+u = new h1
+v = new h2
+v.f = u
+observe pc
+"""
+
+
+@pytest.fixture
+def client():
+    return EscapeClient(
+        parse_program(PROGRAM_TEXT),
+        EscSchema(["u", "v"], ["f"]),
+        sites=frozenset({"h1", "h2"}),
+    )
+
+
+QUERY = EscapeQuery("pc", "u")
+
+
+class TestFigure6:
+    def test_cheapest_abstraction_maps_both_sites_local(self, client):
+        record = Tracer(client, TracerConfig(k=1)).solve(QUERY)
+        assert record.status is QueryStatus.PROVEN
+        assert record.abstraction == frozenset({"h1", "h2"})
+        assert record.abstraction_cost == 2
+
+    def test_without_underapprox_two_iterations(self, client):
+        record = Tracer(client, TracerConfig(k=None)).solve(QUERY)
+        assert record.status is QueryStatus.PROVEN
+        assert record.iterations == 2
+
+    def test_with_k1_three_iterations(self, client):
+        # (b1): p = [E, E] eliminated via h1.E; (b2): p = [L, E]
+        # eliminated via h1.L & h2.E; then [L, L] proves.
+        record = Tracer(client, TracerConfig(k=1)).solve(QUERY)
+        assert record.iterations == 3
+
+    def test_k1_formulas_smaller_than_full(self, client):
+        full = Tracer(client, TracerConfig(k=None)).solve(QUERY)
+        beam = Tracer(client, TracerConfig(k=1)).solve(QUERY)
+        assert beam.max_disjuncts <= full.max_disjuncts
+        assert beam.max_disjuncts == 1
+
+    def test_full_failure_condition_at_start(self, client):
+        """The (a) column: the unapproximated sufficient condition for
+        failure at the program start covers exactly the abstractions
+        other than [h1 -> L, h2 -> L]."""
+        witnesses = client.counterexamples([QUERY], frozenset())
+        trace = witnesses[QUERY]
+        result = backward_trace(
+            client.meta,
+            client.analysis,
+            trace,
+            frozenset(),
+            client.analysis.initial_state(),
+            client.fail_condition(QUERY),
+            k=None,
+        )
+        theory = client.meta.theory
+        d_init = client.analysis.initial_state()
+        eliminated = {
+            p
+            for p in [
+                frozenset(),
+                frozenset({"h1"}),
+                frozenset({"h2"}),
+                frozenset({"h1", "h2"}),
+            ]
+            if evaluate(result.condition, theory, p, d_init)
+        }
+        assert eliminated == {frozenset(), frozenset({"h1"}), frozenset({"h2"})}
+
+
+class TestEscapeWithLoops:
+    def test_loop_with_publication(self):
+        text = """
+        loop {
+          u = new h1
+          $g = u
+        }
+        u = new h1
+        observe pc
+        """
+        client = EscapeClient(
+            parse_program(text), EscSchema(["u"], []), frozenset({"h1"})
+        )
+        record = Tracer(client).solve(EscapeQuery("pc", "u"))
+        # Publishing u escapes all L objects, but the fresh allocation
+        # after the loop is local again when h1 -> L.
+        assert record.status is QueryStatus.PROVEN
+        assert record.abstraction == frozenset({"h1"})
+
+    def test_impossible_query(self):
+        text = """
+        u = new h1
+        $g = u
+        v = $g
+        observe pc
+        """
+        client = EscapeClient(
+            parse_program(text), EscSchema(["u", "v"], []), frozenset({"h1"})
+        )
+        record = Tracer(client).solve(EscapeQuery("pc", "v"))
+        # v = $g is always E: no abstraction can prove locality.
+        assert record.status is QueryStatus.IMPOSSIBLE

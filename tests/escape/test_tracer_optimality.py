@@ -1,0 +1,58 @@
+"""End-to-end optimality of TRACER for the thread-escape client."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import Tracer, TracerConfig
+from repro.core.stats import QueryStatus
+from repro.escape import EscSchema, EscapeClient, EscapeQuery
+from tests.randprog import FIELDS, SITES, VARS, random_escape_program
+
+QUERY = EscapeQuery("q", "x")
+
+
+def _brute_force_minimum(client, query):
+    for r in range(len(SITES) + 1):
+        for combo in itertools.combinations(SITES, r):
+            p = frozenset(combo)
+            if client.counterexamples([query], p)[query] is None:
+                return len(p)
+    return None
+
+
+def _client(program):
+    return EscapeClient(
+        program, EscSchema(VARS, FIELDS), frozenset(SITES)
+    )
+
+
+@pytest.mark.parametrize("seed", range(40))
+@pytest.mark.parametrize("k", [1, 3, None])
+def test_tracer_matches_brute_force(seed, k):
+    rng = random.Random(seed * 13 + (99 if k is None else k))
+    program = random_escape_program(rng, length=6)
+    client = _client(program)
+    expected = _brute_force_minimum(client, QUERY)
+    record = Tracer(client, TracerConfig(k=k, max_iterations=200)).solve(QUERY)
+    if expected is None:
+        assert record.status is QueryStatus.IMPOSSIBLE, program
+    else:
+        assert record.status is QueryStatus.PROVEN, program
+        assert record.abstraction_cost == expected, program
+        assert client.counterexamples([QUERY], record.abstraction)[QUERY] is None
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_multiple_query_vars_grouped(seed):
+    rng = random.Random(31 + seed)
+    program = random_escape_program(rng, length=7)
+    client = _client(program)
+    queries = [EscapeQuery("q", v) for v in VARS]
+    tracer = Tracer(client, TracerConfig(k=2, max_iterations=200))
+    grouped = tracer.solve_all(queries)
+    for query in queries:
+        single = tracer.solve(query)
+        assert grouped[query].status == single.status
+        assert grouped[query].abstraction_cost == single.abstraction_cost

@@ -1,0 +1,159 @@
+"""Tests for the 0-CFA call-graph/points-to analysis."""
+
+from repro.frontend import (
+    ClassDef,
+    FrontProgram,
+    MethodDef,
+    SAssign,
+    SCall,
+    SLoadField,
+    SLoadGlobal,
+    SNew,
+    SReturn,
+    SStoreField,
+    SStoreGlobal,
+    SThreadStart,
+    build_callgraph,
+)
+
+
+def _two_class_program():
+    """main allocates an A and a B, calls m() on a variable that may be
+    either, so both A.m and B.m must be call-graph targets."""
+    program = FrontProgram()
+    program.add_class(
+        ClassDef(
+            name="Main",
+            methods={
+                "main": MethodDef(
+                    name="main",
+                    body=[
+                        SNew("a", "A"),
+                        SNew("b", "B"),
+                        SAssign("x", "a"),
+                        SAssign("x", "b"),
+                        SCall(lhs="r", base="x", method="m"),
+                    ],
+                )
+            },
+        )
+    )
+    program.add_class(
+        ClassDef(
+            name="A",
+            methods={
+                "m": MethodDef(name="m", body=[SNew("t", "A"), SReturn("t")])
+            },
+        )
+    )
+    program.add_class(
+        ClassDef(
+            name="B",
+            methods={"m": MethodDef(name="m", body=[SReturn(None)])},
+        )
+    )
+    return program
+
+
+class TestVirtualDispatch:
+    def test_both_targets_resolved(self):
+        program = _two_class_program()
+        cg = build_callgraph(program)
+        call_pc = "Main.main/4"
+        assert cg.call_targets[call_pc] == frozenset({("A", "m"), ("B", "m")})
+
+    def test_targets_become_reachable(self):
+        cg = build_callgraph(_two_class_program())
+        assert ("A", "m") in cg.reachable
+        assert ("B", "m") in cg.reachable
+
+    def test_this_bound_per_target_class(self):
+        program = _two_class_program()
+        cg = build_callgraph(program)
+        a_site = next(s for s, c in program.site_class.items() if c == "A" and program.site_pc[s].startswith("Main"))
+        assert cg.pts_var("A", "m", "this") == frozenset({a_site})
+
+    def test_return_flows_to_lhs(self):
+        program = _two_class_program()
+        cg = build_callgraph(program)
+        result = cg.pts_var("Main", "main", "r")
+        # A.m returns a fresh A; B.m returns null.
+        assert len(result) == 1
+
+    def test_unreachable_method_not_processed(self):
+        program = _two_class_program()
+        program.classes["A"].methods["dead"] = MethodDef(
+            name="dead", body=[SNew("z", "B")]
+        )
+        cg = build_callgraph(program)
+        assert ("A", "dead") not in cg.reachable
+
+
+class TestHeapFlow:
+    def test_field_summary_round_trip(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                fields=("f",),
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[
+                            SNew("box", "Main"),
+                            SNew("val", "Main"),
+                            SStoreField("box", "f", "val"),
+                            SLoadField("out", "box", "f"),
+                        ],
+                    )
+                },
+            )
+        )
+        cg = build_callgraph(program)
+        val_sites = cg.pts_var("Main", "main", "val")
+        assert cg.pts_var("Main", "main", "out") == val_sites
+
+    def test_global_round_trip(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[
+                            SNew("v", "Main"),
+                            SStoreGlobal("g", "v"),
+                            SLoadGlobal("w", "g"),
+                        ],
+                    )
+                },
+            )
+        )
+        cg = build_callgraph(program)
+        assert cg.pts_var("Main", "main", "w") == cg.pts_var("Main", "main", "v")
+
+
+class TestThreadStart:
+    def test_run_method_reachable(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[SNew("w", "Worker"), SThreadStart("w")],
+                    )
+                },
+            )
+        )
+        program.add_class(
+            ClassDef(
+                name="Worker",
+                methods={"run": MethodDef(name="run", body=[SNew("l", "Worker")])},
+            )
+        )
+        cg = build_callgraph(program)
+        assert ("Worker", "run") in cg.reachable
+        assert cg.pts_var("Worker", "run", "this") != frozenset()

@@ -1,0 +1,293 @@
+"""Tests for the context-sensitive inliner."""
+
+import pytest
+
+from repro.frontend import (
+    ClassDef,
+    FrontProgram,
+    MethodDef,
+    SApiCall,
+    SAssign,
+    SCall,
+    SIf,
+    SLoadField,
+    SNew,
+    SReturn,
+    SStoreField,
+    SThreadStart,
+    SWhile,
+    inline_program,
+)
+from repro.frontend.inline import query_var_for
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Invoke,
+    LoadField,
+    New,
+    Observe,
+    ThreadStart,
+    atoms_of,
+)
+
+
+def _simple_call_program():
+    program = FrontProgram()
+    program.add_class(
+        ClassDef(
+            name="Main",
+            methods={
+                "main": MethodDef(
+                    name="main",
+                    body=[
+                        SNew("a", "A"),
+                        SCall(lhs="r", base="a", method="id", args=("a",)),
+                    ],
+                )
+            },
+        )
+    )
+    program.add_class(
+        ClassDef(
+            name="A",
+            methods={
+                "id": MethodDef(name="id", params=("v",), body=[SReturn("v")])
+            },
+        )
+    )
+    return program
+
+
+class TestCallInlining:
+    def test_parameters_become_assignments(self):
+        result = inline_program(_simple_call_program())
+        atoms = list(atoms_of(result.program))
+        # this and v are bound by copies, and the return flows to r.
+        assigns = [a for a in atoms if isinstance(a, Assign)]
+        assert any(a.lhs.startswith("this_") for a in assigns)
+        assert any(a.lhs.startswith("v_") for a in assigns)
+        assert any(a.lhs.startswith("r_") for a in assigns)
+
+    def test_invoke_marker_with_pc(self):
+        result = inline_program(_simple_call_program())
+        invokes = [a for a in atoms_of(result.program) if isinstance(a, Invoke)]
+        assert len(invokes) == 1
+        assert invokes[0].method == "id"
+        assert invokes[0].site_label == "Main.main/1"
+
+    def test_observe_emitted_before_call(self):
+        result = inline_program(_simple_call_program())
+        atoms = list(atoms_of(result.program))
+        observe_at = atoms.index(Observe("Main.main/1"))
+        assert isinstance(atoms[observe_at + 1], Invoke)
+
+    def test_call_point_recorded(self):
+        result = inline_program(_simple_call_program())
+        assert result.call_points["Main.main/1"] == ("Main", "main", "a", "id")
+
+    def test_void_call_without_lhs(self):
+        program = _simple_call_program()
+        program.classes["Main"].methods["main"].body[1] = SCall(
+            lhs=None, base="a", method="id", args=("a",)
+        )
+        result = inline_program(program)
+        atoms = list(atoms_of(result.program))
+        assert not any(isinstance(a, Assign) and a.lhs.startswith("r_") for a in atoms)
+
+    def test_distinct_contexts_get_distinct_names(self):
+        program = _simple_call_program()
+        program.classes["Main"].methods["main"].body.append(
+            SCall(lhs="s", base="a", method="id", args=("a",))
+        )
+        result = inline_program(program)
+        v_copies = {v for v in result.variables if v.startswith("v_")}
+        assert len(v_copies) == 2
+
+    def test_no_target_call_yields_null(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[SCall(lhs="r", base="ghost", method="m")],
+                    )
+                },
+            )
+        )
+        result = inline_program(program)
+        atoms = list(atoms_of(result.program))
+        assert any(isinstance(a, AssignNull) and a.lhs.startswith("r_") for a in atoms)
+
+
+class TestRecursionCut:
+    def test_self_recursion_cut(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[
+                            SNew("a", "Main"),
+                            SCall(lhs=None, base="a", method="loop"),
+                        ],
+                    ),
+                    "loop": MethodDef(
+                        name="loop",
+                        body=[SCall(lhs=None, base="this", method="loop")],
+                    ),
+                },
+            )
+        )
+        result = inline_program(program)
+        assert result.recursion_cuts >= 1
+
+
+class TestQueryPlumbing:
+    def test_field_access_gets_query_var(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                fields=("f",),
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[
+                            SNew("a", "Main"),
+                            SLoadField("x", "a", "f"),
+                        ],
+                    )
+                },
+            )
+        )
+        result = inline_program(program)
+        pc = "Main.main/1"
+        qvar = query_var_for(pc)
+        assert result.access_points[pc][3] == qvar
+        atoms = list(atoms_of(result.program))
+        copy_at = atoms.index(Assign(qvar, "a_c0"))
+        assert atoms[copy_at + 1] == Observe(pc)
+        assert isinstance(atoms[copy_at + 2], LoadField)
+
+    def test_library_accesses_generate_no_queries(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[
+                            SNew("a", "Lib"),
+                            SCall(lhs=None, base="a", method="go"),
+                        ],
+                    )
+                },
+            )
+        )
+        program.add_class(
+            ClassDef(
+                name="Lib",
+                fields=("f",),
+                is_library=True,
+                methods={
+                    "go": MethodDef(
+                        name="go", body=[SStoreField("this", "f", "this")]
+                    )
+                },
+            )
+        )
+        result = inline_program(program)
+        assert not result.access_points
+        # The call in app code is still a type-state query candidate.
+        assert "Main.main/1" in result.call_points
+
+    def test_api_call_is_event_only(self):
+        program = FrontProgram()
+        program.add_class(ClassDef(name="File", is_library=True))
+        program.add_class(
+            ClassDef(
+                name="Main",
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[SNew("f", "File"), SApiCall("f", "open")],
+                    )
+                },
+            )
+        )
+        result = inline_program(program)
+        invokes = [a for a in atoms_of(result.program) if isinstance(a, Invoke)]
+        assert invokes == [Invoke("f_c0", "open", "Main.main/1")]
+
+
+class TestThreadStartLowering:
+    def test_thread_start_then_run_body(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[SNew("w", "Worker"), SThreadStart("w")],
+                    )
+                },
+            )
+        )
+        program.add_class(
+            ClassDef(
+                name="Worker",
+                methods={"run": MethodDef(name="run", body=[SNew("l", "Worker")])},
+            )
+        )
+        result = inline_program(program)
+        atoms = list(atoms_of(result.program))
+        start_at = atoms.index(ThreadStart("w_c0"))
+        rest = atoms[start_at + 1 :]
+        assert any(isinstance(a, Assign) and a.lhs.startswith("this_") for a in rest)
+        assert any(isinstance(a, New) and a.lhs.startswith("l_") for a in rest)
+
+
+class TestControlFlow:
+    def test_if_and_while_lowered(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                methods={
+                    "main": MethodDef(
+                        name="main",
+                        body=[
+                            SNew("a", "Main"),
+                            SIf(then=[SAssign("b", "a")], els=[SAssign("b", "b")]),
+                            SWhile(body=[SAssign("c", "a")]),
+                        ],
+                    )
+                },
+            )
+        )
+        result = inline_program(program)
+        from repro.lang import Choice, Star, Seq
+
+        def find(node, kind):
+            if isinstance(node, kind):
+                return True
+            if isinstance(node, Seq):
+                return find(node.first, kind) or find(node.second, kind)
+            if isinstance(node, Choice):
+                return find(node.left, kind) or find(node.right, kind)
+            if isinstance(node, Star):
+                return find(node.body, kind)
+            return False
+
+        assert find(result.program, Choice)
+        assert find(result.program, Star)
+
+    def test_command_count_matches_atoms(self):
+        result = inline_program(_simple_call_program())
+        assert result.command_count == len(list(atoms_of(result.program)))

@@ -1,0 +1,64 @@
+"""Tests for the may-alias oracle over renamed variables."""
+
+from repro.frontend import (
+    ClassDef,
+    FrontProgram,
+    MayAliasOracle,
+    MethodDef,
+    SAssign,
+    SNew,
+    build_callgraph,
+    inline_program,
+)
+
+
+def _setup():
+    program = FrontProgram()
+    program.add_class(
+        ClassDef(
+            name="Main",
+            methods={
+                "main": MethodDef(
+                    name="main",
+                    body=[
+                        SNew("a", "Main"),
+                        SNew("b", "Main"),
+                        SAssign("c", "a"),
+                    ],
+                )
+            },
+        )
+    )
+    callgraph = build_callgraph(program)
+    inlined = inline_program(program, callgraph)
+    return program, callgraph, MayAliasOracle(callgraph, inlined.var_origin)
+
+
+class TestOracle:
+    def test_direct_allocation(self):
+        program, _cg, oracle = _setup()
+        site_a = next(
+            s for s, pc in program.site_pc.items() if pc.endswith("/0")
+        )
+        assert oracle.may_point("a_c0", site_a)
+        assert not oracle.may_point("b_c0", site_a)
+
+    def test_copy_inherits_points_to(self):
+        program, _cg, oracle = _setup()
+        site_a = next(
+            s for s, pc in program.site_pc.items() if pc.endswith("/0")
+        )
+        assert oracle.may_point("c_c0", site_a)
+
+    def test_unknown_variable_points_nowhere(self):
+        _program, _cg, oracle = _setup()
+        assert oracle.points_to("ghost") == frozenset()
+
+    def test_for_site_predicate(self):
+        program, _cg, oracle = _setup()
+        site_b = next(
+            s for s, pc in program.site_pc.items() if pc.endswith("/1")
+        )
+        predicate = oracle.for_site(site_b)
+        assert predicate("b_c0")
+        assert not predicate("a_c0")

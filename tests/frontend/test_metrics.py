@@ -1,0 +1,61 @@
+"""Tests for the Table 1 program metrics."""
+
+from repro.frontend import (
+    ClassDef,
+    FrontProgram,
+    MethodDef,
+    SCall,
+    SNew,
+    compute_metrics,
+)
+
+
+def _program():
+    program = FrontProgram()
+    program.add_class(
+        ClassDef(
+            name="Main",
+            methods={
+                "main": MethodDef(
+                    name="main",
+                    body=[SNew("a", "Lib"), SCall(None, "a", "go")],
+                ),
+                "orphan": MethodDef(name="orphan", body=[SNew("z", "Main")]),
+            },
+        )
+    )
+    program.add_class(
+        ClassDef(
+            name="Lib",
+            is_library=True,
+            methods={"go": MethodDef(name="go", body=[SNew("t", "Lib")])},
+        )
+    )
+    return program
+
+
+class TestMetrics:
+    def test_app_vs_total_counts(self):
+        metrics = compute_metrics("m", _program())
+        assert metrics.app_classes == 1
+        assert metrics.total_classes == 2
+        assert metrics.app_methods == 2
+        assert metrics.total_methods == 3
+
+    def test_statement_counts(self):
+        metrics = compute_metrics("m", _program())
+        assert metrics.app_statements == 3
+        assert metrics.total_statements == 4
+
+    def test_reachable_excludes_orphan(self):
+        metrics = compute_metrics("m", _program())
+        assert metrics.reachable_methods == 2  # main + Lib.go
+
+    def test_escape_abstractions_count_reachable_sites_only(self):
+        metrics = compute_metrics("m", _program())
+        # orphan's allocation is unreachable.
+        assert metrics.escape_log2_abstractions == 2
+
+    def test_typestate_abstractions_count_inlined_variables(self):
+        metrics = compute_metrics("m", _program())
+        assert metrics.typestate_log2_abstractions >= 2

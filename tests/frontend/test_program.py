@@ -1,0 +1,104 @@
+"""Tests for the mini-Java IR and its finalize pass."""
+
+import pytest
+
+from repro.frontend import (
+    ClassDef,
+    FrontProgram,
+    FrontendError,
+    MethodDef,
+    SAssign,
+    SIf,
+    SNew,
+    SReturn,
+    SWhile,
+)
+from repro.frontend.program import walk_statements
+
+
+def _program(main_body):
+    program = FrontProgram()
+    program.add_class(
+        ClassDef(
+            name="Main",
+            methods={"main": MethodDef(name="main", body=main_body)},
+        )
+    )
+    return program
+
+
+class TestFinalize:
+    def test_assigns_unique_sites(self):
+        program = _program([SNew("a", "Main"), SNew("b", "Main")])
+        program.finalize()
+        sites = sorted(program.site_class)
+        assert len(sites) == 2
+        assert len(set(sites)) == 2
+
+    def test_assigns_pc_labels(self):
+        program = _program([SNew("a", "Main"), SAssign("b", "a")])
+        program.finalize()
+        pcs = [stmt.pc for stmt in walk_statements(program.entry().body)]
+        assert pcs == ["Main.main/0", "Main.main/1"]
+
+    def test_pc_labels_cover_nested_statements(self):
+        inner = SAssign("x", "y")
+        program = _program([SIf(then=[inner], els=[]), SWhile(body=[SAssign("z", "x")])])
+        program.finalize()
+        assert inner.pc == "Main.main/1"
+
+    def test_rejects_unknown_allocation_class(self):
+        program = _program([SNew("a", "Ghost")])
+        with pytest.raises(FrontendError):
+            program.finalize()
+
+    def test_rejects_missing_entry(self):
+        program = FrontProgram()
+        program.add_class(ClassDef(name="Main"))
+        with pytest.raises(FrontendError):
+            program.finalize()
+
+    def test_rejects_mid_body_return(self):
+        program = _program([SReturn("a"), SAssign("b", "a")])
+        with pytest.raises(FrontendError):
+            program.finalize()
+
+    def test_rejects_nested_return(self):
+        program = _program([SIf(then=[SReturn("a")], els=[])])
+        with pytest.raises(FrontendError):
+            program.finalize()
+
+    def test_rejects_duplicate_class(self):
+        program = _program([])
+        with pytest.raises(FrontendError):
+            program.add_class(ClassDef(name="Main"))
+
+    def test_finalize_is_idempotent(self):
+        program = _program([SNew("a", "Main")])
+        program.finalize()
+        first = dict(program.site_class)
+        program.finalize()
+        assert program.site_class == first
+
+
+class TestAppSites:
+    def test_sites_in_library_code_excluded(self):
+        program = FrontProgram()
+        program.add_class(
+            ClassDef(
+                name="Main",
+                methods={
+                    "main": MethodDef(name="main", body=[SNew("a", "Lib")])
+                },
+            )
+        )
+        program.add_class(
+            ClassDef(
+                name="Lib",
+                is_library=True,
+                methods={"helper": MethodDef(name="helper", body=[SNew("b", "Lib")])},
+            )
+        )
+        program.finalize()
+        assert len(program.app_sites()) == 1
+        assert len(program.site_class) == 2

@@ -1,0 +1,83 @@
+"""Unit tests for program AST construction helpers."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Atom,
+    Choice,
+    Invoke,
+    New,
+    Seq,
+    Skip,
+    Star,
+    atoms_of,
+    choice,
+    seq,
+)
+
+
+class TestSeq:
+    def test_empty_is_skip(self):
+        assert seq() == Skip()
+
+    def test_single_atom_coerced(self):
+        program = seq(Assign("x", "y"))
+        assert program == Atom(Assign("x", "y"))
+
+    def test_right_associated(self):
+        program = seq(Assign("a", "b"), Assign("c", "d"), Assign("e", "f"))
+        assert isinstance(program, Seq)
+        assert program.first == Atom(Assign("a", "b"))
+        assert isinstance(program.second, Seq)
+
+    def test_skip_units_removed(self):
+        program = seq(Skip(), Assign("x", "y"), Skip())
+        assert program == Atom(Assign("x", "y"))
+
+    def test_rejects_non_program(self):
+        with pytest.raises(TypeError):
+            seq("not a program")
+
+
+class TestChoice:
+    def test_requires_a_branch(self):
+        with pytest.raises(ValueError):
+            choice()
+
+    def test_two_branches(self):
+        program = choice(Assign("x", "y"), AssignNull("x"))
+        assert isinstance(program, Choice)
+
+    def test_single_branch_collapses(self):
+        assert choice(AssignNull("x")) == Atom(AssignNull("x"))
+
+
+class TestAtomsOf:
+    def test_atoms_in_syntax_order(self):
+        program = seq(
+            New("x", "h1"),
+            choice(Assign("y", "x"), AssignNull("y")),
+            Star(Atom(Invoke("x", "m"))),
+        )
+        atoms = list(atoms_of(program))
+        assert atoms == [
+            New("x", "h1"),
+            Assign("y", "x"),
+            AssignNull("y"),
+            Invoke("x", "m"),
+        ]
+
+    def test_skip_has_no_atoms(self):
+        assert list(atoms_of(Skip())) == []
+
+
+class TestStructuralEquality:
+    def test_commands_hashable_and_equal(self):
+        assert New("x", "h") == New("x", "h")
+        assert hash(Assign("a", "b")) == hash(Assign("a", "b"))
+        assert Assign("a", "b") != Assign("b", "a")
+
+    def test_invoke_default_label(self):
+        assert Invoke("x", "open") == Invoke("x", "open", "")

@@ -1,0 +1,76 @@
+"""Tests for CFG construction from structured programs."""
+
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Atom,
+    New,
+    Observe,
+    Skip,
+    Star,
+    build_cfg,
+    choice,
+    seq,
+)
+
+A = Assign("a", "b")
+B = AssignNull("c")
+
+
+def _paths(cfg, max_len=30):
+    """All command sequences from entry to exit (assumes acyclic or bounded)."""
+    results = []
+
+    def walk(node, acc, depth):
+        if depth > max_len:
+            return
+        if node == cfg.exit:
+            results.append(tuple(acc))
+        for edge in cfg.successors(node):
+            nxt = acc + ([edge.command] if edge.command else [])
+            walk(edge.dst, nxt, depth + 1)
+
+    walk(cfg.entry, [], 0)
+    return results
+
+
+class TestBuildCfg:
+    def test_skip_is_epsilon(self):
+        cfg = build_cfg(Skip())
+        assert _paths(cfg) == [()]
+
+    def test_atom_single_edge(self):
+        cfg = build_cfg(Atom(A))
+        assert _paths(cfg) == [(A,)]
+
+    def test_seq_path(self):
+        cfg = build_cfg(seq(A, B))
+        assert _paths(cfg) == [(A, B)]
+
+    def test_choice_two_paths(self):
+        cfg = build_cfg(choice(A, B))
+        assert sorted(_paths(cfg), key=repr) == sorted([(A,), (B,)], key=repr)
+
+    def test_star_creates_cycle(self):
+        cfg = build_cfg(Star(Atom(A)))
+        paths = set(_paths(cfg, max_len=6))
+        assert () in paths
+        assert (A,) in paths
+        assert (A, A) in paths
+
+    def test_entry_exit_distinct(self):
+        cfg = build_cfg(Atom(A))
+        assert cfg.entry != cfg.exit
+
+    def test_predecessors_inverse_of_successors(self):
+        cfg = build_cfg(seq(A, choice(B, New("x", "h"))))
+        for edge in cfg.edges:
+            assert edge in cfg.successors(edge.src)
+            assert edge in cfg.predecessors(edge.dst)
+
+    def test_observe_edges_indexed_by_label(self):
+        program = seq(A, Observe("q1"), B, Observe("q2"))
+        cfg = build_cfg(program)
+        table = cfg.observe_edges()
+        assert set(table) == {"q1", "q2"}
+        assert all(len(edges) == 1 for edges in table.values())

@@ -1,0 +1,141 @@
+"""Tests for the text syntax parser, including round-trips with the
+pretty printer."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Atom,
+    Choice,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    ParseError,
+    Skip,
+    Star,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+    atoms_of,
+    parse_program,
+    pretty_program,
+)
+
+
+class TestAtomicStatements:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("x = new h1", New("x", "h1")),
+            ("x = null", AssignNull("x")),
+            ("x = y", Assign("x", "y")),
+            ("x = $g", LoadGlobal("x", "g")),
+            ("$g = x", StoreGlobal("g", "x")),
+            ("x = y.f", LoadField("x", "y", "f")),
+            ("y.f = x", StoreField("y", "f", "x")),
+            ("x.open()", Invoke("x", "open", "")),
+            ("x.open() [pc3]", Invoke("x", "open", "pc3")),
+            ("start(v)", ThreadStart("v")),
+            ("observe q1", Observe("q1")),
+        ],
+    )
+    def test_parses_each_form(self, text, expected):
+        assert parse_program(text) == Atom(expected)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("x += y")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("x = y\nzzz ???")
+        assert info.value.line_no == 2
+
+
+class TestCompound:
+    def test_empty_program_is_skip(self):
+        assert parse_program("") == Skip()
+
+    def test_comments_and_blanks_ignored(self):
+        program = parse_program("# header\n\nx = y  # trailing\n")
+        assert program == Atom(Assign("x", "y"))
+
+    def test_choice(self):
+        program = parse_program(
+            """
+            choice {
+              x = y
+            } or {
+              x = null
+            }
+            """
+        )
+        assert isinstance(program, Choice)
+
+    def test_loop(self):
+        program = parse_program(
+            """
+            loop {
+              x.next()
+            }
+            """
+        )
+        assert isinstance(program, Star)
+
+    def test_nested_blocks(self):
+        program = parse_program(
+            """
+            loop {
+              choice {
+                x = y
+              } or {
+                skip
+              }
+            }
+            """
+        )
+        assert isinstance(program, Star)
+        assert isinstance(program.body, Choice)
+
+    def test_missing_close_brace(self):
+        with pytest.raises(ParseError):
+            parse_program("loop {\n x = y\n")
+
+    def test_paper_figure1_program(self):
+        program = parse_program(
+            """
+            x = new File
+            y = x
+            choice {
+              z = x
+            } or {
+              skip
+            }
+            x.open()
+            y.close()
+            observe check1
+            """
+        )
+        atoms = list(atoms_of(program))
+        assert atoms[0] == New("x", "File")
+        assert Invoke("x", "open", "") in atoms
+        assert Observe("check1") in atoms
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x = new h1\ny = x\nx.open()",
+            "choice {\n x = y\n} or {\n x = null\n}",
+            "loop {\n $g = x\n}",
+            "observe q0\nstart(t)\nu = v.f",
+        ],
+    )
+    def test_pretty_then_parse_is_identity(self, text):
+        program = parse_program(text)
+        reparsed = parse_program(pretty_program(program))
+        assert reparsed == program

@@ -1,0 +1,66 @@
+"""Tests for the trace semantics (Figure 2)."""
+
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Atom,
+    New,
+    Skip,
+    Star,
+    choice,
+    enumerate_traces,
+    seq,
+    trace_count,
+)
+
+A = Assign("a", "b")
+B = AssignNull("c")
+C = New("d", "h")
+
+
+class TestEnumerateTraces:
+    def test_skip_has_empty_trace(self):
+        assert list(enumerate_traces(Skip())) == [()]
+
+    def test_atom(self):
+        assert list(enumerate_traces(Atom(A))) == [(A,)]
+
+    def test_seq_concatenates(self):
+        assert list(enumerate_traces(seq(A, B))) == [(A, B)]
+
+    def test_choice_unions(self):
+        traces = set(enumerate_traces(choice(A, B)))
+        assert traces == {(A,), (B,)}
+
+    def test_seq_of_choice_distributes(self):
+        program = seq(choice(A, B), C)
+        assert set(enumerate_traces(program)) == {(A, C), (B, C)}
+
+    def test_star_includes_empty(self):
+        program = Star(Atom(A))
+        traces = set(enumerate_traces(program, max_unroll=3))
+        assert traces == {(), (A,), (A, A), (A, A, A)}
+
+    def test_star_of_choice(self):
+        program = Star(choice(A, B))
+        traces = set(enumerate_traces(program, max_unroll=2))
+        assert () in traces
+        assert (A, B) in traces
+        assert (B, A) in traces
+        assert len(traces) == 1 + 2 + 4
+
+    def test_nested_star(self):
+        program = Star(Star(Atom(A)))
+        traces = set(enumerate_traces(program, max_unroll=2))
+        assert () in traces and (A,) in traces and (A, A) in traces
+
+
+class TestTraceCount:
+    def test_linear_program(self):
+        assert trace_count(seq(A, B, C)) == 1
+
+    def test_two_choices(self):
+        assert trace_count(seq(choice(A, B), choice(A, C))) == 4
+
+    def test_star_counts_unrollings(self):
+        assert trace_count(Star(Atom(A)), max_unroll=4) == 5

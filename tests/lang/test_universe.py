@@ -1,0 +1,53 @@
+"""Tests for syntactic universe collection."""
+
+from repro.lang import collect_universe, parse_program
+
+
+class TestCollectUniverse:
+    def test_full_program(self):
+        universe = collect_universe(
+            parse_program(
+                """
+                x = new h1
+                y = x
+                z = null
+                a = $g1
+                $g2 = y
+                b = x.f
+                x.f2 = y
+                x.open() [pc1]
+                start(t)
+                observe q1
+                """
+            )
+        )
+        assert universe.variables == frozenset(
+            {"x", "y", "z", "a", "b", "t"}
+        )
+        assert universe.sites == frozenset({"h1"})
+        assert universe.fields == frozenset({"f", "f2"})
+        assert universe.globals == frozenset({"g1", "g2"})
+        assert universe.methods == frozenset({"open"})
+        assert universe.observe_labels == frozenset({"q1"})
+
+    def test_empty_program(self):
+        universe = collect_universe(parse_program(""))
+        assert universe.variables == frozenset()
+        assert universe.sites == frozenset()
+
+    def test_nested_control_flow_collected(self):
+        universe = collect_universe(
+            parse_program(
+                """
+                loop {
+                  choice {
+                    u = new h9
+                  } or {
+                    v = u
+                  }
+                }
+                """
+            )
+        )
+        assert universe.variables == frozenset({"u", "v"})
+        assert universe.sites == frozenset({"h9"})

@@ -1,0 +1,204 @@
+"""Tests for the provenance client: forward semantics, backward wp by
+exhaustive enumeration, and TRACER optimality against brute force."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import Tracer, TracerConfig
+from repro.core.formula import evaluate
+from repro.core.stats import QueryStatus
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+    parse_program,
+)
+from repro.provenance import (
+    PT_TOP,
+    ProvenanceAnalysis,
+    ProvenanceClient,
+    ProvenanceMeta,
+    ProvenanceQuery,
+    PtHas,
+    PtParam,
+    PtSchema,
+    PtTop,
+)
+from tests.randprog import random_escape_program
+
+VARS = ("x", "y")
+SITES = ("h1", "h2")
+SCHEMA = PtSchema(VARS)
+
+
+def all_params():
+    for r in range(len(SITES) + 1):
+        for combo in itertools.combinations(SITES, r):
+            yield frozenset(combo)
+
+
+def all_values():
+    yield PT_TOP
+    for r in range(len(SITES) + 1):
+        for combo in itertools.combinations(SITES, r):
+            yield frozenset(combo)
+
+
+def all_states():
+    for vx in all_values():
+        for vy in all_values():
+            yield SCHEMA.state({"x": vx, "y": vy})
+
+
+def all_primitives():
+    for h in SITES:
+        yield PtParam(h)
+    for v in VARS:
+        yield PtTop(v)
+        for h in SITES:
+            yield PtHas(v, h)
+
+
+class TestForward:
+    @pytest.fixture
+    def analysis(self):
+        return ProvenanceAnalysis(SCHEMA, frozenset(SITES))
+
+    def test_tracked_allocation(self, analysis):
+        d = analysis.transfer(New("x", "h1"), frozenset({"h1"}), SCHEMA.initial())
+        assert d.get("x") == frozenset({"h1"})
+
+    def test_untracked_allocation_is_top(self, analysis):
+        d = analysis.transfer(New("x", "h1"), frozenset(), SCHEMA.initial())
+        assert d.get("x") is PT_TOP
+
+    def test_copy_and_null(self, analysis):
+        d = SCHEMA.state({"y": frozenset({"h2"})})
+        d = analysis.transfer(Assign("x", "y"), frozenset(SITES), d)
+        assert d.get("x") == frozenset({"h2"})
+        d = analysis.transfer(AssignNull("x"), frozenset(SITES), d)
+        assert d.get("x") == frozenset()
+
+    def test_loads_are_top(self, analysis):
+        for command in (LoadGlobal("x", "g"), LoadField("x", "y", "f")):
+            d = analysis.transfer(command, frozenset(SITES), SCHEMA.initial())
+            assert d.get("x") is PT_TOP
+
+    def test_stores_are_identity(self, analysis):
+        d = SCHEMA.state({"x": frozenset({"h1"})})
+        for command in (
+            StoreGlobal("g", "x"),
+            StoreField("y", "f", "x"),
+            ThreadStart("x"),
+            Invoke("x", "m"),
+            Observe("q"),
+        ):
+            assert analysis.transfer(command, frozenset(SITES), d) == d
+
+
+COMMANDS = [
+    New("x", "h1"),
+    New("x", "h2"),
+    Assign("x", "y"),
+    Assign("y", "x"),
+    Assign("x", "x"),
+    AssignNull("x"),
+    LoadGlobal("x", "g"),
+    LoadField("y", "x", "f"),
+    StoreGlobal("g", "x"),
+    StoreField("x", "f", "y"),
+    ThreadStart("y"),
+    Invoke("x", "m"),
+    Observe("q"),
+]
+
+
+@pytest.mark.parametrize("command", COMMANDS, ids=repr)
+def test_wp_matches_forward(command):
+    analysis = ProvenanceAnalysis(SCHEMA, frozenset(SITES))
+    meta = ProvenanceMeta(analysis)
+    theory = meta.theory
+    for prim in all_primitives():
+        pre = meta.wp_primitive(command, prim)
+        for p in all_params():
+            for d in all_states():
+                post = analysis.transfer(command, p, d)
+                assert evaluate(pre, theory, p, d) == theory.holds(
+                    prim, p, post
+                ), (command, prim)
+
+
+class TestEndToEnd:
+    def test_devirtualization_scenario(self):
+        program = parse_program(
+            """
+            choice {
+              x = new h1
+            } or {
+              x = new h2
+            }
+            y = x
+            observe pc
+            """
+        )
+        client = ProvenanceClient(program, SCHEMA, frozenset(SITES))
+        # y may come from h1 or h2: proving 'only h1/h2' needs both tracked.
+        record = Tracer(client, TracerConfig(k=2)).solve(
+            ProvenanceQuery("pc", "y", frozenset(SITES))
+        )
+        assert record.status is QueryStatus.PROVEN
+        assert record.abstraction == frozenset(SITES)
+        # Proving 'only h1' is impossible: the h2 branch refutes it.
+        record = Tracer(client, TracerConfig(k=2)).solve(
+            ProvenanceQuery("pc", "y", frozenset({"h1"}))
+        )
+        assert record.status is QueryStatus.IMPOSSIBLE
+
+    def test_heap_load_is_impossible(self):
+        program = parse_program(
+            """
+            x = new h1
+            y = $g
+            observe pc
+            """
+        )
+        client = ProvenanceClient(program, SCHEMA, frozenset(SITES))
+        record = Tracer(client).solve(
+            ProvenanceQuery("pc", "y", frozenset(SITES))
+        )
+        assert record.status is QueryStatus.IMPOSSIBLE
+
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("k", [1, None])
+    def test_optimality_vs_brute_force(self, seed, k):
+        rng = random.Random(seed * 11 + (3 if k is None else k))
+        from tests.randprog import FIELDS, SITES as RSITES, VARS as RVARS
+
+        program = random_escape_program(rng, length=6)
+        client = ProvenanceClient(
+            program, PtSchema(RVARS), frozenset(RSITES)
+        )
+        query = ProvenanceQuery("q", "x", frozenset(RSITES))
+        expected = None
+        for r in range(len(RSITES) + 1):
+            if expected is not None:
+                break
+            for combo in itertools.combinations(sorted(RSITES), r):
+                if client.counterexamples([query], frozenset(combo))[query] is None:
+                    expected = r
+                    break
+        record = Tracer(client, TracerConfig(k=k, max_iterations=100)).solve(query)
+        if expected is None:
+            assert record.status is QueryStatus.IMPOSSIBLE
+        else:
+            assert record.status is QueryStatus.PROVEN
+            assert record.abstraction_cost == expected

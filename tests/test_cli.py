@@ -1,0 +1,205 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FILE_PROGRAM = """
+x = new File
+y = x
+x.open()
+y.close()
+observe check1
+observe check2
+"""
+
+ESCAPE_PROGRAM = """
+u = new h1
+v = new h2
+v.f = u
+observe pc
+"""
+
+
+@pytest.fixture
+def file_prog(tmp_path):
+    path = tmp_path / "prog.rp"
+    path.write_text(FILE_PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def escape_prog(tmp_path):
+    path = tmp_path / "esc.rp"
+    path.write_text(ESCAPE_PROGRAM)
+    return str(path)
+
+
+class TestSolveTypestate:
+    def test_proven_query(self, file_prog, capsys):
+        code = main(
+            ["solve-typestate", file_prog, "--query", "check1", "--k", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PROVEN" in out
+        assert "{x, y}" in out
+
+    def test_impossible_query(self, file_prog, capsys):
+        code = main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check2",
+                "--allowed",
+                "opened",
+            ]
+        )
+        assert code == 0
+        assert "IMPOSSIBLE" in capsys.readouterr().out
+
+    def test_narrate_transcript(self, file_prog, capsys):
+        main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check1",
+                "--k",
+                "1",
+                "--narrate",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "iteration 1: p = {}" in out
+        assert "x = new File" in out
+
+    def test_beam_none_accepted(self, file_prog, capsys):
+        code = main(
+            ["solve-typestate", file_prog, "--query", "check1", "--k", "none"]
+        )
+        assert code == 0
+
+    def test_unknown_label_rejected(self, file_prog):
+        with pytest.raises(SystemExit):
+            main(["solve-typestate", file_prog, "--query", "ghost"])
+
+    def test_unknown_state_rejected(self, file_prog):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve-typestate",
+                    file_prog,
+                    "--query",
+                    "check1",
+                    "--allowed",
+                    "ajar",
+                ]
+            )
+
+    def test_stress_automaton(self, file_prog, capsys):
+        code = main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check1",
+                "--automaton",
+                "stress",
+                "--allowed",
+                "init",
+            ]
+        )
+        assert code == 0
+
+
+class TestSolveEscape:
+    def test_proven_query(self, escape_prog, capsys):
+        code = main(["solve-escape", escape_prog, "--query", "pc", "--var", "u"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PROVEN" in out
+        assert "{h1, h2}" in out
+
+    def test_unknown_variable_rejected(self, escape_prog):
+        with pytest.raises(SystemExit):
+            main(["solve-escape", escape_prog, "--query", "pc", "--var", "zz"])
+
+    def test_exhausted_returns_nonzero(self, escape_prog, capsys):
+        code = main(
+            [
+                "solve-escape",
+                escape_prog,
+                "--query",
+                "pc",
+                "--var",
+                "u",
+                "--max-iterations",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "UNRESOLVED" in capsys.readouterr().out
+
+
+class TestSolveProvenance:
+    @pytest.fixture
+    def prov_prog(self, tmp_path):
+        path = tmp_path / "prov.rp"
+        path.write_text(
+            "choice {\n  h = new A\n} or {\n  h = new B\n}\nobserve pc\n"
+        )
+        return str(path)
+
+    def test_proven_with_all_sites(self, prov_prog, capsys):
+        code = main(["solve-provenance", prov_prog, "--query", "pc", "--var", "h"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PROVEN" in out and "{A, B}" in out
+
+    def test_impossible_with_restricted_sites(self, prov_prog, capsys):
+        code = main(
+            [
+                "solve-provenance",
+                prov_prog,
+                "--query",
+                "pc",
+                "--var",
+                "h",
+                "--allowed",
+                "A",
+            ]
+        )
+        assert code == 0
+        assert "IMPOSSIBLE" in capsys.readouterr().out
+
+    def test_unknown_site_rejected(self, prov_prog):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve-provenance",
+                    prov_prog,
+                    "--query",
+                    "pc",
+                    "--var",
+                    "h",
+                    "--allowed",
+                    "Ghost",
+                ]
+            )
+
+
+class TestInfo:
+    def test_benchmark_info(self, capsys):
+        code = main(["info", "tsp"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tsp" in out
+        assert "queries:" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "proven" in result.stdout
+        assert "['x', 'y']" in result.stdout
+        assert "impossible" in result.stdout
+
+    def test_thread_escape_demo(self):
+        result = run_example("thread_escape_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "h1" in result.stdout and "h2" in result.stdout
+        assert "max tracked disjuncts: 1" in result.stdout
+
+    def test_file_protocol_audit(self):
+        result = run_example("file_protocol_audit.py")
+        assert result.returncode == 0, result.stderr
+        assert "PROVEN" in result.stdout
+        assert "IMPOSSIBLE" in result.stdout
+
+    def test_devirtualization(self):
+        result = run_example("devirtualization.py")
+        assert result.returncode == 0, result.stderr
+        assert "proven" in result.stdout
+        assert "impossible" in result.stdout
+        assert "RESULT: proven with cheapest abstraction" in result.stdout
+
+    def test_recursive_structures(self):
+        result = run_example("recursive_structures.py")
+        assert result.returncode == 0, result.stderr
+        assert "recursive: ['Node.grow']" in result.stdout
+        assert "PROVEN" in result.stdout
+        assert "IMPOSSIBLE" in result.stdout
+
+    def test_full_evaluation_quick(self):
+        result = run_example("full_evaluation.py", "--quick")
+        assert result.returncode == 0, result.stderr
+        assert "Table 2" in result.stdout
+        assert "Figure 12" in result.stdout
+        assert "Figure 13" in result.stdout

@@ -1,0 +1,45 @@
+"""The top-level package exposes a coherent public API."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_quickstart_runs(self):
+        program = repro.parse_program(
+            """
+            x = new File
+            y = x
+            x.open()
+            y.close()
+            observe check1
+            """
+        )
+        client = repro.TypestateClient(
+            program,
+            repro.file_automaton(),
+            "File",
+            variables=frozenset({"x", "y"}),
+        )
+        record = repro.Tracer(client, repro.TracerConfig(k=1)).solve(
+            repro.TypestateQuery("check1", frozenset({"closed"}))
+        )
+        assert record.status is repro.QueryStatus.PROVEN
+        assert record.abstraction == frozenset({"x", "y"})
+
+    def test_subpackages_importable(self):
+        import repro.bench
+        import repro.core
+        import repro.dataflow
+        import repro.escape
+        import repro.frontend
+        import repro.lang
+        import repro.typestate
+
+        assert repro.bench.BENCHMARK_NAMES

@@ -1,0 +1,48 @@
+"""Tiny toy primitives/theories shared across core tests.
+
+The toy world: an abstraction ``p`` is a frozenset of names, an
+abstract state ``d`` is a frozenset of names.  ``ParamFact(x)`` holds
+iff ``x in p``; ``StateFact(x)`` holds iff ``x in d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.formula import Primitive
+from repro.core.viability import ParamTheory
+
+
+@dataclass(frozen=True)
+class ParamFact(Primitive):
+    name: str
+
+    def __str__(self) -> str:
+        return f"param({self.name})"
+
+
+@dataclass(frozen=True)
+class StateFact(Primitive):
+    name: str
+
+    def __str__(self) -> str:
+        return f"state({self.name})"
+
+
+class ToyTheory(ParamTheory):
+    def holds(self, prim, p, d) -> bool:
+        if isinstance(prim, ParamFact):
+            return prim.name in p
+        if isinstance(prim, StateFact):
+            return prim.name in d
+        raise TypeError(prim)
+
+    def is_param(self, prim) -> bool:
+        return isinstance(prim, ParamFact)
+
+    def param_var(self, prim):
+        assert isinstance(prim, ParamFact)
+        return (prim.name, True)
+
+
+TOY = ToyTheory()

@@ -1,0 +1,79 @@
+"""Tests for type-state automata."""
+
+import pytest
+
+from repro.typestate import TOP_TRANSITION, TypestateAutomaton, file_automaton, stress_automaton
+
+
+class TestConstruction:
+    def test_rejects_unknown_init(self):
+        with pytest.raises(ValueError):
+            TypestateAutomaton.make("t", ["a"], "b", {"m": {"a": "a"}})
+
+    def test_rejects_partial_transition_row(self):
+        with pytest.raises(ValueError):
+            TypestateAutomaton.make("t", ["a", "b"], "a", {"m": {"a": "b"}})
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(ValueError):
+            TypestateAutomaton.make("t", ["a"], "a", {"m": {"a": "ghost"}})
+
+    def test_rejects_mismatched_strong_weak_methods(self):
+        with pytest.raises(ValueError):
+            TypestateAutomaton.make(
+                "t",
+                ["a"],
+                "a",
+                strong={"m": {"a": "a"}},
+                weak={"n": {"a": "a"}},
+            )
+
+    def test_weak_defaults_to_strong(self):
+        automaton = TypestateAutomaton.make("t", ["a"], "a", {"m": {"a": "a"}})
+        assert automaton.uniform
+
+
+class TestFileAutomaton:
+    def test_protocol_transitions(self):
+        automaton = file_automaton()
+        assert automaton.strong_target("open", "closed") == "opened"
+        assert automaton.strong_target("close", "opened") == "closed"
+
+    def test_error_transitions(self):
+        automaton = file_automaton()
+        assert automaton.strong_target("open", "opened") == TOP_TRANSITION
+        assert automaton.strong_error_states("close") == frozenset({"closed"})
+
+    def test_preimages(self):
+        automaton = file_automaton()
+        assert automaton.strong_preimage("open", "opened") == frozenset({"closed"})
+        assert automaton.strong_preimage("open", "closed") == frozenset()
+
+    def test_methods_and_events(self):
+        automaton = file_automaton()
+        assert automaton.methods == frozenset({"open", "close"})
+        assert automaton.is_event("open")
+        assert not automaton.is_event("read")
+
+
+class TestStressAutomaton:
+    def test_strong_is_identity(self):
+        automaton = stress_automaton(["m", "n"])
+        assert automaton.strong_target("m", "init") == "init"
+        assert automaton.strong_target("n", "error") == "error"
+
+    def test_weak_drives_to_error(self):
+        automaton = stress_automaton(["m"])
+        assert automaton.weak_target("m", "init") == "error"
+
+    def test_not_uniform(self):
+        assert not stress_automaton(["m"]).uniform
+
+    def test_no_top_transitions(self):
+        automaton = stress_automaton(["m"])
+        assert automaton.strong_error_states("m") == frozenset()
+        assert automaton.weak_error_states("m") == frozenset()
+
+    def test_requires_methods(self):
+        with pytest.raises(ValueError):
+            stress_automaton([])

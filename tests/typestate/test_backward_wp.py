@@ -1,0 +1,146 @@
+"""Exhaustive validation of the type-state backward transfer functions.
+
+Requirement (2) of Section 4 determines the backward functions
+semantically::
+
+    gamma([[a]]b(f)) = {(p, d) | (p, [[a]]p(d)) in gamma(f)}
+
+For small universes this is decidable by enumeration, so every
+``wp_primitive`` is checked against the forward semantics on *all*
+pairs ``(p, d)`` — the figures of the paper are partly garbled in the
+source text; this enumeration is the ground truth.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.formula import evaluate
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+from repro.typestate import (
+    TOP,
+    TsErr,
+    TsParam,
+    TsState,
+    TsType,
+    TsVar,
+    TypestateAnalysis,
+    TypestateMeta,
+    file_automaton,
+    stress_automaton,
+)
+
+VARS = ("x", "y")
+
+
+def all_params():
+    for r in range(len(VARS) + 1):
+        for combo in itertools.combinations(VARS, r):
+            yield frozenset(combo)
+
+
+def all_states(automaton):
+    yield TOP
+    states = sorted(automaton.states)
+    for ts_bits in range(2 ** len(states)):
+        ts = frozenset(s for i, s in enumerate(states) if ts_bits >> i & 1)
+        for vs_bits in range(2 ** len(VARS)):
+            vs = frozenset(v for i, v in enumerate(VARS) if vs_bits >> i & 1)
+            yield TsState(ts, vs)
+
+
+def all_primitives(automaton):
+    yield TsErr()
+    for v in VARS:
+        yield TsParam(v)
+        yield TsVar(v)
+    for s in sorted(automaton.states):
+        yield TsType(s)
+
+
+COMMANDS = [
+    New("x", "h"),
+    New("y", "h"),
+    New("x", "other"),
+    Assign("x", "y"),
+    Assign("y", "x"),
+    Assign("x", "x"),
+    AssignNull("x"),
+    LoadField("x", "y", "f"),
+    LoadGlobal("y", "g"),
+    StoreField("x", "f", "y"),
+    StoreGlobal("g", "x"),
+    ThreadStart("x"),
+    Observe("q"),
+    Invoke("x", "open"),
+    Invoke("y", "open"),
+    Invoke("x", "close"),
+    Invoke("x", "nonevent"),
+]
+
+STRESS_COMMANDS = [
+    Invoke("x", "m"),
+    Invoke("y", "m"),
+    New("x", "h"),
+    Assign("y", "x"),
+]
+
+
+def _check(analysis, meta, command):
+    automaton = analysis.automaton
+    theory = meta.theory
+    failures = []
+    for prim in all_primitives(automaton):
+        pre = meta.wp_primitive(command, prim)
+        for p in all_params():
+            for d in all_states(automaton):
+                post = analysis.transfer(command, p, d)
+                expected = theory.holds(prim, p, post)
+                actual = evaluate(pre, theory, p, d)
+                if expected != actual:
+                    failures.append((prim, p, d, post, expected, actual))
+    assert not failures, failures[:5]
+
+
+@pytest.mark.parametrize("command", COMMANDS, ids=repr)
+def test_wp_matches_forward_file_automaton(command):
+    analysis = TypestateAnalysis(file_automaton(), "h", frozenset(VARS))
+    meta = TypestateMeta(analysis)
+    _check(analysis, meta, command)
+
+
+@pytest.mark.parametrize("command", STRESS_COMMANDS, ids=repr)
+def test_wp_matches_forward_stress_automaton(command):
+    analysis = TypestateAnalysis(stress_automaton(["m"]), "h", frozenset(VARS))
+    meta = TypestateMeta(analysis)
+    _check(analysis, meta, command)
+
+
+def test_wp_with_may_point_gating():
+    analysis = TypestateAnalysis(
+        file_automaton(), "h", frozenset(VARS), may_point=lambda v: v == "x"
+    )
+    meta = TypestateMeta(analysis)
+    _check(analysis, meta, Invoke("y", "open"))
+    _check(analysis, meta, Invoke("x", "open"))
+
+
+def test_param_primitives_are_invariant():
+    analysis = TypestateAnalysis(file_automaton(), "h", frozenset(VARS))
+    meta = TypestateMeta(analysis)
+    from repro.core.formula import Lit, Literal
+
+    for command in COMMANDS:
+        pre = meta.wp_primitive(command, TsParam("x"))
+        assert pre == Lit(Literal(TsParam("x"), True))

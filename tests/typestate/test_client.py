@@ -1,0 +1,78 @@
+"""Unit tests for the type-state TRACER client plumbing."""
+
+import pytest
+
+from repro.core.formula import evaluate
+from repro.lang import parse_program
+from repro.typestate import (
+    TypestateClient,
+    TypestateQuery,
+    file_automaton,
+    stress_automaton,
+)
+
+PROGRAM = parse_program(
+    """
+    x = new File
+    x.open()
+    observe pc
+    """
+)
+
+
+@pytest.fixture
+def client():
+    return TypestateClient(
+        PROGRAM, file_automaton(), "File", frozenset({"x"})
+    )
+
+
+class TestFailCondition:
+    def test_disallowed_states_and_error(self, client):
+        query = TypestateQuery("pc", frozenset({"opened"}))
+        fail = client.fail_condition(query)
+        theory = client.meta.theory
+        from repro.typestate import TOP, TsState
+
+        assert evaluate(fail, theory, frozenset(), TOP)
+        assert evaluate(
+            fail, theory, frozenset(), TsState.make(["closed"], [])
+        )
+        assert not evaluate(
+            fail, theory, frozenset(), TsState.make(["opened"], [])
+        )
+
+
+class TestCounterexamples:
+    def test_weak_update_fails_without_tracking(self, client):
+        query = TypestateQuery("pc", frozenset({"opened"}))
+        trace = client.counterexamples([query], frozenset())[query]
+        assert trace is not None  # {closed, opened} reaches pc
+
+    def test_tracking_x_proves(self, client):
+        query = TypestateQuery("pc", frozenset({"opened"}))
+        assert client.counterexamples([query], frozenset({"x"}))[query] is None
+
+    def test_event_labels_gate_events(self):
+        client = TypestateClient(
+            PROGRAM,
+            stress_automaton(["open"]),
+            "File",
+            frozenset({"x"}),
+            event_labels=frozenset(),  # nothing is an event
+        )
+        query = TypestateQuery("pc", frozenset({"init"}))
+        # With no events the object stays init: trivially proven.
+        assert client.counterexamples([query], frozenset())[query] is None
+
+    def test_may_point_gates_events(self):
+        client = TypestateClient(
+            PROGRAM,
+            file_automaton(),
+            "File",
+            frozenset({"x"}),
+            may_point=lambda v: False,
+        )
+        query = TypestateQuery("pc", frozenset({"closed"}))
+        # open() is not an event for this instance: stays closed.
+        assert client.counterexamples([query], frozenset())[query] is None

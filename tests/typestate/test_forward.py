@@ -1,0 +1,155 @@
+"""Unit tests for the type-state forward transfer functions (Figure 4)."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+from repro.typestate import (
+    TOP,
+    TsState,
+    TypestateAnalysis,
+    file_automaton,
+    stress_automaton,
+)
+
+VARS = frozenset({"x", "y", "z"})
+
+
+@pytest.fixture
+def analysis():
+    return TypestateAnalysis(file_automaton(), "h", VARS)
+
+
+P_ALL = frozenset({"x", "y", "z"})
+P_NONE = frozenset()
+
+
+class TestMustAliasUpdates:
+    def test_new_tracked_site_starts_tracking(self, analysis):
+        d = analysis.transfer(New("x", "h"), P_ALL, TsState.make(["opened"], ["y"]))
+        assert d == TsState.make(["closed"], ["x"])
+
+    def test_new_tracked_site_untracked_var(self, analysis):
+        d = analysis.transfer(New("x", "h"), P_NONE, TsState.make(["closed"], []))
+        assert d == TsState.make(["closed"], [])
+
+    def test_new_other_site_drops_lhs(self, analysis):
+        d = analysis.transfer(
+            New("x", "other"), P_ALL, TsState.make(["opened"], ["x", "y"])
+        )
+        assert d == TsState.make(["opened"], ["y"])
+
+    def test_copy_propagates_alias_when_tracked(self, analysis):
+        d = analysis.transfer(Assign("y", "x"), P_ALL, TsState.make(["closed"], ["x"]))
+        assert d == TsState.make(["closed"], ["x", "y"])
+
+    def test_copy_drops_alias_when_untracked(self, analysis):
+        d = analysis.transfer(
+            Assign("y", "x"), frozenset({"x"}), TsState.make(["closed"], ["x", "y"])
+        )
+        assert d == TsState.make(["closed"], ["x"])
+
+    def test_copy_from_nonalias_drops_lhs(self, analysis):
+        d = analysis.transfer(Assign("y", "z"), P_ALL, TsState.make(["closed"], ["x", "y"]))
+        assert d == TsState.make(["closed"], ["x"])
+
+    def test_null_assignment_drops_lhs(self, analysis):
+        d = analysis.transfer(AssignNull("x"), P_ALL, TsState.make(["closed"], ["x"]))
+        assert d == TsState.make(["closed"], [])
+
+    @pytest.mark.parametrize(
+        "command",
+        [LoadField("x", "y", "f"), LoadGlobal("x", "g")],
+    )
+    def test_heap_loads_drop_lhs(self, analysis, command):
+        d = analysis.transfer(command, P_ALL, TsState.make(["closed"], ["x", "y"]))
+        assert d == TsState.make(["closed"], ["y"])
+
+    @pytest.mark.parametrize(
+        "command",
+        [StoreField("y", "f", "x"), StoreGlobal("g", "x"), ThreadStart("x"), Observe("q")],
+    )
+    def test_heap_stores_are_identity(self, analysis, command):
+        d0 = TsState.make(["closed"], ["x"])
+        assert analysis.transfer(command, P_ALL, d0) == d0
+
+
+class TestEvents:
+    def test_strong_update_on_must_alias(self, analysis):
+        d = analysis.transfer(
+            Invoke("x", "open"), P_ALL, TsState.make(["closed"], ["x"])
+        )
+        assert d == TsState.make(["opened"], ["x"])
+
+    def test_weak_update_keeps_old_states(self, analysis):
+        d = analysis.transfer(Invoke("x", "open"), P_NONE, TsState.make(["closed"], []))
+        assert d == TsState.make(["closed", "opened"], [])
+
+    def test_strong_error(self, analysis):
+        d = analysis.transfer(
+            Invoke("x", "close"), P_ALL, TsState.make(["closed"], ["x"])
+        )
+        assert d is TOP
+
+    def test_weak_error(self, analysis):
+        d = analysis.transfer(
+            Invoke("y", "close"), P_NONE, TsState.make(["closed", "opened"], [])
+        )
+        assert d is TOP
+
+    def test_non_automaton_method_is_identity(self, analysis):
+        d0 = TsState.make(["closed"], ["x"])
+        assert analysis.transfer(Invoke("x", "frobnicate"), P_ALL, d0) == d0
+
+    def test_may_point_gates_events(self):
+        analysis = TypestateAnalysis(
+            file_automaton(), "h", VARS, may_point=lambda v: v == "x"
+        )
+        d0 = TsState.make(["closed"], [])
+        assert analysis.transfer(Invoke("y", "open"), P_ALL, d0) == d0
+        assert analysis.transfer(Invoke("x", "open"), P_ALL, d0) == TsState.make(
+            ["closed", "opened"], []
+        )
+
+    def test_top_is_absorbing(self, analysis):
+        for command in [
+            New("x", "h"),
+            Assign("x", "y"),
+            Invoke("x", "open"),
+            AssignNull("x"),
+        ]:
+            assert analysis.transfer(command, P_ALL, TOP) is TOP
+
+
+class TestStressProperty:
+    def test_strong_call_keeps_init(self):
+        analysis = TypestateAnalysis(stress_automaton(["m"]), "h", VARS)
+        d = analysis.transfer(Invoke("x", "m"), P_ALL, TsState.make(["init"], ["x"]))
+        assert d == TsState.make(["init"], ["x"])
+
+    def test_weak_call_reaches_error(self):
+        analysis = TypestateAnalysis(stress_automaton(["m"]), "h", VARS)
+        d = analysis.transfer(Invoke("x", "m"), P_NONE, TsState.make(["init"], []))
+        assert d == TsState.make(["init", "error"], [])
+
+    def test_error_is_sticky(self):
+        analysis = TypestateAnalysis(stress_automaton(["m"]), "h", VARS)
+        d = analysis.transfer(
+            Invoke("x", "m"), P_ALL, TsState.make(["error"], ["x"])
+        )
+        assert d == TsState.make(["error"], ["x"])
+
+
+class TestInitialState:
+    def test_initial_state_is_init_with_empty_aliases(self, analysis):
+        assert analysis.initial_state() == TsState.make(["closed"], [])

@@ -1,0 +1,143 @@
+"""End-to-end reproduction of the paper's Figure 1 worked example.
+
+Program::
+
+    x = new File; y = x; if (*) z = x;
+    x.open(); y.close();
+    if (*) check1(x, closed) else check2(x, opened)
+
+Expected (Figure 1(b)):
+
+* check1 is provable; the cheapest abstraction is {x, y};
+* check2 is impossible — no abstraction proves it;
+* variable z never enters any abstraction TRACER tries.
+"""
+
+import pytest
+
+from repro.core import Tracer, TracerConfig, backward_trace
+from repro.core.formula import evaluate
+from repro.core.stats import QueryStatus
+from repro.lang import parse_program
+from repro.typestate import (
+    TsState,
+    TypestateClient,
+    TypestateQuery,
+    file_automaton,
+)
+
+PROGRAM_TEXT = """
+x = new File
+y = x
+choice {
+  z = x
+} or {
+  skip
+}
+x.open()
+y.close()
+observe check1
+observe check2
+"""
+
+
+@pytest.fixture
+def client():
+    return TypestateClient(
+        parse_program(PROGRAM_TEXT),
+        file_automaton(),
+        tracked_site="File",
+        variables=frozenset({"x", "y", "z"}),
+    )
+
+
+CHECK1 = TypestateQuery("check1", frozenset({"closed"}))
+CHECK2 = TypestateQuery("check2", frozenset({"opened"}))
+
+
+class TestCheck1:
+    def test_cheapest_abstraction_is_x_y(self, client):
+        record = Tracer(client, TracerConfig(k=1)).solve(CHECK1)
+        assert record.status is QueryStatus.PROVEN
+        assert record.abstraction == frozenset({"x", "y"})
+        assert record.abstraction_cost == 2
+
+    def test_three_iterations_with_k1(self, client):
+        # Paper: p={} fails, p={x} fails, p={x,y} proves.
+        record = Tracer(client, TracerConfig(k=1)).solve(CHECK1)
+        assert record.iterations == 3
+
+    def test_z_is_irrelevant(self, client):
+        record = Tracer(client, TracerConfig(k=1)).solve(CHECK1)
+        assert "z" not in record.abstraction
+
+    def test_k5_also_proves(self, client):
+        record = Tracer(client, TracerConfig(k=5)).solve(CHECK1)
+        assert record.status is QueryStatus.PROVEN
+        assert record.abstraction == frozenset({"x", "y"})
+
+    def test_no_beam_also_proves(self, client):
+        record = Tracer(client, TracerConfig(k=None)).solve(CHECK1)
+        assert record.status is QueryStatus.PROVEN
+        assert record.abstraction == frozenset({"x", "y"})
+
+
+class TestCheck2:
+    def test_impossible(self, client):
+        record = Tracer(client, TracerConfig(k=1)).solve(CHECK2)
+        assert record.status is QueryStatus.IMPOSSIBLE
+
+    def test_impossible_in_two_iterations(self, client):
+        # Paper Section 2: iteration 1 eliminates all p without x,
+        # iteration 2 eliminates all p with x.
+        record = Tracer(client, TracerConfig(k=1)).solve(CHECK2)
+        assert record.iterations == 2
+
+    def test_impossible_under_any_k(self, client):
+        for k in (1, 5, None):
+            record = Tracer(client, TracerConfig(k=k)).solve(CHECK2)
+            assert record.status is QueryStatus.IMPOSSIBLE
+
+
+class TestGroupedQueries:
+    def test_solving_both_together(self, client):
+        records = Tracer(client, TracerConfig(k=1)).solve_all([CHECK1, CHECK2])
+        assert records[CHECK1].status is QueryStatus.PROVEN
+        assert records[CHECK2].status is QueryStatus.IMPOSSIBLE
+
+
+class TestIteration1Artifacts:
+    """Spot-check the meta-analysis formulas of Figure 1(c)."""
+
+    def test_first_counterexample_under_empty_abstraction(self, client):
+        witnesses = client.counterexamples([CHECK1], frozenset())
+        trace = witnesses[CHECK1]
+        assert trace is not None
+        # The final forward state along the trace is TOP (after y.close()
+        # on {closed, opened} with empty must-alias set).
+        final = client.analysis.run_trace(
+            trace, frozenset(), client.analysis.initial_state()
+        )
+        from repro.typestate import TOP
+
+        assert final is TOP
+
+    def test_backward_condition_eliminates_all_p_without_x(self, client):
+        # Figure 1(c): the start formula implies x not in p.
+        witnesses = client.counterexamples([CHECK1], frozenset())
+        trace = witnesses[CHECK1]
+        result = backward_trace(
+            client.meta,
+            client.analysis,
+            trace,
+            frozenset(),
+            client.analysis.initial_state(),
+            client.fail_condition(CHECK1),
+            k=1,
+        )
+        theory = client.meta.theory
+        d_init = client.analysis.initial_state()
+        for p in [frozenset(), frozenset({"y"}), frozenset({"z"}), frozenset({"y", "z"})]:
+            assert evaluate(result.condition, theory, p, d_init)
+        for p in [frozenset({"x"}), frozenset({"x", "y"})]:
+            assert not evaluate(result.condition, theory, p, d_init)
