@@ -1,0 +1,207 @@
+"""Perf smoke benchmark: micro kernels + a scaled-down evaluation.
+
+Runs in well under a minute and writes a machine-readable
+``BENCH_smoke.json`` (timestamped wall-clock timings and cache-hit
+rates) so successive PRs leave a perf trajectory that can be diffed.
+
+Usage::
+
+    scripts/bench_smoke.sh            # or
+    PYTHONPATH=src python benchmarks/bench_smoke.py [output.json]
+
+The module is import-safe for pytest collection; all work happens in
+:func:`main`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import sys
+import time
+from dataclasses import dataclass
+
+
+def _time_kernel(kernel, repeats=5):
+    """Best-of-N wall time of ``kernel`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        kernel()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# -- micro kernels (self-contained versions of bench_micro's hot paths) -------
+
+
+def micro_dnf_simplify():
+    from repro.core.formula import Primitive, Theory, conj, disj, lit, nlit, simplify, to_dnf
+
+    @dataclass(frozen=True)
+    class Atom(Primitive):
+        name: str
+
+    class AtomTheory(Theory):
+        def holds(self, prim, p, d):
+            return True
+
+        def is_param(self, prim):
+            return False
+
+    theory = AtomTheory()
+    rng = random.Random(7)
+    atoms = [lit(Atom(f"s{i}")) for i in range(8)] + [
+        nlit(Atom(f"s{i}")) for i in range(8)
+    ]
+    formulas = [
+        disj(*(conj(*rng.sample(atoms, rng.randint(2, 4))) for _ in range(12)))
+        for _ in range(20)
+    ]
+
+    def kernel():
+        return [simplify(to_dnf(f, theory), theory) for f in formulas]
+
+    return _time_kernel(kernel)
+
+
+def micro_mincost_sat():
+    from repro.core.minsat import MinCostSat, NegLit, PosLit
+
+    rng = random.Random(13)
+    variables = [f"v{i}" for i in range(20)]
+    clauses = [
+        [
+            (PosLit if rng.random() < 0.7 else NegLit)(rng.choice(variables))
+            for _ in range(rng.randint(1, 3))
+        ]
+        for _ in range(40)
+    ]
+
+    def kernel():
+        solver = MinCostSat()
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    return _time_kernel(kernel)
+
+
+def micro_collecting_run():
+    from repro.dataflow import run_collecting
+    from repro.escape import EscSchema, EscapeAnalysis
+    from repro.lang import build_cfg, parse_program
+
+    program = parse_program(
+        """
+        loop {
+          choice {
+            u = new h1
+            v = u
+          } or {
+            $g = v
+            w = $g
+          }
+          v.f = u
+        }
+        observe q
+        """
+    )
+    analysis = EscapeAnalysis(EscSchema(["u", "v", "w"], ["f"]), frozenset({"h1"}))
+    cfg = build_cfg(program)
+    p = frozenset({"h1"})
+
+    def kernel():
+        return run_collecting(
+            cfg,
+            lambda c, d: analysis.transfer(c, p, d),
+            analysis.initial_state(),
+        )
+
+    return _time_kernel(kernel)
+
+
+# -- scaled-down evaluation ---------------------------------------------------
+
+SMOKE_BENCHMARKS = ("tsp", "elevator", "hedc")
+SMOKE_ANALYSES = ("typestate", "escape")
+
+
+def smoke_evaluation():
+    """Serial and 2-worker evaluation of the two smallest benchmarks;
+    returns timings plus forward-run cache-hit rates."""
+    from repro.bench.harness import prepare
+    from repro.bench.parallel import evaluate_many
+    from repro.core.tracer import TracerConfig
+
+    config = TracerConfig(k=5, max_iterations=30)
+    instances = {name: prepare(name) for name in SMOKE_BENCHMARKS}
+
+    started = time.perf_counter()
+    serial = evaluate_many(instances, SMOKE_ANALYSES, config, jobs=1)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = evaluate_many(instances, SMOKE_ANALYSES, config, jobs=2)
+    parallel_seconds = time.perf_counter() - started
+
+    per_workload = {}
+    for name in SMOKE_BENCHMARKS:
+        for analysis in SMOKE_ANALYSES:
+            result = serial[name][analysis]
+            par = parallel[name][analysis]
+            same = [
+                (r.query_id, r.status.value, r.iterations)
+                for r in result.records
+            ] == [
+                (r.query_id, r.status.value, r.iterations) for r in par.records
+            ]
+            per_workload[f"{name}/{analysis}"] = {
+                "queries": result.query_count,
+                "forward_hits": result.forward_hits,
+                "forward_misses": result.forward_misses,
+                "forward_hit_rate": round(result.forward_hit_rate, 4),
+                "serial_matches_parallel": same,
+            }
+    return {
+        "benchmarks": list(SMOKE_BENCHMARKS),
+        "analyses": list(SMOKE_ANALYSES),
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds_jobs2": round(parallel_seconds, 4),
+        "workloads": per_workload,
+    }
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    out_path = argv[0] if argv else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_smoke.json",
+    )
+    started = time.perf_counter()
+    report = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "micro_seconds": {
+            "dnf_simplify": round(micro_dnf_simplify(), 6),
+            "mincost_sat": round(micro_mincost_sat(), 6),
+            "collecting_run": round(micro_collecting_run(), 6),
+        },
+        "evaluation": smoke_evaluation(),
+    }
+    report["total_seconds"] = round(time.perf_counter() - started, 4)
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {out_path} in {report['total_seconds']:.1f}s")
+    budget_ok = report["total_seconds"] < 60
+    print("within 60s budget" if budget_ok else "WARNING: exceeded 60s budget")
+    return 0 if budget_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

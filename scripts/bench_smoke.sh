@@ -1,0 +1,8 @@
+#!/bin/sh
+# Perf smoke benchmark: micro kernels + a scaled-down evaluation in
+# well under a minute.  Writes BENCH_smoke.json at the repo root (or
+# to $1 if given).
+set -eu
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python "$ROOT/benchmarks/bench_smoke.py" "$@"

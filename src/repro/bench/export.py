@@ -31,6 +31,7 @@ def record_to_dict(record: QueryRecord) -> dict:
         "time_seconds": round(record.time_seconds, 6),
         "max_disjuncts": record.max_disjuncts,
         "forward_runs": record.forward_runs,
+        "forward_cache_hits": record.forward_cache_hits,
     }
 
 
@@ -65,6 +66,9 @@ def aggregate_to_dict(aggregate: EvalAggregate) -> dict:
             else None
         ),
         "total_time_seconds": round(aggregate.total_time_seconds, 4),
+        "forward_runs": aggregate.forward_runs,
+        "forward_cache_hits": aggregate.forward_cache_hits,
+        "forward_cache_hit_rate": round(aggregate.forward_cache_hit_rate, 4),
         "groups": {
             "count": aggregate.groups.group_count,
             "min": aggregate.groups.minimum,
@@ -83,6 +87,11 @@ def results_to_dict(results: Mapping[str, Mapping[str, EvalResult]]) -> dict:
             aggregate = summarize_records(result.records)
             out[benchmark][analysis] = {
                 "wall_seconds": round(result.wall_seconds, 4),
+                "forward_cache": {
+                    "hits": result.forward_hits,
+                    "misses": result.forward_misses,
+                    "hit_rate": round(result.forward_hit_rate, 4),
+                },
                 "aggregate": aggregate_to_dict(aggregate),
                 "records": [record_to_dict(r) for r in result.records],
             }

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.suite import benchmark
 from repro.core.stats import QueryRecord
-from repro.core.tracer import Tracer, TracerConfig
+from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
 from repro.escape.client import EscapeClient, EscapeQuery
 from repro.escape.domain import EscSchema
 from repro.frontend.callgraph import CallGraph, build_callgraph
@@ -44,10 +44,14 @@ class BenchmarkInstance:
     inlined: InlineResult
     metrics: ProgramMetrics
     oracle: MayAliasOracle
+    #: True when the program is the standard named suite benchmark (so
+    #: worker processes can re-synthesize it from the name alone).
+    standard: bool = False
 
 
 def prepare(name: str, front: Optional[FrontProgram] = None) -> BenchmarkInstance:
     """Synthesize (or accept) a program and run the front-end pipeline."""
+    standard = front is None
     if front is None:
         front = benchmark(name)
     front.finalize()
@@ -62,6 +66,7 @@ def prepare(name: str, front: Optional[FrontProgram] = None) -> BenchmarkInstanc
         inlined=inlined,
         metrics=metrics,
         oracle=oracle,
+        standard=standard,
     )
 
 
@@ -185,10 +190,19 @@ class EvalResult:
     analysis: str
     records: List[QueryRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Forward-run cache counters, summed over the evaluation's TRACER
+    #: drivers (engine-level: one hit = one forward fixpoint skipped).
+    forward_hits: int = 0
+    forward_misses: int = 0
 
     @property
     def query_count(self) -> int:
         return len(self.records)
+
+    @property
+    def forward_hit_rate(self) -> float:
+        total = self.forward_hits + self.forward_misses
+        return self.forward_hits / total if total else 0.0
 
 
 #: Default per-query effort budget for the evaluation, playing the role
@@ -197,37 +211,64 @@ class EvalResult:
 DEFAULT_CONFIG = TracerConfig(k=5, max_iterations=30)
 
 
+#: The client-setup function per analysis name.  Single-client analyses
+#: map to a one-element list so evaluation (and the parallel executor's
+#: work units) can treat every analysis uniformly.
+ANALYSES = ("typestate", "escape", "typestate-interproc", "escape-interproc")
+
+
+def analysis_setups(bench: BenchmarkInstance, analysis: str):
+    """All ``(client, queries)`` pairs of one analysis on one benchmark.
+
+    Each pair is an independent TRACER workload (typestate clients
+    track different sites; the other analyses use a single client), so
+    the pairs are exactly the units the parallel executor fans out.
+    """
+    if analysis == "escape":
+        return [escape_setup(bench)]
+    if analysis == "escape-interproc":
+        return [escape_setup_interproc(bench)]
+    if analysis == "typestate":
+        return typestate_setup(bench)
+    if analysis == "typestate-interproc":
+        return typestate_setup_interproc(bench)
+    raise ValueError(f"unknown analysis {analysis!r}")
+
+
 def evaluate_benchmark(
     bench: BenchmarkInstance,
     analysis: str,
     config: TracerConfig = DEFAULT_CONFIG,
+    jobs: int = 1,
 ) -> EvalResult:
-    """Run grouped TRACER over every query of one client analysis."""
+    """Run grouped TRACER over every query of one client analysis.
+
+    With ``jobs > 1`` the independent client workloads are fanned out
+    across worker processes (see :mod:`repro.bench.parallel`); results
+    are merged deterministically, so statuses, abstractions, and
+    iteration counts are identical to a serial run.
+    """
+    if jobs > 1:
+        from repro.bench.parallel import evaluate_benchmark_parallel
+
+        return evaluate_benchmark_parallel(bench, analysis, config, jobs)
     started = time.perf_counter()
     records: List[QueryRecord] = []
-    if analysis == "escape":
-        client, queries = escape_setup(bench)
-        if queries:
-            solved = Tracer(client, config).solve_all(queries)
-            records.extend(solved[q] for q in queries)
-    elif analysis == "escape-interproc":
-        client, queries = escape_setup_interproc(bench)
-        if queries:
-            solved = Tracer(client, config).solve_all(queries)
-            records.extend(solved[q] for q in queries)
-    elif analysis == "typestate":
-        for client, queries in typestate_setup(bench):
-            solved = Tracer(client, config).solve_all(queries)
-            records.extend(solved[q] for q in queries)
-    elif analysis == "typestate-interproc":
-        for client, queries in typestate_setup_interproc(bench):
-            solved = Tracer(client, config).solve_all(queries)
-            records.extend(solved[q] for q in queries)
-    else:
-        raise ValueError(f"unknown analysis {analysis!r}")
+    cache = (
+        ForwardRunCache(config.forward_cache_size)
+        if config.forward_cache_size
+        else None
+    )
+    for client, queries in analysis_setups(bench, analysis):
+        if not queries:
+            continue
+        solved = Tracer(client, config, forward_cache=cache).solve_all(queries)
+        records.extend(solved[q] for q in queries)
     return EvalResult(
         benchmark=bench.name,
         analysis=analysis,
         records=records,
         wall_seconds=time.perf_counter() - started,
+        forward_hits=cache.hits if cache is not None else 0,
+        forward_misses=cache.misses if cache is not None else 0,
     )

@@ -1,0 +1,222 @@
+"""Process-parallel evaluation of independent TRACER workloads.
+
+The evaluation decomposes naturally: every ``(benchmark, analysis,
+client)`` triple is an independent TRACER run (typestate clients track
+different allocation sites and share nothing; benchmarks are disjoint
+programs), so the harness can fan those units across a
+:class:`concurrent.futures.ProcessPoolExecutor` and merge the results
+deterministically — unit results are concatenated in the exact order
+the serial harness would have produced them, so statuses, abstractions,
+and iteration counts are byte-for-byte identical to ``jobs=1`` (only
+wall-clock fields differ).
+
+Work units are described by *name + unit index*, not by pickled client
+objects: each worker process synthesizes the benchmark itself (memoised
+per process, and inherited for free on fork-based platforms via
+:func:`_seed_instance`), rebuilds the client list, and runs its
+assigned unit.  Custom (non-suite) programs ride along as a pickled
+:class:`~repro.frontend.program.FrontProgram`.
+
+Entry points:
+
+* :func:`evaluate_benchmark_parallel` — one benchmark, one analysis
+  (what ``evaluate_benchmark(..., jobs=N)`` delegates to);
+* :func:`evaluate_many` — the full cross product used by
+  ``full_report(jobs=N)`` and ``repro eval --jobs N``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import (
+    BenchmarkInstance,
+    DEFAULT_CONFIG,
+    EvalResult,
+    analysis_setups,
+    prepare,
+)
+from repro.core.stats import QueryRecord
+from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
+from repro.frontend.program import FrontProgram
+
+#: Unique tokens naming one parent-side ``BenchmarkInstance`` per
+#: evaluation call; see :func:`_seed_instance`.
+_seed_tokens = itertools.count()
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent TRACER workload: a single ``(client, queries)``
+    pair of one analysis on one benchmark."""
+
+    benchmark: str
+    analysis: str
+    index: int  # position in analysis_setups(bench, analysis)
+    token: int  # parent-side instance token (for the fork-time memo)
+    front: Optional[FrontProgram] = None  # only for non-suite programs
+
+
+#: Per-process memo of prepared benchmarks, keyed by (name, token).
+#: Fork-based platforms inherit the parent's seeded entries, so workers
+#: skip re-synthesizing the program; spawn-based platforms fall back to
+#: preparing from the unit description.
+_INSTANCES: Dict[Tuple[str, int], BenchmarkInstance] = {}
+
+
+def _seed_instance(bench: BenchmarkInstance) -> int:
+    """Register ``bench`` in the process-local memo and return its
+    token.  Called in the parent *before* the pool forks, so workers
+    start with the instance already in memory."""
+    token = next(_seed_tokens)
+    _INSTANCES[(bench.name, token)] = bench
+    return token
+
+
+def _instance(unit: WorkUnit) -> BenchmarkInstance:
+    key = (unit.benchmark, unit.token)
+    bench = _INSTANCES.get(key)
+    if bench is None:
+        bench = prepare(unit.benchmark, unit.front)
+        _INSTANCES[key] = bench
+    return bench
+
+
+def _run_unit(
+    unit: WorkUnit, config: TracerConfig
+) -> Tuple[List[QueryRecord], int, int]:
+    """Worker entry point: run one unit, return its records in query
+    order plus the unit's forward-run cache counters."""
+    bench = _instance(unit)
+    client, queries = analysis_setups(bench, unit.analysis)[unit.index]
+    if not queries:
+        return [], 0, 0
+    cache = (
+        ForwardRunCache(config.forward_cache_size)
+        if config.forward_cache_size
+        else None
+    )
+    solved = Tracer(client, config, forward_cache=cache).solve_all(queries)
+    records = [solved[q] for q in queries]
+    if cache is None:
+        return records, 0, 0
+    return records, cache.hits, cache.misses
+
+
+def work_units(bench: BenchmarkInstance, analysis: str) -> List[WorkUnit]:
+    """Enumerate the independent workloads of one benchmark/analysis in
+    the order the serial harness evaluates them."""
+    token = _seed_instance(bench)
+    front = None if bench.standard else bench.front
+    return [
+        WorkUnit(bench.name, analysis, index, token, front)
+        for index in range(len(analysis_setups(bench, analysis)))
+    ]
+
+
+def _merge(
+    bench_name: str,
+    analysis: str,
+    unit_results: Sequence[Tuple[List[QueryRecord], int, int]],
+    wall_seconds: float,
+) -> EvalResult:
+    """Deterministic merge: concatenate unit records in unit order."""
+    records: List[QueryRecord] = []
+    hits = misses = 0
+    for unit_records, unit_hits, unit_misses in unit_results:
+        records.extend(unit_records)
+        hits += unit_hits
+        misses += unit_misses
+    return EvalResult(
+        benchmark=bench_name,
+        analysis=analysis,
+        records=records,
+        wall_seconds=wall_seconds,
+        forward_hits=hits,
+        forward_misses=misses,
+    )
+
+
+def evaluate_benchmark_parallel(
+    bench: BenchmarkInstance,
+    analysis: str,
+    config: TracerConfig = DEFAULT_CONFIG,
+    jobs: int = 2,
+) -> EvalResult:
+    """Parallel counterpart of ``evaluate_benchmark``: same records in
+    the same order, computed by up to ``jobs`` worker processes."""
+    from repro.bench.harness import evaluate_benchmark
+
+    units = work_units(bench, analysis)
+    if jobs <= 1 or len(units) <= 1:
+        return evaluate_benchmark(bench, analysis, config)
+    started = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
+        unit_results = list(
+            pool.map(_run_unit, units, itertools.repeat(config))
+        )
+    return _merge(
+        bench.name, analysis, unit_results, time.perf_counter() - started
+    )
+
+
+def evaluate_many(
+    instances: Dict[str, BenchmarkInstance],
+    analyses: Sequence[str],
+    config: TracerConfig = DEFAULT_CONFIG,
+    jobs: int = 1,
+) -> Dict[str, Dict[str, EvalResult]]:
+    """Evaluate ``analyses`` over every benchmark in ``instances`` with
+    one shared worker pool.
+
+    All units of all ``(benchmark, analysis)`` pairs are fanned out
+    together, so a long escape run on one benchmark overlaps the many
+    small typestate units of another.  The result mapping (and every
+    record list in it) is ordered exactly as the serial nested loops
+    would produce it.
+    """
+    pairs = [
+        (name, analysis) for name in instances for analysis in analyses
+    ]
+    if jobs <= 1:
+        from repro.bench.harness import evaluate_benchmark
+
+        return_serial: Dict[str, Dict[str, EvalResult]] = {}
+        for name, analysis in pairs:
+            return_serial.setdefault(name, {})[analysis] = evaluate_benchmark(
+                instances[name], analysis, config
+            )
+        return return_serial
+
+    started = time.perf_counter()
+    units_of: Dict[Tuple[str, str], List[WorkUnit]] = {}
+    tokens: Dict[str, int] = {}
+    for name, analysis in pairs:
+        bench = instances[name]
+        # One seed token per instance, shared by its analyses.
+        if name not in tokens:
+            tokens[name] = _seed_instance(bench)
+        front = None if bench.standard else bench.front
+        units_of[(name, analysis)] = [
+            WorkUnit(name, analysis, index, tokens[name], front)
+            for index in range(len(analysis_setups(bench, analysis)))
+        ]
+    flat: List[WorkUnit] = []
+    spans: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    for pair, units in units_of.items():
+        spans[pair] = (len(flat), len(flat) + len(units))
+        flat.extend(units)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        flat_results = list(pool.map(_run_unit, flat, itertools.repeat(config)))
+    wall = time.perf_counter() - started
+    out: Dict[str, Dict[str, EvalResult]] = {}
+    for name, analysis in pairs:
+        lo, hi = spans[(name, analysis)]
+        out.setdefault(name, {})[analysis] = _merge(
+            name, analysis, flat_results[lo:hi], wall
+        )
+    return out

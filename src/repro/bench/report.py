@@ -15,6 +15,7 @@ from repro.bench.figures import render_figure12, render_figure13, render_figure1
 from repro.bench.harness import BenchmarkInstance, evaluate_benchmark, prepare
 from repro.bench.suite import BENCHMARK_NAMES
 from repro.bench.tables import (
+    render_cache_stats,
     render_table1,
     render_table2,
     render_table3,
@@ -33,8 +34,14 @@ def full_report(
     max_iterations: int = 30,
     emit: Callable[[str], None] = print,
     k_sweep: Sequence[int] = (1, 5, 10),
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, object]]:
     """Run the evaluation on ``names`` and emit the report.
+
+    With ``jobs > 1`` every independent workload of the evaluation (per
+    benchmark, per analysis, per client) runs on a process pool; the
+    rendered tables and figures are identical to a serial run because
+    results merge deterministically (only wall-clock timings differ).
 
     Returns the raw per-benchmark evaluation results keyed by analysis
     so callers can post-process them.
@@ -49,21 +56,41 @@ def full_report(
 
     results: Dict[str, Dict[str, object]] = {}
     aggregates = {}
-    for name in names:
+    if jobs > 1:
+        from repro.bench.parallel import evaluate_many
+
         started = time.perf_counter()
-        results[name] = {
-            analysis: evaluate_benchmark(instances[name], analysis, config)
-            for analysis in ("typestate", "escape")
-        }
-        aggregates[name] = (
-            summarize_records(results[name]["typestate"].records),
-            summarize_records(results[name]["escape"].records),
+        results = evaluate_many(
+            instances, ("typestate", "escape"), config, jobs=jobs
         )
-        queries = sum(r.query_count for r in results[name].values())
+        queries = sum(
+            r.query_count for per in results.values() for r in per.values()
+        )
         emit(
-            f"  {name}: evaluated {queries} queries in "
-            f"{time.perf_counter() - started:.1f}s"
+            f"  evaluated {queries} queries across {len(names)} benchmarks "
+            f"in {time.perf_counter() - started:.1f}s (jobs={jobs})"
         )
+        for name in names:
+            aggregates[name] = (
+                summarize_records(results[name]["typestate"].records),
+                summarize_records(results[name]["escape"].records),
+            )
+    else:
+        for name in names:
+            started = time.perf_counter()
+            results[name] = {
+                analysis: evaluate_benchmark(instances[name], analysis, config)
+                for analysis in ("typestate", "escape")
+            }
+            aggregates[name] = (
+                summarize_records(results[name]["typestate"].records),
+                summarize_records(results[name]["escape"].records),
+            )
+            queries = sum(r.query_count for r in results[name].values())
+            emit(
+                f"  {name}: evaluated {queries} queries in "
+                f"{time.perf_counter() - started:.1f}s"
+            )
     emit("")
     emit(render_figure12(aggregates))
     emit("")
@@ -75,6 +102,9 @@ def full_report(
     emit("")
     emit("Table 4: cheapest abstraction reuse for proven queries")
     emit(render_table4(aggregates))
+    emit("")
+    emit("Forward-run cache effectiveness")
+    emit(render_cache_stats(results))
     emit("")
 
     sweep_names = [n for n in SMALLEST if n in instances]

@@ -94,6 +94,45 @@ def render_table1(metrics: Sequence[ProgramMetrics]) -> str:
 AggPair = Tuple[EvalAggregate, EvalAggregate]  # (typestate, escape)
 
 
+def render_cache_stats(results) -> str:
+    """Forward-run cache effectiveness per benchmark and analysis.
+
+    ``results`` is the ``full_report`` result mapping: per benchmark, a
+    mapping from analysis name to
+    :class:`~repro.bench.harness.EvalResult`.  ``fwd hits``/``fwd
+    misses`` count engine-level forward fixpoints served from / added
+    to the cache; ``round hits`` counts query-rounds that rode a cached
+    run (one cached run can serve a whole query group, so ``round
+    hits >= fwd hits``).
+    """
+    headers = [
+        "benchmark",
+        "analysis",
+        "fwd hits",
+        "fwd misses",
+        "hit rate",
+        "round hits",
+        "rounds",
+    ]
+    rows = []
+    for name, per_analysis in results.items():
+        for analysis, result in per_analysis.items():
+            rounds = sum(r.forward_runs for r in result.records)
+            round_hits = sum(r.forward_cache_hits for r in result.records)
+            rows.append(
+                [
+                    name,
+                    analysis,
+                    str(result.forward_hits),
+                    str(result.forward_misses),
+                    f"{result.forward_hit_rate:.0%}",
+                    str(round_hits),
+                    str(rounds),
+                ]
+            )
+    return _format_table(headers, rows)
+
+
 def render_table2(results: Dict[str, AggPair]) -> str:
     """Table 2: iteration statistics (proven vs impossible, per client)
     plus thread-escape running times."""

@@ -154,7 +154,7 @@ def _cmd_eval(args) -> int:
     from repro.bench.suite import BENCHMARK_NAMES
 
     names = SMALLEST if args.quick else BENCHMARK_NAMES
-    results = full_report(names=names, k=args.k)
+    results = full_report(names=names, k=args.k, jobs=args.jobs)
     if args.json:
         from repro.bench.export import export_json
 
@@ -234,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="only the 4 smallest benchmarks"
     )
     evaluation.add_argument("--k", type=_beam, default=5, metavar="K")
+    evaluation.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent workloads across N worker processes",
+    )
     evaluation.add_argument(
         "--json", metavar="PATH", help="also write results as JSON"
     )

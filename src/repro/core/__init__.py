@@ -64,7 +64,14 @@ from repro.core.parametric import (
     SubsetParamSpace,
 )
 from repro.core.stats import EvalAggregate, QueryRecord, QueryStatus, summarize_records
-from repro.core.tracer import Tracer, TracerClient, TracerConfig, run_query_group
+from repro.core.lru import LruCache
+from repro.core.tracer import (
+    ForwardRunCache,
+    Tracer,
+    TracerClient,
+    TracerConfig,
+    run_query_group,
+)
 from repro.core.viability import ViabilityStore
 
 __all__ = [
@@ -80,7 +87,9 @@ __all__ = [
     "IterationTranscript",
     "FormulaExplosion",
     "FootprintModel",
+    "ForwardRunCache",
     "Lit",
+    "LruCache",
     "Literal",
     "MapParamSpace",
     "MetaResult",

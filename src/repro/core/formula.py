@@ -28,6 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.lru import LruCache
+
+#: Distinguishes "absent" from a cached ``None`` (an unsatisfiable cube).
+_CACHE_MISS = object()
+
 
 class FormulaExplosion(RuntimeError):
     """Raised when DNF conversion exceeds the configured cube budget."""
@@ -267,17 +272,20 @@ class Theory:
                 return None
         return literals
 
+    #: Bound on the per-theory normalisation memo; crossing it evicts
+    #: one cold entry at a time (LRU) rather than the whole working set.
+    NORMALIZE_CACHE_SIZE = 500_000
+
     def normalize_cached(self, literals: Cube) -> Optional[Cube]:
         """Memoised :meth:`normalize_cube` — the DNF machinery
         re-normalises the same cubes constantly on long traces."""
         cache = getattr(self, "_normalize_cache", None)
         if cache is None:
-            cache = self._normalize_cache = {}
-        if literals in cache:
-            return cache[literals]
-        if len(cache) > 500_000:
-            cache.clear()
-        result = cache[literals] = self.normalize_cube(literals)
+            cache = self._normalize_cache = LruCache(self.NORMALIZE_CACHE_SIZE)
+        result = cache.get(literals, _CACHE_MISS)
+        if result is _CACHE_MISS:
+            result = self.normalize_cube(literals)
+            cache.put(literals, result)
         return result
 
 
@@ -305,13 +313,18 @@ class ExclusiveValueTheory(Theory):
         """Build the primitive asserting ``group_key = value``."""
         raise NotImplementedError
 
+    #: Bound on the primitive-group memo (one entry per distinct
+    #: primitive, so this only matters for very large universes).
+    GROUP_CACHE_SIZE = 65_536
+
     def _group_cached(self, prim: Primitive):
         cache = getattr(self, "_group_cache", None)
         if cache is None:
-            cache = self._group_cache = {}
-        if prim in cache:
-            return cache[prim]
-        result = cache[prim] = self.group_of(prim)
+            cache = self._group_cache = LruCache(self.GROUP_CACHE_SIZE)
+        result = cache.get(prim, _CACHE_MISS)
+        if result is _CACHE_MISS:
+            result = self.group_of(prim)
+            cache.put(prim, result)
         return result
 
     def normalize_cube(self, literals: Cube) -> Optional[Cube]:

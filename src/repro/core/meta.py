@@ -41,8 +41,11 @@ from repro.core.formula import (
     to_dnf,
     wp_substitute,
 )
+from repro.core.lru import LruCache
 from repro.core.parametric import ParametricAnalysis
 from repro.lang.ast import AtomicCommand, Trace
+
+_WP_MISS = object()
 
 
 class BackwardMetaAnalysis:
@@ -58,18 +61,20 @@ class BackwardMetaAnalysis:
         """
         raise NotImplementedError
 
+    #: Bound on the wp memo; eviction is LRU, one entry at a time.
+    WP_CACHE_SIZE = 200_000
+
     def wp_cached(self, command: AtomicCommand, prim) -> Formula:
         """Memoised :meth:`wp_primitive` — the same (command, primitive)
         pairs recur along every trace and TRACER iteration."""
         cache = getattr(self, "_wp_cache", None)
         if cache is None:
-            cache = self._wp_cache = {}
+            cache = self._wp_cache = LruCache(self.WP_CACHE_SIZE)
         key = (command, prim)
-        if key in cache:
-            return cache[key]
-        if len(cache) > 200_000:
-            cache.clear()
-        result = cache[key] = self.wp_primitive(command, prim)
+        result = cache.get(key, _WP_MISS)
+        if result is _WP_MISS:
+            result = self.wp_primitive(command, prim)
+            cache.put(key, result)
         return result
 
 

@@ -32,6 +32,9 @@ class QueryRecord:
     time_seconds: float = 0.0
     max_disjuncts: int = 0
     forward_runs: int = 0
+    #: How many of this query's rounds were served by a cached forward
+    #: fixpoint instead of a fresh run (the forward-run cache).
+    forward_cache_hits: int = 0
 
     @property
     def proven(self) -> bool:
@@ -79,6 +82,10 @@ class EvalAggregate:
     abstraction_sizes: Optional[MinMaxAvg]
     total_time_seconds: float
     groups: "GroupStats"
+    #: Query-rounds total and how many were served by the forward-run
+    #: cache (summed over records; see QueryRecord.forward_cache_hits).
+    forward_runs: int = 0
+    forward_cache_hits: int = 0
 
     @property
     def resolved(self) -> int:
@@ -87,6 +94,16 @@ class EvalAggregate:
     @property
     def resolved_fraction(self) -> float:
         return self.resolved / self.total if self.total else 0.0
+
+    @property
+    def forward_cache_hit_rate(self) -> float:
+        """Fraction of query-rounds whose forward fixpoint came from
+        the cache."""
+        return (
+            self.forward_cache_hits / self.forward_runs
+            if self.forward_runs
+            else 0.0
+        )
 
 
 @dataclass(frozen=True)
@@ -135,6 +152,8 @@ def summarize_records(records: Sequence[QueryRecord]) -> EvalAggregate:
         ),
         total_time_seconds=sum(r.time_seconds for r in records),
         groups=group_stats(records),
+        forward_runs=sum(r.forward_runs for r in records),
+        forward_cache_hits=sum(r.forward_cache_hits for r in records),
     )
 
 

@@ -18,15 +18,35 @@ The multi-query driver implements the grouping optimisation of
 Section 6: queries whose sets of unviable abstractions coincide are
 kept in one group and share forward runs; a group splits when the
 meta-analysis derives different failure clauses for its members.
+
+Forward runs dominate the cost of the loop (each is a full disjunctive
+collecting run over the program), and after a group splits its
+descendants frequently re-select an abstraction a sibling has already
+run.  :class:`ForwardRunCache` memoises forward fixpoints per
+``(client, abstraction)`` so those re-selections are served from
+memory; the cache is bounded (LRU) and its hits are recorded per query
+in :class:`~repro.core.stats.QueryRecord`.
 """
 
 from __future__ import annotations
 
+import inspect
+import itertools
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.core.formula import Formula, FormulaExplosion
+from repro.core.formula import Formula, FormulaExplosion, evaluate
 from repro.core.meta import BackwardMetaAnalysis, backward_trace
 from repro.core.parametric import ParametricAnalysis
 from repro.core.stats import QueryRecord, QueryStatus
@@ -35,12 +55,18 @@ from repro.lang.ast import Trace
 
 Query = Hashable
 
+#: Source of per-client cache tokens; see :meth:`TracerClient.cache_key`.
+_client_tokens = itertools.count()
+
 
 class TracerClient:
     """Everything TRACER needs to know about a client analysis.
 
     A client binds a program, a parametric forward analysis, a backward
-    meta-analysis, and a query vocabulary together.
+    meta-analysis, and a query vocabulary together.  Concrete clients
+    implement :meth:`fail_condition` and :meth:`run_forward`; the
+    default :meth:`counterexamples` then works for any query type with
+    a ``label`` attribute naming the ``Observe`` point it guards.
     """
 
     analysis: ParametricAnalysis
@@ -50,14 +76,96 @@ class TracerClient:
         """``not(q)`` — the condition under which ``query`` fails."""
         raise NotImplementedError
 
+    def run_forward(self, p: FrozenSet[str]):
+        """One forward fixpoint of the ``p``-instantiated analysis,
+        exposing ``states_before_observe(label)`` and ``trace_to``."""
+        raise NotImplementedError
+
+    def cache_key(self) -> Hashable:
+        """A key identifying this client's forward semantics in a
+        :class:`ForwardRunCache`.
+
+        Two clients may share a key only if ``run_forward`` agrees on
+        every abstraction.  The default is a token unique per client
+        instance, which is always sound; clients may prepend a
+        descriptive prefix (see the bundled clients)."""
+        token = getattr(self, "_cache_token", None)
+        if token is None:
+            token = self._cache_token = next(_client_tokens)
+        return token
+
     def counterexamples(
-        self, queries: Sequence[Query], p: FrozenSet[str]
+        self,
+        queries: Sequence[Query],
+        p: FrozenSet[str],
+        cache: "Optional[ForwardRunCache]" = None,
     ) -> Dict[Query, Optional[Trace]]:
         """Run the ``p``-instantiated forward analysis once and report,
         for every query, ``None`` (proved) or a counterexample trace —
         a sequence of atomic commands from program entry to the query
-        point ending in a state satisfying ``fail_condition``."""
-        raise NotImplementedError
+        point ending in a state satisfying ``fail_condition``.
+
+        When ``cache`` is given, the forward fixpoint is fetched
+        through it (and stored on a miss)."""
+        if cache is not None:
+            result = cache.fetch(self, p)
+        else:
+            result = self.run_forward(p)
+        theory = self.meta.theory
+        out: Dict[Query, Optional[Trace]] = {}
+        for query in queries:
+            fail = self.fail_condition(query)
+            witness: Optional[Trace] = None
+            for node, state in result.states_before_observe(query.label):
+                if evaluate(fail, theory, p, state):
+                    witness = result.trace_to(node, state)
+                    break
+            out[query] = witness
+        return out
+
+
+class ForwardRunCache:
+    """Bounded LRU of forward fixpoint results.
+
+    Keys are ``(client.cache_key(), abstraction)``; one cache may be
+    shared by many clients (the bench harness shares one per benchmark
+    evaluation, bounding total retained state).  Forward results are
+    immutable once computed, so sharing a cached result between query
+    groups is safe.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(self, client: TracerClient, p: FrozenSet[str]):
+        """Return the forward result for ``(client, p)``, running the
+        client's forward analysis on a miss."""
+        key = (client.cache_key(), p)
+        entries = self._entries
+        result = entries.get(key)
+        if result is not None:
+            entries.move_to_end(key)
+            self.hits += 1
+            return result
+        self.misses += 1
+        result = client.run_forward(p)
+        entries[key] = result
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -69,12 +177,15 @@ class TracerConfig:
     the evaluation and studies ``k`` in Figure 13.  ``max_iterations``
     and ``max_seconds`` bound the per-query effort; exceeding either
     marks the query ``EXHAUSTED`` (the paper's unresolved bucket).
+    ``forward_cache_size`` bounds the per-driver forward-run cache
+    (entries, LRU); ``0`` or ``None`` disables forward-run caching.
     """
 
     k: Optional[int] = 5
     max_iterations: int = 60
     max_seconds: Optional[float] = None
     max_cubes: Optional[int] = 200_000
+    forward_cache_size: Optional[int] = 64
 
 
 class ProgressError(RuntimeError):
@@ -93,9 +204,15 @@ class _Group:
 class Tracer:
     """Single-query and grouped multi-query TRACER driver."""
 
-    def __init__(self, client: TracerClient, config: TracerConfig = TracerConfig()):
+    def __init__(
+        self,
+        client: TracerClient,
+        config: TracerConfig = TracerConfig(),
+        forward_cache: Optional[ForwardRunCache] = None,
+    ):
         self.client = client
         self.config = config
+        self.forward_cache = forward_cache
 
     def solve(self, query: Query) -> QueryRecord:
         """Resolve a single query (Algorithm 1)."""
@@ -103,23 +220,47 @@ class Tracer:
 
     def solve_all(self, queries: Sequence[Query]) -> Dict[Query, QueryRecord]:
         """Resolve many queries with the Section 6 grouping optimisation."""
-        return run_query_group(self.client, queries, self.config)
+        return run_query_group(
+            self.client, queries, self.config, forward_cache=self.forward_cache
+        )
+
+
+def _cache_aware(client: TracerClient) -> bool:
+    """Whether the client's ``counterexamples`` accepts a ``cache``
+    argument (clients predating the forward-run cache may not)."""
+    try:
+        return "cache" in inspect.signature(client.counterexamples).parameters
+    except (TypeError, ValueError):
+        return False
 
 
 def run_query_group(
     client: TracerClient,
     queries: Sequence[Query],
     config: TracerConfig = TracerConfig(),
+    forward_cache: Optional[ForwardRunCache] = None,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> Dict[Query, QueryRecord]:
-    """The grouped TRACER driver; see :class:`Tracer`."""
+    """The grouped TRACER driver; see :class:`Tracer`.
+
+    ``forward_cache`` overrides the driver-local cache (pass one to
+    share fixpoints across several drivers); by default a fresh cache
+    of ``config.forward_cache_size`` entries is used.  ``clock`` is the
+    time source for per-query accounting (injectable for tests).
+    """
     theory = client.meta.theory
     if not isinstance(theory, ParamTheory):
         raise TypeError("the meta-analysis theory must be a ParamTheory")
+    if forward_cache is None and config.forward_cache_size:
+        forward_cache = ForwardRunCache(config.forward_cache_size)
+    if forward_cache is not None and not _cache_aware(client):
+        forward_cache = None
     d_init = client.analysis.initial_state()
     records: Dict[Query, QueryRecord] = {}
     iterations: Dict[Query, int] = {q: 0 for q in queries}
     elapsed: Dict[Query, float] = {q: 0.0 for q in queries}
     forward_runs: Dict[Query, int] = {q: 0 for q in queries}
+    cached_runs: Dict[Query, int] = {q: 0 for q in queries}
     max_disjuncts: Dict[Query, int] = {q: 0 for q in queries}
     groups: List[_Group] = [
         _Group(store=ViabilityStore(theory, d_init), queries=list(queries))
@@ -137,32 +278,47 @@ def run_query_group(
             time_seconds=elapsed[query],
             max_disjuncts=max_disjuncts[query],
             forward_runs=forward_runs[query],
+            forward_cache_hits=cached_runs[query],
         )
 
     while groups:
         next_groups: List[_Group] = []
         for group in groups:
-            started = time.perf_counter()
+            started = clock()
             p = group.store.choose_minimum()
             if p is None:
-                _charge(group.queries, started, elapsed)
+                _charge(group.queries, clock() - started, elapsed)
                 for query in group.queries:
                     resolve(query, QueryStatus.IMPOSSIBLE)
                 continue
-            witnesses = client.counterexamples(group.queries, p)
+            if forward_cache is not None:
+                hits_before = forward_cache.hits
+                witnesses = client.counterexamples(group.queries, p, cache=forward_cache)
+                round_was_cached = forward_cache.hits > hits_before
+            else:
+                witnesses = client.counterexamples(group.queries, p)
+                round_was_cached = False
+            # Selection + forward-run time is shared by every member;
+            # charge it *before* resolving so queries proven this round
+            # carry their share but none of the backward time below.
+            _charge(group.queries, clock() - started, elapsed)
             survivors: List[Query] = []
             for query in group.queries:
                 iterations[query] += 1
                 forward_runs[query] += 1
+                if round_was_cached:
+                    cached_runs[query] += 1
                 if witnesses[query] is None:
                     resolve(query, QueryStatus.PROVEN, p)
                 else:
                     survivors.append(query)
             # Backward meta-analysis per failing query; split the group
-            # by the clause sets learned.
+            # by the clause sets learned.  Each survivor is charged its
+            # own backward pass, not an equal share of the round.
             splits: Dict[Tuple, _Group] = {}
             for query in survivors:
                 trace = witnesses[query]
+                backward_started = clock()
                 try:
                     result = backward_trace(
                         client.meta,
@@ -178,6 +334,7 @@ def run_query_group(
                     # The meta-analysis formula outgrew the budget (the
                     # analogue of the paper's k=None memory blow-ups):
                     # give up on this query rather than on the run.
+                    elapsed[query] += clock() - backward_started
                     resolve(query, QueryStatus.EXHAUSTED)
                     continue
                 max_disjuncts[query] = max(
@@ -196,7 +353,7 @@ def run_query_group(
                     bucket = _Group(store=probe, queries=[])
                     splits[signature] = bucket
                 bucket.queries.append(query)
-            _charge(group.queries, started, elapsed)
+                elapsed[query] += clock() - backward_started
             for bucket in splits.values():
                 live: List[Query] = []
                 for query in bucket.queries:
@@ -214,11 +371,11 @@ def run_query_group(
     return records
 
 
-def _charge(queries: Sequence[Query], started: float, elapsed: Dict) -> None:
-    """Attribute a group round's wall time equally to its queries."""
+def _charge(queries: Sequence[Query], amount: float, elapsed: Dict) -> None:
+    """Attribute ``amount`` seconds of shared work equally to ``queries``."""
     if not queries:
         return
-    share = (time.perf_counter() - started) / len(queries)
+    share = amount / len(queries)
     for query in queries:
         elapsed[query] += share
 

@@ -10,15 +10,15 @@ holds when ``d(v) != E`` in every state reaching ``pc``, so::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Sequence
+from typing import FrozenSet, Optional
 
-from repro.core.formula import Formula, evaluate, lit
+from repro.core.formula import Formula, lit
 from repro.core.tracer import TracerClient
 from repro.dataflow.engines import ForwardResult, engine_for
 from repro.escape.analysis import EscapeAnalysis
 from repro.escape.domain import ESC, EscSchema
 from repro.escape.meta import EscapeMeta, VarIs
-from repro.lang.ast import Program, Trace
+from repro.lang.ast import Program
 from repro.lang.cfg import Cfg, build_cfg
 
 
@@ -55,24 +55,15 @@ class EscapeClient(TracerClient):
     def fail_condition(self, query: EscapeQuery) -> Formula:
         return lit(VarIs(query.var, ESC))
 
+    def cache_key(self):
+        """Forward-run cache identity; the base token distinguishes
+        client instances (and hence programs)."""
+        return ("escape", TracerClient.cache_key(self))
+
     def run_forward(self, p: FrozenSet[str]) -> ForwardResult:
         return self.engine.run(
             lambda command, d: self.analysis.transfer(command, p, d),
             self.analysis.initial_state(),
         )
 
-    def counterexamples(
-        self, queries: Sequence[EscapeQuery], p: FrozenSet[str]
-    ) -> Dict[EscapeQuery, Optional[Trace]]:
-        result = self.run_forward(p)
-        theory = self.meta.theory
-        out: Dict[EscapeQuery, Optional[Trace]] = {}
-        for query in queries:
-            fail = self.fail_condition(query)
-            witness: Optional[Trace] = None
-            for node, state in result.states_before_observe(query.label):
-                if evaluate(fail, theory, p, state):
-                    witness = result.trace_to(node, state)
-                    break
-            out[query] = witness
-        return out
+    # counterexamples() is inherited from TracerClient.

@@ -12,12 +12,12 @@ by some abstraction and (b) all of those sites lie in ``allowed``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Sequence
+from typing import FrozenSet, Optional
 
-from repro.core.formula import Formula, disj, evaluate, lit
+from repro.core.formula import Formula, disj, lit
 from repro.core.tracer import TracerClient
 from repro.dataflow.engines import ForwardResult, engine_for
-from repro.lang.ast import Program, Trace
+from repro.lang.ast import Program
 from repro.lang.cfg import Cfg, build_cfg
 from repro.provenance.analysis import ProvenanceAnalysis
 from repro.provenance.domain import PtSchema
@@ -55,24 +55,15 @@ class ProvenanceClient(TracerClient):
             *(lit(PtHas(query.var, h)) for h in bad_sites),
         )
 
+    def cache_key(self):
+        """Forward-run cache identity; the base token distinguishes
+        client instances (and hence programs)."""
+        return ("provenance", TracerClient.cache_key(self))
+
     def run_forward(self, p: FrozenSet[str]) -> ForwardResult:
         return self.engine.run(
             lambda command, d: self.analysis.transfer(command, p, d),
             self.analysis.initial_state(),
         )
 
-    def counterexamples(
-        self, queries: Sequence[ProvenanceQuery], p: FrozenSet[str]
-    ) -> Dict[ProvenanceQuery, Optional[Trace]]:
-        result = self.run_forward(p)
-        theory = self.meta.theory
-        out: Dict[ProvenanceQuery, Optional[Trace]] = {}
-        for query in queries:
-            fail = self.fail_condition(query)
-            witness: Optional[Trace] = None
-            for node, state in result.states_before_observe(query.label):
-                if evaluate(fail, theory, p, state):
-                    witness = result.trace_to(node, state)
-                    break
-            out[query] = witness
-        return out
+    # counterexamples() is inherited from TracerClient.

@@ -14,12 +14,12 @@ instances (their forward analyses track different objects).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import FrozenSet, Optional
 
-from repro.core.formula import Formula, disj, evaluate, lit
+from repro.core.formula import Formula, disj, lit
 from repro.core.tracer import TracerClient
 from repro.dataflow.engines import ForwardResult, engine_for
-from repro.lang.ast import Program, Trace
+from repro.lang.ast import Program
 from repro.lang.cfg import Cfg, build_cfg
 from repro.typestate.analysis import MayPoint, TypestateAnalysis
 from repro.typestate.automaton import TypestateAutomaton
@@ -62,6 +62,17 @@ class TypestateClient(TracerClient):
         bad_states = sorted(self.analysis.automaton.states - query.allowed)
         return disj(lit(ERR), *(lit(TsType(s)) for s in bad_states))
 
+    def cache_key(self):
+        """Forward-run cache identity: the tracked site and automaton
+        distinguish sibling clients of one benchmark; the base token
+        distinguishes client instances (and hence programs)."""
+        return (
+            "typestate",
+            self.analysis.tracked_site,
+            self.analysis.automaton.name,
+            TracerClient.cache_key(self),
+        )
+
     def run_forward(self, p: FrozenSet[str]) -> ForwardResult:
         """One forward run of the ``p``-instantiated analysis."""
         return self.engine.run(
@@ -69,18 +80,6 @@ class TypestateClient(TracerClient):
             self.analysis.initial_state(),
         )
 
-    def counterexamples(
-        self, queries: Sequence[TypestateQuery], p: FrozenSet[str]
-    ) -> Dict[TypestateQuery, Optional[Trace]]:
-        result = self.run_forward(p)
-        theory = self.meta.theory
-        out: Dict[TypestateQuery, Optional[Trace]] = {}
-        for query in queries:
-            fail = self.fail_condition(query)
-            witness: Optional[Trace] = None
-            for node, state in result.states_before_observe(query.label):
-                if evaluate(fail, theory, p, state):
-                    witness = result.trace_to(node, state)
-                    break
-            out[query] = witness
-        return out
+    # counterexamples() is inherited from TracerClient: one forward run
+    # (through the forward-run cache when the driver passes one), then a
+    # per-query scan of the states reaching each Observe label.
