@@ -116,11 +116,40 @@ def micro_collecting_run():
     def kernel():
         return run_collecting(
             cfg,
-            lambda c, d: analysis.transfer(c, p, d),
+            analysis.semantics.bound_step(p),
             analysis.initial_state(),
         )
 
     return _time_kernel(kernel)
+
+
+def micro_forward_phase():
+    """End-to-end forward runs over the smoke suite: each workload's
+    client analyses the program under the bottom abstraction, three
+    singletons and the full universe.  This is the path the compiled
+    dispatch cache and the pre-resolved ``bound_step`` closures
+    accelerate."""
+    from repro.bench.harness import escape_setup, prepare, typestate_setup
+
+    runs = []
+    for name in SMOKE_BENCHMARKS:
+        bench = prepare(name)
+        clients = [escape_setup(bench)[0]]
+        clients += [client for client, _queries in typestate_setup(bench)[:1]]
+        for client in clients:
+            space = client.analysis.param_space
+            universe = sorted(getattr(space, "universe", None) or space.keys)
+            abstractions = [frozenset()]
+            abstractions += [frozenset({x}) for x in universe[:3]]
+            abstractions.append(frozenset(universe))
+            runs.append((client, abstractions))
+
+    def kernel():
+        for client, abstractions in runs:
+            for p in abstractions:
+                client.run_forward(p)
+
+    return _time_kernel(kernel, repeats=3)
 
 
 # -- scaled-down evaluation ---------------------------------------------------
@@ -189,6 +218,7 @@ def main(argv=None):
             "dnf_simplify": round(micro_dnf_simplify(), 6),
             "mincost_sat": round(micro_mincost_sat(), 6),
             "collecting_run": round(micro_collecting_run(), 6),
+            "forward_phase": round(micro_forward_phase(), 6),
         },
         "evaluation": smoke_evaluation(),
     }

@@ -92,6 +92,16 @@ def results_to_dict(results: Mapping[str, Mapping[str, EvalResult]]) -> dict:
                     "misses": result.forward_misses,
                     "hit_rate": round(result.forward_hit_rate, 4),
                 },
+                "wp_cache": {
+                    "hits": result.wp_cache.hits,
+                    "misses": result.wp_cache.misses,
+                    "hit_rate": round(result.wp_cache.hit_rate, 4),
+                },
+                "dispatch_cache": {
+                    "hits": result.dispatch_cache.hits,
+                    "misses": result.dispatch_cache.misses,
+                    "hit_rate": round(result.dispatch_cache.hit_rate, 4),
+                },
                 "aggregate": aggregate_to_dict(aggregate),
                 "records": [record_to_dict(r) for r in result.records],
             }

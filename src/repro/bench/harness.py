@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.suite import benchmark
-from repro.core.stats import QueryRecord
+from repro.core.stats import CacheCounters, QueryRecord
 from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
 from repro.escape.client import EscapeClient, EscapeQuery
 from repro.escape.domain import EscSchema
@@ -194,6 +194,12 @@ class EvalResult:
     #: drivers (engine-level: one hit = one forward fixpoint skipped).
     forward_hits: int = 0
     forward_misses: int = 0
+    #: wp-memo counters, summed over the clients' backward
+    #: meta-analyses (one miss = one wp derived from the case table).
+    wp_cache: CacheCounters = CacheCounters()
+    #: Compiled-dispatch counters, summed over the clients' guarded
+    #: semantics (one miss = one command's table compiled + checked).
+    dispatch_cache: CacheCounters = CacheCounters()
 
     @property
     def query_count(self) -> int:
@@ -235,6 +241,25 @@ def analysis_setups(bench: BenchmarkInstance, analysis: str):
     raise ValueError(f"unknown analysis {analysis!r}")
 
 
+def client_cache_counters(client) -> Tuple[CacheCounters, CacheCounters]:
+    """The ``(wp-memo, compiled-dispatch)`` counters of one client.
+
+    Reads the counters the backward meta-analysis and the guarded
+    semantics accumulate; absent attributes (a client not built on the
+    IR) count as zero."""
+    meta = getattr(client, "meta", None)
+    wp = CacheCounters(
+        hits=getattr(meta, "wp_hits", 0),
+        misses=getattr(meta, "wp_misses", 0),
+    )
+    semantics = getattr(getattr(client, "analysis", None), "semantics", None)
+    dispatch = CacheCounters(
+        hits=getattr(semantics, "dispatch_hits", 0),
+        misses=getattr(semantics, "dispatch_misses", 0),
+    )
+    return wp, dispatch
+
+
 def evaluate_benchmark(
     bench: BenchmarkInstance,
     analysis: str,
@@ -259,11 +284,16 @@ def evaluate_benchmark(
         if config.forward_cache_size
         else None
     )
+    wp_cache = CacheCounters()
+    dispatch_cache = CacheCounters()
     for client, queries in analysis_setups(bench, analysis):
         if not queries:
             continue
         solved = Tracer(client, config, forward_cache=cache).solve_all(queries)
         records.extend(solved[q] for q in queries)
+        wp, dispatch = client_cache_counters(client)
+        wp_cache += wp
+        dispatch_cache += dispatch
     return EvalResult(
         benchmark=bench.name,
         analysis=analysis,
@@ -271,4 +301,6 @@ def evaluate_benchmark(
         wall_seconds=time.perf_counter() - started,
         forward_hits=cache.hits if cache is not None else 0,
         forward_misses=cache.misses if cache is not None else 0,
+        wp_cache=wp_cache,
+        dispatch_cache=dispatch_cache,
     )

@@ -38,9 +38,10 @@ from repro.bench.harness import (
     DEFAULT_CONFIG,
     EvalResult,
     analysis_setups,
+    client_cache_counters,
     prepare,
 )
-from repro.core.stats import QueryRecord
+from repro.core.stats import CacheCounters, QueryRecord
 from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
 from repro.frontend.program import FrontProgram
 
@@ -86,15 +87,17 @@ def _instance(unit: WorkUnit) -> BenchmarkInstance:
     return bench
 
 
-def _run_unit(
-    unit: WorkUnit, config: TracerConfig
-) -> Tuple[List[QueryRecord], int, int]:
+UnitResult = Tuple[List[QueryRecord], int, int, CacheCounters, CacheCounters]
+
+
+def _run_unit(unit: WorkUnit, config: TracerConfig) -> UnitResult:
     """Worker entry point: run one unit, return its records in query
-    order plus the unit's forward-run cache counters."""
+    order plus the unit's forward-run, wp-memo, and compiled-dispatch
+    cache counters."""
     bench = _instance(unit)
     client, queries = analysis_setups(bench, unit.analysis)[unit.index]
     if not queries:
-        return [], 0, 0
+        return [], 0, 0, CacheCounters(), CacheCounters()
     cache = (
         ForwardRunCache(config.forward_cache_size)
         if config.forward_cache_size
@@ -102,9 +105,10 @@ def _run_unit(
     )
     solved = Tracer(client, config, forward_cache=cache).solve_all(queries)
     records = [solved[q] for q in queries]
+    wp, dispatch = client_cache_counters(client)
     if cache is None:
-        return records, 0, 0
-    return records, cache.hits, cache.misses
+        return records, 0, 0, wp, dispatch
+    return records, cache.hits, cache.misses, wp, dispatch
 
 
 def work_units(bench: BenchmarkInstance, analysis: str) -> List[WorkUnit]:
@@ -121,16 +125,20 @@ def work_units(bench: BenchmarkInstance, analysis: str) -> List[WorkUnit]:
 def _merge(
     bench_name: str,
     analysis: str,
-    unit_results: Sequence[Tuple[List[QueryRecord], int, int]],
+    unit_results: Sequence[UnitResult],
     wall_seconds: float,
 ) -> EvalResult:
     """Deterministic merge: concatenate unit records in unit order."""
     records: List[QueryRecord] = []
     hits = misses = 0
-    for unit_records, unit_hits, unit_misses in unit_results:
+    wp_cache = CacheCounters()
+    dispatch_cache = CacheCounters()
+    for unit_records, unit_hits, unit_misses, unit_wp, unit_dispatch in unit_results:
         records.extend(unit_records)
         hits += unit_hits
         misses += unit_misses
+        wp_cache += unit_wp
+        dispatch_cache += unit_dispatch
     return EvalResult(
         benchmark=bench_name,
         analysis=analysis,
@@ -138,6 +146,8 @@ def _merge(
         wall_seconds=wall_seconds,
         forward_hits=hits,
         forward_misses=misses,
+        wp_cache=wp_cache,
+        dispatch_cache=dispatch_cache,
     )
 
 

@@ -95,7 +95,7 @@ AggPair = Tuple[EvalAggregate, EvalAggregate]  # (typestate, escape)
 
 
 def render_cache_stats(results) -> str:
-    """Forward-run cache effectiveness per benchmark and analysis.
+    """Cache effectiveness per benchmark and analysis.
 
     ``results`` is the ``full_report`` result mapping: per benchmark, a
     mapping from analysis name to
@@ -103,7 +103,10 @@ def render_cache_stats(results) -> str:
     misses`` count engine-level forward fixpoints served from / added
     to the cache; ``round hits`` counts query-rounds that rode a cached
     run (one cached run can serve a whole query group, so ``round
-    hits >= fwd hits``).
+    hits >= fwd hits``).  ``wp`` is the backward wp memo (one miss =
+    one weakest precondition derived from a case table) and ``disp``
+    the compiled-dispatch cache (one miss = one command's table
+    compiled and partition-checked).
     """
     headers = [
         "benchmark",
@@ -113,6 +116,8 @@ def render_cache_stats(results) -> str:
         "hit rate",
         "round hits",
         "rounds",
+        "wp rate",
+        "disp rate",
     ]
     rows = []
     for name, per_analysis in results.items():
@@ -128,6 +133,8 @@ def render_cache_stats(results) -> str:
                     f"{result.forward_hit_rate:.0%}",
                     str(round_hits),
                     str(rounds),
+                    f"{result.wp_cache.hit_rate:.0%}",
+                    f"{result.dispatch_cache.hit_rate:.0%}",
                 ]
             )
     return _format_table(headers, rows)

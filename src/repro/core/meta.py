@@ -64,6 +64,10 @@ class BackwardMetaAnalysis:
     #: Bound on the wp memo; eviction is LRU, one entry at a time.
     WP_CACHE_SIZE = 200_000
 
+    #: Memo counters, surfaced in the evaluation's cache statistics.
+    wp_hits: int = 0
+    wp_misses: int = 0
+
     def wp_cached(self, command: AtomicCommand, prim) -> Formula:
         """Memoised :meth:`wp_primitive` — the same (command, primitive)
         pairs recur along every trace and TRACER iteration."""
@@ -73,8 +77,11 @@ class BackwardMetaAnalysis:
         key = (command, prim)
         result = cache.get(key, _WP_MISS)
         if result is _WP_MISS:
+            self.wp_misses += 1
             result = self.wp_primitive(command, prim)
             cache.put(key, result)
+        else:
+            self.wp_hits += 1
         return result
 
 

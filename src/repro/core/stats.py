@@ -46,6 +46,28 @@ class QueryRecord:
 
 
 @dataclass(frozen=True)
+class CacheCounters:
+    """Hit/miss counters of one memo cache (forward-run, wp memo,
+    compiled dispatch)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def __add__(self, other: "CacheCounters") -> "CacheCounters":
+        return CacheCounters(
+            hits=self.hits + other.hits, misses=self.misses + other.misses
+        )
+
+
+@dataclass(frozen=True)
 class MinMaxAvg:
     """The min/max/avg triple the paper's tables report."""
 

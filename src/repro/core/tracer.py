@@ -33,6 +33,7 @@ from __future__ import annotations
 import inspect
 import itertools
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
@@ -227,11 +228,24 @@ class Tracer:
 
 def _cache_aware(client: TracerClient) -> bool:
     """Whether the client's ``counterexamples`` accepts a ``cache``
-    argument (clients predating the forward-run cache may not)."""
+    argument (clients predating the forward-run cache may not).
+
+    The two-argument signature is deprecated: it silently opts the
+    client out of forward-run caching.  Accept a ``cache`` keyword (and
+    ignore it if you must) instead."""
     try:
-        return "cache" in inspect.signature(client.counterexamples).parameters
+        aware = "cache" in inspect.signature(client.counterexamples).parameters
     except (TypeError, ValueError):
-        return False
+        aware = False
+    if not aware:
+        warnings.warn(
+            "TracerClient.counterexamples without a 'cache' parameter is "
+            "deprecated; accept counterexamples(queries, p, cache=None) to "
+            "enable forward-run caching",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return aware
 
 
 def run_query_group(

@@ -9,7 +9,7 @@
   (the role Chord's RHS tabulation plays in the paper).
 """
 
-from repro.dataflow.collecting import CollectingResult, run_collecting
+from repro.dataflow.collecting import CollectingResult, resolve_step, run_collecting
 from repro.dataflow.engines import CollectingEngine, ForwardResult, TabulationEngine, engine_for
 from repro.dataflow.interproc import ProcGraph, TabulationResult, run_tabulation
 from repro.dataflow.worklist import JoinSemilattice, PowersetLattice, solve_forward
@@ -24,6 +24,7 @@ __all__ = [
     "JoinSemilattice",
     "PowersetLattice",
     "engine_for",
+    "resolve_step",
     "run_collecting",
     "run_tabulation",
     "solve_forward",

@@ -28,6 +28,33 @@ Step = Callable[[AtomicCommand, object], object]
 _Witness = Optional[Tuple[int, object, CfgEdge]]
 
 
+def resolve_step(step: Step) -> Callable[[AtomicCommand], Callable]:
+    """A ``command -> (d -> d')`` resolver for ``step``.
+
+    When ``step`` offers a ``for_command`` hook (the
+    :class:`repro.core.semantics.BoundStep` protocol) the hook is used
+    directly — the fixpoint loops apply the same few commands to many
+    states, and pre-resolving each command once replaces the
+    per-application dispatch (table lookup, guard selection) with a
+    direct closure call.  Plain callables are wrapped per command."""
+    resolver = getattr(step, "for_command", None)
+    if resolver is not None:
+        return resolver
+    resolved: Dict[AtomicCommand, Callable[[object], object]] = {}
+
+    def resolve(command: AtomicCommand) -> Callable[[object], object]:
+        fn = resolved.get(command)
+        if fn is None:
+
+            def fn(d, _command=command):
+                return step(_command, d)
+
+            resolved[command] = fn
+        return fn
+
+    return resolve
+
+
 @dataclass
 class CollectingResult:
     """Fixpoint of the collecting semantics plus witness links."""
@@ -75,23 +102,46 @@ class CollectingResult:
         return tuple(commands)
 
 
-def run_collecting(cfg: Cfg, step: Step, entry_state: object) -> CollectingResult:
+def run_collecting(
+    cfg: Cfg,
+    step: Step,
+    entry_state: object,
+    edge_cache: Optional[Dict[int, Tuple]] = None,
+) -> CollectingResult:
     """Compute the collecting fixpoint from ``entry_state``.
 
     ``step`` is the (already ``p``-instantiated) transfer function; it
     must be total and deterministic on abstract states, and the state
-    space reachable from ``entry_state`` must be finite.
+    space reachable from ``entry_state`` must be finite.  Callers that
+    repeat runs with the *same* ``step`` may pass a persistent
+    ``edge_cache`` dict to reuse the per-node resolved successor lists
+    across runs.
     """
+    resolve = resolve_step(step)
+    # Per-node successor lists with the step closure resolved per edge,
+    # built once: the hot loop revisits the same nodes with many states.
+    compiled: Dict[int, Tuple[Tuple[CfgEdge, Optional[Callable]], ...]] = (
+        {} if edge_cache is None else edge_cache
+    )
     states: Dict[int, Dict[object, _Witness]] = {cfg.entry: {entry_state: None}}
     pending = deque([(cfg.entry, entry_state)])
     steps = 0
     while pending:
         node, state = pending.popleft()
-        for edge in cfg.successors(node):
-            if edge.command is None:
+        edges = compiled.get(node)
+        if edges is None:
+            edges = compiled[node] = tuple(
+                (
+                    edge,
+                    None if edge.command is None else resolve(edge.command),
+                )
+                for edge in cfg.successors(node)
+            )
+        for edge, fn in edges:
+            if fn is None:
                 out = state
             else:
-                out = step(edge.command, state)
+                out = fn(state)
                 steps += 1
             table = states.setdefault(edge.dst, {})
             if out not in table:

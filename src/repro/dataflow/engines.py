@@ -26,24 +26,46 @@ from repro.lang.cfg import Cfg, build_cfg
 ForwardResult = Union[CollectingResult, TabulationResult]
 
 
+#: Distinct step objects an engine keeps edge caches for.  Clients
+#: that reuse per-abstraction bound steps stay far below this; the
+#: bound protects against callers passing a fresh closure every run.
+_MAX_STEP_CACHES = 256
+
+
 class CollectingEngine:
-    """Intraprocedural engine over a single CFG."""
+    """Intraprocedural engine over a single CFG.
+
+    Resolved per-node successor lists are cached per ``step`` object,
+    so repeated runs with the same bound step (the TRACER loop
+    re-running under many abstractions) skip edge resolution entirely.
+    """
 
     def __init__(self, cfg: Cfg):
         self.cfg = cfg
+        self._edge_caches = {}
 
     def run(self, step, entry_state) -> CollectingResult:
-        return run_collecting(self.cfg, step, entry_state)
+        if len(self._edge_caches) > _MAX_STEP_CACHES:
+            self._edge_caches.clear()
+        cache = self._edge_caches.setdefault(step, {})
+        return run_collecting(self.cfg, step, entry_state, cache)
 
 
 class TabulationEngine:
-    """Interprocedural summary-based engine over a procedure graph."""
+    """Interprocedural summary-based engine over a procedure graph.
+
+    Caches resolved successor lists per ``step`` like
+    :class:`CollectingEngine`."""
 
     def __init__(self, graph: ProcGraph):
         self.graph = graph
+        self._edge_caches = {}
 
     def run(self, step, entry_state) -> TabulationResult:
-        return run_tabulation(self.graph, step, entry_state)
+        if len(self._edge_caches) > _MAX_STEP_CACHES:
+            self._edge_caches.clear()
+        cache = self._edge_caches.setdefault(step, {})
+        return run_tabulation(self.graph, step, entry_state, cache)
 
 
 def engine_for(program: Union[Program, ProcGraph]):

@@ -29,6 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.dataflow.collecting import resolve_step
 from repro.lang.ast import AtomicCommand, CallProc, Observe, Trace
 from repro.lang.cfg import Cfg, CfgEdge
 
@@ -156,9 +157,22 @@ class TabulationResult:
 
 
 def run_tabulation(
-    graph: ProcGraph, step: Step, entry_state: object
+    graph: ProcGraph,
+    step: Step,
+    entry_state: object,
+    edge_cache: Optional[Dict[Tuple[str, int], Tuple]] = None,
 ) -> TabulationResult:
-    """Compute the interprocedural fixpoint from ``entry_state``."""
+    """Compute the interprocedural fixpoint from ``entry_state``.
+
+    ``edge_cache`` mirrors :func:`repro.dataflow.collecting.run_collecting`:
+    a persistent dict reusing resolved successor lists across runs with
+    the same ``step``."""
+    resolve = resolve_step(step)
+    # Per-(proc, node) successor lists with the step closure resolved
+    # per edge, built once (``None`` marks epsilon and call edges).
+    compiled: Dict[Tuple[str, int], Tuple] = (
+        {} if edge_cache is None else edge_cache
+    )
     edges: Dict[PathEdge, Optional[_Witness]] = {}
     summaries: Dict[str, Dict[object, Set[object]]] = {
         name: {} for name in graph.procedures
@@ -190,7 +204,20 @@ def run_tabulation(
                         (caller_pe[0], call_edge.dst, caller_pe[2], d),
                         ("return", caller_pe, call_edge, path_edge),
                     )
-        for edge in cfg.successors(node):
+        node_key = (proc, node)
+        succ = compiled.get(node_key)
+        if succ is None:
+            succ = compiled[node_key] = tuple(
+                (
+                    edge,
+                    None
+                    if edge.command is None
+                    or isinstance(edge.command, CallProc)
+                    else resolve(edge.command),
+                )
+                for edge in cfg.successors(node)
+            )
+        for edge, fn in succ:
             command = edge.command
             if isinstance(command, CallProc):
                 callee = command.callee
@@ -210,10 +237,10 @@ def run_tabulation(
                         ("return", path_edge, edge, callee_exit),
                     )
                 continue
-            if command is None:
+            if fn is None:
                 out = d
             else:
-                out = step(command, d)
+                out = fn(d)
                 steps += 1
             discover((proc, edge.dst, entry, out), ("intra", path_edge, edge))
     return TabulationResult(

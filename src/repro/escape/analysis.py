@@ -1,10 +1,16 @@
-"""Forward transfer functions of the thread-escape analysis (Figure 5).
+"""Transfer semantics of the thread-escape analysis (Figure 5), as
+guarded-update case tables.
+
+Each command is described *once* by :meth:`EscapeSemantics.table_for`;
+the framework (:mod:`repro.core.semantics`) derives both the forward
+transfer function and the primitive weakest preconditions of Figure 11
+from the same table, so the two can never drift apart.
 
 The interesting commands are the two publication points — a store to a
 global and handing an object to a new thread — which trigger ``esc``
 when the published object is ``L``-summarised, and the field store
-``v.f = v'``, whose effect depends on the current bindings of ``v``,
-``f`` and ``v'``:
+``v.f = v'``, whose effect is a case split on the current bindings of
+``v``, ``f`` and ``v'``:
 
 * ``d(v) = E`` and ``d(v') = L`` — a local object becomes reachable
   from an escaped one: ``esc(d)``;
@@ -21,8 +27,22 @@ from __future__ import annotations
 
 from typing import FrozenSet
 
+from repro.core.formula import Formula, Primitive, TRUE, conj, disj, lit
 from repro.core.parametric import MapParamSpace, ParametricAnalysis
+from repro.core.semantics import (
+    IDENTITY,
+    Case,
+    Const,
+    Effect,
+    GuardedSemantics,
+    Location,
+    MapRead,
+    Read,
+    SemanticsBinding,
+    Updates,
+)
 from repro.escape.domain import ESC, LOC, NIL, EscSchema, EscState
+from repro.escape.meta import EscapeTheory, FieldIs, SiteIs, VarIs
 from repro.lang.ast import (
     Assign,
     AssignNull,
@@ -38,12 +58,209 @@ from repro.lang.ast import (
 )
 
 
+def _var_loc(name: str) -> Location:
+    return ("var", name)
+
+
+def _field_loc(name: str) -> Location:
+    return ("field", name)
+
+
+class EscapeBinding(SemanticsBinding):
+    """Location <-> primitive binding over a fixed :class:`EscSchema`.
+
+    Locations mirror the theory's exclusive-value groups: ``("var", v)``
+    for locals, ``("field", f)`` for fields; allocation-site primitives
+    have no location (no command writes the abstraction)."""
+
+    def __init__(self, schema: EscSchema):
+        self.schema = schema
+        self.theory = EscapeTheory()
+
+    def location_of(self, prim: Primitive):
+        if isinstance(prim, VarIs):
+            return _var_loc(prim.var)
+        if isinstance(prim, FieldIs):
+            return _field_loc(prim.field)
+        return None  # SiteIs: a parameter primitive
+
+    def prim_value(self, prim: Primitive):
+        return prim.value
+
+    def location_literal(self, location: Location, value) -> Formula:
+        kind, name = location
+        if kind == "var":
+            return lit(VarIs(name, value))
+        return lit(FieldIs(name, value))
+
+    def compile_read(self, location: Location):
+        index = self.schema.index(location[1])
+        return lambda p, d: d.values[index]
+
+    def compile_write(self, location: Location):
+        name = location[1]
+        return lambda d, value: d.set(name, value)
+
+    def compile_primitive_test(self, prim: Primitive):
+        if isinstance(prim, SiteIs):
+            site, want_local = prim.site, prim.value == LOC
+            return lambda p, d: (site in p) == want_local
+        index = self.schema.index(
+            prim.var if isinstance(prim, VarIs) else prim.field
+        )
+        value = prim.value
+        return lambda p, d: d.values[index] == value
+
+    def compile_primitive_test_bound(self, prim: Primitive, p):
+        if isinstance(prim, SiteIs):
+            value = (prim.site in p) == (prim.value == LOC)
+            return lambda d: value
+        index = self.schema.index(
+            prim.var if isinstance(prim, VarIs) else prim.field
+        )
+        value = prim.value
+        return lambda d: d.values[index] == value
+
+
+class Esc(Effect):
+    """``esc(d)`` of Figure 5: non-null locals to ``E``, fields to ``N``."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Esc()"
+
+    def value_expr_at(self, location, binding):
+        kind, _ = location
+        if kind == "var":
+            return MapRead(location, ((LOC, ESC), (ESC, ESC), (NIL, NIL)))
+        return Const(NIL)
+
+    def compile(self, binding):
+        return lambda p, d: d.esc()
+
+    def param_primitives(self, binding):
+        return ()
+
+
+ESC_EFFECT = Esc()
+
+
+def _var(v: str, o: str) -> Formula:
+    return lit(VarIs(v, o))
+
+
+def _field(f: str, o: str) -> Formula:
+    return lit(FieldIs(f, o))
+
+
+def _publish_table(var: str):
+    """Publishing ``var`` escapes everything iff ``d(var) = L``."""
+    return (
+        Case(_var(var, LOC), ESC_EFFECT),
+        Case(disj(_var(var, ESC), _var(var, NIL)), IDENTITY),
+    )
+
+
+class EscapeSemantics(GuardedSemantics):
+    """Case tables of the thread-escape transfer functions."""
+
+    def __init__(self, schema: EscSchema):
+        super().__init__(EscapeBinding(schema))
+
+    def table_for(self, command: AtomicCommand):
+        if isinstance(command, New):
+            lhs = _var_loc(command.lhs)
+            return (
+                Case(lit(SiteIs(command.site, LOC)), Updates.of({lhs: Const(LOC)})),
+                Case(lit(SiteIs(command.site, ESC)), Updates.of({lhs: Const(ESC)})),
+            )
+        if isinstance(command, Assign):
+            return (
+                Case(
+                    TRUE,
+                    Updates.of({_var_loc(command.lhs): Read(_var_loc(command.rhs))}),
+                ),
+            )
+        if isinstance(command, AssignNull):
+            return (Case(TRUE, Updates.of({_var_loc(command.lhs): Const(NIL)})),)
+        if isinstance(command, LoadGlobal):
+            return (Case(TRUE, Updates.of({_var_loc(command.lhs): Const(ESC)})),)
+        if isinstance(command, (StoreGlobal, ThreadStart)):
+            var = command.rhs if isinstance(command, StoreGlobal) else command.var
+            return _publish_table(var)
+        if isinstance(command, LoadField):
+            lhs = _var_loc(command.lhs)
+            return (
+                Case(
+                    _var(command.base, LOC),
+                    Updates.of({lhs: Read(_field_loc(command.field))}),
+                ),
+                Case(
+                    disj(_var(command.base, ESC), _var(command.base, NIL)),
+                    Updates.of({lhs: Const(ESC)}),
+                ),
+            )
+        if isinstance(command, StoreField):
+            return self._store_field_table(command)
+        if isinstance(command, (Invoke, Observe)):
+            return (Case(TRUE, IDENTITY),)
+        raise TypeError(f"unknown command: {command!r}")
+
+    @staticmethod
+    def _store_field_table(command: StoreField):
+        """``v.f = v'``: escape, absorb into the field summary, or no-op."""
+        base, field, rhs = command.base, command.field, command.rhs
+        return (
+            # A local object becomes reachable from an escaped one.
+            Case(conj(_var(base, ESC), _var(rhs, LOC)), ESC_EFFECT),
+            # The field summary would have to mix L with E.
+            Case(
+                conj(_var(base, LOC), _field(field, LOC), _var(rhs, ESC)),
+                ESC_EFFECT,
+            ),
+            Case(
+                conj(_var(base, LOC), _field(field, ESC), _var(rhs, LOC)),
+                ESC_EFFECT,
+            ),
+            # f = N absorbs d(v') (a store of null keeps it N).
+            Case(
+                conj(_var(base, LOC), _field(field, NIL)),
+                Updates.of({_field_loc(field): Read(_var_loc(rhs))}),
+            ),
+            # Equal values (or null stores) are invisible.
+            Case(
+                conj(
+                    _var(base, LOC),
+                    _field(field, LOC),
+                    disj(_var(rhs, LOC), _var(rhs, NIL)),
+                ),
+                IDENTITY,
+            ),
+            Case(
+                conj(
+                    _var(base, LOC),
+                    _field(field, ESC),
+                    disj(_var(rhs, ESC), _var(rhs, NIL)),
+                ),
+                IDENTITY,
+            ),
+            # Stores through null or into escaped state change nothing.
+            Case(_var(base, NIL), IDENTITY),
+            Case(
+                conj(_var(base, ESC), disj(_var(rhs, ESC), _var(rhs, NIL))),
+                IDENTITY,
+            ),
+        )
+
+
 class EscapeAnalysis(ParametricAnalysis):
     """The parametric thread-escape analysis ``(H -> {L,E}, #L, D, [[.]]p)``."""
 
     def __init__(self, schema: EscSchema, sites: FrozenSet[str]):
         self.schema = schema
         self.param_space = MapParamSpace(frozenset(sites), cheap=ESC, costly=LOC)
+        self.semantics = EscapeSemantics(schema)
 
     def initial_state(self) -> EscState:
         return self.schema.initial()
@@ -53,39 +270,4 @@ class EscapeAnalysis(ParametricAnalysis):
         return self.param_space.lookup(p, site)
 
     def transfer(self, command: AtomicCommand, p: FrozenSet[str], d: EscState) -> EscState:
-        if isinstance(command, New):
-            return d.set(command.lhs, self.site_value(p, command.site))
-        if isinstance(command, Assign):
-            return d.set(command.lhs, d.get(command.rhs))
-        if isinstance(command, AssignNull):
-            return d.set(command.lhs, NIL)
-        if isinstance(command, LoadGlobal):
-            return d.set(command.lhs, ESC)
-        if isinstance(command, (StoreGlobal, ThreadStart)):
-            var = command.rhs if isinstance(command, StoreGlobal) else command.var
-            return d.esc() if d.get(var) == LOC else d
-        if isinstance(command, LoadField):
-            if d.get(command.base) == LOC:
-                return d.set(command.lhs, d.get(command.field))
-            return d.set(command.lhs, ESC)
-        if isinstance(command, StoreField):
-            return self._store_field(command, d)
-        if isinstance(command, (Invoke, Observe)):
-            return d
-        raise TypeError(f"unknown command: {command!r}")
-
-    def _store_field(self, command: StoreField, d: EscState) -> EscState:
-        base = d.get(command.base)
-        rhs = d.get(command.rhs)
-        if base == ESC and rhs == LOC:
-            return d.esc()
-        if base == LOC:
-            old = d.get(command.field)
-            if old == rhs:
-                return d
-            if {old, rhs} == {NIL, LOC}:
-                return d.set(command.field, LOC)
-            if {old, rhs} == {NIL, ESC}:
-                return d.set(command.field, ESC)
-            return d.esc()  # {old, rhs} == {L, E}
-        return d
+        return self.semantics.transfer(command, p, d)

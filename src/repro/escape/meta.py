@@ -7,18 +7,16 @@ Primitive formulas over pairs ``(p, d)``:
 * ``VarIs(v, o)`` / ``FieldIs(f, o)`` with ``o in {L, E, N}`` — the
   state binds the local/field to ``o`` (``v.o`` / ``f.o``).
 
-Weakest preconditions are derived *systematically* rather than
-transcribed from Figure 11: every forward transfer function is a case
-split on the values of at most three locations, and in each case the
-effect is the identity, a single constant binding, or ``esc``.  The
-precondition of a primitive under such an effect is immediate, and the
-command's wp is the guard-by-guard disjunction.  The resulting
-formulas are semantically equal to Figure 11 (e.g. for ``g = v`` and a
-local ``u != v``::
+Weakest preconditions are no longer written here at all: the forward
+case tables in :mod:`repro.escape.analysis` are the single source of
+truth, and :class:`EscapeMeta` delegates to the generic guard-by-guard
+derivation of :mod:`repro.core.semantics`.  The derived formulas are
+semantically equal to Figure 11 (e.g. for ``g = v`` and a local
+``u != v``::
 
-    wp(u.E) = (v.L & u.L) | u.E
+    wp(u.E) = u.E | (v.L & u.L)
     wp(u.N) = u.N
-    wp(f.N) = v.L | ((v.E | v.N) & f.N)
+    wp(f.N) = f.N | v.L
 
 after DNF simplification) and are verified exhaustively against the
 forward semantics in the test suite.
@@ -27,35 +25,13 @@ forward semantics in the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
-from repro.core.formula import (
-    FALSE,
-    Formula,
-    Primitive,
-    TRUE,
-    conj,
-    disj,
-    lit,
-)
-from repro.core.formula import ExclusiveValueTheory
+from repro.core.formula import ExclusiveValueTheory, Formula, Primitive
 from repro.core.meta import BackwardMetaAnalysis
 from repro.core.viability import ParamTheory
-from repro.escape.analysis import EscapeAnalysis
-from repro.escape.domain import ESC, LOC, NIL, VALUES, EscState
-from repro.lang.ast import (
-    Assign,
-    AssignNull,
-    AtomicCommand,
-    Invoke,
-    LoadField,
-    LoadGlobal,
-    New,
-    Observe,
-    StoreField,
-    StoreGlobal,
-    ThreadStart,
-)
+from repro.escape.domain import ESC, LOC, VALUES, EscState
+from repro.lang.ast import AtomicCommand
 
 
 @dataclass(frozen=True)
@@ -133,142 +109,13 @@ class EscapeTheory(ExclusiveValueTheory, ParamTheory):
         return (prim.site, prim.value == LOC)
 
 
-def _var(v: str, o: str) -> Formula:
-    return lit(VarIs(v, o))
-
-
-def _field(f: str, o: str) -> Formula:
-    return lit(FieldIs(f, o))
-
-
-def _not_local(v: str) -> Formula:
-    return disj(_var(v, ESC), _var(v, NIL))
-
-
 class EscapeMeta(BackwardMetaAnalysis):
-    """Backward weakest preconditions on escape primitives."""
+    """Backward weakest preconditions on escape primitives, derived
+    from the forward case tables (requirement (2) by construction)."""
 
-    def __init__(self, analysis: EscapeAnalysis):
+    def __init__(self, analysis):
         self.analysis = analysis
-        self.theory = EscapeTheory()
+        self.theory = analysis.semantics.binding.theory
 
     def wp_primitive(self, command: AtomicCommand, prim: Primitive) -> Formula:
-        if isinstance(prim, SiteIs):
-            return lit(prim)  # no command changes the abstraction
-        if isinstance(command, New):
-            return self._wp_const(
-                command.lhs, lit(SiteIs(command.site, prim.value)), prim
-            ) if self._targets(prim, command.lhs) else lit(prim)
-        if isinstance(command, Assign):
-            if self._targets(prim, command.lhs):
-                return _var(command.rhs, prim.value)
-            return lit(prim)
-        if isinstance(command, AssignNull):
-            if self._targets(prim, command.lhs):
-                return TRUE if prim.value == NIL else FALSE
-            return lit(prim)
-        if isinstance(command, LoadGlobal):
-            if self._targets(prim, command.lhs):
-                return TRUE if prim.value == ESC else FALSE
-            return lit(prim)
-        if isinstance(command, (StoreGlobal, ThreadStart)):
-            var = command.rhs if isinstance(command, StoreGlobal) else command.var
-            return self._wp_publish(
-                esc_guard=_var(var, LOC), not_esc=_not_local(var), prim=prim
-            )
-        if isinstance(command, LoadField):
-            return self._wp_load_field(command, prim)
-        if isinstance(command, StoreField):
-            return self._wp_store_field(command, prim)
-        if isinstance(command, (Invoke, Observe)):
-            return lit(prim)
-        raise TypeError(f"unknown command: {command!r}")
-
-    # -- helpers -------------------------------------------------------------
-
-    @staticmethod
-    def _targets(prim: Primitive, local: str) -> bool:
-        return isinstance(prim, VarIs) and prim.var == local
-
-    @staticmethod
-    def _wp_const(local: str, site_formula: Formula, prim: Primitive) -> Formula:
-        """Precondition of ``local := p(h)`` for a primitive on ``local``:
-        ``N`` is impossible, otherwise the site must map to the value."""
-        assert isinstance(prim, VarIs) and prim.var == local
-        if prim.value == NIL:
-            return FALSE
-        return site_formula
-
-    def _wp_load_field(self, command: LoadField, prim: Primitive) -> Formula:
-        if not self._targets(prim, command.lhs):
-            return lit(prim)
-        through_local = conj(
-            _var(command.base, LOC), _field(command.field, prim.value)
-        )
-        if prim.value == ESC:
-            return disj(through_local, _not_local(command.base))
-        return through_local
-
-    def _wp_publish(
-        self, esc_guard: Formula, not_esc: Formula, prim: Primitive
-    ) -> Formula:
-        """Factored precondition for a command that either triggers
-        ``esc`` (when ``esc_guard`` holds) or is the identity.
-
-        The factoring mirrors Figure 11: when ``esc`` preserves the
-        asserted value (``E``/``N`` for locals, ``N`` for fields),
-        ``wp(q) = q | (esc_guard & esc_pre(q))``; otherwise the value
-        survives only without ``esc``: ``wp(q) = not_esc & q``.  The
-        first form keeps the formula's main disjunct free of guard
-        literals, which is what lets the beam search retain compact
-        cubes (e.g. ``wp(u.E) = u.E | (v.L & u.L)`` for ``g = v``).
-        """
-        if isinstance(prim, VarIs):
-            if prim.value == ESC:
-                return disj(lit(prim), conj(esc_guard, _var(prim.var, LOC)))
-            if prim.value == NIL:
-                return lit(prim)  # esc and identity both preserve null
-            return conj(not_esc, lit(prim))
-        if isinstance(prim, FieldIs):
-            if prim.value == NIL:
-                return disj(lit(prim), esc_guard)
-            return conj(not_esc, lit(prim))
-        raise TypeError(prim)
-
-    def _wp_store_field(self, command: StoreField, prim: Primitive) -> Formula:
-        """Precondition of ``v.f = v'`` (the last row of Figure 11).
-
-        The command either triggers ``esc``, updates the summary of
-        field ``f`` (only possible from ``f = N``), or is the identity;
-        locals and other fields see a pure publish command, while
-        primitives on ``f`` itself need the explicit case split.
-        """
-        base, field, rhs = command.base, command.field, command.rhs
-        esc_guard = disj(
-            conj(_var(base, ESC), _var(rhs, LOC)),
-            conj(_var(base, LOC), _field(field, LOC), _var(rhs, ESC)),
-            conj(_var(base, LOC), _field(field, ESC), _var(rhs, LOC)),
-        )
-        not_esc = disj(
-            _var(base, NIL),
-            conj(_var(base, ESC), _var(rhs, ESC)),
-            conj(_var(base, ESC), _var(rhs, NIL)),
-            conj(_var(base, LOC), _var(rhs, NIL)),
-            conj(_var(base, LOC), _field(field, NIL)),
-            conj(_var(base, LOC), _field(field, LOC), _var(rhs, LOC)),
-            conj(_var(base, LOC), _field(field, ESC), _var(rhs, ESC)),
-        )
-        if not (isinstance(prim, FieldIs) and prim.field == field):
-            return self._wp_publish(esc_guard, not_esc, prim)
-        # Primitive on the stored field itself.
-        identity_cases = disj(
-            conj(_var(base, NIL), lit(prim)),
-            conj(_var(base, ESC), _var(rhs, ESC), lit(prim)),
-            conj(_var(base, ESC), _var(rhs, NIL), lit(prim)),
-            conj(_var(base, LOC), _var(rhs, NIL), lit(prim)),
-            conj(_var(base, LOC), lit(prim), _var(rhs, prim.value)),
-        )
-        if prim.value == NIL:
-            return disj(esc_guard, identity_cases)
-        updated = conj(_var(base, LOC), _field(field, NIL), _var(rhs, prim.value))
-        return disj(updated, identity_cases)
+        return self.analysis.semantics.wp_primitive(command, prim)

@@ -1,4 +1,5 @@
-"""Forward transfer functions of the provenance analysis.
+"""Transfer semantics of the provenance analysis, as guarded-update
+case tables.
 
 Only commands that bind a variable matter:
 
@@ -8,13 +9,31 @@ Only commands that bind a variable matter:
 * heap and global loads — ``TOP`` (field summaries are not modelled;
   the query-relevant precision lives in the locals);
 * stores, calls and thread starts leave the state unchanged.
+
+Each command is described once by
+:meth:`ProvenanceSemantics.table_for`; the framework derives both the
+forward transfer function and the weakest preconditions from the same
+table.  A variable binding is one value, but it is *observed* through
+two primitive families (``v.top`` and ``h in v``), so the effects
+below expose one :class:`~repro.core.semantics.ValueExpr` per observed
+location ``("top", v)`` / ``("has", v, h)``.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import FrozenSet, Tuple
 
+from repro.core.formula import Primitive, TRUE, lit, nlit
 from repro.core.parametric import ParametricAnalysis, SubsetParamSpace
+from repro.core.semantics import (
+    IDENTITY,
+    Case,
+    Const,
+    Effect,
+    GuardedSemantics,
+    Read,
+    SemanticsBinding,
+)
 from repro.lang.ast import (
     Assign,
     AssignNull,
@@ -29,6 +48,175 @@ from repro.lang.ast import (
     ThreadStart,
 )
 from repro.provenance.domain import PT_TOP, PtSchema, PtState
+from repro.provenance.meta import PtHas, PtParam, PtTop, ProvenanceTheory
+
+
+class ProvenanceBinding(SemanticsBinding):
+    """Location <-> primitive binding over a fixed :class:`PtSchema`."""
+
+    def __init__(self, schema: PtSchema):
+        self.schema = schema
+        self.theory = ProvenanceTheory()
+
+    def location_of(self, prim: Primitive):
+        if isinstance(prim, PtTop):
+            return ("top", prim.var)
+        if isinstance(prim, PtHas):
+            return ("has", prim.var, prim.site)
+        return None  # PtParam: a parameter primitive
+
+    def location_literal(self, location, value):
+        if location[0] == "top":
+            prim = PtTop(location[1])
+        else:
+            prim = PtHas(location[1], location[2])
+        return lit(prim) if value else nlit(prim)
+
+    def compile_read(self, location):
+        index = self.schema.index(location[1])
+        if location[0] == "top":
+            return lambda p, d: d.values[index] is PT_TOP
+        site = location[2]
+
+        def read_has(p, d):
+            value = d.values[index]
+            return value is not PT_TOP and site in value
+
+        return read_has
+
+    def compile_write(self, location):
+        raise TypeError(
+            "provenance bindings are whole values; use the Bind*/CopyVar "
+            "effects instead of generic Updates"
+        )
+
+    def compile_primitive_test(self, prim: Primitive):
+        if isinstance(prim, PtParam):
+            site = prim.site
+            return lambda p, d: site in p
+        return self.compile_read(self.location_of(prim))
+
+    def compile_primitive_test_bound(self, prim: Primitive, p):
+        if isinstance(prim, PtParam):
+            value = prim.site in p
+            return lambda d: value
+        location = self.location_of(prim)
+        index = self.schema.index(location[1])
+        if location[0] == "top":
+            return lambda d: d.values[index] is PT_TOP
+        site = location[2]
+
+        def test_has(d):
+            value = d.values[index]
+            return value is not PT_TOP and site in value
+
+        return test_has
+
+
+class BindSites(Effect):
+    """Bind ``lhs`` to a known site set (possibly empty = null)."""
+
+    __slots__ = ("lhs", "sites")
+
+    def __init__(self, lhs: str, sites: Tuple[str, ...]):
+        self.lhs = lhs
+        self.sites = frozenset(sites)
+
+    def __repr__(self):
+        return f"BindSites({self.lhs!r}, {sorted(self.sites)!r})"
+
+    def value_expr_at(self, location, binding):
+        if location[1] != self.lhs:
+            return None
+        if location[0] == "top":
+            return Const(False)
+        return Const(location[2] in self.sites)
+
+    def compile(self, binding):
+        lhs, sites = self.lhs, self.sites
+        return lambda p, d: d.set(lhs, sites)
+
+    def param_primitives(self, binding):
+        return ()
+
+
+class BindTop(Effect):
+    """Bind ``lhs`` to ``TOP`` (the analysis lost track)."""
+
+    __slots__ = ("lhs",)
+
+    def __init__(self, lhs: str):
+        self.lhs = lhs
+
+    def __repr__(self):
+        return f"BindTop({self.lhs!r})"
+
+    def value_expr_at(self, location, binding):
+        if location[1] != self.lhs:
+            return None
+        return Const(location[0] == "top")
+
+    def compile(self, binding):
+        lhs = self.lhs
+        return lambda p, d: d.set(lhs, PT_TOP)
+
+    def param_primitives(self, binding):
+        return ()
+
+
+class CopyVar(Effect):
+    """``lhs = rhs``: copy the whole binding."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: str, rhs: str):
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __repr__(self):
+        return f"CopyVar({self.lhs!r}, {self.rhs!r})"
+
+    def value_expr_at(self, location, binding):
+        if location[1] != self.lhs:
+            return None
+        if location[0] == "top":
+            return Read(("top", self.rhs))
+        return Read(("has", self.rhs, location[2]))
+
+    def compile(self, binding):
+        lhs, rhs = self.lhs, self.rhs
+        return lambda p, d: d.set(lhs, d.get(rhs))
+
+    def param_primitives(self, binding):
+        return ()
+
+
+class ProvenanceSemantics(GuardedSemantics):
+    """Case tables of the provenance transfer functions."""
+
+    def __init__(self, schema: PtSchema):
+        super().__init__(ProvenanceBinding(schema))
+
+    def table_for(self, command: AtomicCommand):
+        if isinstance(command, New):
+            return (
+                Case(
+                    lit(PtParam(command.site)),
+                    BindSites(command.lhs, (command.site,)),
+                ),
+                Case(nlit(PtParam(command.site)), BindTop(command.lhs)),
+            )
+        if isinstance(command, Assign):
+            return (Case(TRUE, CopyVar(command.lhs, command.rhs)),)
+        if isinstance(command, AssignNull):
+            return (Case(TRUE, BindSites(command.lhs, ())),)
+        if isinstance(command, (LoadField, LoadGlobal)):
+            return (Case(TRUE, BindTop(command.lhs)),)
+        if isinstance(
+            command, (StoreField, StoreGlobal, ThreadStart, Invoke, Observe)
+        ):
+            return (Case(TRUE, IDENTITY),)
+        raise TypeError(f"unknown command: {command!r}")
 
 
 class ProvenanceAnalysis(ParametricAnalysis):
@@ -38,23 +226,10 @@ class ProvenanceAnalysis(ParametricAnalysis):
         self.schema = schema
         self.sites = frozenset(sites)
         self.param_space = SubsetParamSpace(self.sites)
+        self.semantics = ProvenanceSemantics(schema)
 
     def initial_state(self) -> PtState:
         return self.schema.initial()
 
     def transfer(self, command: AtomicCommand, p: FrozenSet[str], d: PtState) -> PtState:
-        if isinstance(command, New):
-            if command.site in p:
-                return d.set(command.lhs, frozenset([command.site]))
-            return d.set(command.lhs, PT_TOP)
-        if isinstance(command, Assign):
-            return d.set(command.lhs, d.get(command.rhs))
-        if isinstance(command, AssignNull):
-            return d.set(command.lhs, frozenset())
-        if isinstance(command, (LoadField, LoadGlobal)):
-            return d.set(command.lhs, PT_TOP)
-        if isinstance(
-            command, (StoreField, StoreGlobal, ThreadStart, Invoke, Observe)
-        ):
-            return d
-        raise TypeError(f"unknown command: {command!r}")
+        return self.semantics.transfer(command, p, d)

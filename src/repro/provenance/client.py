@@ -62,7 +62,7 @@ class ProvenanceClient(TracerClient):
 
     def run_forward(self, p: FrozenSet[str]) -> ForwardResult:
         return self.engine.run(
-            lambda command, d: self.analysis.transfer(command, p, d),
+            self.analysis.semantics.bound_step(p),
             self.analysis.initial_state(),
         )
 

@@ -16,31 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.core.formula import (
-    FALSE,
-    Formula,
-    Literal,
-    Primitive,
-    TRUE,
-    lit,
-    nlit,
-)
+from repro.core.formula import Formula, Literal, Primitive
 from repro.core.meta import BackwardMetaAnalysis
 from repro.core.viability import ParamTheory
-from repro.lang.ast import (
-    Assign,
-    AssignNull,
-    AtomicCommand,
-    Invoke,
-    LoadField,
-    LoadGlobal,
-    New,
-    Observe,
-    StoreField,
-    StoreGlobal,
-    ThreadStart,
-)
-from repro.provenance.analysis import ProvenanceAnalysis
+from repro.lang.ast import AtomicCommand
 from repro.provenance.domain import PT_TOP, PtState
 
 
@@ -161,50 +140,12 @@ class ProvenanceTheory(ParamTheory):
 
 
 class ProvenanceMeta(BackwardMetaAnalysis):
-    """Weakest preconditions on provenance primitives."""
+    """Weakest preconditions on provenance primitives, derived from
+    the forward case tables (requirement (2) by construction)."""
 
-    def __init__(self, analysis: ProvenanceAnalysis):
+    def __init__(self, analysis):
         self.analysis = analysis
-        self.theory = ProvenanceTheory()
+        self.theory = analysis.semantics.binding.theory
 
     def wp_primitive(self, command: AtomicCommand, prim: Primitive) -> Formula:
-        if isinstance(prim, PtParam):
-            return lit(prim)
-        if isinstance(command, New):
-            return self._wp_new(command, prim)
-        if isinstance(command, Assign):
-            if self._on_var(prim, command.lhs):
-                return lit(self._rebind(prim, command.rhs))
-            return lit(prim)
-        if isinstance(command, AssignNull):
-            if self._on_var(prim, command.lhs):
-                return FALSE  # null binding is neither TOP nor any site
-            return lit(prim)
-        if isinstance(command, (LoadField, LoadGlobal)):
-            if self._on_var(prim, command.lhs):
-                return TRUE if isinstance(prim, PtTop) else FALSE
-            return lit(prim)
-        if isinstance(
-            command, (StoreField, StoreGlobal, ThreadStart, Invoke, Observe)
-        ):
-            return lit(prim)
-        raise TypeError(f"unknown command: {command!r}")
-
-    @staticmethod
-    def _on_var(prim: Primitive, var: str) -> bool:
-        return isinstance(prim, (PtTop, PtHas)) and prim.var == var
-
-    @staticmethod
-    def _rebind(prim: Primitive, var: str) -> Primitive:
-        if isinstance(prim, PtTop):
-            return PtTop(var)
-        return PtHas(var, prim.site)
-
-    def _wp_new(self, command: New, prim: Primitive) -> Formula:
-        if not self._on_var(prim, command.lhs):
-            return lit(prim)
-        if isinstance(prim, PtTop):
-            return nlit(PtParam(command.site))
-        if prim.site == command.site:
-            return lit(PtParam(command.site))
-        return FALSE
+        return self.analysis.semantics.wp_primitive(command, prim)

@@ -76,7 +76,7 @@ class TypestateClient(TracerClient):
     def run_forward(self, p: FrozenSet[str]) -> ForwardResult:
         """One forward run of the ``p``-instantiated analysis."""
         return self.engine.run(
-            lambda command, d: self.analysis.transfer(command, p, d),
+            self.analysis.semantics.bound_step(p),
             self.analysis.initial_state(),
         )
 

@@ -7,53 +7,29 @@ Primitive formulas over pairs ``(p, d)``:
 * ``TsVar(x)``   — ``d = (ts, vs)`` and ``x in vs``;
 * ``TsType(s)``  — ``d = (ts, vs)`` and ``s in ts``.
 
-The weakest preconditions below follow Figure 10, generalised to the
-strong/weak transition tables that also express the paper's fictitious
-stress property.  For a uniform automaton (``strong = weak``) the
-formulas specialise to the figure exactly — e.g. for an event
-``x.m()``::
+The Figure 10 weakest preconditions are no longer transcribed here:
+the forward case tables in :mod:`repro.typestate.analysis` are the
+single source of truth and :class:`TypestateMeta` delegates to the
+generic guard-by-guard derivation of :mod:`repro.core.semantics`.
+For a uniform automaton (``strong = weak``) the derived formulas
+canonicalise to the figure exactly — e.g. for an event ``x.m()``::
 
     wp(err)    = err | \\/ {type(s) | [[m]](s) = TOP}
     wp(var(z)) = var(z) & /\\ {!type(s) | [[m]](s) = TOP}
-    wp(type(s)) = !err & /\\ {!type(s') | [[m]](s') = TOP}
-                  & ((!var(x) & type(s)) | \\/ {type(s') | [[m]](s') = s})
 
-Each ``wp_primitive`` is property-tested against a brute-force weakest
-precondition (requirement (2) of Section 4) in the test suite.
+— and every derivation is property-tested against a brute-force
+weakest precondition (requirement (2) of Section 4) in the test suite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.core.formula import (
-    FALSE,
-    Formula,
-    Literal,
-    Primitive,
-    TRUE,
-    conj,
-    disj,
-    lit,
-    nlit,
-)
+from repro.core.formula import Formula, Literal, Primitive
 from repro.core.meta import BackwardMetaAnalysis
 from repro.core.viability import ParamTheory
-from repro.lang.ast import (
-    Assign,
-    AssignNull,
-    AtomicCommand,
-    Invoke,
-    LoadField,
-    LoadGlobal,
-    New,
-    Observe,
-    StoreField,
-    StoreGlobal,
-    ThreadStart,
-)
-from repro.typestate.analysis import TypestateAnalysis
+from repro.lang.ast import AtomicCommand
 from repro.typestate.domain import TsState, TsTop
 
 
@@ -174,102 +150,13 @@ class TypestateTheory(ParamTheory):
 
 
 class TypestateMeta(BackwardMetaAnalysis):
-    """Backward weakest preconditions on primitives (Figure 10)."""
+    """Backward weakest preconditions on primitives (Figure 10),
+    derived from the forward case tables (requirement (2) by
+    construction)."""
 
-    def __init__(self, analysis: TypestateAnalysis):
+    def __init__(self, analysis):
         self.analysis = analysis
-        self.theory = TypestateTheory()
+        self.theory = analysis.semantics.binding.theory
 
     def wp_primitive(self, command: AtomicCommand, prim: Primitive) -> Formula:
-        if isinstance(prim, TsParam):
-            return lit(prim)  # no command changes the abstraction
-        if isinstance(command, New):
-            if command.site == self.analysis.tracked_site:
-                return self._wp_new_tracked(command, prim)
-            return self._wp_unknown_assign(command.lhs, prim)
-        if isinstance(command, Assign):
-            return self._wp_copy(command, prim)
-        if isinstance(command, (AssignNull, LoadField, LoadGlobal)):
-            return self._wp_unknown_assign(command.lhs, prim)
-        if isinstance(command, Invoke) and self.analysis.is_event(command):
-            return self._wp_event(command, prim)
-        if isinstance(
-            command, (StoreField, StoreGlobal, ThreadStart, Observe, Invoke)
-        ):
-            return lit(prim)
-        raise TypeError(f"unknown command: {command!r}")
-
-    # -- non-event commands -------------------------------------------------
-
-    def _wp_new_tracked(self, command: New, prim: Primitive) -> Formula:
-        if isinstance(prim, TsErr):
-            return lit(ERR)
-        if isinstance(prim, TsVar):
-            if prim.var == command.lhs:
-                return conj(nlit(ERR), lit(TsParam(command.lhs)))
-            return FALSE
-        if isinstance(prim, TsType):
-            return nlit(ERR) if prim.state == self.analysis.automaton.init else FALSE
-        raise TypeError(prim)
-
-    def _wp_copy(self, command: Assign, prim: Primitive) -> Formula:
-        if isinstance(prim, TsVar) and prim.var == command.lhs:
-            return conj(lit(TsParam(command.lhs)), lit(TsVar(command.rhs)))
-        return lit(prim)
-
-    def _wp_unknown_assign(self, lhs: str, prim: Primitive) -> Formula:
-        if isinstance(prim, TsVar) and prim.var == lhs:
-            return FALSE
-        return lit(prim)
-
-    # -- automaton events ---------------------------------------------------
-
-    def _wp_event(self, command: Invoke, prim: Primitive) -> Formula:
-        automaton = self.analysis.automaton
-        method = command.method
-        base = command.base
-        strong_err = sorted(automaton.strong_error_states(method))
-        weak_err = sorted(automaton.weak_error_states(method))
-        no_strong_err = conj(*(nlit(TsType(s)) for s in strong_err))
-        no_weak_err = conj(*(nlit(TsType(s)) for s in weak_err))
-        if isinstance(prim, TsErr):
-            strong_part = disj(*(lit(TsType(s)) for s in strong_err))
-            weak_part = disj(*(lit(TsType(s)) for s in weak_err))
-            if automaton.uniform:
-                return disj(lit(ERR), strong_part)
-            return disj(
-                lit(ERR),
-                conj(lit(TsVar(base)), strong_part),
-                conj(nlit(TsVar(base)), weak_part),
-            )
-        if isinstance(prim, TsVar):
-            if automaton.uniform:
-                return conj(lit(prim), no_strong_err)
-            return conj(
-                lit(prim),
-                disj(
-                    conj(lit(TsVar(base)), no_strong_err),
-                    conj(nlit(TsVar(base)), no_weak_err),
-                ),
-            )
-        if isinstance(prim, TsType):
-            strong_pre = disj(
-                *(lit(TsType(s)) for s in sorted(automaton.strong_preimage(method, prim.state)))
-            )
-            weak_pre = disj(
-                lit(prim),
-                *(lit(TsType(s)) for s in sorted(automaton.weak_preimage(method, prim.state))),
-            )
-            if automaton.uniform:
-                # (var(x) & A) | (!var(x) & (type(s) | A))
-                #   == A | (!var(x) & type(s))   since A = strong_pre.
-                return conj(
-                    nlit(ERR),
-                    no_strong_err,
-                    disj(strong_pre, conj(nlit(TsVar(base)), lit(prim))),
-                )
-            return disj(
-                conj(lit(TsVar(base)), no_strong_err, strong_pre),
-                conj(nlit(TsVar(base)), nlit(ERR), no_weak_err, weak_pre),
-            )
-        raise TypeError(prim)
+        return self.analysis.semantics.wp_primitive(command, prim)

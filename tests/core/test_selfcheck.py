@@ -26,12 +26,12 @@ def _analysis():
 
 
 def _pairs(analysis):
-    from tests.typestate.test_backward_wp import all_params, all_states
+    from tests.core.test_wp_consistency import TS_VARS, subsets, ts_states
 
     return [
         (p, d)
-        for p in all_params()
-        for d in all_states(analysis.automaton)
+        for p in subsets(TS_VARS)
+        for d in ts_states(analysis.automaton)
     ]
 
 

@@ -26,17 +26,27 @@ from repro.typestate import (
     stress_automaton,
 )
 from repro.typestate.synth import synthesized_typestate_meta
-from tests.escape.test_backward_wp import COMMANDS as ESC_COMMANDS
-from tests.escape.test_backward_wp import SCHEMA, SITES, all_params, all_primitives
-from tests.typestate.test_backward_wp import COMMANDS as TS_COMMANDS
-from tests.typestate.test_backward_wp import (
-    STRESS_COMMANDS,
-    VARS,
-    all_params as ts_all_params,
-    all_primitives as ts_all_primitives,
-    all_states as ts_all_states,
+from tests.core.test_wp_consistency import (
+    ESC_COMMANDS,
+    ESC_SCHEMA as SCHEMA,
+    ESC_SITES as SITES,
+    TS_COMMANDS,
+    TS_STRESS_COMMANDS as STRESS_COMMANDS,
+    TS_VARS as VARS,
+    esc_primitives as all_primitives,
+    subsets,
+    ts_primitives as ts_all_primitives,
+    ts_states as ts_all_states,
 )
 from tests.randprog import random_escape_program, random_typestate_program
+
+
+def all_params():
+    return subsets(SITES)
+
+
+def ts_all_params():
+    return subsets(VARS)
 
 
 class TestEscapeSynthesis:

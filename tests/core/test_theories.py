@@ -34,11 +34,11 @@ def escape_pairs():
 
 
 def typestate_pairs():
-    from tests.typestate.test_backward_wp import all_params, all_states
+    from tests.core.test_wp_consistency import TS_VARS, subsets, ts_states
 
     automaton = file_automaton()
-    for p in all_params():
-        for d in all_states(automaton):
+    for p in subsets(TS_VARS):
+        for d in ts_states(automaton):
             yield p, d
 
 

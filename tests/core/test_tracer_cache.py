@@ -1,5 +1,7 @@
 """Tests for the forward-run cache and the per-query time accounting."""
 
+import warnings
+
 import pytest
 
 import repro.core.tracer as tracer_mod
@@ -134,9 +136,17 @@ class TestDriverUsesCache:
             client, queries, p
         )
         client.counterexamples = legacy_counterexamples
-        records = run_query_group(client, [qa, qb], TracerConfig())
+        with pytest.warns(DeprecationWarning, match="'cache' parameter"):
+            records = run_query_group(client, [qa, qb], TracerConfig())
         assert records[qa].status is QueryStatus.PROVEN
         assert records[qb].status is QueryStatus.IMPOSSIBLE
+
+    def test_cache_aware_client_does_not_warn(self):
+        client, qa, qb = two_query_client()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            records = run_query_group(client, [qa, qb], TracerConfig())
+        assert records[qa].status is QueryStatus.PROVEN
 
 
 class TestChargeAccounting:
@@ -197,7 +207,7 @@ class TestChargeAccounting:
 
 
 class TestCacheOnRealWorkload:
-    """The acceptance check: a multi-group typestate workload hits the
+    """The acceptance check: a multi-group escape workload hits the
     cache without changing any query's outcome."""
 
     @pytest.fixture(scope="class")
@@ -206,18 +216,18 @@ class TestCacheOnRealWorkload:
 
         return prepare("lusearch")
 
-    def test_typestate_suite_has_hits_and_identical_results(self, lusearch):
+    def test_escape_suite_has_hits_and_identical_results(self, lusearch):
         from repro.bench.harness import evaluate_benchmark
         from repro.core.tracer import TracerConfig as Config
 
         on = evaluate_benchmark(
             lusearch,
-            "typestate",
+            "escape",
             Config(k=5, max_iterations=30, forward_cache_size=64),
         )
         off = evaluate_benchmark(
             lusearch,
-            "typestate",
+            "escape",
             Config(k=5, max_iterations=30, forward_cache_size=None),
         )
         assert on.forward_hits > 0

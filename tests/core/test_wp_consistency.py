@@ -1,0 +1,303 @@
+"""Generic wp-vs-forward consistency check for every client.
+
+Requirement (2) of Section 4 determines the backward transfer
+functions semantically::
+
+    gamma([[a]]b(f)) = {(p, d) | (p, [[a]]p(d)) in gamma(f)}
+
+which on small universes is decidable by enumeration: for every
+primitive ``prim``, abstraction ``p`` and state ``d``,
+
+    holds(wp(prim), p, d)  ==  holds(prim, p, transfer(command, p, d))
+
+The guarded-update IR derives each client's ``wp_primitive`` from the
+same case table as its forward transfer, so one enumeration covers all
+clients uniformly — this module replaces the per-client bespoke wp
+suites.  Every command kind of the language appears in every client's
+command list.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.formula import Lit, Literal, evaluate
+from repro.escape import (
+    ESC,
+    EscSchema,
+    EscapeAnalysis,
+    EscapeMeta,
+    FieldIs,
+    LOC,
+    NIL,
+    SiteIs,
+    VarIs,
+)
+from repro.lang import (
+    Assign,
+    AssignNull,
+    Invoke,
+    LoadField,
+    LoadGlobal,
+    New,
+    Observe,
+    StoreField,
+    StoreGlobal,
+    ThreadStart,
+)
+from repro.provenance import (
+    PT_TOP,
+    ProvenanceAnalysis,
+    ProvenanceMeta,
+    PtHas,
+    PtParam,
+    PtSchema,
+    PtTop,
+)
+from repro.typestate import (
+    TOP,
+    TsErr,
+    TsParam,
+    TsState,
+    TsType,
+    TsVar,
+    TypestateAnalysis,
+    TypestateMeta,
+    file_automaton,
+    stress_automaton,
+)
+
+
+def subsets(universe):
+    items = sorted(universe)
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            yield frozenset(combo)
+
+
+class Setup:
+    """One client instantiation with exhaustive small enumerations."""
+
+    def __init__(self, name, analysis, meta, primitives, params, states, commands):
+        self.name = name
+        self.analysis = analysis
+        self.meta = meta
+        self.primitives = tuple(primitives)
+        self.params = tuple(params)
+        self.states = tuple(states)
+        self.commands = tuple(commands)
+
+
+# -- escape -------------------------------------------------------------------
+
+ESC_SCHEMA = EscSchema(["u", "v"], ["f"])
+ESC_SITES = ("h1", "h2")
+
+ESC_COMMANDS = (
+    New("u", "h1"),
+    New("v", "h2"),
+    Assign("u", "v"),
+    Assign("v", "u"),
+    Assign("u", "u"),
+    AssignNull("u"),
+    LoadGlobal("v", "g"),
+    StoreGlobal("g", "u"),
+    ThreadStart("v"),
+    LoadField("u", "v", "f"),
+    LoadField("u", "u", "f"),
+    LoadField("v", "v", "f"),
+    StoreField("v", "f", "u"),
+    StoreField("u", "f", "u"),
+    StoreField("u", "f", "v"),
+    Invoke("u", "m"),
+    Observe("q"),
+)
+
+
+def esc_primitives():
+    for h in ESC_SITES:
+        for o in (LOC, ESC):
+            yield SiteIs(h, o)
+    for v in ESC_SCHEMA.locals:
+        for o in (LOC, ESC, NIL):
+            yield VarIs(v, o)
+    for f in ESC_SCHEMA.fields:
+        for o in (LOC, ESC, NIL):
+            yield FieldIs(f, o)
+
+
+def _escape_setup():
+    analysis = EscapeAnalysis(ESC_SCHEMA, frozenset(ESC_SITES))
+    return Setup(
+        "escape",
+        analysis,
+        EscapeMeta(analysis),
+        esc_primitives(),
+        subsets(ESC_SITES),
+        ESC_SCHEMA.all_states(),
+        ESC_COMMANDS,
+    )
+
+
+# -- typestate ----------------------------------------------------------------
+
+TS_VARS = ("x", "y")
+
+TS_COMMANDS = (
+    New("x", "h"),
+    New("y", "h"),
+    New("x", "other"),
+    Assign("x", "y"),
+    Assign("y", "x"),
+    Assign("x", "x"),
+    AssignNull("x"),
+    LoadField("x", "y", "f"),
+    LoadGlobal("y", "g"),
+    StoreField("x", "f", "y"),
+    StoreGlobal("g", "x"),
+    ThreadStart("x"),
+    Observe("q"),
+    Invoke("x", "open"),
+    Invoke("y", "open"),
+    Invoke("x", "close"),
+    Invoke("x", "nonevent"),
+)
+
+TS_STRESS_COMMANDS = (
+    Invoke("x", "m"),
+    Invoke("y", "m"),
+    New("x", "h"),
+    Assign("y", "x"),
+    AssignNull("x"),
+    Observe("q"),
+)
+
+
+def ts_states(automaton):
+    yield TOP
+    states = sorted(automaton.states)
+    for ts_bits in range(2 ** len(states)):
+        ts = frozenset(s for i, s in enumerate(states) if ts_bits >> i & 1)
+        for vs_bits in range(2 ** len(TS_VARS)):
+            vs = frozenset(v for i, v in enumerate(TS_VARS) if vs_bits >> i & 1)
+            yield TsState(ts, vs)
+
+
+def ts_primitives(automaton):
+    yield TsErr()
+    for v in TS_VARS:
+        yield TsParam(v)
+        yield TsVar(v)
+    for s in sorted(automaton.states):
+        yield TsType(s)
+
+
+def _typestate_setup(name, automaton, commands, **kwargs):
+    analysis = TypestateAnalysis(automaton, "h", frozenset(TS_VARS), **kwargs)
+    return Setup(
+        name,
+        analysis,
+        TypestateMeta(analysis),
+        ts_primitives(automaton),
+        subsets(TS_VARS),
+        ts_states(automaton),
+        commands,
+    )
+
+
+# -- provenance ---------------------------------------------------------------
+
+PT_VARS = ("x", "y")
+PT_SITES = ("h1", "h2")
+PT_SCHEMA = PtSchema(PT_VARS)
+
+PT_COMMANDS = (
+    New("x", "h1"),
+    New("x", "h2"),
+    Assign("x", "y"),
+    Assign("y", "x"),
+    Assign("x", "x"),
+    AssignNull("x"),
+    LoadGlobal("x", "g"),
+    LoadField("y", "x", "f"),
+    StoreGlobal("g", "x"),
+    StoreField("x", "f", "y"),
+    ThreadStart("y"),
+    Invoke("x", "m"),
+    Observe("q"),
+)
+
+
+def _pt_states():
+    values = [PT_TOP] + list(subsets(PT_SITES))
+    for vx in values:
+        for vy in values:
+            yield PT_SCHEMA.state({"x": vx, "y": vy})
+
+
+def _provenance_setup():
+    analysis = ProvenanceAnalysis(PT_SCHEMA, frozenset(PT_SITES))
+    prims = [PtParam(h) for h in PT_SITES]
+    for v in PT_VARS:
+        prims.append(PtTop(v))
+        prims += [PtHas(v, h) for h in PT_SITES]
+    return Setup(
+        "provenance",
+        analysis,
+        ProvenanceMeta(analysis),
+        prims,
+        subsets(PT_SITES),
+        _pt_states(),
+        PT_COMMANDS,
+    )
+
+
+SETUPS = (
+    _escape_setup(),
+    _typestate_setup("typestate-file", file_automaton(), TS_COMMANDS),
+    _typestate_setup(
+        "typestate-stress", stress_automaton(["m"]), TS_STRESS_COMMANDS
+    ),
+    _typestate_setup(
+        "typestate-gated",
+        file_automaton(),
+        (Invoke("y", "open"), Invoke("x", "open")),
+        may_point=lambda v: v == "x",
+    ),
+    _provenance_setup(),
+)
+
+CASES = [
+    pytest.param(setup, command, id=f"{setup.name}:{command!r}")
+    for setup in SETUPS
+    for command in setup.commands
+]
+
+
+@pytest.mark.parametrize("setup,command", CASES)
+def test_wp_matches_forward(setup, command):
+    theory = setup.meta.theory
+    failures = []
+    for prim in setup.primitives:
+        pre = setup.meta.wp_primitive(command, prim)
+        for p in setup.params:
+            for d in setup.states:
+                post = setup.analysis.transfer(command, p, d)
+                expected = theory.holds(prim, p, post)
+                actual = evaluate(pre, theory, p, d)
+                if expected != actual:
+                    failures.append((prim, sorted(p), repr(d), expected, actual))
+    assert not failures, failures[:5]
+
+
+@pytest.mark.parametrize("setup", SETUPS, ids=lambda s: s.name)
+def test_param_primitives_are_invariant(setup):
+    """No command writes the abstraction: a parameter primitive is its
+    own weakest precondition, for every command of every client."""
+    theory = setup.meta.theory
+    for prim in setup.primitives:
+        if not theory.is_param(prim):
+            continue
+        for command in setup.commands:
+            pre = setup.meta.wp_primitive(command, prim)
+            assert pre == Lit(Literal(prim, True)), (setup.name, command, prim)

@@ -1,0 +1,56 @@
+"""Cube normalisation in the escape theory (exclusive-value groups)."""
+
+from repro.core.formula import Literal
+from repro.escape import (
+    ESC,
+    EscSchema,
+    EscapeAnalysis,
+    EscapeMeta,
+    LOC,
+    NIL,
+    SiteIs,
+    VarIs,
+)
+
+SCHEMA = EscSchema(["u", "v"], ["f"])
+SITES = ("h1", "h2")
+
+
+def _theory():
+    return EscapeMeta(EscapeAnalysis(SCHEMA, frozenset(SITES))).theory
+
+
+class TestTheoryNormalisation:
+    def test_two_positive_values_contradict(self):
+        cube = frozenset(
+            [Literal(VarIs("u", LOC), True), Literal(VarIs("u", ESC), True)]
+        )
+        assert _theory().normalize_cube(cube) is None
+
+    def test_all_values_negated_contradict(self):
+        cube = frozenset(
+            Literal(VarIs("u", o), False) for o in (LOC, ESC, NIL)
+        )
+        assert _theory().normalize_cube(cube) is None
+
+    def test_two_negatives_collapse_to_positive(self):
+        cube = frozenset(
+            [Literal(VarIs("u", LOC), False), Literal(VarIs("u", ESC), False)]
+        )
+        assert _theory().normalize_cube(cube) == frozenset(
+            [Literal(VarIs("u", NIL), True)]
+        )
+
+    def test_site_group_has_two_values(self):
+        cube = frozenset([Literal(SiteIs("h1", LOC), False)])
+        assert _theory().normalize_cube(cube) == frozenset(
+            [Literal(SiteIs("h1", ESC), True)]
+        )
+
+    def test_positive_drops_redundant_negative(self):
+        cube = frozenset(
+            [Literal(VarIs("u", LOC), True), Literal(VarIs("u", ESC), False)]
+        )
+        assert _theory().normalize_cube(cube) == frozenset(
+            [Literal(VarIs("u", LOC), True)]
+        )

@@ -1,5 +1,7 @@
-"""Tests for the provenance client: forward semantics, backward wp by
-exhaustive enumeration, and TRACER optimality against brute force."""
+"""Tests for the provenance client: forward semantics and TRACER
+optimality against brute force.  (The wp-vs-forward consistency check
+lives in ``tests/core/test_wp_consistency.py``, shared by every
+client.)"""
 
 import itertools
 import random
@@ -7,7 +9,6 @@ import random
 import pytest
 
 from repro.core import Tracer, TracerConfig
-from repro.core.formula import evaluate
 from repro.core.stats import QueryStatus
 from repro.lang import (
     Assign,
@@ -26,46 +27,14 @@ from repro.provenance import (
     PT_TOP,
     ProvenanceAnalysis,
     ProvenanceClient,
-    ProvenanceMeta,
     ProvenanceQuery,
-    PtHas,
-    PtParam,
     PtSchema,
-    PtTop,
 )
 from tests.randprog import random_escape_program
 
 VARS = ("x", "y")
 SITES = ("h1", "h2")
 SCHEMA = PtSchema(VARS)
-
-
-def all_params():
-    for r in range(len(SITES) + 1):
-        for combo in itertools.combinations(SITES, r):
-            yield frozenset(combo)
-
-
-def all_values():
-    yield PT_TOP
-    for r in range(len(SITES) + 1):
-        for combo in itertools.combinations(SITES, r):
-            yield frozenset(combo)
-
-
-def all_states():
-    for vx in all_values():
-        for vy in all_values():
-            yield SCHEMA.state({"x": vx, "y": vy})
-
-
-def all_primitives():
-    for h in SITES:
-        yield PtParam(h)
-    for v in VARS:
-        yield PtTop(v)
-        for h in SITES:
-            yield PtHas(v, h)
 
 
 class TestForward:
@@ -103,38 +72,6 @@ class TestForward:
             Observe("q"),
         ):
             assert analysis.transfer(command, frozenset(SITES), d) == d
-
-
-COMMANDS = [
-    New("x", "h1"),
-    New("x", "h2"),
-    Assign("x", "y"),
-    Assign("y", "x"),
-    Assign("x", "x"),
-    AssignNull("x"),
-    LoadGlobal("x", "g"),
-    LoadField("y", "x", "f"),
-    StoreGlobal("g", "x"),
-    StoreField("x", "f", "y"),
-    ThreadStart("y"),
-    Invoke("x", "m"),
-    Observe("q"),
-]
-
-
-@pytest.mark.parametrize("command", COMMANDS, ids=repr)
-def test_wp_matches_forward(command):
-    analysis = ProvenanceAnalysis(SCHEMA, frozenset(SITES))
-    meta = ProvenanceMeta(analysis)
-    theory = meta.theory
-    for prim in all_primitives():
-        pre = meta.wp_primitive(command, prim)
-        for p in all_params():
-            for d in all_states():
-                post = analysis.transfer(command, p, d)
-                assert evaluate(pre, theory, p, d) == theory.holds(
-                    prim, p, post
-                ), (command, prim)
 
 
 class TestEndToEnd:
