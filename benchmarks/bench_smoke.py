@@ -203,6 +203,61 @@ def smoke_evaluation():
     }
 
 
+def tracing_overhead():
+    """Cost of the observability layer on one fixed workload.
+
+    Times the ``tsp``/``typestate`` evaluation three ways: with no sink
+    installed (the production default — instrumentation points reduce
+    to one global read), with a :class:`NullSink` (records are built
+    and discarded), and with a :class:`JsonlSink` (records are written
+    to disk).  The deltas are recorded so successive PRs can spot
+    instrumentation creep; the no-sink run must stay within a few
+    percent of what the un-instrumented loop cost.
+    """
+    import tempfile
+
+    from repro.bench.harness import evaluate_benchmark, prepare
+    from repro.core.tracer import TracerConfig
+    from repro.obs import trace as obs
+    from repro.obs.sinks import JsonlSink, NullSink
+
+    config = TracerConfig(k=5, max_iterations=30)
+    bench = prepare("tsp")
+
+    def run_plain():
+        evaluate_benchmark(bench, "typestate", config)
+
+    def run_null():
+        with obs.tracing(NullSink()):
+            evaluate_benchmark(bench, "typestate", config)
+
+    trace_path = os.path.join(tempfile.gettempdir(), "bench_smoke_trace.jsonl")
+
+    def run_jsonl():
+        with obs.tracing(JsonlSink(trace_path)):
+            evaluate_benchmark(bench, "typestate", config)
+
+    baseline = _time_kernel(run_plain, repeats=3)
+    null_sink = _time_kernel(run_null, repeats=3)
+    jsonl_sink = _time_kernel(run_jsonl, repeats=3)
+    with open(trace_path) as handle:
+        trace_records = sum(1 for line in handle if line.strip())
+    os.remove(trace_path)
+
+    def overhead(seconds):
+        return round(seconds / baseline - 1.0, 4) if baseline else 0.0
+
+    return {
+        "workload": "tsp/typestate",
+        "no_sink_seconds": round(baseline, 6),
+        "null_sink_seconds": round(null_sink, 6),
+        "jsonl_sink_seconds": round(jsonl_sink, 6),
+        "null_sink_overhead": overhead(null_sink),
+        "jsonl_sink_overhead": overhead(jsonl_sink),
+        "trace_records": trace_records,
+    }
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
     out_path = argv[0] if argv else os.path.join(
@@ -221,6 +276,7 @@ def main(argv=None):
             "forward_phase": round(micro_forward_phase(), 6),
         },
         "evaluation": smoke_evaluation(),
+        "tracing_overhead": tracing_overhead(),
     }
     report["total_seconds"] = round(time.perf_counter() - started, 4)
     with open(out_path, "w") as handle:

@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bench.suite import benchmark
 from repro.core.stats import CacheCounters, QueryRecord
 from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
 from repro.escape.client import EscapeClient, EscapeQuery
 from repro.escape.domain import EscSchema
 from repro.frontend.callgraph import CallGraph, build_callgraph
@@ -184,7 +186,15 @@ def typestate_setup_interproc(
 
 @dataclass
 class EvalResult:
-    """All records of one benchmark under one client analysis."""
+    """All records of one benchmark under one client analysis.
+
+    Cache counters come from one place: the evaluation's
+    :class:`~repro.obs.metrics.MetricsRegistry` snapshot taken when
+    the run finishes (``metrics``).  The named fields below are
+    convenience views derived from that snapshot at construction (see
+    :func:`counters_from_metrics`) — they are never accumulated
+    separately, so they cannot drift from the registry's totals.
+    """
 
     benchmark: str
     analysis: str
@@ -200,6 +210,9 @@ class EvalResult:
     #: Compiled-dispatch counters, summed over the clients' guarded
     #: semantics (one miss = one command's table compiled + checked).
     dispatch_cache: CacheCounters = CacheCounters()
+    #: The full registry snapshot (name -> counters) this run's
+    #: reported counters were read from.
+    metrics: Dict[str, CacheCounters] = field(default_factory=dict)
 
     @property
     def query_count(self) -> int:
@@ -209,6 +222,23 @@ class EvalResult:
     def forward_hit_rate(self) -> float:
         total = self.forward_hits + self.forward_misses
         return self.forward_hits / total if total else 0.0
+
+
+def counters_from_metrics(
+    metrics: Dict[str, CacheCounters],
+) -> Tuple[CacheCounters, CacheCounters, CacheCounters]:
+    """Fold a registry snapshot into the ``(forward-run, wp-memo,
+    compiled-dispatch)`` totals :class:`EvalResult` reports."""
+
+    def total(prefix: str) -> CacheCounters:
+        out = CacheCounters()
+        dotted = prefix + "."
+        for name, counters in metrics.items():
+            if name == prefix or name.startswith(dotted):
+                out += counters
+        return out
+
+    return total("forward_run"), total("wp_memo"), total("dispatch")
 
 
 #: Default per-query effort budget for the evaluation, playing the role
@@ -246,7 +276,13 @@ def client_cache_counters(client) -> Tuple[CacheCounters, CacheCounters]:
 
     Reads the counters the backward meta-analysis and the guarded
     semantics accumulate; absent attributes (a client not built on the
-    IR) count as zero."""
+    IR) count as zero.
+
+    Legacy accessor: the evaluation no longer threads counters through
+    by hand — caches register with the
+    :class:`~repro.obs.metrics.MetricsRegistry` and the harness reads
+    one snapshot per run.  Kept for ad-hoc inspection of a single
+    client."""
     meta = getattr(client, "meta", None)
     wp = CacheCounters(
         hits=getattr(meta, "wp_hits", 0),
@@ -279,28 +315,50 @@ def evaluate_benchmark(
         return evaluate_benchmark_parallel(bench, analysis, config, jobs)
     started = time.perf_counter()
     records: List[QueryRecord] = []
-    cache = (
-        ForwardRunCache(config.forward_cache_size)
-        if config.forward_cache_size
-        else None
-    )
-    wp_cache = CacheCounters()
-    dispatch_cache = CacheCounters()
-    for client, queries in analysis_setups(bench, analysis):
-        if not queries:
-            continue
-        solved = Tracer(client, config, forward_cache=cache).solve_all(queries)
-        records.extend(solved[q] for q in queries)
-        wp, dispatch = client_cache_counters(client)
-        wp_cache += wp
-        dispatch_cache += dispatch
+    with obs_metrics.scoped_registry() as registry:
+        cache = (
+            ForwardRunCache(config.forward_cache_size)
+            if config.forward_cache_size
+            else None
+        )
+        # Keep every client alive until the snapshot below: the
+        # registry holds weak references, so letting a setup be
+        # collected mid-loop would silently drop its cache counters
+        # from the totals.
+        setups = analysis_setups(bench, analysis)
+        for index, (client, queries) in enumerate(setups):
+            if not queries:
+                continue
+            with obs.span(
+                "workload",
+                benchmark=bench.name,
+                analysis=analysis,
+                unit=index,
+                queries=len(queries),
+            ):
+                solved = Tracer(client, config, forward_cache=cache).solve_all(
+                    queries
+                )
+            records.extend(solved[q] for q in queries)
+        snapshot = registry.snapshot()
+    forward, wp_cache, dispatch_cache = counters_from_metrics(snapshot)
+    if obs.active():
+        for name, counters in snapshot.items():
+            obs.metric(
+                name,
+                counters.hits,
+                counters.misses,
+                benchmark=bench.name,
+                analysis=analysis,
+            )
     return EvalResult(
         benchmark=bench.name,
         analysis=analysis,
         records=records,
         wall_seconds=time.perf_counter() - started,
-        forward_hits=cache.hits if cache is not None else 0,
-        forward_misses=cache.misses if cache is not None else 0,
+        forward_hits=forward.hits,
+        forward_misses=forward.misses,
         wp_cache=wp_cache,
         dispatch_cache=dispatch_cache,
+        metrics=snapshot,
     )

@@ -38,12 +38,16 @@ from repro.bench.harness import (
     DEFAULT_CONFIG,
     EvalResult,
     analysis_setups,
-    client_cache_counters,
+    counters_from_metrics,
     prepare,
 )
 from repro.core.stats import CacheCounters, QueryRecord
 from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
 from repro.frontend.program import FrontProgram
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.obs.events import merge_streams
+from repro.obs.sinks import MemorySink
 
 #: Unique tokens naming one parent-side ``BenchmarkInstance`` per
 #: evaluation call; see :func:`_seed_instance`.
@@ -87,28 +91,53 @@ def _instance(unit: WorkUnit) -> BenchmarkInstance:
     return bench
 
 
-UnitResult = Tuple[List[QueryRecord], int, int, CacheCounters, CacheCounters]
+#: ``(records, registry snapshot, trace events)`` of one work unit.
+#: The snapshot is the unit's scoped metrics registry read once at the
+#: end; the event list is empty unless the parent asked for tracing.
+UnitResult = Tuple[List[QueryRecord], Dict[str, CacheCounters], List[dict]]
 
 
-def _run_unit(unit: WorkUnit, config: TracerConfig) -> UnitResult:
-    """Worker entry point: run one unit, return its records in query
-    order plus the unit's forward-run, wp-memo, and compiled-dispatch
-    cache counters."""
+def _run_unit(
+    unit: WorkUnit, config: TracerConfig, collect_events: bool = False
+) -> UnitResult:
+    """Worker entry point: run one unit under a scoped metrics
+    registry (and, when requested, an in-memory trace sink), returning
+    its records in query order plus the registry snapshot and the
+    captured event stream."""
     bench = _instance(unit)
-    client, queries = analysis_setups(bench, unit.analysis)[unit.index]
-    if not queries:
-        return [], 0, 0, CacheCounters(), CacheCounters()
-    cache = (
-        ForwardRunCache(config.forward_cache_size)
-        if config.forward_cache_size
-        else None
-    )
-    solved = Tracer(client, config, forward_cache=cache).solve_all(queries)
+    sink = MemorySink() if collect_events else None
+    with obs_metrics.scoped_registry() as registry:
+        # Client construction happens inside the scope so the caches
+        # it builds (dispatch tables, wp memos) register here.
+        client, queries = analysis_setups(bench, unit.analysis)[unit.index]
+        if not queries:
+            return [], {}, []
+        cache = (
+            ForwardRunCache(config.forward_cache_size)
+            if config.forward_cache_size
+            else None
+        )
+
+        def run():
+            with obs.span(
+                "workload",
+                benchmark=unit.benchmark,
+                analysis=unit.analysis,
+                unit=unit.index,
+                queries=len(queries),
+            ):
+                return Tracer(client, config, forward_cache=cache).solve_all(
+                    queries
+                )
+
+        if sink is not None:
+            with obs.tracing(sink):
+                solved = run()
+        else:
+            solved = run()
+        snapshot = registry.snapshot()
     records = [solved[q] for q in queries]
-    wp, dispatch = client_cache_counters(client)
-    if cache is None:
-        return records, 0, 0, wp, dispatch
-    return records, cache.hits, cache.misses, wp, dispatch
+    return records, snapshot, sink.events if sink is not None else []
 
 
 def work_units(bench: BenchmarkInstance, analysis: str) -> List[WorkUnit]:
@@ -128,27 +157,51 @@ def _merge(
     unit_results: Sequence[UnitResult],
     wall_seconds: float,
 ) -> EvalResult:
-    """Deterministic merge: concatenate unit records in unit order."""
+    """Deterministic merge: concatenate unit records in unit order and
+    sum the units' registry snapshots name-by-name."""
     records: List[QueryRecord] = []
-    hits = misses = 0
-    wp_cache = CacheCounters()
-    dispatch_cache = CacheCounters()
-    for unit_records, unit_hits, unit_misses, unit_wp, unit_dispatch in unit_results:
+    metrics: Dict[str, CacheCounters] = {}
+    for unit_records, unit_metrics, _events in unit_results:
         records.extend(unit_records)
-        hits += unit_hits
-        misses += unit_misses
-        wp_cache += unit_wp
-        dispatch_cache += unit_dispatch
+        for name, counters in unit_metrics.items():
+            metrics[name] = metrics.get(name, CacheCounters()) + counters
+    forward, wp_cache, dispatch_cache = counters_from_metrics(metrics)
     return EvalResult(
         benchmark=bench_name,
         analysis=analysis,
         records=records,
         wall_seconds=wall_seconds,
-        forward_hits=hits,
-        forward_misses=misses,
+        forward_hits=forward.hits,
+        forward_misses=forward.misses,
         wp_cache=wp_cache,
         dispatch_cache=dispatch_cache,
+        metrics=metrics,
     )
+
+
+def _replay_into_parent(unit_results: Sequence[UnitResult]) -> None:
+    """Re-emit the workers' captured event streams (merged in unit
+    order, span ids re-allocated) into the parent's active trace, and
+    append one metric record per merged counter name."""
+    context = obs.current()
+    if context is None:
+        return
+    streams = [events for _records, _metrics, events in unit_results if events]
+    if streams:
+        context.ingest(merge_streams(streams))
+
+
+def _emit_metrics(result: EvalResult) -> None:
+    if not obs.active():
+        return
+    for name, counters in sorted(result.metrics.items()):
+        obs.metric(
+            name,
+            counters.hits,
+            counters.misses,
+            benchmark=result.benchmark,
+            analysis=result.analysis,
+        )
 
 
 def evaluate_benchmark_parallel(
@@ -165,13 +218,22 @@ def evaluate_benchmark_parallel(
     if jobs <= 1 or len(units) <= 1:
         return evaluate_benchmark(bench, analysis, config)
     started = time.perf_counter()
+    collect = obs.active()
     with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
         unit_results = list(
-            pool.map(_run_unit, units, itertools.repeat(config))
+            pool.map(
+                _run_unit,
+                units,
+                itertools.repeat(config),
+                itertools.repeat(collect),
+            )
         )
-    return _merge(
+    _replay_into_parent(unit_results)
+    result = _merge(
         bench.name, analysis, unit_results, time.perf_counter() - started
     )
+    _emit_metrics(result)
+    return result
 
 
 def evaluate_many(
@@ -220,13 +282,22 @@ def evaluate_many(
     for pair, units in units_of.items():
         spans[pair] = (len(flat), len(flat) + len(units))
         flat.extend(units)
+    collect = obs.active()
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        flat_results = list(pool.map(_run_unit, flat, itertools.repeat(config)))
+        flat_results = list(
+            pool.map(
+                _run_unit,
+                flat,
+                itertools.repeat(config),
+                itertools.repeat(collect),
+            )
+        )
     wall = time.perf_counter() - started
+    _replay_into_parent(flat_results)
     out: Dict[str, Dict[str, EvalResult]] = {}
     for name, analysis in pairs:
         lo, hi = spans[(name, analysis)]
-        out.setdefault(name, {})[analysis] = _merge(
-            name, analysis, flat_results[lo:hi], wall
-        )
+        result = _merge(name, analysis, flat_results[lo:hi], wall)
+        _emit_metrics(result)
+        out.setdefault(name, {})[analysis] = result
     return out

@@ -8,13 +8,20 @@ Commands:
   query on such a program;
 * ``eval`` — run the paper's full evaluation (Tables 1-4, Figures
   12-14) on the synthetic benchmark suite;
-* ``info NAME`` — print one benchmark's Table 1 row and query counts.
+* ``info NAME`` — print one benchmark's Table 1 row and query counts;
+* ``trace validate|summarize|transcript FILE`` — work with recorded
+  JSONL traces (see ``--trace-out`` and ``docs/OBSERVABILITY.md``).
 
 Variable/site/field universes are inferred from the program text, so a
 minimal invocation is just::
 
     python -m repro solve-typestate prog.rp --query check1 --allowed closed
     python -m repro solve-escape prog.rp --query pc --var u
+
+Every solver accepts ``--trace-out FILE`` (record a structured JSONL
+trace of the search) and ``--progress`` (live per-iteration feed on
+stderr); ``eval`` accepts the same and merges worker traces
+deterministically under ``--jobs``.
 """
 
 from __future__ import annotations
@@ -23,9 +30,19 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.narrate import narrate
+from repro.core.narrate import narrate, transcript_from_events
 from repro.core.stats import QueryStatus
-from repro.core.tracer import Tracer, TracerConfig
+from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.obs.events import SCHEMA_VERSION
+from repro.obs.sinks import JsonlSink, MultiSink, Sink, TtySink
+from repro.obs.summarize import (
+    load_trace,
+    render_summary,
+    summarize_trace,
+    validate_trace,
+)
 from repro.escape.client import EscapeClient, EscapeQuery
 from repro.escape.domain import EscSchema
 from repro.lang.parser import parse_program
@@ -42,6 +59,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-iterations", type=int, default=60)
     parser.add_argument("--narrate", action="store_true",
                         help="print the full Figure-1 style transcript")
+    _add_obs(parser)
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="record a structured JSONL trace of the search to FILE",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print live per-iteration progress to stderr",
+    )
+
+
+def _build_sink(args) -> Optional[Sink]:
+    """Combine the sinks requested on the command line (or ``None``)."""
+    sinks: List[Sink] = []
+    if getattr(args, "trace_out", None):
+        sinks.append(JsonlSink(args.trace_out))
+    if getattr(args, "progress", False):
+        sinks.append(TtySink(sys.stderr))
+    if not sinks:
+        return None
+    return sinks[0] if len(sinks) == 1 else MultiSink(sinks)
 
 
 def _beam(text: str) -> Optional[int]:
@@ -55,14 +96,18 @@ def _config(args) -> TracerConfig:
 
 
 def _report(client, query, args) -> int:
+    sink = _build_sink(args)
     if args.narrate:
-        transcript = narrate(client, query, _config(args))
+        # narrate installs its own detail-tracing context and forwards
+        # the event stream to the extra sink, so --trace-out traces
+        # carry the full per-iteration detail payloads.
+        transcript = narrate(client, query, _config(args), sink=sink)
         print(transcript.render())
         status = transcript.status
         abstraction = transcript.abstraction
         iterations = len(transcript.iterations)
     else:
-        record = Tracer(client, _config(args)).solve(query)
+        record = _solve_traced(client, query, args, sink)
         status = record.status
         abstraction = record.abstraction
         iterations = record.iterations
@@ -76,6 +121,30 @@ def _report(client, query, args) -> int:
         else:
             print(f"UNRESOLVED after {iterations} iterations")
     return 0 if status is not QueryStatus.EXHAUSTED else 1
+
+
+def _solve_traced(client, query, args, sink: Optional[Sink]):
+    config = _config(args)
+    if sink is None:
+        return Tracer(client, config).solve(query)
+    # Own the forward-run cache so it outlives the solve: the metrics
+    # registry holds weak references, and a driver-local cache would be
+    # collected before the closing snapshot below.
+    cache = (
+        ForwardRunCache(config.forward_cache_size)
+        if config.forward_cache_size
+        else None
+    )
+    with obs.tracing(sink, detail=bool(args.trace_out)):
+        record = Tracer(client, config, forward_cache=cache).solve(query)
+        # Close the trace with one metric record per registered cache
+        # (the client's caches registered on construction, before this
+        # function ran, so read the ambient registry — not a scoped one).
+        for name, counters in sorted(
+            obs_metrics.current_registry().snapshot().items()
+        ):
+            obs.metric(name, counters.hits, counters.misses)
+    return record
 
 
 def _cmd_solve_typestate(args) -> int:
@@ -154,13 +223,60 @@ def _cmd_eval(args) -> int:
     from repro.bench.suite import BENCHMARK_NAMES
 
     names = SMALLEST if args.quick else BENCHMARK_NAMES
-    results = full_report(names=names, k=args.k, jobs=args.jobs)
+    sink = _build_sink(args)
+    if sink is None:
+        results = full_report(names=names, k=args.k, jobs=args.jobs)
+    else:
+        # One ambient context around the whole evaluation: the serial
+        # harness emits into it directly; the parallel harness collects
+        # worker streams and replays them here in work-unit order.
+        with obs.tracing(sink):
+            results = full_report(names=names, k=args.k, jobs=args.jobs)
     if args.json:
         from repro.bench.export import export_json
 
         export_json(results, args.json)
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_trace_validate(args) -> int:
+    records = _load_trace_or_die(args.file)
+    errors = validate_trace(records)
+    if errors:
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(records)} records, schema version {SCHEMA_VERSION}")
+    return 0
+
+
+def _cmd_trace_summarize(args) -> int:
+    records = _load_trace_or_die(args.file)
+    errors = validate_trace(records)
+    if errors:
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    print(render_summary(summarize_trace(records)))
+    return 0
+
+
+def _cmd_trace_transcript(args) -> int:
+    records = _load_trace_or_die(args.file)
+    try:
+        transcript = transcript_from_events(records, query=args.query)
+    except ValueError as error:
+        _die(str(error))
+    print(transcript.render())
+    return 0
+
+
+def _load_trace_or_die(path: str) -> List[dict]:
+    try:
+        return load_trace(path)
+    except (OSError, ValueError) as error:
+        _die(str(error))
 
 
 def _cmd_info(args) -> int:
@@ -241,11 +357,40 @@ def build_parser() -> argparse.ArgumentParser:
     evaluation.add_argument(
         "--json", metavar="PATH", help="also write results as JSON"
     )
+    _add_obs(evaluation)
     evaluation.set_defaults(func=_cmd_eval)
 
     info = commands.add_parser("info", help="print one benchmark's statistics")
     info.add_argument("name")
     info.set_defaults(func=_cmd_info)
+
+    trace = commands.add_parser(
+        "trace", help="validate, summarize, or replay a recorded JSONL trace"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    validate = trace_commands.add_parser(
+        "validate", help="check a trace file against the event schema"
+    )
+    validate.add_argument("file")
+    validate.set_defaults(func=_cmd_trace_validate)
+
+    summarize = trace_commands.add_parser(
+        "summarize",
+        help="per-phase wall-clock breakdown (forward / backward / synthesis)",
+    )
+    summarize.add_argument("file")
+    summarize.set_defaults(func=_cmd_trace_summarize)
+
+    transcript = trace_commands.add_parser(
+        "transcript",
+        help="rebuild a Figure-1 style transcript from a detail trace",
+    )
+    transcript.add_argument("file")
+    transcript.add_argument(
+        "--query", help="which query to narrate (required for multi-query traces)"
+    )
+    transcript.set_defaults(func=_cmd_trace_transcript)
 
     return parser
 

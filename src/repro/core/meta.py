@@ -44,8 +44,15 @@ from repro.core.formula import (
 from repro.core.lru import LruCache
 from repro.core.parametric import ParametricAnalysis
 from repro.lang.ast import AtomicCommand, Trace
+from repro.obs import metrics as obs_metrics
 
 _WP_MISS = object()
+
+
+def _wp_counters(meta: "BackwardMetaAnalysis"):
+    from repro.core.stats import CacheCounters
+
+    return CacheCounters(hits=meta.wp_hits, misses=meta.wp_misses)
 
 
 class BackwardMetaAnalysis:
@@ -64,9 +71,15 @@ class BackwardMetaAnalysis:
     #: Bound on the wp memo; eviction is LRU, one entry at a time.
     WP_CACHE_SIZE = 200_000
 
-    #: Memo counters, surfaced in the evaluation's cache statistics.
+    #: Memo counters, surfaced in the evaluation's cache statistics
+    #: through the metrics registry (registered on first memo use
+    #: under ``"wp_memo.<metrics_name>"``).
     wp_hits: int = 0
     wp_misses: int = 0
+
+    #: Registry suffix naming this client's wp memo; concrete meta
+    #: bindings override it (``"typestate"``, ``"escape"``, ...).
+    metrics_name: str = "meta"
 
     def wp_cached(self, command: AtomicCommand, prim) -> Formula:
         """Memoised :meth:`wp_primitive` — the same (command, primitive)
@@ -74,6 +87,9 @@ class BackwardMetaAnalysis:
         cache = getattr(self, "_wp_cache", None)
         if cache is None:
             cache = self._wp_cache = LruCache(self.WP_CACHE_SIZE)
+            obs_metrics.register_cache(
+                f"wp_memo.{self.metrics_name}", self, _wp_counters
+            )
         key = (command, prim)
         result = cache.get(key, _WP_MISS)
         if result is _WP_MISS:
@@ -101,6 +117,14 @@ class MetaResult:
     """Largest number of disjuncts in any *tracked* (post-``approx``)
     formula — the formula-compactness statistic Figure 6 is about."""
 
+    subsumption_drops: int = 0
+    """Cubes removed by ``simplify`` (subsumption/merging) over the
+    whole backward pass — how much work the normalisation saved."""
+
+    beam_prunes: int = 0
+    """Cubes removed by the ``drop_k`` beam over the whole pass — how
+    aggressively the under-approximation narrowed the formula."""
+
 
 def approx(
     dnf: Dnf,
@@ -108,14 +132,24 @@ def approx(
     p: object,
     d: object,
     k: Optional[int],
+    stats: Optional[dict] = None,
 ) -> Dnf:
-    """``approx(p, d, f)`` of Section 4.1: simplify, then beam-prune."""
+    """``approx(p, d, f)`` of Section 4.1: simplify, then beam-prune.
+
+    When ``stats`` is given, the cubes dropped by each stage are
+    accumulated into its ``"subsumption_drops"`` / ``"beam_prunes"``
+    keys (the per-pass telemetry behind the trace's backward spans)."""
     simplified = simplify(dnf, theory)
+    if stats is not None:
+        stats["subsumption_drops"] += len(dnf.cubes) - len(simplified.cubes)
     if k is None:
         return simplified
-    return drop_k(
+    pruned = drop_k(
         simplified, k, lambda cube: evaluate_cube(cube, theory, p, d)
     )
+    if stats is not None:
+        stats["beam_prunes"] += len(simplified.cubes) - len(pruned.cubes)
+    return pruned
 
 
 def backward_trace(
@@ -143,8 +177,9 @@ def backward_trace(
     """
     theory = meta.theory
     states = analysis.trace_states(trace, p, d_init)
+    stats = {"subsumption_drops": 0, "beam_prunes": 0}
     current = to_dnf(post, theory, max_cubes)
-    current = approx(current, theory, p, states[-1], k)
+    current = approx(current, theory, p, states[-1], k, stats)
     if not evaluate(current, theory, p, states[-1]):
         raise ValueError(
             "backward_trace: the final forward state does not satisfy the "
@@ -170,7 +205,7 @@ def backward_trace(
             continue
         pre_formula = wp_substitute(current, wp_cache.__getitem__)
         pre = to_dnf(pre_formula, theory, max_cubes)
-        current = approx(pre, theory, p, states[index], k)
+        current = approx(pre, theory, p, states[index], k, stats)
         max_disjuncts = max(max_disjuncts, len(current.cubes))
         intermediate.append(current)
     intermediate.reverse()
@@ -178,4 +213,6 @@ def backward_trace(
         condition=current,
         intermediate=tuple(intermediate),
         max_disjuncts=max_disjuncts,
+        subsumption_drops=stats["subsumption_drops"],
+        beam_prunes=stats["beam_prunes"],
     )

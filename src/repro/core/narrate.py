@@ -3,9 +3,9 @@
 The paper explains its technique through annotated counterexample
 traces: each trace point carries the forward abstract state computed by
 the client analysis and the backward formula tracked by the
-meta-analysis.  This module replays a TRACER search and renders exactly
-that — one block per CEGAR iteration — which is invaluable both for
-debugging client analyses and for teaching the algorithm::
+meta-analysis.  This module renders exactly that — one block per CEGAR
+iteration — which is invaluable both for debugging client analyses and
+for teaching the algorithm::
 
     == iteration 1: p = {} ==
     nu: (closed in ts) & !(opened in ts) & !param(x)
@@ -13,36 +13,42 @@ debugging client analyses and for teaching the algorithm::
     ...
     eliminated: abstractions satisfying the start condition
 
-The transcript generator is deliberately independent of
-:class:`repro.core.tracer.Tracer` so it can replay any client/query
-pair without touching the search's production code path.
+Transcripts are built from the observability event stream
+(:mod:`repro.obs`): :func:`narrate` runs the production search driver
+with an in-memory detail sink and folds the captured
+``iteration_detail`` / ``query_resolved`` events into a
+:class:`SearchTranscript`, and :func:`transcript_from_events` performs
+the same fold on *any* recorded stream — so a transcript can be
+produced post-hoc from a ``--trace-out`` JSONL file (``repro trace
+transcript FILE``) without re-running the search.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.formula import Dnf, evaluate
-from repro.core.meta import backward_trace
 from repro.core.stats import QueryStatus
-from repro.core.tracer import TracerClient, TracerConfig
-from repro.core.viability import ParamTheory, ViabilityStore
-from repro.lang.ast import Trace
-from repro.lang.pretty import pretty_command
+from repro.obs.sinks import MemorySink, MultiSink, Sink
+from repro.obs.trace import tracing
 
 
 @dataclass
 class IterationTranscript:
     """One CEGAR iteration: the abstraction tried, the counterexample
-    (if the proof failed), and the meta-analysis formulas."""
+    (if the proof failed), and the meta-analysis formulas.
+
+    The payloads are pre-rendered strings (the form they take in the
+    recorded event stream): ``trace`` holds pretty-printed commands,
+    ``forward_states`` and ``backward_formulas`` the ``str()`` of the
+    abstract states / DNF formulas at every trace point."""
 
     index: int
     abstraction: frozenset
     proven: bool
-    trace: Optional[Trace] = None
-    forward_states: Tuple[object, ...] = ()
-    backward_formulas: Tuple[Dnf, ...] = ()
+    trace: Optional[Tuple[str, ...]] = None
+    forward_states: Tuple[str, ...] = ()
+    backward_formulas: Tuple[str, ...] = ()
 
     def render(self) -> str:
         p = "{" + ", ".join(sorted(self.abstraction)) + "}"
@@ -54,7 +60,7 @@ class IterationTranscript:
         for i, command in enumerate(self.trace):
             lines.append(f"  nu: {self.backward_formulas[i]}")
             lines.append(
-                f"      {pretty_command(command):<40} "
+                f"      {command:<40} "
                 f"d = {self.forward_states[i + 1]}"
             )
         lines.append(f"  nu: {self.backward_formulas[-1]}  (failure condition)")
@@ -84,57 +90,91 @@ class SearchTranscript:
         return "\n\n".join(blocks)
 
 
-def narrate(
-    client: TracerClient,
-    query,
-    config: TracerConfig = TracerConfig(),
+def transcript_from_events(
+    events: Sequence[dict], query: Optional[str] = None
 ) -> SearchTranscript:
-    """Replay Algorithm 1 on one query, capturing every intermediate.
+    """Fold a recorded event stream into a :class:`SearchTranscript`.
 
-    Functionally identical to ``Tracer(client, config).solve(query)``
-    (same abstractions tried in the same order) but additionally
-    records, per iteration, the counterexample trace, the forward
-    states along it, and the backward formula at every trace point.
+    ``events`` is any stream in the :mod:`repro.obs.events` schema that
+    was recorded with detail mode on (``iteration_detail`` events
+    present); ``query`` selects one query by id when the stream covers
+    several.  Raises :class:`ValueError` when the stream holds no
+    resolution for the requested query.
     """
-    theory = client.meta.theory
-    if not isinstance(theory, ParamTheory):
-        raise TypeError("the meta-analysis theory must be a ParamTheory")
-    d_init = client.analysis.initial_state()
-    store = ViabilityStore(theory, d_init)
-    iterations: List[IterationTranscript] = []
-    for index in range(1, config.max_iterations + 1):
-        p = store.choose_minimum()
-        if p is None:
-            return SearchTranscript(
-                query, QueryStatus.IMPOSSIBLE, iterations
-            )
-        trace = client.counterexamples([query], p)[query]
-        if trace is None:
-            iterations.append(
-                IterationTranscript(index, p, proven=True)
-            )
-            return SearchTranscript(
-                query, QueryStatus.PROVEN, iterations, abstraction=p
-            )
-        result = backward_trace(
-            client.meta,
-            client.analysis,
-            trace,
-            p,
-            d_init,
-            client.fail_condition(query),
-            k=config.k,
-            max_cubes=config.max_cubes,
+    resolutions = [
+        record["attrs"]
+        for record in events
+        if record.get("type") == "event"
+        and record.get("name") == "query_resolved"
+        and (query is None or record.get("attrs", {}).get("query") == query)
+    ]
+    if not resolutions:
+        raise ValueError(
+            "no query_resolved event in the stream"
+            + (f" for query {query!r}" if query else "")
         )
+    if query is None and len(resolutions) > 1:
+        ids = sorted({r.get("query") for r in resolutions})
+        raise ValueError(
+            f"stream resolves {len(resolutions)} queries ({', '.join(map(str, ids))}); "
+            "pass a query id to select one"
+        )
+    resolution = resolutions[0]
+    query_id = resolution.get("query")
+    iterations: List[IterationTranscript] = []
+    for record in events:
+        if (
+            record.get("type") != "event"
+            or record.get("name") != "iteration_detail"
+        ):
+            continue
+        attrs = record.get("attrs", {})
+        if attrs.get("query") != query_id:
+            continue
+        proven = bool(attrs.get("proven"))
         iterations.append(
             IterationTranscript(
-                index,
-                p,
-                proven=False,
-                trace=trace,
-                forward_states=client.analysis.trace_states(trace, p, d_init),
-                backward_formulas=result.intermediate,
+                index=attrs.get("index", len(iterations) + 1),
+                abstraction=frozenset(attrs.get("abstraction", ())),
+                proven=proven,
+                trace=None if proven else tuple(attrs.get("commands", ())),
+                forward_states=tuple(attrs.get("forward_states", ())),
+                backward_formulas=tuple(attrs.get("backward_formulas", ())),
             )
         )
-        store.add_failure_condition(result.condition)
-    return SearchTranscript(query, QueryStatus.EXHAUSTED, iterations)
+    abstraction = resolution.get("abstraction")
+    return SearchTranscript(
+        query=query_id,
+        status=QueryStatus(resolution["status"]),
+        iterations=iterations,
+        abstraction=frozenset(abstraction) if abstraction is not None else None,
+    )
+
+
+def narrate(
+    client,
+    query,
+    config=None,
+    sink: Optional[Sink] = None,
+) -> SearchTranscript:
+    """Run Algorithm 1 on one query, capturing every intermediate.
+
+    Runs the production search driver
+    (:func:`repro.core.tracer.run_query_group`) under an in-memory
+    detail sink, then rebuilds the transcript from the recorded event
+    stream — the same abstractions are tried in the same order as
+    ``Tracer(client, config).solve(query)``, and the transcript is
+    exactly what :func:`transcript_from_events` would recover from a
+    ``--trace-out`` file of that run.  ``sink`` additionally receives
+    a copy of every event (e.g. a
+    :class:`~repro.obs.sinks.JsonlSink` to keep the trace).
+    """
+    from repro.core.tracer import TracerConfig, run_query_group
+
+    if config is None:
+        config = TracerConfig()
+    memory = MemorySink()
+    capture: Sink = memory if sink is None else MultiSink([memory, sink])
+    with tracing(capture, detail=True):
+        run_query_group(client, [query], config)
+    return transcript_from_events(memory.events, query=str(query))

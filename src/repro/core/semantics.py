@@ -64,10 +64,19 @@ from repro.core.formula import (
     simplify,
     to_dnf,
 )
+from repro.obs import metrics as obs_metrics
 
 #: A location is any hashable token naming one independently-updatable
 #: component of the abstract state, e.g. ``("var", "u")`` or ``("err",)``.
 Location = Tuple
+
+
+def _dispatch_counters(semantics: "GuardedSemantics"):
+    from repro.core.stats import CacheCounters
+
+    return CacheCounters(
+        hits=semantics.dispatch_hits, misses=semantics.dispatch_misses
+    )
 
 
 class TableError(ValueError):
@@ -930,12 +939,19 @@ class GuardedSemantics:
     *every* abstraction and by the backward wp derivation.
     """
 
+    #: Registry suffix naming this client's dispatch cache; concrete
+    #: semantics override it (``"typestate"``, ``"escape"``, ...).
+    metrics_name: str = "semantics"
+
     def __init__(self, binding: SemanticsBinding):
         self.binding = binding
         self._compiled: Dict[object, CompiledCommand] = {}
         self._bound_steps: Dict[object, BoundStep] = {}
         self.dispatch_hits = 0
         self.dispatch_misses = 0
+        obs_metrics.register_cache(
+            f"dispatch.{self.metrics_name}", self, _dispatch_counters
+        )
 
     # -- client hook -------------------------------------------------------
 

@@ -53,6 +53,9 @@ from repro.core.parametric import ParametricAnalysis
 from repro.core.stats import QueryRecord, QueryStatus
 from repro.core.viability import ParamTheory, ViabilityStore
 from repro.lang.ast import Trace
+from repro.lang.pretty import pretty_command
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
 
 Query = Hashable
 
@@ -108,20 +111,27 @@ class TracerClient:
 
         When ``cache`` is given, the forward fixpoint is fetched
         through it (and stored on a miss)."""
-        if cache is not None:
-            result = cache.fetch(self, p)
-        else:
-            result = self.run_forward(p)
+        with obs.span("forward_run", phase="forward") as forward_span:
+            if cache is not None:
+                misses_before = cache.misses
+                result = cache.fetch(self, p)
+                forward_span.set(cached=cache.misses == misses_before)
+            else:
+                result = self.run_forward(p)
         theory = self.meta.theory
         out: Dict[Query, Optional[Trace]] = {}
-        for query in queries:
-            fail = self.fail_condition(query)
-            witness: Optional[Trace] = None
-            for node, state in result.states_before_observe(query.label):
-                if evaluate(fail, theory, p, state):
-                    witness = result.trace_to(node, state)
-                    break
-            out[query] = witness
+        with obs.span("extract", phase="forward") as extract_span:
+            for query in queries:
+                fail = self.fail_condition(query)
+                witness: Optional[Trace] = None
+                for node, state in result.states_before_observe(query.label):
+                    if evaluate(fail, theory, p, state):
+                        witness = result.trace_to(node, state)
+                        break
+                out[query] = witness
+            extract_span.set(
+                witnesses=sum(1 for w in out.values() if w is not None)
+            )
         return out
 
 
@@ -142,6 +152,9 @@ class ForwardRunCache:
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # The cache owns its counters; readers (harness, export,
+        # tables) pull totals from the registry, never keep copies.
+        obs_metrics.register_cache("forward_run", self)
 
     def fetch(self, client: TracerClient, p: FrozenSet[str]):
         """Return the forward result for ``(client, p)``, running the
@@ -281,7 +294,7 @@ def run_query_group(
     ]
 
     def resolve(query: Query, status: QueryStatus, p=None) -> None:
-        records[query] = QueryRecord(
+        record = QueryRecord(
             query_id=str(query),
             status=status,
             iterations=iterations[query],
@@ -294,94 +307,172 @@ def run_query_group(
             forward_runs=forward_runs[query],
             forward_cache_hits=cached_runs[query],
         )
+        records[query] = record
+        if obs.active():
+            obs.event(
+                "query_resolved",
+                query=record.query_id,
+                status=record.status.value,
+                iterations=record.iterations,
+                abstraction=sorted(p) if p is not None else None,
+                abstraction_cost=record.abstraction_cost,
+                time_seconds=record.time_seconds,
+                max_disjuncts=record.max_disjuncts,
+                forward_runs=record.forward_runs,
+                forward_cache_hits=record.forward_cache_hits,
+            )
 
-    while groups:
-        next_groups: List[_Group] = []
-        for group in groups:
-            started = clock()
-            p = group.store.choose_minimum()
-            if p is None:
-                _charge(group.queries, clock() - started, elapsed)
-                for query in group.queries:
-                    resolve(query, QueryStatus.IMPOSSIBLE)
-                continue
-            if forward_cache is not None:
-                hits_before = forward_cache.hits
-                witnesses = client.counterexamples(group.queries, p, cache=forward_cache)
-                round_was_cached = forward_cache.hits > hits_before
-            else:
-                witnesses = client.counterexamples(group.queries, p)
-                round_was_cached = False
-            # Selection + forward-run time is shared by every member;
-            # charge it *before* resolving so queries proven this round
-            # carry their share but none of the backward time below.
-            _charge(group.queries, clock() - started, elapsed)
-            survivors: List[Query] = []
-            for query in group.queries:
-                iterations[query] += 1
-                forward_runs[query] += 1
-                if round_was_cached:
-                    cached_runs[query] += 1
-                if witnesses[query] is None:
-                    resolve(query, QueryStatus.PROVEN, p)
-                else:
-                    survivors.append(query)
-            # Backward meta-analysis per failing query; split the group
-            # by the clause sets learned.  Each survivor is charged its
-            # own backward pass, not an equal share of the round.
-            splits: Dict[Tuple, _Group] = {}
-            for query in survivors:
-                trace = witnesses[query]
-                backward_started = clock()
-                try:
-                    result = backward_trace(
-                        client.meta,
-                        client.analysis,
-                        trace,
-                        p,
-                        d_init,
-                        client.fail_condition(query),
-                        k=config.k,
-                        max_cubes=config.max_cubes,
+    round_index = 0
+    with obs.span("query_group", queries=len(queries)):
+        while groups:
+            next_groups: List[_Group] = []
+            for group in groups:
+                round_index += 1
+                with obs.span(
+                    "iteration",
+                    round=round_index,
+                    group_size=len(group.queries),
+                ) as iteration_span:
+                    started = clock()
+                    with obs.span("choose", phase="synthesis") as choose_span:
+                        p = group.store.choose_minimum()
+                        choose_span.set(viable=p is not None)
+                    if p is None:
+                        _charge(group.queries, clock() - started, elapsed)
+                        for query in group.queries:
+                            resolve(query, QueryStatus.IMPOSSIBLE)
+                        continue
+                    if obs.active():
+                        iteration_span.set(
+                            abstraction_cost=client.analysis.param_space.cost(p)
+                        )
+                    with obs.span("counterexamples", phase="forward"):
+                        if forward_cache is not None:
+                            hits_before = forward_cache.hits
+                            witnesses = client.counterexamples(
+                                group.queries, p, cache=forward_cache
+                            )
+                            round_was_cached = forward_cache.hits > hits_before
+                        else:
+                            witnesses = client.counterexamples(group.queries, p)
+                            round_was_cached = False
+                    # Selection + forward-run time is shared by every
+                    # member; charge it *before* resolving so queries
+                    # proven this round carry their share but none of
+                    # the backward time below.
+                    _charge(group.queries, clock() - started, elapsed)
+                    survivors: List[Query] = []
+                    for query in group.queries:
+                        iterations[query] += 1
+                        forward_runs[query] += 1
+                        if round_was_cached:
+                            cached_runs[query] += 1
+                        if witnesses[query] is None:
+                            if obs.detail_enabled():
+                                obs.event(
+                                    "iteration_detail",
+                                    query=str(query),
+                                    index=iterations[query],
+                                    proven=True,
+                                    abstraction=sorted(p),
+                                )
+                            resolve(query, QueryStatus.PROVEN, p)
+                        else:
+                            survivors.append(query)
+                    iteration_span.set(
+                        cached=round_was_cached,
+                        proven=len(group.queries) - len(survivors),
+                        survivors=len(survivors),
                     )
-                except FormulaExplosion:
-                    # The meta-analysis formula outgrew the budget (the
-                    # analogue of the paper's k=None memory blow-ups):
-                    # give up on this query rather than on the run.
-                    elapsed[query] += clock() - backward_started
-                    resolve(query, QueryStatus.EXHAUSTED)
-                    continue
-                max_disjuncts[query] = max(
-                    max_disjuncts[query], result.max_disjuncts
-                )
-                probe = group.store.copy()
-                added = probe.add_failure_condition(result.condition)
-                if not probe.excludes(p):
-                    raise ProgressError(
-                        f"query {query!r}: abstraction {sorted(p)} was not "
-                        "eliminated by its own counterexample"
-                    )
-                signature = _clause_signature(added)
-                bucket = splits.get(signature)
-                if bucket is None:
-                    bucket = _Group(store=probe, queries=[])
-                    splits[signature] = bucket
-                bucket.queries.append(query)
-                elapsed[query] += clock() - backward_started
-            for bucket in splits.values():
-                live: List[Query] = []
-                for query in bucket.queries:
-                    if iterations[query] >= config.max_iterations or (
-                        config.max_seconds is not None
-                        and elapsed[query] >= config.max_seconds
-                    ):
-                        resolve(query, QueryStatus.EXHAUSTED)
-                    else:
-                        live.append(query)
-                if live:
-                    bucket.queries = live
-                    next_groups.append(bucket)
-        groups = next_groups
+                    # Backward meta-analysis per failing query; split
+                    # the group by the clause sets learned.  Each
+                    # survivor is charged its own backward pass, not an
+                    # equal share of the round.
+                    splits: Dict[Tuple, _Group] = {}
+                    for query in survivors:
+                        trace = witnesses[query]
+                        with obs.span(
+                            "backward", phase="backward", query=str(query)
+                        ) as backward_span:
+                            backward_started = clock()
+                            try:
+                                result = backward_trace(
+                                    client.meta,
+                                    client.analysis,
+                                    trace,
+                                    p,
+                                    d_init,
+                                    client.fail_condition(query),
+                                    k=config.k,
+                                    max_cubes=config.max_cubes,
+                                )
+                            except FormulaExplosion:
+                                # The meta-analysis formula outgrew the
+                                # budget (the analogue of the paper's
+                                # k=None memory blow-ups): give up on
+                                # this query rather than on the run.
+                                elapsed[query] += clock() - backward_started
+                                backward_span.set(outcome="explosion")
+                                resolve(query, QueryStatus.EXHAUSTED)
+                                continue
+                            max_disjuncts[query] = max(
+                                max_disjuncts[query], result.max_disjuncts
+                            )
+                            probe = group.store.copy()
+                            added = probe.add_failure_condition(result.condition)
+                            if not probe.excludes(p):
+                                raise ProgressError(
+                                    f"query {query!r}: abstraction {sorted(p)} "
+                                    "was not eliminated by its own counterexample"
+                                )
+                            if obs.active():
+                                backward_span.set(
+                                    steps=len(trace),
+                                    max_disjuncts=result.max_disjuncts,
+                                    step_disjuncts=[
+                                        len(f.cubes) for f in result.intermediate
+                                    ],
+                                    subsumption_drops=result.subsumption_drops,
+                                    beam_prunes=result.beam_prunes,
+                                    clauses=len(added),
+                                )
+                            if obs.detail_enabled():
+                                states = client.analysis.trace_states(
+                                    trace, p, d_init
+                                )
+                                obs.event(
+                                    "iteration_detail",
+                                    query=str(query),
+                                    index=iterations[query],
+                                    proven=False,
+                                    abstraction=sorted(p),
+                                    commands=[pretty_command(c) for c in trace],
+                                    forward_states=[str(s) for s in states],
+                                    backward_formulas=[
+                                        str(f) for f in result.intermediate
+                                    ],
+                                )
+                            signature = _clause_signature(added)
+                            bucket = splits.get(signature)
+                            if bucket is None:
+                                bucket = _Group(store=probe, queries=[])
+                                splits[signature] = bucket
+                            bucket.queries.append(query)
+                            elapsed[query] += clock() - backward_started
+                    for bucket in splits.values():
+                        live: List[Query] = []
+                        for query in bucket.queries:
+                            if iterations[query] >= config.max_iterations or (
+                                config.max_seconds is not None
+                                and elapsed[query] >= config.max_seconds
+                            ):
+                                resolve(query, QueryStatus.EXHAUSTED)
+                            else:
+                                live.append(query)
+                        if live:
+                            bucket.queries = live
+                            next_groups.append(bucket)
+            groups = next_groups
     return records
 
 

@@ -165,6 +165,8 @@ def _publish_table(var: str):
 class EscapeSemantics(GuardedSemantics):
     """Case tables of the thread-escape transfer functions."""
 
+    metrics_name = "escape"
+
     def __init__(self, schema: EscSchema):
         super().__init__(EscapeBinding(schema))
 

@@ -113,6 +113,8 @@ class EscapeMeta(BackwardMetaAnalysis):
     """Backward weakest preconditions on escape primitives, derived
     from the forward case tables (requirement (2) by construction)."""
 
+    metrics_name = "escape"
+
     def __init__(self, analysis):
         self.analysis = analysis
         self.theory = analysis.semantics.binding.theory

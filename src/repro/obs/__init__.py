@@ -1,0 +1,85 @@
+"""Observability: structured tracing and metrics for the TRACER loop.
+
+Sub-modules:
+
+* :mod:`repro.obs.trace` — the span/event runtime the search loop is
+  instrumented with (near-free when no sink is installed);
+* :mod:`repro.obs.events` — the versioned trace-record schema,
+  validation, and deterministic merging of parallel worker streams;
+* :mod:`repro.obs.sinks` — where records go: no-op, in-memory, JSONL
+  file, live TTY progress;
+* :mod:`repro.obs.metrics` — the cache-counter registry (single
+  source of truth for hit/miss statistics);
+* :mod:`repro.obs.summarize` — post-hoc trace analysis behind
+  ``repro trace validate / summarize``.
+
+See ``docs/OBSERVABILITY.md`` for the full story.
+"""
+
+from repro.obs.events import (
+    PHASES,
+    SCHEMA_VERSION,
+    merge_streams,
+    validate_events,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    current_registry,
+    register_cache,
+    scoped_registry,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    MultiSink,
+    NullSink,
+    Sink,
+    TtySink,
+)
+from repro.obs.summarize import (
+    TraceSummary,
+    load_trace,
+    phase_durations,
+    render_summary,
+    summarize_trace,
+)
+from repro.obs.trace import (
+    TraceContext,
+    active,
+    current,
+    detail_enabled,
+    event,
+    metric,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "MultiSink",
+    "NullSink",
+    "PHASES",
+    "SCHEMA_VERSION",
+    "Sink",
+    "TraceContext",
+    "TraceSummary",
+    "TtySink",
+    "active",
+    "current",
+    "current_registry",
+    "detail_enabled",
+    "event",
+    "load_trace",
+    "merge_streams",
+    "metric",
+    "phase_durations",
+    "register_cache",
+    "render_summary",
+    "scoped_registry",
+    "span",
+    "summarize_trace",
+    "tracing",
+    "validate_events",
+]

@@ -1,0 +1,136 @@
+"""Cache-counter metrics registry.
+
+Before this layer existed, every cache's hit/miss counters were
+hand-threaded through ``stats.py -> harness.py -> export.py ->
+tables.py`` — each new cache meant touching four files and each reader
+risked double-counting (summing a cache's own counters *and* a copy
+taken elsewhere).  The registry inverts the flow: a cache registers
+itself once, at construction, under a hierarchical name
+(``"forward_run"``, ``"wp_memo.typestate"``, ``"dispatch.escape"``,
+...), and keeps sole ownership of its counters.  Readers *pull*: a
+snapshot reads every live source exactly once, so there is a single
+source of truth by construction.
+
+Registration is weak — the registry never keeps a cache alive — and
+scoped: the evaluation harness installs a fresh registry per run
+(:func:`scoped_registry`) so one evaluation's totals never bleed into
+the next, while ad-hoc usage (tests, the CLI solvers) lands in the
+process-wide default registry.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.stats import CacheCounters
+
+__all__ = [
+    "MetricsRegistry",
+    "current_registry",
+    "register_cache",
+    "scoped_registry",
+]
+
+#: Reads one source object into counters.
+Reader = Callable[[object], CacheCounters]
+
+
+def _hits_misses(source: object) -> CacheCounters:
+    return CacheCounters(hits=source.hits, misses=source.misses)
+
+
+class MetricsRegistry:
+    """Named collection of weakly-referenced counter sources."""
+
+    def __init__(self):
+        self._sources: Dict[str, List[Tuple[weakref.ref, Reader]]] = {}
+
+    def register(
+        self, name: str, source: object, reader: Reader = _hits_misses
+    ) -> None:
+        """Register ``source`` under ``name``.  ``reader`` extracts a
+        :class:`CacheCounters` from the live object (default: its
+        ``hits``/``misses`` attributes)."""
+        self._sources.setdefault(name, []).append((weakref.ref(source), reader))
+
+    def counters(self, prefix: str) -> CacheCounters:
+        """Summed counters of every live source whose name is
+        ``prefix`` or starts with ``prefix + "."``."""
+        total = CacheCounters()
+        dotted = prefix + "."
+        for name, entries in self._sources.items():
+            if name == prefix or name.startswith(dotted):
+                for ref, reader in entries:
+                    source = ref()
+                    if source is not None:
+                        total += reader(source)
+        return total
+
+    def snapshot(self) -> Dict[str, CacheCounters]:
+        """Per-name totals over live sources (dead entries pruned)."""
+        out: Dict[str, CacheCounters] = {}
+        for name, entries in sorted(self._sources.items()):
+            live = [(ref, reader) for ref, reader in entries if ref() is not None]
+            self._sources[name] = live
+            if live:
+                total = CacheCounters()
+                for ref, reader in live:
+                    source = ref()
+                    if source is not None:
+                        total += reader(source)
+                out[name] = total
+        return out
+
+    def source_count(self, prefix: str) -> int:
+        """How many live sources match ``prefix`` (diagnostics)."""
+        count = 0
+        dotted = prefix + "."
+        for name, entries in self._sources.items():
+            if name == prefix or name.startswith(dotted):
+                count += sum(1 for ref, _ in entries if ref() is not None)
+        return count
+
+
+#: The process-wide fallback registry.
+_DEFAULT = MetricsRegistry()
+
+#: The installed registry (module-level; the evaluation parallelises
+#: across processes, so no thread-local is needed).
+_CURRENT: MetricsRegistry = _DEFAULT
+
+
+def current_registry() -> MetricsRegistry:
+    """The registry new caches register with."""
+    return _CURRENT
+
+
+def register_cache(
+    name: str, source: object, reader: Reader = _hits_misses
+) -> None:
+    """Register ``source`` with the current registry (the call every
+    cache constructor makes)."""
+    _CURRENT.register(name, source, reader)
+
+
+class scoped_registry:
+    """Install a fresh (or given) registry for a ``with`` block.
+
+    The evaluation harness wraps each run in one of these so the
+    counters it reports cover exactly the caches constructed during
+    that run."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        global _CURRENT
+        self._previous = _CURRENT
+        _CURRENT = self.registry
+        return self.registry
+
+    def __exit__(self, *exc) -> bool:
+        global _CURRENT
+        _CURRENT = self._previous
+        return False

@@ -1,0 +1,214 @@
+"""Post-hoc trace analysis: validation and per-phase summaries.
+
+``repro trace summarize FILE`` renders, from a recorded JSONL trace,
+the decomposition the paper's Table 3 timing columns are built from:
+how much wall-clock the search spent in the forward fixpoint runs
+(+ counterexample extraction), the backward meta-analysis, and
+next-abstraction synthesis (MinCostSAT).  The summary also
+cross-checks the phase totals against the per-query ``time_seconds``
+recorded in ``query_resolved`` events — the two are independent
+measurements of the same work, so their ratio (*coverage*) is a
+built-in sanity check on the instrumentation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.events import PHASES, SPAN_END, SPAN_START, validate_events
+
+__all__ = [
+    "TraceSummary",
+    "load_trace",
+    "phase_durations",
+    "render_summary",
+    "summarize_trace",
+]
+
+
+def load_trace(path: str) -> List[dict]:
+    """Read a JSONL trace file into a record list."""
+    records: List[dict] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON ({error})"
+                ) from None
+    return records
+
+
+@dataclass
+class _SpanInfo:
+    name: str
+    phase: Optional[str]
+    parent: Optional[int]
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+def _spans(records: Sequence[dict]) -> Dict[int, _SpanInfo]:
+    spans: Dict[int, _SpanInfo] = {}
+    for record in records:
+        rtype = record.get("type")
+        if rtype == SPAN_START:
+            spans[record["id"]] = _SpanInfo(
+                name=record.get("name", "?"),
+                phase=record.get("phase"),
+                parent=record.get("parent"),
+                start=record["t"],
+            )
+        elif rtype == SPAN_END:
+            info = spans.get(record.get("id"))
+            if info is not None:
+                info.end = record["t"]
+    return spans
+
+
+def phase_durations(records: Sequence[dict]) -> Dict[str, float]:
+    """Wall-clock seconds per phase, summed over phased spans.
+
+    A phased span's contribution excludes the time of its *phased*
+    descendants (each instant is attributed to the innermost phased
+    span covering it), so wrapping phased work in a coarser phased
+    span never double-counts.
+    """
+    spans = _spans(records)
+    child_phased: Dict[int, float] = {}
+    for info in spans.values():
+        if info.phase is not None and info.parent is not None:
+            child_phased[info.parent] = (
+                child_phased.get(info.parent, 0.0) + info.duration
+            )
+    totals = {phase: 0.0 for phase in PHASES}
+    for span_id, info in spans.items():
+        if info.phase is not None:
+            exclusive = info.duration - child_phased.get(span_id, 0.0)
+            totals[info.phase] = totals.get(info.phase, 0.0) + max(0.0, exclusive)
+    return totals
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace summarize`` renders."""
+
+    phase_seconds: Dict[str, float]
+    span_counts: Dict[str, int]
+    span_seconds: Dict[str, float]
+    queries: List[dict] = field(default_factory=list)
+    metrics: List[dict] = field(default_factory=list)
+    iterations: int = 0
+    streams: int = 1
+
+    @property
+    def phase_total(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    @property
+    def query_time_total(self) -> float:
+        return sum(q.get("time_seconds", 0.0) for q in self.queries)
+
+    @property
+    def coverage(self) -> Optional[float]:
+        """phase_total / sum of per-query time_seconds (``None`` when
+        the trace resolved no queries)."""
+        total = self.query_time_total
+        return self.phase_total / total if total else None
+
+
+def summarize_trace(records: Sequence[dict]) -> TraceSummary:
+    """Fold a validated record stream into a :class:`TraceSummary`."""
+    spans = _spans(records)
+    span_counts: Dict[str, int] = {}
+    span_seconds: Dict[str, float] = {}
+    for info in spans.values():
+        span_counts[info.name] = span_counts.get(info.name, 0) + 1
+        span_seconds[info.name] = span_seconds.get(info.name, 0.0) + info.duration
+    queries = [
+        dict(record.get("attrs", {}))
+        for record in records
+        if record.get("type") == "event" and record.get("name") == "query_resolved"
+    ]
+    # One row per counter name: eval traces carry one metric record per
+    # (benchmark, analysis) pair, so sum them into suite-wide totals.
+    by_name: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        entry = by_name.setdefault(
+            record["name"], {"name": record["name"], "hits": 0, "misses": 0}
+        )
+        entry["hits"] += record["hits"]
+        entry["misses"] += record["misses"]
+    metrics = [by_name[name] for name in sorted(by_name)]
+    streams = {record.get("stream", 0) for record in records}
+    return TraceSummary(
+        phase_seconds=phase_durations(records),
+        span_counts=span_counts,
+        span_seconds=span_seconds,
+        queries=queries,
+        metrics=metrics,
+        iterations=span_counts.get("iteration", 0),
+        streams=max(len(streams), 1),
+    )
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """The ``repro trace summarize`` report."""
+    lines: List[str] = []
+    total = summary.phase_total
+    lines.append("Per-phase wall-clock breakdown")
+    for phase in PHASES:
+        seconds = summary.phase_seconds.get(phase, 0.0)
+        share = seconds / total if total else 0.0
+        lines.append(f"  {phase:<10} {seconds:>10.4f}s  {share:>6.1%}")
+    lines.append(f"  {'total':<10} {total:>10.4f}s")
+    lines.append("")
+    lines.append(
+        f"iterations: {summary.iterations}"
+        + (f"  (streams: {summary.streams})" if summary.streams > 1 else "")
+    )
+    if summary.queries:
+        by_status: Dict[str, int] = {}
+        for query in summary.queries:
+            status = query.get("status", "?")
+            by_status[status] = by_status.get(status, 0) + 1
+        status_text = ", ".join(
+            f"{count} {status}" for status, count in sorted(by_status.items())
+        )
+        lines.append(
+            f"queries: {len(summary.queries)} resolved ({status_text}), "
+            f"charged time {summary.query_time_total:.4f}s"
+        )
+        if summary.coverage is not None:
+            lines.append(
+                f"phase coverage: {summary.coverage:.1%} of charged query time"
+            )
+    if summary.metrics:
+        lines.append("")
+        lines.append("cache counters")
+        for metric in summary.metrics:
+            total_ops = metric["hits"] + metric["misses"]
+            rate = metric["hits"] / total_ops if total_ops else 0.0
+            lines.append(
+                f"  {metric['name']:<24} {metric['hits']:>8} hits "
+                f"{metric['misses']:>8} misses  {rate:>6.1%}"
+            )
+    return "\n".join(lines)
+
+
+def validate_trace(records: Sequence[dict]) -> List[str]:
+    """Schema-validate a record stream (see
+    :func:`repro.obs.events.validate_events`)."""
+    return validate_events(records)

@@ -1,0 +1,279 @@
+"""Span/event tracing runtime for the TRACER search loop.
+
+The instrumentation points in :mod:`repro.core.tracer` (and anywhere
+else) call :func:`span` and :func:`event` unconditionally; when no
+sink is installed both are near-free no-ops (one global read plus a
+singleton context manager), which is how the "no-op sink" overhead
+budget of ``bench_smoke`` is met.  Installing a sink via
+:func:`tracing` turns the same call sites into a structured event
+stream (see :mod:`repro.obs.events` for the schema):
+
+* a *span* is a named, timed interval with a parent (spans nest
+  lexically via ``with``); phase-carrying spans (``phase`` in
+  ``{"forward", "backward", "synthesis"}``) are what
+  ``repro trace summarize`` aggregates into the per-phase wall-clock
+  breakdown behind the paper's Table 3 timing columns;
+* an *event* is a point-in-time record attached to the current span.
+
+The runtime is deliberately process-local and not thread-safe: the
+evaluation parallelises across *processes* (``repro.bench.parallel``),
+each of which owns its own context, and worker streams are merged
+deterministically afterwards (:func:`repro.obs.events.merge_streams`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.obs.events import (
+    EVENT,
+    METRIC,
+    SPAN_END,
+    SPAN_START,
+    TRACE_HEADER,
+    header as _header,
+)
+from repro.obs.sinks import Sink
+
+__all__ = [
+    "TraceContext",
+    "active",
+    "current",
+    "detail_enabled",
+    "event",
+    "metric",
+    "span",
+    "tracing",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is inactive."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs) -> None:
+        """Discard end-time attributes (tracing is off)."""
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span: emits ``span_start`` on enter, ``span_end`` on exit."""
+
+    __slots__ = ("_ctx", "_id", "_end_attrs")
+
+    def __init__(self, ctx: "TraceContext", span_id: int, end_attrs: dict):
+        self._ctx = ctx
+        self._id = span_id
+        self._end_attrs = end_attrs
+
+    def __enter__(self):
+        return self
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the ``span_end`` record (values that
+        are only known once the spanned work finishes)."""
+        self._end_attrs.update(attrs)
+
+    def __exit__(self, *exc):
+        self._ctx._end_span(self._id, self._end_attrs)
+        return False
+
+
+class TraceContext:
+    """One tracing session: a sink, a span stack, and an id counter."""
+
+    __slots__ = ("sink", "detail", "clock", "_next_id", "_stack")
+
+    def __init__(
+        self,
+        sink: Sink,
+        detail: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.sink = sink
+        self.detail = detail
+        self.clock = clock
+        self._next_id = 0
+        self._stack: List[int] = []
+
+    def open(self) -> None:
+        self.sink.emit(_header())
+
+    def close(self) -> None:
+        self.sink.close()
+
+    # -- emission ----------------------------------------------------------
+
+    def start_span(self, name: str, phase: Optional[str], attrs: dict) -> _Span:
+        span_id = self._next_id
+        self._next_id += 1
+        record: Dict[str, object] = {
+            "type": SPAN_START,
+            "id": span_id,
+            "parent": self._stack[-1] if self._stack else None,
+            "name": name,
+            "t": self.clock(),
+        }
+        if phase is not None:
+            record["phase"] = phase
+        if attrs:
+            record["attrs"] = attrs
+        self._stack.append(span_id)
+        self.sink.emit(record)
+        return _Span(self, span_id, {})
+
+    def _end_span(self, span_id: int, attrs: dict) -> None:
+        # Close any spans left open below this one (a span abandoned by
+        # an exception) so the stream stays well-nested.
+        while self._stack and self._stack[-1] != span_id:
+            dangling = self._stack.pop()
+            self.sink.emit({"type": SPAN_END, "id": dangling, "t": self.clock()})
+        if self._stack:
+            self._stack.pop()
+        record: Dict[str, object] = {
+            "type": SPAN_END,
+            "id": span_id,
+            "t": self.clock(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self.sink.emit(record)
+
+    def emit_event(self, name: str, attrs: dict) -> None:
+        record: Dict[str, object] = {
+            "type": EVENT,
+            "name": name,
+            "span": self._stack[-1] if self._stack else None,
+            "t": self.clock(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self.sink.emit(record)
+
+    def emit_metric(self, name: str, hits: int, misses: int, **extra) -> None:
+        record: Dict[str, object] = {
+            "type": METRIC,
+            "name": name,
+            "hits": hits,
+            "misses": misses,
+            "t": self.clock(),
+        }
+        record.update(extra)
+        self.sink.emit(record)
+
+    def ingest(self, records) -> None:
+        """Replay externally-recorded records (e.g. a merged parallel
+        worker stream) into this context's stream.
+
+        Span ids are re-allocated from this context's counter so they
+        can never collide with ids this context assigns before or
+        after; headers are dropped (this stream already has one).
+        Timestamps are kept verbatim — they remain comparable only
+        within their original stream, which per-span durations are.
+        """
+        remap: Dict[int, int] = {}
+        for record in records:
+            if record.get("type") == TRACE_HEADER:
+                continue
+            record = dict(record)
+            span_id = record.get("id")
+            if isinstance(span_id, int):
+                if span_id not in remap:
+                    remap[span_id] = self._next_id
+                    self._next_id += 1
+                record["id"] = remap[span_id]
+            for key in ("parent", "span"):
+                ref = record.get(key)
+                if isinstance(ref, int) and ref in remap:
+                    record[key] = remap[ref]
+            self.sink.emit(record)
+
+
+#: The installed context, or ``None`` (tracing off — the default).
+_CURRENT: Optional[TraceContext] = None
+
+
+def current() -> Optional[TraceContext]:
+    """The installed :class:`TraceContext`, or ``None``."""
+    return _CURRENT
+
+
+def active() -> bool:
+    """Whether a sink is installed (anything will actually be emitted)."""
+    return _CURRENT is not None
+
+
+def detail_enabled() -> bool:
+    """Whether the installed context asks for *detail* events — the
+    heavyweight per-iteration payloads (rendered formulas, forward
+    states) that make post-hoc transcripts possible but are too
+    expensive for always-on production traces."""
+    ctx = _CURRENT
+    return ctx is not None and ctx.detail
+
+
+def span(name: str, phase: Optional[str] = None, **attrs):
+    """Open a span; use as ``with span("forward", phase="forward"):``.
+
+    Returns a no-op singleton when tracing is inactive, so the call is
+    safe (and cheap) on hot paths."""
+    ctx = _CURRENT
+    if ctx is None:
+        return _NOOP_SPAN
+    return ctx.start_span(name, phase, attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Emit a point event attached to the current span (no-op when
+    tracing is inactive)."""
+    ctx = _CURRENT
+    if ctx is not None:
+        ctx.emit_event(name, attrs)
+
+
+def metric(name: str, hits: int, misses: int, **extra) -> None:
+    """Emit one cache-counter snapshot record (no-op when tracing is
+    inactive)."""
+    ctx = _CURRENT
+    if ctx is not None:
+        ctx.emit_metric(name, hits, misses, **extra)
+
+
+class tracing:
+    """Install ``sink`` for the duration of a ``with`` block.
+
+    Nested installations stack: the inner context temporarily replaces
+    the outer one (this is what lets ``narrate`` capture its own event
+    stream even inside an already-traced run)."""
+
+    def __init__(
+        self,
+        sink: Sink,
+        detail: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self._context = TraceContext(sink, detail=detail, clock=clock)
+        self._previous: Optional[TraceContext] = None
+
+    def __enter__(self) -> TraceContext:
+        global _CURRENT
+        self._previous = _CURRENT
+        _CURRENT = self._context
+        self._context.open()
+        return self._context
+
+    def __exit__(self, *exc) -> bool:
+        global _CURRENT
+        _CURRENT = self._previous
+        self._context.close()
+        return False

@@ -194,6 +194,8 @@ class CopyVar(Effect):
 class ProvenanceSemantics(GuardedSemantics):
     """Case tables of the provenance transfer functions."""
 
+    metrics_name = "provenance"
+
     def __init__(self, schema: PtSchema):
         super().__init__(ProvenanceBinding(schema))
 

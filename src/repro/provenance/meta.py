@@ -143,6 +143,8 @@ class ProvenanceMeta(BackwardMetaAnalysis):
     """Weakest preconditions on provenance primitives, derived from
     the forward case tables (requirement (2) by construction)."""
 
+    metrics_name = "provenance"
+
     def __init__(self, analysis):
         self.analysis = analysis
         self.theory = analysis.semantics.binding.theory

@@ -231,6 +231,8 @@ class Restart(Effect):
 class TypestateSemantics(GuardedSemantics):
     """Case tables of the type-state transfer functions."""
 
+    metrics_name = "typestate"
+
     def __init__(
         self,
         automaton: TypestateAutomaton,

@@ -154,6 +154,8 @@ class TypestateMeta(BackwardMetaAnalysis):
     derived from the forward case tables (requirement (2) by
     construction)."""
 
+    metrics_name = "typestate"
+
     def __init__(self, analysis):
         self.analysis = analysis
         self.theory = analysis.semantics.binding.theory

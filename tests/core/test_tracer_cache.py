@@ -206,6 +206,86 @@ class TestChargeAccounting:
         assert total == pytest.approx(clock.now)
 
 
+class TestCacheAwareDetection:
+    """The deprecation shim itself (not just its driver-level effect)."""
+
+    def test_legacy_signature_warns_and_disables_cache(self):
+        client, _qa, _qb = two_query_client()
+        client.counterexamples = lambda queries, p: {}
+        with pytest.warns(DeprecationWarning, match="cache"):
+            assert tracer_mod._cache_aware(client) is False
+
+    def test_cache_keyword_accepted_without_warning(self):
+        client, _qa, _qb = two_query_client()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert tracer_mod._cache_aware(client) is True
+
+    def test_uninspectable_callable_treated_as_legacy(self):
+        client, _qa, _qb = two_query_client()
+
+        class Odd:
+            def __call__(self, *args):  # pragma: no cover - never called
+                return {}
+
+            @property
+            def __signature__(self):
+                raise ValueError("no signature")
+
+        client.counterexamples = Odd()
+        with pytest.warns(DeprecationWarning):
+            assert tracer_mod._cache_aware(client) is False
+
+
+class TestChargeConservation:
+    """Satellite: the `_charge` split must conserve wall time.
+
+    Whatever mix of shared (selection + forward) and per-survivor
+    (backward) costs a group run incurs, the per-query `time_seconds`
+    must sum to the total time the clock advanced."""
+
+    def test_charge_splits_equally(self):
+        elapsed = {"a": 0.0, "b": 0.0, "c": 0.0}
+        tracer_mod._charge(["a", "b", "c"], 3.0, elapsed)
+        assert elapsed == {"a": 1.0, "b": 1.0, "c": 1.0}
+        tracer_mod._charge(["a"], 0.5, elapsed)
+        assert elapsed["a"] == pytest.approx(1.5)
+
+    def test_charge_empty_group_is_noop(self):
+        tracer_mod._charge([], 5.0, {})
+
+    def test_group_split_sums_to_wall_time(self, monkeypatch):
+        """A 2-query group that splits (one proven round 1, the other
+        driven to impossibility) conserves every advanced second."""
+        client, qa, qb = two_query_client()
+
+        class FakeClock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = FakeClock()
+        real_counterexamples = client.counterexamples
+
+        def timed_counterexamples(queries, p, cache=None):
+            clock.now += 1.0 + 0.5 * len(queries)  # group-size-dependent
+            return real_counterexamples(queries, p, cache=cache)
+
+        client.counterexamples = timed_counterexamples
+        real_backward = tracer_mod.backward_trace
+
+        def timed_backward(*args, **kwargs):
+            clock.now += 2.25
+            return real_backward(*args, **kwargs)
+
+        monkeypatch.setattr(tracer_mod, "backward_trace", timed_backward)
+        records = run_query_group(client, [qa, qb], TracerConfig(), clock=clock)
+        total = sum(r.time_seconds for r in records.values())
+        assert clock.now > 0
+        assert total == pytest.approx(clock.now, rel=1e-9)
+
+
 class TestCacheOnRealWorkload:
     """The acceptance check: a multi-group escape workload hits the
     cache without changing any query's outcome."""

@@ -1,0 +1,180 @@
+"""End-to-end tests of the instrumented TRACER loop.
+
+These pin the acceptance criteria of the observability layer: a real
+search produces a schema-valid stream, the per-phase breakdown covers
+the charged per-query time, transcripts can be rebuilt post-hoc, and
+all counter reports agree with the metrics registry.
+"""
+
+import pytest
+
+from repro.core.narrate import narrate, transcript_from_events
+from repro.core.stats import QueryStatus
+from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
+from repro.escape import EscSchema, EscapeClient, EscapeQuery
+from repro.lang import parse_program
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.obs.events import validate_events
+from repro.obs.sinks import MemorySink
+from repro.obs.summarize import summarize_trace
+from repro.typestate import TypestateClient, TypestateQuery, file_automaton
+
+ESCAPE_PROGRAM = """
+observe qa
+u = new h1
+choice {
+  $g = u
+} or {
+  skip
+}
+w = u
+observe qb
+"""
+
+FILE_PROGRAM = """
+x = new File
+y = x
+x.open()
+y.close()
+observe check1
+"""
+
+
+def escape_client():
+    program = parse_program(ESCAPE_PROGRAM)
+    client = EscapeClient(program, EscSchema(["u", "w"], []), frozenset({"h1"}))
+    return client, [EscapeQuery("qa", "u"), EscapeQuery("qb", "w")]
+
+
+def typestate_client():
+    program = parse_program(FILE_PROGRAM)
+    client = TypestateClient(
+        program, file_automaton(), "File", frozenset({"x", "y"})
+    )
+    return client, TypestateQuery("check1", frozenset({"closed"}))
+
+
+class TestTracedSearch:
+    @pytest.fixture(scope="class")
+    def run(self):
+        sink = MemorySink()
+        with obs_metrics.scoped_registry() as registry:
+            # Construct inside the scope so the client's dispatch table
+            # and wp memo register with this registry.
+            client, queries = escape_client()
+            cache = ForwardRunCache(max_entries=16)
+            with obs.tracing(sink):
+                records = Tracer(
+                    client, TracerConfig(), forward_cache=cache
+                ).solve_all(queries)
+            snapshot = registry.snapshot()
+        return sink.events, records, queries, snapshot
+
+    def test_stream_is_schema_valid(self, run):
+        events, _records, _queries, _snapshot = run
+        assert validate_events(events) == []
+
+    def test_expected_span_taxonomy(self, run):
+        events, records, _queries, _snapshot = run
+        names = {r["name"] for r in events if r["type"] == "span_start"}
+        assert {
+            "query_group",
+            "iteration",
+            "choose",
+            "counterexamples",
+            "forward_run",
+            "extract",
+            "backward",
+        } <= names
+        iterations = [
+            r
+            for r in events
+            if r["type"] == "span_start" and r["name"] == "iteration"
+        ]
+        # One span per (group, round) pair: at least as many as the
+        # deepest query's iteration count (groups may split).
+        assert len(iterations) >= max(r.iterations for r in records.values())
+        rounds = [r["attrs"]["round"] for r in iterations]
+        assert rounds == sorted(rounds)
+
+    def test_query_resolved_events_match_records(self, run):
+        events, records, queries, _snapshot = run
+        resolved = {
+            r["attrs"]["query"]: r["attrs"]
+            for r in events
+            if r["type"] == "event" and r["name"] == "query_resolved"
+        }
+        assert set(resolved) == {str(q) for q in queries}
+        for query in queries:
+            record = records[query]
+            attrs = resolved[str(query)]
+            assert attrs["status"] == record.status.value
+            assert attrs["iterations"] == record.iterations
+            assert attrs["time_seconds"] == pytest.approx(record.time_seconds)
+
+    def test_phase_breakdown_covers_charged_time(self, run):
+        """Acceptance: forward+backward+synthesis within 10% of the
+        summed per-query time_seconds."""
+        events, records, _queries, _snapshot = run
+        summary = summarize_trace(events)
+        charged = sum(r.time_seconds for r in records.values())
+        assert summary.phase_total == pytest.approx(charged, rel=0.10)
+
+    def test_backward_spans_carry_meta_counters(self, run):
+        events, _records, _queries, _snapshot = run
+        starts = {
+            r["id"]: r for r in events if r["type"] == "span_start"
+        }
+        backward_ends = [
+            r
+            for r in events
+            if r["type"] == "span_end"
+            and starts[r["id"]]["name"] == "backward"
+            and "attrs" in r
+        ]
+        assert backward_ends
+        for end in backward_ends:
+            attrs = end["attrs"]
+            # One formula per trace point plus the failure condition.
+            assert len(attrs["step_disjuncts"]) == attrs["steps"] + 1
+            assert attrs["max_disjuncts"] >= 1
+            assert attrs["subsumption_drops"] >= 0
+            assert attrs["beam_prunes"] >= 0
+
+    def test_registry_snapshot_names(self, run):
+        _events, _records, _queries, snapshot = run
+        assert "forward_run" in snapshot
+        assert "wp_memo.escape" in snapshot
+        assert "dispatch.escape" in snapshot
+
+
+class TestPostHocTranscript:
+    def test_transcript_from_trace_equals_narrate(self):
+        client, query = typestate_client()
+        config = TracerConfig(k=1)
+        sink = MemorySink()
+        direct = narrate(client, query, config, sink=sink)
+        rebuilt = transcript_from_events(sink.events, query=str(query))
+        assert rebuilt.render() == direct.render()
+        assert rebuilt.status is QueryStatus.PROVEN
+        assert rebuilt.abstraction == frozenset({"x", "y"})
+
+    def test_multi_query_trace_requires_selector(self):
+        client, queries = escape_client()
+        sink = MemorySink()
+        with obs.tracing(sink, detail=True):
+            Tracer(client, TracerConfig()).solve_all(queries)
+        with pytest.raises(ValueError):
+            transcript_from_events(sink.events)
+        picked = transcript_from_events(sink.events, query=str(queries[0]))
+        assert picked.query == str(queries[0])
+
+    def test_trace_without_detail_rejected(self):
+        client, query = typestate_client()
+        sink = MemorySink()
+        with obs.tracing(sink):  # no detail mode
+            Tracer(client, TracerConfig()).solve(query)
+        transcript = transcript_from_events(sink.events, query=str(query))
+        # Without iteration_detail events there is nothing to narrate.
+        assert transcript.iterations == []

@@ -1,0 +1,106 @@
+"""Tests for the pull-model cache-counter registry (`repro.obs.metrics`)."""
+
+import gc
+
+from repro.core.stats import CacheCounters
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry, scoped_registry
+
+
+class FakeCache:
+    def __init__(self, hits=0, misses=0):
+        self.hits = hits
+        self.misses = misses
+
+
+class TestRegistry:
+    def test_snapshot_reads_live_sources(self):
+        registry = MetricsRegistry()
+        cache = FakeCache(hits=3, misses=1)
+        registry.register("forward_run", cache)
+        assert registry.snapshot() == {
+            "forward_run": CacheCounters(hits=3, misses=1)
+        }
+        cache.hits = 10  # the registry pulls, it never copies
+        assert registry.snapshot()["forward_run"].hits == 10
+
+    def test_counters_sums_dotted_descendants(self):
+        registry = MetricsRegistry()
+        registry.register("wp_memo.typestate", FakeCache_keepalive[0])
+        registry.register("wp_memo.escape", FakeCache_keepalive[1])
+        registry.register("wp_memo_other", FakeCache_keepalive[2])
+        total = registry.counters("wp_memo")
+        assert (total.hits, total.misses) == (3, 30)  # excludes wp_memo_other
+        assert registry.source_count("wp_memo") == 2
+
+    def test_same_name_sources_sum(self):
+        registry = MetricsRegistry()
+        a, b = FakeCache(1, 0), FakeCache(2, 5)
+        registry.register("forward_run", a)
+        registry.register("forward_run", b)
+        assert registry.snapshot()["forward_run"] == CacheCounters(3, 5)
+
+    def test_dead_sources_are_pruned(self):
+        registry = MetricsRegistry()
+        cache = FakeCache(hits=9)
+        registry.register("forward_run", cache)
+        del cache
+        gc.collect()
+        assert registry.snapshot() == {}
+        assert registry.source_count("forward_run") == 0
+
+    def test_custom_reader(self):
+        registry = MetricsRegistry()
+
+        class Odd:
+            good = 4
+            bad = 2
+
+        source = Odd()
+        registry.register(
+            "odd", source, reader=lambda s: CacheCounters(s.good, s.bad)
+        )
+        assert registry.snapshot()["odd"] == CacheCounters(4, 2)
+
+
+FakeCache_keepalive = [FakeCache(1, 10), FakeCache(2, 20), FakeCache(4, 40)]
+
+
+class TestScoping:
+    def test_scoped_registry_isolates_and_restores(self):
+        before = obs_metrics.current_registry()
+        cache = FakeCache(hits=1)
+        with scoped_registry() as registry:
+            assert obs_metrics.current_registry() is registry
+            obs_metrics.register_cache("forward_run", cache)
+            assert registry.source_count("forward_run") == 1
+        assert obs_metrics.current_registry() is before
+        # The scoped registration never reached the outer registry.
+        with scoped_registry() as fresh:
+            assert fresh.source_count("forward_run") == 0
+
+    def test_nested_scopes(self):
+        with scoped_registry() as outer:
+            with scoped_registry() as inner:
+                assert obs_metrics.current_registry() is inner
+            assert obs_metrics.current_registry() is outer
+
+    def test_explicit_registry_reuse(self):
+        registry = MetricsRegistry()
+        cache = FakeCache(hits=2, misses=2)
+        with scoped_registry(registry):
+            obs_metrics.register_cache("forward_run", cache)
+        with scoped_registry(registry):
+            obs_metrics.register_cache("forward_run", cache)
+        assert registry.snapshot()["forward_run"] == CacheCounters(4, 4)
+
+
+class TestRealCachesRegister:
+    def test_forward_run_cache_registers_itself(self):
+        from repro.core.tracer import ForwardRunCache
+
+        with scoped_registry() as registry:
+            cache = ForwardRunCache(max_entries=4)
+            assert registry.source_count("forward_run") == 1
+            cache.misses += 1  # simulate one cold fetch
+            assert registry.counters("forward_run").misses == 1

@@ -1,0 +1,90 @@
+"""Tests for the bundled trace sinks."""
+
+import io
+import json
+
+from repro.obs import trace as obs
+from repro.obs.sinks import JsonlSink, MemorySink, MultiSink, NullSink, TtySink
+from repro.obs.summarize import load_trace
+
+
+class TestJsonl:
+    def test_round_trips_through_load_trace(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with obs.tracing(JsonlSink(path)):
+            with obs.span("outer", n=1):
+                obs.event("ping")
+        records = load_trace(path)
+        assert records[0]["type"] == "trace_header"
+        assert [r["type"] for r in records[1:]] == [
+            "span_start",
+            "event",
+            "span_end",
+        ]
+
+    def test_writes_compact_lines(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"type": "event", "name": "x", "t": 0.0})
+        sink.close()
+        with open(path) as handle:
+            line = handle.readline().rstrip("\n")
+        assert json.loads(line)["name"] == "x"
+        assert ": " not in line  # compact separators
+
+    def test_borrowed_handle_not_closed(self):
+        handle = io.StringIO()
+        sink = JsonlSink("<memory>", handle=handle)
+        sink.emit({"type": "event", "name": "x", "t": 0.0})
+        sink.close()
+        assert not handle.closed  # caller owns it
+        assert "x" in handle.getvalue()
+
+
+class TestMulti:
+    def test_fans_out_and_closes_all(self, tmp_path):
+        memory = MemorySink()
+        handle = io.StringIO()
+        multi = MultiSink([memory, JsonlSink("<memory>", handle=handle)])
+        multi.emit({"type": "event", "name": "x", "t": 0.0})
+        multi.close()
+        assert len(memory.events) == 1
+        assert "x" in handle.getvalue()
+
+    def test_null_sink_swallows(self):
+        NullSink().emit({"type": "event"})
+        NullSink().close()
+
+
+class TestTty:
+    def run_feed(self):
+        stream = io.StringIO()
+        with obs.tracing(TtySink(stream)):
+            with obs.span("iteration", round=1, group_size=2) as span:
+                span.set(abstraction_cost=1, proven=1, cached=True)
+            obs.event(
+                "query_resolved",
+                query="q1",
+                status="proven",
+                iterations=3,
+                time_seconds=0.25,
+            )
+        return stream.getvalue()
+
+    def test_one_line_per_iteration_and_query(self):
+        out = self.run_feed()
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        assert "iteration 1" in lines[0]
+        assert "group=2" in lines[0]
+        assert "cost=1" in lines[0]
+        assert "cached" in lines[0]
+        assert "query q1: PROVEN after 3 iterations" in lines[1]
+
+    def test_ignores_unrelated_records(self):
+        stream = io.StringIO()
+        sink = TtySink(stream)
+        sink.emit({"type": "metric", "name": "c", "hits": 0, "misses": 0, "t": 0.0})
+        sink.emit({"type": "span_start", "id": 0, "name": "other", "t": 0.0})
+        sink.emit({"type": "span_end", "id": 0, "t": 1.0})
+        assert stream.getvalue() == ""

@@ -1,0 +1,129 @@
+"""Tests for the span/event tracing runtime (`repro.obs.trace`)."""
+
+import pytest
+
+from repro.obs import trace as obs
+from repro.obs.events import SCHEMA_VERSION
+from repro.obs.sinks import MemorySink
+
+
+class TestInactive:
+    def test_not_active_by_default(self):
+        assert obs.active() is False
+        assert obs.current() is None
+        assert obs.detail_enabled() is False
+
+    def test_span_returns_shared_noop_singleton(self):
+        first = obs.span("a", phase="forward", anything=1)
+        second = obs.span("b")
+        assert first is second  # no per-call allocation on the hot path
+        with first as handle:
+            handle.set(ignored=True)  # must not raise
+
+    def test_event_and_metric_are_noops(self):
+        obs.event("nothing", x=1)
+        obs.metric("cache", 1, 2)
+
+
+class TestSpans:
+    def test_header_then_well_nested_spans(self):
+        sink = MemorySink()
+        with obs.tracing(sink):
+            with obs.span("outer", queries=2):
+                with obs.span("inner", phase="forward"):
+                    pass
+        types = [r["type"] for r in sink.events]
+        assert types == [
+            "trace_header",
+            "span_start",
+            "span_start",
+            "span_end",
+            "span_end",
+        ]
+        assert sink.events[0]["schema"] == SCHEMA_VERSION
+        outer, inner = sink.events[1], sink.events[2]
+        assert outer["name"] == "outer" and outer["parent"] is None
+        assert outer["attrs"] == {"queries": 2}
+        assert inner["parent"] == outer["id"]
+        assert inner["phase"] == "forward"
+        # Ends come innermost-first.
+        assert sink.events[3]["id"] == inner["id"]
+        assert sink.events[4]["id"] == outer["id"]
+
+    def test_set_attaches_attrs_to_span_end(self):
+        sink = MemorySink()
+        with obs.tracing(sink):
+            with obs.span("work") as span:
+                span.set(outcome="done", count=3)
+        end = sink.events[-1]
+        assert end["type"] == "span_end"
+        assert end["attrs"] == {"outcome": "done", "count": 3}
+
+    def test_event_attaches_to_enclosing_span(self):
+        sink = MemorySink()
+        with obs.tracing(sink):
+            obs.event("orphan")
+            with obs.span("outer"):
+                obs.event("inside", value=7)
+        orphan = sink.events[1]
+        assert orphan["span"] is None
+        inside = sink.events[3]
+        assert inside["span"] == sink.events[2]["id"]
+        assert inside["attrs"] == {"value": 7}
+
+    def test_exception_still_closes_span(self):
+        sink = MemorySink()
+        with obs.tracing(sink):
+            with pytest.raises(RuntimeError):
+                with obs.span("doomed"):
+                    raise RuntimeError("boom")
+        assert sink.events[-1]["type"] == "span_end"
+        assert obs.active() is False
+
+    def test_abandoned_child_is_closed_by_parent_exit(self):
+        sink = MemorySink()
+        with obs.tracing(sink) as ctx:
+            parent = ctx.start_span("parent", None, {})
+            ctx.start_span("child", None, {})  # never explicitly ended
+            parent.__exit__(None, None, None)
+        ends = [r["id"] for r in sink.events if r["type"] == "span_end"]
+        starts = {r["name"]: r["id"] for r in sink.events if r["type"] == "span_start"}
+        # The dangling child was ended before (and in addition to) the parent.
+        assert ends == [starts["child"], starts["parent"]]
+
+
+class TestStacking:
+    def test_inner_context_replaces_and_restores_outer(self):
+        outer_sink, inner_sink = MemorySink(), MemorySink()
+        with obs.tracing(outer_sink):
+            obs.event("before")
+            with obs.tracing(inner_sink, detail=True):
+                assert obs.detail_enabled() is True
+                obs.event("nested")
+            assert obs.detail_enabled() is False
+            obs.event("after")
+        outer_names = [r.get("name") for r in outer_sink.events if r["type"] == "event"]
+        inner_names = [r.get("name") for r in inner_sink.events if r["type"] == "event"]
+        assert outer_names == ["before", "after"]
+        assert inner_names == ["nested"]
+
+
+class TestIngest:
+    def test_ingest_reallocates_span_ids(self):
+        worker = MemorySink()
+        with obs.tracing(worker):
+            with obs.span("worker_span"):
+                obs.event("worker_event")
+
+        parent = MemorySink()
+        with obs.tracing(parent) as ctx:
+            with obs.span("parent_span"):
+                ctx.ingest(worker.events)
+        records = parent.events
+        # Worker header dropped; parent stream has exactly one.
+        assert sum(1 for r in records if r["type"] == "trace_header") == 1
+        ids = [r["id"] for r in records if r["type"] == "span_start"]
+        assert len(ids) == len(set(ids))  # no collisions after remap
+        ingested = [r for r in records if r.get("name") == "worker_event"]
+        worker_start = next(r for r in records if r.get("name") == "worker_span")
+        assert ingested[0]["span"] == worker_start["id"]

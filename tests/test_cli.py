@@ -190,6 +190,98 @@ class TestSolveProvenance:
             )
 
 
+class TestTracing:
+    def solve_with_trace(self, file_prog, tmp_path, *extra):
+        trace_path = str(tmp_path / "trace.jsonl")
+        code = main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check1",
+                "--k",
+                "1",
+                "--trace-out",
+                trace_path,
+                *extra,
+            ]
+        )
+        assert code == 0
+        return trace_path
+
+    def test_trace_out_produces_valid_jsonl(self, file_prog, tmp_path, capsys):
+        trace_path = self.solve_with_trace(file_prog, tmp_path)
+        code = main(["trace", "validate", trace_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK:" in out
+
+    def test_trace_summarize_breakdown(self, file_prog, tmp_path, capsys):
+        trace_path = self.solve_with_trace(file_prog, tmp_path)
+        code = main(["trace", "summarize", trace_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Per-phase wall-clock breakdown" in out
+        assert "forward" in out and "backward" in out and "synthesis" in out
+        assert "phase coverage" in out
+
+    def test_trace_transcript_post_hoc(self, file_prog, tmp_path, capsys):
+        trace_path = self.solve_with_trace(file_prog, tmp_path)
+        code = main(["trace", "transcript", trace_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== iteration 1: p = {} ==" in out
+        assert "x = new File" in out
+
+    def test_narrate_with_trace_out_matches_transcript(
+        self, file_prog, tmp_path, capsys
+    ):
+        trace_path = self.solve_with_trace(file_prog, tmp_path, "--narrate")
+        narrated = capsys.readouterr().out
+        main(["trace", "transcript", trace_path])
+        replayed = capsys.readouterr().out
+        assert "== iteration 1: p = {} ==" in replayed
+        # The post-hoc transcript is embedded in the original output.
+        assert replayed.strip() in narrated
+
+    def test_progress_writes_to_stderr(self, file_prog, capsys):
+        code = main(
+            ["solve-typestate", file_prog, "--query", "check1", "--progress"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "iteration 1" in captured.err
+        assert "PROVEN" in captured.err
+
+    def test_validate_rejects_corrupt_trace(
+        self, file_prog, tmp_path, capsys
+    ):
+        trace_path = self.solve_with_trace(file_prog, tmp_path)
+        with open(trace_path) as handle:
+            lines = [
+                line
+                for line in handle
+                if '"type":"span_end"' not in line  # orphan every span
+            ]
+        with open(trace_path, "w") as handle:
+            handle.writelines(lines)
+        code = main(["trace", "validate", trace_path])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "invalid:" in captured.err
+
+    def test_validate_missing_file_dies(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "validate", str(tmp_path / "nope.jsonl")])
+
+    def test_eval_quick_trace(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "eval.jsonl")
+        code = main(["eval", "--quick", "--trace-out", trace_path])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", "validate", trace_path]) == 0
+
+
 class TestInfo:
     def test_benchmark_info(self, capsys):
         code = main(["info", "tsp"])
