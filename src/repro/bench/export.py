@@ -15,6 +15,7 @@ from repro.core.stats import (
     EvalAggregate,
     MinMaxAvg,
     QueryRecord,
+    QueryStatus,
     summarize_records,
 )
 
@@ -33,6 +34,23 @@ def record_to_dict(record: QueryRecord) -> dict:
         "forward_runs": record.forward_runs,
         "forward_cache_hits": record.forward_cache_hits,
     }
+
+
+def record_from_dict(data: Mapping) -> QueryRecord:
+    """Inverse of :func:`record_to_dict` (modulo the 6-decimal time
+    rounding) — what checkpoint resumption uses to rehydrate records."""
+    abstraction = data.get("abstraction")
+    return QueryRecord(
+        query_id=data["query"],
+        status=QueryStatus(data["status"]),
+        iterations=data["iterations"],
+        abstraction=frozenset(abstraction) if abstraction is not None else None,
+        abstraction_cost=data.get("abstraction_cost"),
+        time_seconds=data.get("time_seconds", 0.0),
+        max_disjuncts=data.get("max_disjuncts", 0),
+        forward_runs=data.get("forward_runs", 0),
+        forward_cache_hits=data.get("forward_cache_hits", 0),
+    )
 
 
 def _mma_to_dict(stats: MinMaxAvg) -> dict:
@@ -87,6 +105,8 @@ def results_to_dict(results: Mapping[str, Mapping[str, EvalResult]]) -> dict:
             aggregate = summarize_records(result.records)
             out[benchmark][analysis] = {
                 "wall_seconds": round(result.wall_seconds, 4),
+                "degraded": result.degraded,
+                "failed_units": list(result.failed_units),
                 "forward_cache": {
                     "hits": result.forward_hits,
                     "misses": result.forward_misses,

@@ -213,6 +213,15 @@ class EvalResult:
     #: The full registry snapshot (name -> counters) this run's
     #: reported counters were read from.
     metrics: Dict[str, CacheCounters] = field(default_factory=dict)
+    #: True when the run survived something it should not have needed
+    #: to: a retried/respawned work unit, a failed unit, or a resumed
+    #: checkpoint.  Records are still deterministic — degradation is
+    #: about *how* they were obtained.
+    degraded: bool = False
+    #: Units that exhausted their retry budget, as
+    #: ``"benchmark:analysis:index: error"`` strings; their queries are
+    #: missing from ``records`` rather than guessed at.
+    failed_units: Tuple[str, ...] = ()
 
     @property
     def query_count(self) -> int:
@@ -244,7 +253,9 @@ def counters_from_metrics(
 #: Default per-query effort budget for the evaluation, playing the role
 #: of the paper's 1000-minute timeout: queries still unresolved after
 #: this many TRACER iterations are reported as unresolved (Figure 12).
-DEFAULT_CONFIG = TracerConfig(k=5, max_iterations=30)
+#: The evaluation runs lenient (``strict=False``): one misbehaving
+#: query degrades to EXHAUSTED instead of aborting the whole table.
+DEFAULT_CONFIG = TracerConfig(k=5, max_iterations=30, strict=False)
 
 
 #: The client-setup function per analysis name.  Single-client analyses
@@ -301,18 +312,23 @@ def evaluate_benchmark(
     analysis: str,
     config: TracerConfig = DEFAULT_CONFIG,
     jobs: int = 1,
+    options: "Optional[object]" = None,
 ) -> EvalResult:
     """Run grouped TRACER over every query of one client analysis.
 
     With ``jobs > 1`` the independent client workloads are fanned out
     across worker processes (see :mod:`repro.bench.parallel`); results
     are merged deterministically, so statuses, abstractions, and
-    iteration counts are identical to a serial run.
+    iteration counts are identical to a serial run.  ``options`` (a
+    :class:`repro.bench.parallel.RunOptions`) configures the parallel
+    path's retry, timeout, checkpoint, and fault-injection behaviour.
     """
     if jobs > 1:
         from repro.bench.parallel import evaluate_benchmark_parallel
 
-        return evaluate_benchmark_parallel(bench, analysis, config, jobs)
+        return evaluate_benchmark_parallel(
+            bench, analysis, config, jobs, options=options
+        )
     started = time.perf_counter()
     records: List[QueryRecord] = []
     with obs_metrics.scoped_registry() as registry:

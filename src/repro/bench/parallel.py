@@ -3,12 +3,11 @@
 The evaluation decomposes naturally: every ``(benchmark, analysis,
 client)`` triple is an independent TRACER run (typestate clients track
 different allocation sites and share nothing; benchmarks are disjoint
-programs), so the harness can fan those units across a
-:class:`concurrent.futures.ProcessPoolExecutor` and merge the results
-deterministically — unit results are concatenated in the exact order
-the serial harness would have produced them, so statuses, abstractions,
-and iteration counts are byte-for-byte identical to ``jobs=1`` (only
-wall-clock fields differ).
+programs), so the harness can fan those units across a process pool
+and merge the results deterministically — unit results are
+concatenated in the exact order the serial harness would have produced
+them, so statuses, abstractions, and iteration counts are
+byte-for-byte identical to ``jobs=1`` (only wall-clock fields differ).
 
 Work units are described by *name + unit index*, not by pickled client
 objects: each worker process synthesizes the benchmark itself (memoised
@@ -16,6 +15,17 @@ per process, and inherited for free on fork-based platforms via
 :func:`_seed_instance`), rebuilds the client list, and runs its
 assigned unit.  Custom (non-suite) programs ride along as a pickled
 :class:`~repro.frontend.program.FrontProgram`.
+
+The pool is crash-surviving (:mod:`repro.robust.pool`): a SIGKILLed or
+OOM-killed worker breaks one *wave*, not the evaluation — the pool is
+respawned and the in-flight units retried with exponential backoff up
+to :class:`RunOptions.retry` attempts; units that keep failing land in
+:attr:`~repro.bench.harness.EvalResult.failed_units` instead of
+raising.  Because units are pure functions of ``(benchmark, analysis,
+index, config)``, a retried unit reproduces its records bit-for-bit,
+so the merge stays deterministic across crashes.  Completed units can
+be checkpointed to JSONL (:class:`RunOptions.checkpoint_path`) and a
+later run resumed from them (:mod:`repro.robust.checkpoint`).
 
 Entry points:
 
@@ -29,7 +39,6 @@ from __future__ import annotations
 
 import itertools
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,10 +57,32 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
 from repro.obs.events import merge_streams
 from repro.obs.sinks import MemorySink
+from repro.robust import faults as robust_faults
+from repro.robust.checkpoint import (
+    CheckpointWriter,
+    UnitKey,
+    load_checkpoint,
+)
+from repro.robust.faults import FaultPlan
+from repro.robust.pool import RetryPolicy, UnitOutcome, run_units
 
 #: Unique tokens naming one parent-side ``BenchmarkInstance`` per
 #: evaluation call; see :func:`_seed_instance`.
 _seed_tokens = itertools.count()
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Robustness knobs of one parallel evaluation."""
+
+    #: Retry/timeout policy of the crash-surviving pool.
+    retry: RetryPolicy = RetryPolicy()
+    #: JSONL file to append completed units to (``None`` = off).
+    checkpoint_path: Optional[str] = None
+    #: Load the checkpoint first and run only the missing units.
+    resume: bool = False
+    #: Deterministic fault plan shipped to every worker (tests, chaos).
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass(frozen=True)
@@ -64,6 +95,12 @@ class WorkUnit:
     index: int  # position in analysis_setups(bench, analysis)
     token: int  # parent-side instance token (for the fork-time memo)
     front: Optional[FrontProgram] = None  # only for non-suite programs
+
+    @property
+    def key(self) -> UnitKey:
+        """Run-independent identity (the checkpoint key): the seed
+        token deliberately does not participate."""
+        return (self.benchmark, self.analysis, self.index)
 
 
 #: Per-process memo of prepared benchmarks, keyed by (name, token).
@@ -105,6 +142,17 @@ def _run_unit(
     its records in query order plus the registry snapshot and the
     captured event stream."""
     bench = _instance(unit)
+    # Fault sites for the chaos/retry machinery: a generic one and one
+    # addressing this exact unit.  A "corrupt" rule damages the unit's
+    # output, which the integrity check below turns into a retryable
+    # failure instead of a silent bad merge.
+    corrupt = robust_faults.inject("unit")
+    corrupt = (
+        robust_faults.inject(
+            f"unit:{unit.benchmark}:{unit.analysis}:{unit.index}"
+        )
+        or corrupt
+    )
     sink = MemorySink() if collect_events else None
     with obs_metrics.scoped_registry() as registry:
         # Client construction happens inside the scope so the caches
@@ -137,7 +185,25 @@ def _run_unit(
             solved = run()
         snapshot = registry.snapshot()
     records = [solved[q] for q in queries]
+    if corrupt:
+        records = records[:-1]
+    if len(records) != len(queries):
+        raise RuntimeError(
+            f"unit {unit.benchmark}:{unit.analysis}:{unit.index} produced "
+            f"{len(records)} records for {len(queries)} queries"
+        )
     return records, snapshot, sink.events if sink is not None else []
+
+
+def _execute_unit(task: Tuple, attempt: int) -> UnitResult:
+    """Pool-facing wrapper: installs the shipped fault plan (tagged
+    with the attempt number, so rules can target first attempts only)
+    around :func:`_run_unit`."""
+    unit, config, collect_events, plan = task
+    if plan is None:
+        return _run_unit(unit, config, collect_events)
+    with robust_faults.fault_scope(plan, attempt=attempt):
+        return _run_unit(unit, config, collect_events)
 
 
 def work_units(bench: BenchmarkInstance, analysis: str) -> List[WorkUnit]:
@@ -154,14 +220,21 @@ def work_units(bench: BenchmarkInstance, analysis: str) -> List[WorkUnit]:
 def _merge(
     bench_name: str,
     analysis: str,
-    unit_results: Sequence[UnitResult],
+    unit_results: Sequence[Optional[UnitResult]],
     wall_seconds: float,
+    degraded: bool = False,
+    failed_units: Sequence[str] = (),
 ) -> EvalResult:
     """Deterministic merge: concatenate unit records in unit order and
-    sum the units' registry snapshots name-by-name."""
+    sum the units' registry snapshots name-by-name.  ``None`` entries
+    are units that exhausted their retries; their identities are in
+    ``failed_units``."""
     records: List[QueryRecord] = []
     metrics: Dict[str, CacheCounters] = {}
-    for unit_records, unit_metrics, _events in unit_results:
+    for unit_result in unit_results:
+        if unit_result is None:
+            continue
+        unit_records, unit_metrics, _events = unit_result
         records.extend(unit_records)
         for name, counters in unit_metrics.items():
             metrics[name] = metrics.get(name, CacheCounters()) + counters
@@ -176,17 +249,23 @@ def _merge(
         wp_cache=wp_cache,
         dispatch_cache=dispatch_cache,
         metrics=metrics,
+        degraded=degraded,
+        failed_units=tuple(failed_units),
     )
 
 
-def _replay_into_parent(unit_results: Sequence[UnitResult]) -> None:
+def _replay_into_parent(unit_results: Sequence[Optional[UnitResult]]) -> None:
     """Re-emit the workers' captured event streams (merged in unit
     order, span ids re-allocated) into the parent's active trace, and
     append one metric record per merged counter name."""
     context = obs.current()
     if context is None:
         return
-    streams = [events for _records, _metrics, events in unit_results if events]
+    streams = [
+        unit_result[2]
+        for unit_result in unit_results
+        if unit_result is not None and unit_result[2]
+    ]
     if streams:
         context.ingest(merge_streams(streams))
 
@@ -204,33 +283,111 @@ def _emit_metrics(result: EvalResult) -> None:
         )
 
 
+def _run_resilient(
+    units: Sequence[WorkUnit],
+    config: TracerConfig,
+    options: RunOptions,
+    max_workers: int,
+) -> Tuple[List[Optional[UnitResult]], List[str], bool]:
+    """Run ``units`` on the crash-surviving pool, honouring the
+    checkpoint.  Returns ``(per-unit results in unit order, failed
+    unit descriptions, degraded flag)``.
+
+    Checkpointed units are merged as-is (their worker trace events are
+    gone — only fresh units replay spans); fresh completions are
+    appended to the checkpoint as they are merged, so an interrupted
+    run never loses finished work.
+    """
+    results: List[Optional[UnitResult]] = [None] * len(units)
+    resumed = 0
+    if options.resume and options.checkpoint_path:
+        completed = load_checkpoint(options.checkpoint_path)
+        for position, unit in enumerate(units):
+            payload = completed.get(unit.key)
+            if payload is not None:
+                records, metrics, _attempts = payload
+                results[position] = (records, metrics, [])
+                resumed += 1
+    pending = [i for i in range(len(units)) if results[i] is None]
+    collect = obs.active()
+    tasks = [
+        (units[i], config, collect, options.fault_plan) for i in pending
+    ]
+    outcomes: List[UnitOutcome] = []
+    if tasks:
+        outcomes = run_units(
+            _execute_unit,
+            tasks,
+            policy=options.retry,
+            max_workers=max_workers,
+        )
+    failed: List[str] = []
+    writer = (
+        CheckpointWriter(options.checkpoint_path)
+        if options.checkpoint_path
+        else None
+    )
+    try:
+        for outcome, position in zip(outcomes, pending):
+            unit = units[position]
+            if outcome.succeeded:
+                results[position] = outcome.result
+                if writer is not None:
+                    records, metrics, _events = outcome.result
+                    writer.write_unit(
+                        unit.key, (records, metrics, outcome.attempts)
+                    )
+            else:
+                failed.append(
+                    f"{unit.benchmark}:{unit.analysis}:{unit.index}: "
+                    f"{outcome.error}"
+                )
+    finally:
+        if writer is not None:
+            writer.close()
+    degraded = bool(failed) or resumed > 0 or any(
+        outcome.retried for outcome in outcomes
+    )
+    if failed and obs.active():
+        obs.event("degraded", reason="failed_units", units=failed)
+    return results, failed, degraded
+
+
 def evaluate_benchmark_parallel(
     bench: BenchmarkInstance,
     analysis: str,
     config: TracerConfig = DEFAULT_CONFIG,
     jobs: int = 2,
+    options: Optional[RunOptions] = None,
 ) -> EvalResult:
     """Parallel counterpart of ``evaluate_benchmark``: same records in
-    the same order, computed by up to ``jobs`` worker processes."""
+    the same order, computed by up to ``jobs`` worker processes that
+    are retried/respawned on crashes rather than trusted."""
     from repro.bench.harness import evaluate_benchmark
 
+    options = options if options is not None else RunOptions()
     units = work_units(bench, analysis)
-    if jobs <= 1 or len(units) <= 1:
+    # The serial fast path would silently drop checkpointing and fault
+    # injection, so it only applies when no robustness option is set.
+    robust = (
+        options.checkpoint_path is not None
+        or options.resume
+        or options.fault_plan is not None
+    )
+    if jobs <= 1 or (len(units) <= 1 and not robust):
         return evaluate_benchmark(bench, analysis, config)
     started = time.perf_counter()
-    collect = obs.active()
-    with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
-        unit_results = list(
-            pool.map(
-                _run_unit,
-                units,
-                itertools.repeat(config),
-                itertools.repeat(collect),
-            )
-        )
+    unit_results, failed, degraded = _run_resilient(
+        units, config, options, max_workers=min(jobs, len(units))
+    )
     _replay_into_parent(unit_results)
     result = _merge(
-        bench.name, analysis, unit_results, time.perf_counter() - started
+        bench.name,
+        analysis,
+        unit_results,
+        time.perf_counter() - started,
+        degraded=degraded,
+        failed_units=failed,
     )
     _emit_metrics(result)
     return result
@@ -241,6 +398,7 @@ def evaluate_many(
     analyses: Sequence[str],
     config: TracerConfig = DEFAULT_CONFIG,
     jobs: int = 1,
+    options: Optional[RunOptions] = None,
 ) -> Dict[str, Dict[str, EvalResult]]:
     """Evaluate ``analyses`` over every benchmark in ``instances`` with
     one shared worker pool.
@@ -249,8 +407,10 @@ def evaluate_many(
     together, so a long escape run on one benchmark overlaps the many
     small typestate units of another.  The result mapping (and every
     record list in it) is ordered exactly as the serial nested loops
-    would produce it.
+    would produce it — including across worker crashes, retries, and
+    checkpoint resumption.
     """
+    options = options if options is not None else RunOptions()
     pairs = [
         (name, analysis) for name in instances for analysis in analyses
     ]
@@ -282,22 +442,23 @@ def evaluate_many(
     for pair, units in units_of.items():
         spans[pair] = (len(flat), len(flat) + len(units))
         flat.extend(units)
-    collect = obs.active()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        flat_results = list(
-            pool.map(
-                _run_unit,
-                flat,
-                itertools.repeat(config),
-                itertools.repeat(collect),
-            )
-        )
+    flat_results, failed, degraded = _run_resilient(
+        flat, config, options, max_workers=jobs
+    )
     wall = time.perf_counter() - started
     _replay_into_parent(flat_results)
     out: Dict[str, Dict[str, EvalResult]] = {}
     for name, analysis in pairs:
         lo, hi = spans[(name, analysis)]
-        result = _merge(name, analysis, flat_results[lo:hi], wall)
+        prefix = f"{name}:{analysis}:"
+        result = _merge(
+            name,
+            analysis,
+            flat_results[lo:hi],
+            wall,
+            degraded=degraded,
+            failed_units=[f for f in failed if f.startswith(prefix)],
+        )
         _emit_metrics(result)
         out.setdefault(name, {})[analysis] = result
     return out

@@ -35,6 +35,8 @@ def full_report(
     emit: Callable[[str], None] = print,
     k_sweep: Sequence[int] = (1, 5, 10),
     jobs: int = 1,
+    options: "Optional[object]" = None,
+    config: Optional[TracerConfig] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Run the evaluation on ``names`` and emit the report.
 
@@ -42,11 +44,16 @@ def full_report(
     benchmark, per analysis, per client) runs on a process pool; the
     rendered tables and figures are identical to a serial run because
     results merge deterministically (only wall-clock timings differ).
+    ``options`` (a :class:`repro.bench.parallel.RunOptions`) configures
+    that pool's retry, timeout, checkpoint/resume, and fault-injection
+    behaviour; ``config`` overrides the solver configuration wholesale
+    (``k``/``max_iterations`` are ignored when it is given).
 
     Returns the raw per-benchmark evaluation results keyed by analysis
     so callers can post-process them.
     """
-    config = TracerConfig(k=k, max_iterations=max_iterations)
+    if config is None:
+        config = TracerConfig(k=k, max_iterations=max_iterations)
     emit(f"Preparing {len(names)} benchmarks ...")
     instances: Dict[str, BenchmarkInstance] = {
         name: prepare(name) for name in names
@@ -61,7 +68,8 @@ def full_report(
 
         started = time.perf_counter()
         results = evaluate_many(
-            instances, ("typestate", "escape"), config, jobs=jobs
+            instances, ("typestate", "escape"), config, jobs=jobs,
+            options=options,
         )
         queries = sum(
             r.query_count for per in results.values() for r in per.values()
@@ -70,6 +78,17 @@ def full_report(
             f"  evaluated {queries} queries across {len(names)} benchmarks "
             f"in {time.perf_counter() - started:.1f}s (jobs={jobs})"
         )
+        failed = [
+            unit
+            for per in results.values()
+            for result in per.values()
+            for unit in result.failed_units
+        ]
+        if failed:
+            emit(
+                f"  WARNING: {len(failed)} work unit(s) failed permanently "
+                f"and are missing from the tables: {'; '.join(failed)}"
+            )
         for name in names:
             aggregates[name] = (
                 summarize_records(results[name]["typestate"].records),

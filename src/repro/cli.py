@@ -22,6 +22,13 @@ Every solver accepts ``--trace-out FILE`` (record a structured JSONL
 trace of the search) and ``--progress`` (live per-iteration feed on
 stderr); ``eval`` accepts the same and merges worker traces
 deterministically under ``--jobs``.
+
+Robustness flags (see ``docs/ROBUSTNESS.md``): solvers take
+``--max-seconds`` / ``--max-steps`` (cooperative budgets resolving
+overruns as UNRESOLVED), ``--lenient`` (contain client errors), and
+``--inject`` (deterministic fault injection); ``eval`` adds
+``--retries`` / ``--unit-timeout`` (crash-surviving worker pool) and
+``--checkpoint`` / ``--resume`` (JSONL checkpoint of completed units).
 """
 
 from __future__ import annotations
@@ -59,7 +66,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-iterations", type=int, default=60)
     parser.add_argument("--narrate", action="store_true",
                         help="print the full Figure-1 style transcript")
+    _add_robust(parser)
     _add_obs(parser)
+
+
+def _add_robust(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="per-query wall-clock budget; overruns resolve as UNRESOLVED",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="per-query solver step budget (worklist iterations + backward "
+             "commands); overruns resolve as UNRESOLVED",
+    )
+    parser.add_argument(
+        "--lenient", action="store_true",
+        help="contain unexpected client errors to the failing query "
+             "instead of crashing the solve",
+    )
+    parser.add_argument(
+        "--inject", action="append", default=[], metavar="SITE:ACTION[:K=V,..]",
+        help="deterministic fault injection for robustness testing, e.g. "
+             "'backward:raise:error=explosion' or 'forward_run:delay:delay=0.1' "
+             "(repeatable; see docs/ROBUSTNESS.md)",
+    )
 
 
 def _add_obs(parser: argparse.ArgumentParser) -> None:
@@ -92,10 +123,36 @@ def _beam(text: str) -> Optional[int]:
 
 
 def _config(args) -> TracerConfig:
-    return TracerConfig(k=args.k, max_iterations=args.max_iterations)
+    return TracerConfig(
+        k=args.k,
+        max_iterations=args.max_iterations,
+        max_seconds=getattr(args, "max_seconds", None),
+        max_steps=getattr(args, "max_steps", None),
+        strict=not getattr(args, "lenient", False),
+    )
+
+
+def _fault_plan(args):
+    """Build the ``--inject`` fault plan, or ``None``."""
+    specs = getattr(args, "inject", None) or []
+    if not specs:
+        return None
+    from repro.robust.faults import FaultPlan
+
+    try:
+        return FaultPlan.from_specs(specs)
+    except ValueError as error:
+        _die(str(error))
 
 
 def _report(client, query, args) -> int:
+    from repro.robust.faults import fault_scope
+
+    with fault_scope(_fault_plan(args)):
+        return _report_inner(client, query, args)
+
+
+def _report_inner(client, query, args) -> int:
     sink = _build_sink(args)
     if args.narrate:
         # narrate installs its own detail-tracing context and forwards
@@ -219,19 +276,42 @@ def _cmd_solve_provenance(args) -> int:
 
 
 def _cmd_eval(args) -> int:
+    from repro.bench.parallel import RunOptions
     from repro.bench.report import SMALLEST, full_report
     from repro.bench.suite import BENCHMARK_NAMES
+    from repro.robust.faults import fault_scope
+    from repro.robust.pool import RetryPolicy
 
     names = SMALLEST if args.quick else BENCHMARK_NAMES
+    if args.resume and not args.checkpoint:
+        _die("--resume needs --checkpoint FILE to resume from")
+    plan = _fault_plan(args)
+    options = RunOptions(
+        retry=RetryPolicy(
+            max_attempts=args.retries, unit_timeout=args.unit_timeout
+        ),
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        fault_plan=plan,
+    )
+
+    def run():
+        # With worker processes the plan ships inside ``options``; on
+        # the serial path it installs ambiently around the whole run.
+        with fault_scope(plan if args.jobs <= 1 else None):
+            return full_report(
+                names=names, k=args.k, jobs=args.jobs, options=options
+            )
+
     sink = _build_sink(args)
     if sink is None:
-        results = full_report(names=names, k=args.k, jobs=args.jobs)
+        results = run()
     else:
         # One ambient context around the whole evaluation: the serial
         # harness emits into it directly; the parallel harness collects
         # worker streams and replays them here in work-unit order.
         with obs.tracing(sink):
-            results = full_report(names=names, k=args.k, jobs=args.jobs)
+            results = run()
     if args.json:
         from repro.bench.export import export_json
 
@@ -356,6 +436,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluation.add_argument(
         "--json", metavar="PATH", help="also write results as JSON"
+    )
+    evaluation.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="attempts per work unit before it is recorded as failed "
+             "(crashed workers are respawned between attempts)",
+    )
+    evaluation.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="S",
+        help="wall-clock allowance per work-unit attempt under --jobs",
+    )
+    evaluation.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="append completed work units to a JSONL checkpoint",
+    )
+    evaluation.add_argument(
+        "--resume", action="store_true",
+        help="load the --checkpoint file and run only unfinished units",
+    )
+    evaluation.add_argument(
+        "--inject", action="append", default=[], metavar="SITE:ACTION[:K=V,..]",
+        help="deterministic fault injection (repeatable; see docs/ROBUSTNESS.md)",
     )
     _add_obs(evaluation)
     evaluation.set_defaults(func=_cmd_eval)

@@ -45,6 +45,7 @@ from repro.core.lru import LruCache
 from repro.core.parametric import ParametricAnalysis
 from repro.lang.ast import AtomicCommand, Trace
 from repro.obs import metrics as obs_metrics
+from repro.robust import budget as robust_budget
 
 _WP_MISS = object()
 
@@ -188,6 +189,9 @@ def backward_trace(
     intermediate = [current]
     max_disjuncts = len(current.cubes)
     for index in range(len(trace) - 1, -1, -1):
+        # One backward command can hide a lot of formula work, so the
+        # cooperative budget check here always consults the clock.
+        robust_budget.checkpoint()
         command = trace[index]
         # Fast path: when the command leaves every tracked primitive
         # unchanged (the common case on long traces), the weakest

@@ -56,6 +56,10 @@ from repro.lang.ast import Trace
 from repro.lang.pretty import pretty_command
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
+from repro.robust import budget as robust_budget
+from repro.robust import faults as robust_faults
+from repro.robust.budget import Budget, BudgetExceeded
+from repro.robust.degrade import run_with_degradation
 
 Query = Hashable
 
@@ -112,6 +116,7 @@ class TracerClient:
         When ``cache`` is given, the forward fixpoint is fetched
         through it (and stored on a miss)."""
         with obs.span("forward_run", phase="forward") as forward_span:
+            robust_faults.inject("forward_run")
             if cache is not None:
                 misses_before = cache.misses
                 result = cache.fetch(self, p)
@@ -121,6 +126,7 @@ class TracerClient:
         theory = self.meta.theory
         out: Dict[Query, Optional[Trace]] = {}
         with obs.span("extract", phase="forward") as extract_span:
+            robust_faults.inject("extract")
             for query in queries:
                 fail = self.fail_condition(query)
                 witness: Optional[Trace] = None
@@ -193,6 +199,25 @@ class TracerConfig:
     marks the query ``EXHAUSTED`` (the paper's unresolved bucket).
     ``forward_cache_size`` bounds the per-driver forward-run cache
     (entries, LRU); ``0`` or ``None`` disables forward-run caching.
+
+    Robustness knobs (see ``docs/ROBUSTNESS.md``):
+
+    * ``max_seconds`` is enforced *cooperatively*: a budget installed
+      around each round trips inside the forward worklist and each
+      backward step (every ``budget_check_every`` ticks), so a single
+      runaway fixpoint resolves to ``EXHAUSTED`` near the deadline
+      instead of blowing the contract;
+    * ``max_steps`` is the deterministic analogue — a per-query budget
+      of transfer-function applications / backward commands;
+    * on :class:`~repro.core.formula.FormulaExplosion` the backward
+      pass retries with the beam halved down to ``k_min`` before the
+      query is declared ``EXHAUSTED`` (each shrink emits a ``degraded``
+      trace event);
+    * ``strict=False`` contains :class:`ProgressError` and unexpected
+      client exceptions to the failing query (``degraded`` event +
+      ``EXHAUSTED``; the rest of the group survives); ``strict=True``
+      re-raises them, which is the right default for debugging a
+      client.
     """
 
     k: Optional[int] = 5
@@ -200,6 +225,10 @@ class TracerConfig:
     max_seconds: Optional[float] = None
     max_cubes: Optional[int] = 200_000
     forward_cache_size: Optional[int] = 64
+    max_steps: Optional[int] = None
+    k_min: int = 1
+    strict: bool = True
+    budget_check_every: int = 64
 
 
 class ProgressError(RuntimeError):
@@ -286,12 +315,40 @@ def run_query_group(
     records: Dict[Query, QueryRecord] = {}
     iterations: Dict[Query, int] = {q: 0 for q in queries}
     elapsed: Dict[Query, float] = {q: 0.0 for q in queries}
+    steps_used: Dict[Query, float] = {q: 0.0 for q in queries}
     forward_runs: Dict[Query, int] = {q: 0 for q in queries}
     cached_runs: Dict[Query, int] = {q: 0 for q in queries}
     max_disjuncts: Dict[Query, int] = {q: 0 for q in queries}
     groups: List[_Group] = [
         _Group(store=ViabilityStore(theory, d_init), queries=list(queries))
     ]
+    budgeted = config.max_seconds is not None or config.max_steps is not None
+
+    def make_budget(members: Sequence[Query]) -> Optional[Budget]:
+        """A cooperative budget for work shared by ``members`` (or for
+        one query's own backward pass).  Shared work is charged in
+        equal shares, so the member with the least headroom going over
+        implies every member is over — a budget sized on the minimum
+        headroom exhausts the whole group exactly when the contract
+        says it should."""
+        if not budgeted:
+            return None
+        remaining_time = None
+        if config.max_seconds is not None:
+            remaining_time = config.max_seconds - min(
+                elapsed[q] for q in members
+            )
+        remaining_steps = None
+        if config.max_steps is not None:
+            remaining_steps = config.max_steps - min(
+                steps_used[q] for q in members
+            )
+        return Budget(
+            max_seconds=remaining_time,
+            max_steps=remaining_steps,
+            clock=clock,
+            check_every=config.budget_check_every,
+        )
 
     def resolve(query: Query, status: QueryStatus, p=None) -> None:
         record = QueryRecord(
@@ -334,33 +391,84 @@ def run_query_group(
                     group_size=len(group.queries),
                 ) as iteration_span:
                     started = clock()
-                    with obs.span("choose", phase="synthesis") as choose_span:
-                        p = group.store.choose_minimum()
-                        choose_span.set(viable=p is not None)
+                    round_budget = make_budget(group.queries)
+                    failure: Optional[Tuple[str, BaseException]] = None
+                    p = None
+                    witnesses: Dict[Query, Optional[Trace]] = {}
+                    round_was_cached = False
+                    try:
+                        with robust_budget.budget_scope(round_budget):
+                            with obs.span(
+                                "choose", phase="synthesis"
+                            ) as choose_span:
+                                robust_faults.inject("choose")
+                                p = group.store.choose_minimum()
+                                choose_span.set(viable=p is not None)
+                            if p is not None:
+                                if obs.active():
+                                    iteration_span.set(
+                                        abstraction_cost=(
+                                            client.analysis.param_space.cost(p)
+                                        )
+                                    )
+                                with obs.span(
+                                    "counterexamples", phase="forward"
+                                ):
+                                    if forward_cache is not None:
+                                        hits_before = forward_cache.hits
+                                        witnesses = client.counterexamples(
+                                            group.queries,
+                                            p,
+                                            cache=forward_cache,
+                                        )
+                                        round_was_cached = (
+                                            forward_cache.hits > hits_before
+                                        )
+                                    else:
+                                        witnesses = client.counterexamples(
+                                            group.queries, p
+                                        )
+                    except BudgetExceeded as exc:
+                        failure = ("budget", exc)
+                    except Exception as exc:
+                        # Unexpected client failure during selection or
+                        # the forward phase.  In strict mode it is the
+                        # caller's bug to see; in lenient mode it costs
+                        # this group its round budget, never the run.
+                        if config.strict:
+                            raise
+                        failure = ("error", exc)
+                    # Selection + forward-run time (and budget steps)
+                    # is shared by every member; charge it *before*
+                    # resolving so queries proven this round carry
+                    # their share but none of the backward time below.
+                    _charge(group.queries, clock() - started, elapsed)
+                    if round_budget is not None:
+                        _charge(group.queries, round_budget.steps, steps_used)
+                    if failure is not None:
+                        kind, exc = failure
+                        if kind == "budget":
+                            obs.event(
+                                "budget_exceeded",
+                                phase="forward",
+                                reason=exc.reason,
+                                queries=len(group.queries),
+                            )
+                        else:
+                            obs.event(
+                                "degraded",
+                                reason="forward_error",
+                                error=repr(exc),
+                                queries=len(group.queries),
+                            )
+                        iteration_span.set(outcome=kind)
+                        for query in group.queries:
+                            resolve(query, QueryStatus.EXHAUSTED)
+                        continue
                     if p is None:
-                        _charge(group.queries, clock() - started, elapsed)
                         for query in group.queries:
                             resolve(query, QueryStatus.IMPOSSIBLE)
                         continue
-                    if obs.active():
-                        iteration_span.set(
-                            abstraction_cost=client.analysis.param_space.cost(p)
-                        )
-                    with obs.span("counterexamples", phase="forward"):
-                        if forward_cache is not None:
-                            hits_before = forward_cache.hits
-                            witnesses = client.counterexamples(
-                                group.queries, p, cache=forward_cache
-                            )
-                            round_was_cached = forward_cache.hits > hits_before
-                        else:
-                            witnesses = client.counterexamples(group.queries, p)
-                            round_was_cached = False
-                    # Selection + forward-run time is shared by every
-                    # member; charge it *before* resolving so queries
-                    # proven this round carry their share but none of
-                    # the backward time below.
-                    _charge(group.queries, clock() - started, elapsed)
                     survivors: List[Query] = []
                     for query in group.queries:
                         iterations[query] += 1
@@ -395,36 +503,100 @@ def run_query_group(
                             "backward", phase="backward", query=str(query)
                         ) as backward_span:
                             backward_started = clock()
-                            try:
-                                result = backward_trace(
+                            query_budget = make_budget([query])
+
+                            def charge_backward(
+                                _query=query,
+                                _started=backward_started,
+                                _budget=query_budget,
+                            ) -> None:
+                                elapsed[_query] += clock() - _started
+                                if _budget is not None:
+                                    steps_used[_query] += _budget.steps
+
+                            def attempt(width, _trace=trace, _query=query):
+                                robust_faults.inject("backward")
+                                return backward_trace(
                                     client.meta,
                                     client.analysis,
-                                    trace,
+                                    _trace,
                                     p,
                                     d_init,
-                                    client.fail_condition(query),
-                                    k=config.k,
+                                    client.fail_condition(_query),
+                                    k=width,
                                     max_cubes=config.max_cubes,
                                 )
+
+                            def on_degrade(failed_k, next_k, _query=query):
+                                obs.event(
+                                    "degraded",
+                                    reason="formula_explosion",
+                                    query=str(_query),
+                                    from_k=failed_k,
+                                    to_k=next_k,
+                                )
+
+                            try:
+                                with robust_budget.budget_scope(query_budget):
+                                    result, used_k = run_with_degradation(
+                                        attempt,
+                                        config.k,
+                                        config.k_min,
+                                        on_degrade,
+                                    )
+                                max_disjuncts[query] = max(
+                                    max_disjuncts[query], result.max_disjuncts
+                                )
+                                probe = group.store.copy()
+                                added = probe.add_failure_condition(
+                                    result.condition
+                                )
+                                if not probe.excludes(p):
+                                    raise ProgressError(
+                                        f"query {query!r}: abstraction "
+                                        f"{sorted(p)} was not eliminated by "
+                                        "its own counterexample"
+                                    )
+                            except BudgetExceeded as exc:
+                                charge_backward()
+                                backward_span.set(outcome="budget")
+                                obs.event(
+                                    "budget_exceeded",
+                                    phase="backward",
+                                    reason=exc.reason,
+                                    query=str(query),
+                                )
+                                resolve(query, QueryStatus.EXHAUSTED)
+                                continue
                             except FormulaExplosion:
                                 # The meta-analysis formula outgrew the
-                                # budget (the analogue of the paper's
-                                # k=None memory blow-ups): give up on
-                                # this query rather than on the run.
-                                elapsed[query] += clock() - backward_started
+                                # budget even at the narrowest beam of
+                                # the degradation ladder (the analogue
+                                # of the paper's k=None memory
+                                # blow-ups): give up on this query
+                                # rather than on the run.
+                                charge_backward()
                                 backward_span.set(outcome="explosion")
                                 resolve(query, QueryStatus.EXHAUSTED)
                                 continue
-                            max_disjuncts[query] = max(
-                                max_disjuncts[query], result.max_disjuncts
-                            )
-                            probe = group.store.copy()
-                            added = probe.add_failure_condition(result.condition)
-                            if not probe.excludes(p):
-                                raise ProgressError(
-                                    f"query {query!r}: abstraction {sorted(p)} "
-                                    "was not eliminated by its own counterexample"
+                            except Exception as exc:
+                                # ProgressError or an unexpected client
+                                # failure: fatal in strict mode,
+                                # contained to this query otherwise.
+                                if config.strict:
+                                    raise
+                                charge_backward()
+                                backward_span.set(outcome="error")
+                                obs.event(
+                                    "degraded",
+                                    reason="backward_error",
+                                    query=str(query),
+                                    error=repr(exc),
                                 )
+                                resolve(query, QueryStatus.EXHAUSTED)
+                                continue
+                            if used_k != config.k:
+                                backward_span.set(degraded_to=used_k)
                             if obs.active():
                                 backward_span.set(
                                     steps=len(trace),
@@ -458,13 +630,16 @@ def run_query_group(
                                 bucket = _Group(store=probe, queries=[])
                                 splits[signature] = bucket
                             bucket.queries.append(query)
-                            elapsed[query] += clock() - backward_started
+                            charge_backward()
                     for bucket in splits.values():
                         live: List[Query] = []
                         for query in bucket.queries:
                             if iterations[query] >= config.max_iterations or (
                                 config.max_seconds is not None
                                 and elapsed[query] >= config.max_seconds
+                            ) or (
+                                config.max_steps is not None
+                                and steps_used[query] >= config.max_steps
                             ):
                                 resolve(query, QueryStatus.EXHAUSTED)
                             else:

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.lang.ast import AtomicCommand, Trace
 from repro.lang.cfg import Cfg, CfgEdge
+from repro.robust import budget as robust_budget
 
 Step = Callable[[AtomicCommand, object], object]
 _Witness = Optional[Tuple[int, object, CfgEdge]]
@@ -126,7 +127,9 @@ def run_collecting(
     states: Dict[int, Dict[object, _Witness]] = {cfg.entry: {entry_state: None}}
     pending = deque([(cfg.entry, entry_state)])
     steps = 0
+    tick = robust_budget.tick  # cooperative deadline/step budget
     while pending:
+        tick()
         node, state = pending.popleft()
         edges = compiled.get(node)
         if edges is None:

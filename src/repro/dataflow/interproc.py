@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.dataflow.collecting import resolve_step
 from repro.lang.ast import AtomicCommand, CallProc, Observe, Trace
 from repro.lang.cfg import Cfg, CfgEdge
+from repro.robust import budget as robust_budget
 
 Step = Callable[[AtomicCommand, object], object]
 
@@ -190,7 +191,9 @@ def run_tabulation(
     main_cfg = graph.procedures[graph.main]
     discover((graph.main, main_cfg.entry, entry_state, entry_state), None)
 
+    tick = robust_budget.tick  # cooperative deadline/step budget
     while pending:
+        tick()
         path_edge = pending.popleft()
         proc, node, entry, d = path_edge
         cfg = graph.procedures[proc]

@@ -6,6 +6,7 @@ from collections import deque
 from typing import Callable, Dict, FrozenSet, Generic, Hashable, TypeVar
 
 from repro.lang.cfg import Cfg, CfgEdge
+from repro.robust import budget as robust_budget
 
 V = TypeVar("V")
 
@@ -50,7 +51,9 @@ def solve_forward(
     """
     values: Dict[int, V] = {cfg.entry: entry_value}
     pending = deque([cfg.entry])
+    tick = robust_budget.tick  # cooperative deadline/step budget
     while pending:
+        tick()
         node = pending.popleft()
         value = values.get(node, lattice.bottom())
         for edge in cfg.successors(node):

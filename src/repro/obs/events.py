@@ -26,7 +26,15 @@ file).  Record types:
     Notable names: ``query_resolved`` (one per query, carrying the
     fields of its :class:`~repro.core.stats.QueryRecord`) and
     ``iteration_detail`` (detail mode only; the payload transcripts
-    are rebuilt from).
+    are rebuilt from).  The robustness layer adds three more:
+    ``budget_exceeded`` (a cooperative deadline/step budget tripped;
+    ``phase`` says where, ``reason`` why), ``degraded`` (the solver
+    kept going in a reduced mode — a beam-width retreat after a
+    formula explosion, a contained client error under lenient mode,
+    or permanently failed work units), and ``fault_injected`` (a
+    :mod:`repro.robust.faults` rule fired; carries ``site``,
+    ``action``, ``hit``).  Event names are open — these carry no
+    schema change.
 
 ``metric``
     A named counter snapshot: ``{"type": "metric", "name": str,

@@ -1,0 +1,45 @@
+"""Fault-tolerant solver runtime: budgets, fault injection, graceful
+degradation, and a crash-surviving parallel harness.
+
+The pieces (see ``docs/ROBUSTNESS.md`` for the full story):
+
+* :mod:`repro.robust.budget` — cooperative wall-clock/step budgets the
+  forward worklists and the backward meta-analysis honour mid-loop;
+* :mod:`repro.robust.faults` — deterministic, replayable fault
+  injection keyed on the observability span sites;
+* :mod:`repro.robust.degrade` — the beam-width degradation ladder the
+  TRACER driver walks on formula explosions;
+* :mod:`repro.robust.pool` — a process pool with per-unit timeouts,
+  ``BrokenProcessPool`` recovery, and bounded retries;
+* :mod:`repro.robust.checkpoint` — JSONL checkpoints of completed
+  evaluation units behind ``repro eval --resume``.
+"""
+
+from repro.robust.budget import (
+    Budget,
+    BudgetExceeded,
+    budget_scope,
+    current_budget,
+)
+from repro.robust.degrade import beam_ladder, run_with_degradation
+from repro.robust.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    current_plan,
+    fault_scope,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "beam_ladder",
+    "budget_scope",
+    "current_budget",
+    "current_plan",
+    "fault_scope",
+    "run_with_degradation",
+]

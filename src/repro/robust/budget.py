@@ -1,0 +1,153 @@
+"""Cooperative wall-clock and step budgets for long-running loops.
+
+``TracerConfig.max_seconds`` used to be checked only *between* CEGAR
+iterations, so a single runaway forward fixpoint or backward sweep
+could sail arbitrarily far past the deadline.  A :class:`Budget` makes
+the deadline cooperative: the hot loops (the forward worklists, the
+backward meta-analysis) call :func:`tick` — a near-free no-op when no
+budget is installed — and the budget raises :class:`BudgetExceeded`
+from *inside* the overrunning loop, which the TRACER driver resolves
+to ``QueryStatus.EXHAUSTED`` deterministically.
+
+Two resources are tracked:
+
+* a **wall-clock deadline** (``max_seconds`` from creation, measured
+  on an injectable clock so tests can drive it deterministically);
+  the clock is only consulted every ``check_every`` ticks to keep the
+  per-tick cost to an integer decrement;
+* a **step budget** (``max_steps``): a count of transfer-function
+  applications / backward commands, which is a deterministic,
+  machine-independent notion of effort (the analogue of the paper's
+  iteration budget at a finer grain).
+
+Budgets install ambiently (:class:`budget_scope`), exactly like the
+tracing context in :mod:`repro.obs.trace`: the instrumented loops
+never need a budget threaded through their signatures, and when no
+budget is active the instrumentation costs one global read.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "budget_scope",
+    "checkpoint",
+    "current_budget",
+    "tick",
+]
+
+
+class BudgetExceeded(RuntimeError):
+    """A cooperative budget ran out mid-loop.
+
+    ``reason`` is ``"deadline"`` or ``"steps"``; ``steps`` is the tick
+    count at the moment the budget tripped.
+    """
+
+    def __init__(self, reason: str, steps: int):
+        super().__init__(f"budget exceeded ({reason} after {steps} steps)")
+        self.reason = reason
+        self.steps = steps
+
+
+class Budget:
+    """One deadline + step allowance, checked cooperatively via ticks."""
+
+    __slots__ = ("clock", "deadline", "max_steps", "steps", "check_every", "_countdown")
+
+    def __init__(
+        self,
+        max_seconds: Optional[float] = None,
+        max_steps: Optional[float] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        check_every: int = 64,
+    ):
+        if check_every <= 0:
+            raise ValueError("check_every must be positive")
+        self.clock = clock
+        self.deadline = None if max_seconds is None else clock() + max_seconds
+        self.max_steps = max_steps
+        self.steps = 0
+        self.check_every = check_every
+        self._countdown = check_every
+
+    def tick(self, n: int = 1) -> None:
+        """Record ``n`` units of work; raise :class:`BudgetExceeded`
+        when either resource is spent.  The clock is read every
+        ``check_every`` ticks."""
+        self.steps += n
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise BudgetExceeded("steps", self.steps)
+        self._countdown -= n
+        if self._countdown <= 0:
+            self._countdown = self.check_every
+            if self.deadline is not None and self.clock() >= self.deadline:
+                raise BudgetExceeded("deadline", self.steps)
+
+    def checkpoint(self) -> None:
+        """A tick that always consults the clock — for coarse-grained
+        loops (one backward command may hide a lot of formula work)."""
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise BudgetExceeded("steps", self.steps)
+        if self.deadline is not None and self.clock() >= self.deadline:
+            raise BudgetExceeded("deadline", self.steps)
+
+    def remaining_seconds(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return self.deadline - self.clock()
+
+
+#: The ambient budget, or ``None`` (no budget — the default).  Like the
+#: trace context this is process-local by design: the evaluation
+#: parallelises across processes, never threads.
+_CURRENT: Optional[Budget] = None
+
+
+def current_budget() -> Optional[Budget]:
+    """The installed :class:`Budget`, or ``None``."""
+    return _CURRENT
+
+
+def tick(n: int = 1) -> None:
+    """Charge the ambient budget (no-op when none is installed).
+
+    This is the call the forward worklist loops make once per transfer
+    application; when no budget is active it is one global read and a
+    ``None`` check."""
+    budget = _CURRENT
+    if budget is not None:
+        budget.tick(n)
+
+
+def checkpoint() -> None:
+    """Charge the ambient budget with a forced deadline check (no-op
+    when none is installed) — one per backward meta-analysis command."""
+    budget = _CURRENT
+    if budget is not None:
+        budget.checkpoint()
+
+
+class budget_scope:
+    """Install a budget for a ``with`` block; scopes nest (the inner
+    budget temporarily replaces the outer one)."""
+
+    def __init__(self, budget: Optional[Budget]):
+        self._budget = budget
+        self._previous: Optional[Budget] = None
+
+    def __enter__(self) -> Optional[Budget]:
+        global _CURRENT
+        self._previous = _CURRENT
+        _CURRENT = self._budget
+        return self._budget
+
+    def __exit__(self, *exc) -> bool:
+        global _CURRENT
+        _CURRENT = self._previous
+        return False

@@ -1,0 +1,137 @@
+"""JSONL checkpoints of completed evaluation units.
+
+A long parallel evaluation that dies at unit 47 of 50 should not have
+to redo the first 46.  The bench harness appends one self-contained
+JSONL line per *completed* unit — its query records and its metrics
+snapshot — flushed immediately, so the file is valid after a crash at
+any point (a torn final line is detected and ignored by the loader).
+``repro eval --resume`` then merges the checkpointed units and runs
+only the missing ones; the merge is deterministic because units are
+keyed by ``(benchmark, analysis, index)`` and merged in unit order, so
+a resumed evaluation is record-for-record identical to an uninterrupted
+one (worker trace events are the one thing not checkpointed — a
+resumed unit replays no spans).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.stats import CacheCounters, QueryRecord
+
+__all__ = [
+    "CheckpointWriter",
+    "UnitKey",
+    "load_checkpoint",
+    "unit_from_dict",
+    "unit_to_dict",
+]
+
+CHECKPOINT_VERSION = 1
+
+UnitKey = Tuple[str, str, int]  # (benchmark, analysis, unit index)
+
+#: What a checkpoint stores per unit: records + metrics snapshot +
+#: how many attempts the unit took (trace events are not persisted).
+UnitPayload = Tuple[List[QueryRecord], Dict[str, CacheCounters], int]
+
+
+def unit_to_dict(key: UnitKey, payload: UnitPayload) -> dict:
+    from repro.bench.export import record_to_dict
+
+    records, metrics, attempts = payload
+    return {
+        "type": "unit",
+        "benchmark": key[0],
+        "analysis": key[1],
+        "index": key[2],
+        "attempts": attempts,
+        "records": [record_to_dict(record) for record in records],
+        "metrics": {
+            name: {"hits": counters.hits, "misses": counters.misses}
+            for name, counters in sorted(metrics.items())
+        },
+    }
+
+
+def unit_from_dict(data: dict) -> Tuple[UnitKey, UnitPayload]:
+    from repro.bench.export import record_from_dict
+
+    key = (data["benchmark"], data["analysis"], int(data["index"]))
+    records = [record_from_dict(item) for item in data["records"]]
+    metrics = {
+        name: CacheCounters(hits=int(entry["hits"]), misses=int(entry["misses"]))
+        for name, entry in data.get("metrics", {}).items()
+    }
+    return key, (records, metrics, int(data.get("attempts", 1)))
+
+
+class CheckpointWriter:
+    """Append-only JSONL writer; one flushed line per completed unit."""
+
+    def __init__(self, path: str):
+        self.path = path
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._handle = open(path, "a")
+        if fresh:
+            self._emit(
+                {"type": "checkpoint_header", "version": CHECKPOINT_VERSION}
+            )
+
+    def _emit(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def write_unit(self, key: UnitKey, payload: UnitPayload) -> None:
+        self._emit(unit_to_dict(key, payload))
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def load_checkpoint(path: str) -> Dict[UnitKey, UnitPayload]:
+    """Read every intact unit line of a checkpoint (missing file = empty).
+
+    Robust by construction: a torn or corrupt line — the crash the
+    checkpoint exists for may have happened mid-write — ends the scan
+    instead of raising, so everything before it is still recovered."""
+    completed: Dict[UnitKey, UnitPayload] = {}
+    if not os.path.exists(path):
+        return completed
+    with open(path) as handle:
+        for line_number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                break  # torn tail from a crash mid-write
+            if not isinstance(data, dict):
+                break
+            rtype = data.get("type")
+            if rtype == "checkpoint_header":
+                version = data.get("version")
+                if version != CHECKPOINT_VERSION:
+                    raise ValueError(
+                        f"{path}: unsupported checkpoint version {version!r}"
+                    )
+                continue
+            if rtype != "unit":
+                break
+            try:
+                key, payload = unit_from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                break
+            completed[key] = payload
+    return completed

@@ -1,0 +1,69 @@
+"""Graceful degradation of the backward meta-analysis beam.
+
+The paper's under-approximation (Section 5) exists because the exact
+meta-analysis blows up; our :class:`~repro.core.formula.FormulaExplosion`
+is the runtime face of that blow-up.  Instead of giving up on a query
+at the first explosion, the driver walks a *degradation ladder*: retry
+the backward pass with the beam width halved, down to a floor, and
+only declare the query EXHAUSTED once the narrowest beam still
+explodes.  A narrower beam yields a weaker (but still sound, by
+Theorem 3.1) failure condition — fewer abstractions are eliminated per
+iteration, which costs iterations, not correctness.  This mirrors
+Beyer & Löwe's precision-lowering refinement fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+from repro.core.formula import FormulaExplosion
+
+__all__ = ["DEFAULT_FALLBACK_K", "beam_ladder", "run_with_degradation"]
+
+T = TypeVar("T")
+
+#: First finite beam width tried when the configured ``k`` is ``None``
+#: (beam disabled) and the unbeamed pass explodes.
+DEFAULT_FALLBACK_K = 8
+
+
+def beam_ladder(k: Optional[int], k_min: int = 1) -> List[Optional[int]]:
+    """The beam widths to try, widest first: ``k``, then repeated
+    halvings down to ``k_min``.  ``k=None`` (no beam) degrades to
+    :data:`DEFAULT_FALLBACK_K` and halves from there."""
+    if k_min < 1:
+        raise ValueError("k_min must be at least 1")
+    ladder: List[Optional[int]] = [k]
+    width = DEFAULT_FALLBACK_K if k is None else k
+    if k is None:
+        ladder.append(width)
+    while width > k_min:
+        width = max(width // 2, k_min)
+        ladder.append(width)
+    return ladder
+
+
+def run_with_degradation(
+    run: Callable[[Optional[int]], T],
+    k: Optional[int],
+    k_min: int = 1,
+    on_degrade: Optional[Callable[[Optional[int], int], None]] = None,
+) -> Tuple[T, Optional[int]]:
+    """Call ``run(k)`` retrying down :func:`beam_ladder` on
+    :class:`FormulaExplosion`.
+
+    ``on_degrade(failed_k, next_k)`` is invoked before each retry (the
+    driver emits its ``degraded`` trace event there).  Returns the
+    result and the beam width that produced it; re-raises the last
+    :class:`FormulaExplosion` when even ``k_min`` explodes.
+    """
+    ladder = beam_ladder(k, k_min)
+    for position, width in enumerate(ladder):
+        try:
+            return run(width), width
+        except FormulaExplosion:
+            if position + 1 >= len(ladder):
+                raise
+            if on_degrade is not None:
+                on_degrade(width, ladder[position + 1])
+    raise AssertionError("unreachable: ladder is never empty")

@@ -1,0 +1,176 @@
+"""A process pool that survives its workers.
+
+``ProcessPoolExecutor.map`` dies with the first ``BrokenProcessPool``
+(one SIGKILLed/OOM-killed worker aborts the whole evaluation) and has
+no notion of per-unit timeouts or retries.  :func:`run_units` wraps it
+in *waves*:
+
+1. submit every pending unit to a fresh pool;
+2. wait for results, bounded by an optional timeout (scaled by queue
+   depth, since queued units cannot start before a slot frees up);
+3. a unit whose future raised is charged one failed attempt — a
+   ``BrokenProcessPool`` charges every unit that was still in flight,
+   since the parent cannot tell which one took the worker down;
+4. units still under ``max_attempts`` go into the next wave after an
+   exponential backoff; the pool is respawned (and any lingering
+   workers terminated) whenever it broke or timed out;
+5. units that exhaust their attempts become failed
+   :class:`UnitOutcome` values — the caller degrades, it never crashes.
+
+Work functions must be picklable module-level callables of signature
+``fn(item, attempt)``; the attempt index is what deterministic fault
+rules pin to (see :mod:`repro.robust.faults`).  Results arrive keyed
+by item index, so callers merge them in submission order regardless of
+completion order — determinism is preserved across crashes and
+retries.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["RetryPolicy", "UnitOutcome", "run_units"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout knobs of the resilient pool."""
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    #: Wall-clock allowance per unit *attempt*; a wave's allowance is
+    #: this scaled by its queue depth (``ceil(pending / workers)``).
+    unit_timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def backoff(self, retry_round: int) -> float:
+        return self.backoff_seconds * (self.backoff_factor ** retry_round)
+
+
+@dataclass
+class UnitOutcome:
+    """What became of one unit across all its attempts."""
+
+    index: int
+    result: Optional[object] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+
+def _kill_lingering_workers(pool: ProcessPoolExecutor) -> None:
+    """Terminate worker processes that survived a cancel — the only
+    way to reclaim a worker stuck in a non-cooperative unit."""
+    processes = getattr(pool, "_processes", None)
+    if not processes:
+        return
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def run_units(
+    fn: Callable,
+    items: Sequence[object],
+    policy: RetryPolicy = RetryPolicy(),
+    max_workers: int = 2,
+    sleep: Callable[[float], None] = time.sleep,
+    monotonic: Callable[[], float] = time.monotonic,
+) -> List[UnitOutcome]:
+    """Run ``fn(item, attempt)`` for every item on a crash-surviving
+    pool; returns one :class:`UnitOutcome` per item, in item order."""
+    outcomes = [UnitOutcome(index=index) for index in range(len(items))]
+    pending: List[int] = list(range(len(items)))
+    retry_round = 0
+    while pending:
+        workers = max(1, min(max_workers, len(pending)))
+        wave_timeout = None
+        if policy.unit_timeout is not None:
+            wave_timeout = policy.unit_timeout * math.ceil(
+                len(pending) / workers
+            )
+        pool = ProcessPoolExecutor(max_workers=workers)
+        needs_kill = False
+        try:
+            futures = {}
+            for index in pending:
+                outcomes[index].attempts += 1
+                futures[pool.submit(fn, items[index], outcomes[index].attempts - 1)] = index
+            deadline = None if wave_timeout is None else monotonic() + wave_timeout
+            not_done = set(futures)
+            failed_this_wave: List[int] = []
+            while not_done:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - monotonic())
+                done, not_done = wait(
+                    not_done, timeout=remaining, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Wave deadline: everything still in flight is over
+                    # budget; the pool must be killed to reclaim workers.
+                    needs_kill = True
+                    for future in not_done:
+                        index = futures[future]
+                        message = (
+                            f"timeout after {policy.unit_timeout}s "
+                            f"(attempt {outcomes[index].attempts})"
+                        )
+                        outcomes[index].errors.append(message)
+                        failed_this_wave.append(index)
+                    not_done = set()
+                    break
+                for future in done:
+                    index = futures[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        needs_kill = True
+                        outcomes[index].errors.append(
+                            f"worker crashed (attempt {outcomes[index].attempts})"
+                        )
+                        failed_this_wave.append(index)
+                    except Exception as exc:
+                        outcomes[index].errors.append(
+                            f"{type(exc).__name__}: {exc} "
+                            f"(attempt {outcomes[index].attempts})"
+                        )
+                        failed_this_wave.append(index)
+                    else:
+                        outcomes[index].result = result
+        finally:
+            if needs_kill:
+                pool.shutdown(wait=False, cancel_futures=True)
+                _kill_lingering_workers(pool)
+            pool.shutdown(wait=True, cancel_futures=True)
+        next_pending: List[int] = []
+        for index in failed_this_wave:
+            outcome = outcomes[index]
+            if outcome.attempts >= policy.max_attempts:
+                outcome.error = outcome.errors[-1]
+            else:
+                next_pending.append(index)
+        pending = sorted(next_pending)
+        if pending:
+            sleep(policy.backoff(retry_round))
+            retry_round += 1
+    return outcomes

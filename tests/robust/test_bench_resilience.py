@@ -1,0 +1,219 @@
+"""Crash-surviving parallel evaluation: retries, kills, checkpoints.
+
+Satellite regressions of the robustness PR: a SIGKILLed worker or a
+failing first attempt must not change the merged records (they are
+bit-identical to an un-faulted run), permanently failing units land in
+``failed_units`` instead of raising, and ``--resume`` reruns only the
+units missing from the checkpoint."""
+
+import pytest
+
+from repro.bench.harness import evaluate_benchmark, prepare
+from repro.bench.parallel import RunOptions, evaluate_benchmark_parallel
+from repro.core.tracer import TracerConfig
+from repro.robust.faults import FaultPlan, FaultRule
+from repro.robust.pool import RetryPolicy
+
+CONFIG = TracerConfig(k=5, max_iterations=30)
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_seconds=0.0)
+
+
+def record_key(record):
+    """Everything about a record except wall-clock time."""
+    return (
+        record.query_id,
+        record.status,
+        record.abstraction,
+        record.abstraction_cost,
+        record.iterations,
+        record.forward_runs,
+        record.forward_cache_hits,
+        record.max_disjuncts,
+    )
+
+
+def keys(result):
+    return [record_key(r) for r in result.records]
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return prepare("elevator")
+
+
+@pytest.fixture(scope="module")
+def baseline(bench):
+    return evaluate_benchmark(bench, "typestate", CONFIG, jobs=1)
+
+
+class TestFaultedMergesAreBitIdentical:
+    def test_raise_on_first_attempt_retries_to_identical_records(
+        self, bench, baseline
+    ):
+        plan = FaultPlan(
+            [FaultRule("unit:elevator:typestate:0", "raise", attempt=0)]
+        )
+        result = evaluate_benchmark_parallel(
+            bench,
+            "typestate",
+            CONFIG,
+            jobs=2,
+            options=RunOptions(retry=FAST_RETRY, fault_plan=plan),
+        )
+        assert keys(result) == keys(baseline)
+        assert result.degraded
+        assert result.failed_units == ()
+
+    def test_sigkilled_worker_recovers_to_identical_records(
+        self, bench, baseline
+    ):
+        """Acceptance: SIGKILL of one worker mid-evaluation completes
+        via respawn + retry, never an unhandled BrokenProcessPool."""
+        plan = FaultPlan(
+            [FaultRule("unit:elevator:typestate:0", "kill", attempt=0)]
+        )
+        result = evaluate_benchmark_parallel(
+            bench,
+            "typestate",
+            CONFIG,
+            jobs=2,
+            options=RunOptions(retry=FAST_RETRY, fault_plan=plan),
+        )
+        assert keys(result) == keys(baseline)
+        assert result.degraded
+        assert result.failed_units == ()
+
+    def test_corrupted_unit_output_is_caught_and_retried(
+        self, bench, baseline
+    ):
+        plan = FaultPlan(
+            [FaultRule("unit:elevator:typestate:0", "corrupt", attempt=0)]
+        )
+        result = evaluate_benchmark_parallel(
+            bench,
+            "typestate",
+            CONFIG,
+            jobs=2,
+            options=RunOptions(retry=FAST_RETRY, fault_plan=plan),
+        )
+        assert keys(result) == keys(baseline)
+        assert result.failed_units == ()
+
+
+class TestPermanentFailure:
+    def test_unit_failing_every_attempt_lands_in_failed_units(
+        self, bench, baseline
+    ):
+        plan = FaultPlan(
+            [FaultRule("unit:elevator:typestate:0", "raise", times=None)]
+        )
+        result = evaluate_benchmark_parallel(
+            bench,
+            "typestate",
+            CONFIG,
+            jobs=2,
+            options=RunOptions(
+                retry=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+                fault_plan=plan,
+            ),
+        )
+        assert result.degraded
+        assert len(result.failed_units) == 1
+        assert result.failed_units[0].startswith("elevator:typestate:0:")
+        # Units merge in unit order, so dropping unit 0 drops exactly
+        # the baseline's leading records; every other unit survives.
+        from repro.bench.harness import analysis_setups
+
+        dropped = len(analysis_setups(bench, "typestate")[0][1])
+        assert dropped > 0
+        assert keys(result) == keys(baseline)[dropped:]
+
+
+class TestCheckpointResume:
+    def test_resume_runs_only_unfinished_units(self, bench, baseline, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        first = evaluate_benchmark_parallel(
+            bench,
+            "typestate",
+            CONFIG,
+            jobs=2,
+            options=RunOptions(retry=FAST_RETRY, checkpoint_path=path),
+        )
+        assert keys(first) == keys(baseline)
+        # Resume from a complete checkpoint under a plan that fails
+        # *every* executed unit: nothing may execute, so the merge must
+        # still be identical — proof that only unfinished units rerun.
+        poison = FaultPlan([FaultRule("unit", "raise", times=None)])
+        resumed = evaluate_benchmark_parallel(
+            bench,
+            "typestate",
+            CONFIG,
+            jobs=2,
+            options=RunOptions(
+                retry=RetryPolicy(max_attempts=1, backoff_seconds=0.0),
+                checkpoint_path=path,
+                resume=True,
+                fault_plan=poison,
+            ),
+        )
+        assert keys(resumed) == keys(baseline)
+        assert resumed.failed_units == ()
+        assert resumed.degraded  # resumed-from-checkpoint is flagged
+
+    def test_resume_after_torn_checkpoint_reruns_the_missing_unit(
+        self, bench, baseline, tmp_path
+    ):
+        path = str(tmp_path / "ckpt.jsonl")
+        evaluate_benchmark_parallel(
+            bench,
+            "typestate",
+            CONFIG,
+            jobs=2,
+            options=RunOptions(retry=FAST_RETRY, checkpoint_path=path),
+        )
+        lines = open(path).read().splitlines()
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")  # drop one unit
+        resumed = evaluate_benchmark_parallel(
+            bench,
+            "typestate",
+            CONFIG,
+            jobs=2,
+            options=RunOptions(
+                retry=FAST_RETRY, checkpoint_path=path, resume=True
+            ),
+        )
+        assert keys(resumed) == keys(baseline)
+        # The rerun unit was checkpointed again: a second resume finds
+        # everything complete.
+        from repro.robust.checkpoint import load_checkpoint
+        from repro.bench.harness import analysis_setups
+
+        assert len(load_checkpoint(path)) == len(
+            analysis_setups(bench, "typestate")
+        )
+
+
+class TestEvaluateManyResilience:
+    def test_kill_in_one_benchmark_spares_the_rest(self):
+        from repro.bench.parallel import evaluate_many
+
+        instances = {name: prepare(name) for name in ("tsp", "elevator")}
+        serial = evaluate_many(
+            instances, ("typestate",), CONFIG, jobs=1
+        )
+        plan = FaultPlan(
+            [FaultRule("unit:elevator:typestate:0", "kill", attempt=0)]
+        )
+        faulted = evaluate_many(
+            instances,
+            ("typestate",),
+            CONFIG,
+            jobs=2,
+            options=RunOptions(retry=FAST_RETRY, fault_plan=plan),
+        )
+        for name in serial:
+            assert keys(faulted[name]["typestate"]) == keys(
+                serial[name]["typestate"]
+            )
+        assert faulted["elevator"]["typestate"].failed_units == ()

@@ -1,0 +1,111 @@
+"""Unit tests of the cooperative budget layer."""
+
+import pytest
+
+from repro.robust import budget as robust_budget
+from repro.robust.budget import Budget, BudgetExceeded, budget_scope
+
+
+class FakeClock:
+    """A clock that advances a fixed step per reading."""
+
+    def __init__(self, step=0.0, start=100.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestStepBudget:
+    def test_trips_exactly_past_max_steps(self):
+        budget = Budget(max_steps=3)
+        budget.tick()
+        budget.tick()
+        budget.tick()
+        with pytest.raises(BudgetExceeded) as caught:
+            budget.tick()
+        assert caught.value.reason == "steps"
+        assert caught.value.steps == 4
+
+    def test_bulk_ticks_count_in_full(self):
+        budget = Budget(max_steps=10)
+        with pytest.raises(BudgetExceeded):
+            budget.tick(11)
+
+
+class TestDeadline:
+    def test_clock_consulted_every_check_every_ticks(self):
+        clock = FakeClock()
+        budget = Budget(max_seconds=5.0, clock=clock, check_every=4)
+        clock.advance(10.0)  # already past the deadline...
+        budget.tick()
+        budget.tick()
+        budget.tick()  # ...but the clock has not been read yet
+        with pytest.raises(BudgetExceeded) as caught:
+            budget.tick()
+        assert caught.value.reason == "deadline"
+
+    def test_checkpoint_always_consults_clock(self):
+        clock = FakeClock()
+        budget = Budget(max_seconds=5.0, clock=clock, check_every=1000)
+        budget.checkpoint()  # within deadline: fine
+        clock.advance(10.0)
+        with pytest.raises(BudgetExceeded):
+            budget.checkpoint()
+
+    def test_remaining_seconds(self):
+        clock = FakeClock()
+        budget = Budget(max_seconds=5.0, clock=clock)
+        assert budget.remaining_seconds() == pytest.approx(5.0)
+        clock.advance(2.0)
+        assert budget.remaining_seconds() == pytest.approx(3.0)
+        assert Budget(max_steps=1).remaining_seconds() is None
+
+    def test_check_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Budget(max_seconds=1.0, check_every=0)
+
+
+class TestAmbientScope:
+    def test_module_tick_is_noop_without_budget(self):
+        assert robust_budget.current_budget() is None
+        robust_budget.tick()  # must not raise
+        robust_budget.checkpoint()
+
+    def test_scope_installs_and_restores(self):
+        budget = Budget(max_steps=100)
+        with budget_scope(budget):
+            assert robust_budget.current_budget() is budget
+            robust_budget.tick(7)
+        assert robust_budget.current_budget() is None
+        assert budget.steps == 7
+
+    def test_scopes_nest(self):
+        outer = Budget(max_steps=100)
+        inner = Budget(max_steps=100)
+        with budget_scope(outer):
+            with budget_scope(inner):
+                robust_budget.tick()
+            assert robust_budget.current_budget() is outer
+        assert inner.steps == 1
+        assert outer.steps == 0
+
+    def test_scope_pops_on_exception(self):
+        budget = Budget(max_steps=1)
+        with pytest.raises(BudgetExceeded):
+            with budget_scope(budget):
+                robust_budget.tick(5)
+        assert robust_budget.current_budget() is None
+
+    def test_none_scope_clears_budget(self):
+        outer = Budget(max_steps=1)
+        with budget_scope(outer):
+            with budget_scope(None):
+                robust_budget.tick(50)  # no ambient budget: no-op
+        assert outer.steps == 0

@@ -1,0 +1,90 @@
+"""Chaos matrix: every instrumented site x every benign fault action.
+
+The contract under test (satellite of the robustness PR): with a
+lenient configuration, no injected raise or delay at any span site may
+crash the solver — every query resolves to one of the three statuses,
+and the per-query time accounting stays conserved (each query carries
+a non-negative share, and the shares never exceed the group's wall
+clock)."""
+
+import time
+
+import pytest
+
+from repro.core import Tracer, TracerConfig
+from repro.core.stats import QueryStatus
+from repro.lang import parse_program
+from repro.robust.faults import FaultPlan, FaultRule, fault_scope
+from repro.typestate import TypestateClient, TypestateQuery, file_automaton
+
+PROGRAM = parse_program(
+    """
+    x = new File
+    x.open()
+    observe mid
+    x.close()
+    observe end
+    """
+)
+
+QUERIES = [
+    TypestateQuery("mid", frozenset({"opened"})),
+    TypestateQuery("end", frozenset({"closed"})),
+]
+
+SITES = ("choose", "forward_run", "extract", "backward")
+
+ACTIONS = (
+    ("raise", {}),
+    ("raise", {"error": "explosion"}),
+    ("delay", {"delay": 0.01}),
+)
+
+VALID = {QueryStatus.PROVEN, QueryStatus.IMPOSSIBLE, QueryStatus.EXHAUSTED}
+
+
+def _client():
+    return TypestateClient(PROGRAM, file_automaton(), "File", frozenset({"x"}))
+
+
+@pytest.mark.parametrize("site", SITES)
+@pytest.mark.parametrize("action,extra", ACTIONS, ids=lambda a: str(a))
+@pytest.mark.parametrize("repeat", ["once", "always"])
+def test_chaos_never_crashes_the_lenient_solver(site, action, extra, repeat):
+    times = 1 if repeat == "once" else None
+    plan = FaultPlan([FaultRule(site, action, times=times, **extra)])
+    config = TracerConfig(k=5, max_iterations=10, strict=False)
+    started = time.perf_counter()
+    with fault_scope(plan):
+        records = Tracer(_client(), config).solve_all(QUERIES)
+    wall = time.perf_counter() - started
+    assert set(records) == set(QUERIES)
+    for record in records.values():
+        assert record.status in VALID
+        assert record.time_seconds >= 0.0
+    # Conservation: equal-share charging can never mint more per-query
+    # time than the group actually spent.
+    assert sum(r.time_seconds for r in records.values()) <= wall + 0.5
+
+
+def test_chaos_with_budget_still_resolves_every_query():
+    """Faults and cooperative budgets composed: still no crash, still a
+    verdict per query."""
+    plan = FaultPlan(
+        [
+            FaultRule("forward_run", "delay", delay=0.005, times=None),
+            FaultRule("backward", "raise", error="explosion", at=2),
+        ]
+    )
+    config = TracerConfig(
+        k=5,
+        max_iterations=10,
+        max_seconds=5.0,
+        max_steps=100_000,
+        strict=False,
+        budget_check_every=1,
+    )
+    with fault_scope(plan):
+        records = Tracer(_client(), config).solve_all(QUERIES)
+    assert set(records) == set(QUERIES)
+    assert all(r.status in VALID for r in records.values())

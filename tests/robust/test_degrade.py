@@ -1,0 +1,68 @@
+"""Unit tests of the beam-width degradation ladder."""
+
+import pytest
+
+from repro.core.formula import FormulaExplosion
+from repro.robust.degrade import (
+    DEFAULT_FALLBACK_K,
+    beam_ladder,
+    run_with_degradation,
+)
+
+
+class TestLadder:
+    def test_halves_down_to_floor(self):
+        assert beam_ladder(8) == [8, 4, 2, 1]
+        assert beam_ladder(5) == [5, 2, 1]
+        assert beam_ladder(8, k_min=2) == [8, 4, 2]
+
+    def test_floor_alone(self):
+        assert beam_ladder(1) == [1]
+
+    def test_none_falls_back_to_default(self):
+        ladder = beam_ladder(None)
+        assert ladder[0] is None
+        assert ladder[1] == DEFAULT_FALLBACK_K
+        assert ladder[-1] == 1
+
+    def test_bad_floor(self):
+        with pytest.raises(ValueError):
+            beam_ladder(8, k_min=0)
+
+
+class TestRunWithDegradation:
+    def test_no_explosion_runs_once(self):
+        calls = []
+        result, width = run_with_degradation(lambda k: calls.append(k) or "ok", 8)
+        assert (result, width) == ("ok", 8)
+        assert calls == [8]
+
+    def test_retries_with_halved_beam(self):
+        calls, degradations = [], []
+
+        def attempt(k):
+            calls.append(k)
+            if k > 2:
+                raise FormulaExplosion("too wide")
+            return f"ok@{k}"
+
+        result, width = run_with_degradation(
+            attempt, 8, on_degrade=lambda a, b: degradations.append((a, b))
+        )
+        assert (result, width) == ("ok@2", 2)
+        assert calls == [8, 4, 2]
+        assert degradations == [(8, 4), (4, 2)]
+
+    def test_exhausted_ladder_reraises(self):
+        def attempt(k):
+            raise FormulaExplosion("always")
+
+        with pytest.raises(FormulaExplosion):
+            run_with_degradation(attempt, 4)
+
+    def test_other_exceptions_pass_through_undampened(self):
+        def attempt(k):
+            raise KeyError("not an explosion")
+
+        with pytest.raises(KeyError):
+            run_with_degradation(attempt, 4)

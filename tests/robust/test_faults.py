@@ -1,0 +1,114 @@
+"""Unit tests of the deterministic fault-injection plans."""
+
+import pickle
+
+import pytest
+
+from repro.core.formula import FormulaExplosion
+from repro.robust import faults as robust_faults
+from repro.robust.faults import FaultPlan, FaultRule, InjectedFault, fault_scope
+
+
+class TestSpecParsing:
+    def test_minimal_spec(self):
+        rule = FaultRule.from_spec("backward:raise")
+        assert rule.site == "backward"
+        assert rule.action == "raise"
+        assert (rule.at, rule.times, rule.error) == (1, 1, "injected")
+
+    def test_full_spec(self):
+        rule = FaultRule.from_spec("backward:raise:error=explosion,at=2,times=none")
+        assert rule.error == "explosion"
+        assert rule.at == 2
+        assert rule.times is None
+
+    def test_delay_and_attempt(self):
+        rule = FaultRule.from_spec("forward_run:delay:delay=0.25,attempt=0")
+        assert rule.delay == 0.25
+        assert rule.attempt == 0
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["nocolon", "site:frobnicate", "site:raise:error=martian", "site:raise:who=1"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultRule.from_spec(spec)
+
+
+class TestFiring:
+    def test_fires_on_nth_hit_for_times_hits(self):
+        plan = FaultPlan([FaultRule("s", "raise", at=2, times=2)])
+        plan.inject("s")  # hit 1: below 'at'
+        for _ in range(2):  # hits 2 and 3 fire
+            with pytest.raises(InjectedFault):
+                plan.inject("s")
+        assert plan.inject("s") is None  # hit 4: window closed
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan([FaultRule("a", "raise")])
+        assert plan.inject("b") is None
+        with pytest.raises(InjectedFault):
+            plan.inject("a")
+
+    def test_explosion_error_kind_raises_the_real_exception(self):
+        plan = FaultPlan([FaultRule("s", "raise", error="explosion")])
+        with pytest.raises(FormulaExplosion):
+            plan.inject("s")
+
+    def test_corrupt_is_reported_not_raised(self):
+        plan = FaultPlan([FaultRule("s", "corrupt")])
+        assert plan.inject("s") == "corrupt"
+        assert plan.inject("s") is None
+
+    def test_attempt_pinned_rule_only_fires_on_that_attempt(self):
+        plan = FaultPlan([FaultRule("s", "raise", attempt=0)])
+        assert plan.inject("s", attempt=1) is None
+        assert plan.inject("s", attempt=None) is None
+        with pytest.raises(InjectedFault):
+            plan.inject("s", attempt=0)
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan([FaultRule("s", "raise", at=2)])
+        assert plan.inject("s") is None
+        plan.reset()
+        assert plan.inject("s") is None  # hit counter went back to 0
+        with pytest.raises(InjectedFault):
+            plan.inject("s")
+
+
+class TestPickling:
+    def test_counters_do_not_travel(self):
+        plan = FaultPlan([FaultRule("s", "raise", at=2)])
+        assert plan.inject("s") is None  # hit 1 consumed in this process
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.rules == plan.rules
+        assert clone.inject("s") is None  # fresh counters: this is hit 1
+        with pytest.raises(InjectedFault):
+            clone.inject("s")
+
+
+class TestAmbientScope:
+    def test_inject_is_noop_without_plan(self):
+        assert robust_faults.current_plan() is None
+        assert robust_faults.inject("anything") is None
+
+    def test_scope_installs_and_restores(self):
+        plan = FaultPlan([FaultRule("s", "raise")])
+        with fault_scope(plan):
+            assert robust_faults.current_plan() is plan
+            with pytest.raises(InjectedFault):
+                robust_faults.inject("s")
+        assert robust_faults.current_plan() is None
+
+    def test_scope_carries_attempt(self):
+        plan = FaultPlan([FaultRule("s", "raise", attempt=1)])
+        with fault_scope(plan, attempt=0):
+            assert robust_faults.inject("s") is None
+        with fault_scope(plan, attempt=1):
+            with pytest.raises(InjectedFault):
+                robust_faults.inject("s")
+
+    def test_none_plan_scope_is_noop(self):
+        with fault_scope(None):
+            assert robust_faults.inject("s") is None

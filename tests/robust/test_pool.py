@@ -1,0 +1,100 @@
+"""Crash-surviving pool tests: retries, SIGKILL, timeouts."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.robust.pool import RetryPolicy, run_units
+
+FAST = RetryPolicy(max_attempts=3, backoff_seconds=0.0)
+
+
+def _double(item, attempt):
+    return item * 2
+
+
+def _fail_first(item, attempt):
+    if attempt == 0:
+        raise ValueError(f"flaky {item}")
+    return item * 10
+
+
+def _always_fail(item, attempt):
+    raise ValueError(f"hopeless {item}")
+
+
+def _kill_first(item, attempt):
+    if attempt == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return item + 100
+
+
+def _hang_first(item, attempt):
+    if attempt == 0:
+        time.sleep(60)
+    return item
+
+
+class TestHappyPath:
+    def test_results_in_item_order(self):
+        outcomes = run_units(_double, [3, 1, 2], policy=FAST, max_workers=2)
+        assert [o.result for o in outcomes] == [6, 2, 4]
+        assert all(o.succeeded and o.attempts == 1 for o in outcomes)
+
+    def test_empty_items(self):
+        assert run_units(_double, [], policy=FAST) == []
+
+
+class TestRetries:
+    def test_exception_is_retried_and_recovers(self):
+        outcomes = run_units(_fail_first, [1, 2], policy=FAST, max_workers=2)
+        assert [o.result for o in outcomes] == [10, 20]
+        assert all(o.retried and o.attempts == 2 for o in outcomes)
+        assert all("flaky" in o.errors[0] for o in outcomes)
+
+    def test_attempts_are_exhausted_then_reported(self):
+        policy = RetryPolicy(max_attempts=2, backoff_seconds=0.0)
+        outcomes = run_units(_always_fail, [7], policy=policy)
+        (outcome,) = outcomes
+        assert not outcome.succeeded
+        assert outcome.attempts == 2
+        assert "hopeless 7" in outcome.error
+        assert len(outcome.errors) == 2
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(backoff_seconds=0.5, backoff_factor=2.0)
+        assert policy.backoff(0) == pytest.approx(0.5)
+        assert policy.backoff(2) == pytest.approx(2.0)
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_does_not_sink_the_run(self):
+        """A worker SIGKILLed mid-unit surfaces as BrokenProcessPool in
+        the parent; the pool respawns and the unit succeeds on retry."""
+        outcomes = run_units(_kill_first, [1, 2, 3], policy=FAST, max_workers=2)
+        assert [o.result for o in outcomes] == [101, 102, 103]
+        assert all(o.succeeded for o in outcomes)
+        assert any(o.retried for o in outcomes)
+        assert any("worker crashed" in e for o in outcomes for e in o.errors)
+
+
+class TestTimeout:
+    def test_hung_unit_times_out_and_recovers(self):
+        policy = RetryPolicy(
+            max_attempts=2, backoff_seconds=0.0, unit_timeout=1.0
+        )
+        started = time.monotonic()
+        outcomes = run_units(_hang_first, [5], policy=policy, max_workers=1)
+        elapsed = time.monotonic() - started
+        (outcome,) = outcomes
+        assert outcome.succeeded
+        assert outcome.result == 5
+        assert outcome.attempts == 2
+        assert "timeout" in outcome.errors[0]
+        assert elapsed < 30  # nowhere near the 60s hang

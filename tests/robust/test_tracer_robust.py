@@ -1,0 +1,242 @@
+"""TRACER under budgets, injected faults, and lenient containment."""
+
+import time
+
+import pytest
+
+from repro.core import Tracer, TracerConfig
+from repro.core.formula import lit
+from repro.core.stats import QueryStatus
+from repro.core.tracer import ProgressError, run_query_group
+from repro.lang import parse_program
+from repro.obs import trace as obs
+from repro.obs.sinks import MemorySink
+from repro.robust.faults import FaultPlan, FaultRule, fault_scope
+from repro.typestate import (
+    TypestateClient,
+    TypestateMeta,
+    TypestateQuery,
+    file_automaton,
+)
+from repro.typestate.meta import TsParam
+
+PROGRAM = parse_program(
+    """
+    x = new File
+    x.open()
+    x.close()
+    observe pc
+    """
+)
+
+TWO_QUERY_PROGRAM = parse_program(
+    """
+    x = new File
+    x.open()
+    observe mid
+    x.close()
+    observe end
+    """
+)
+
+QUERY = TypestateQuery("pc", frozenset({"closed"}))
+
+
+def _client(program=PROGRAM):
+    return TypestateClient(program, file_automaton(), "File", frozenset({"x"}))
+
+
+class SteppingClock:
+    """Deterministic clock: every reading advances a fixed step."""
+
+    def __init__(self, step):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def events_named(sink, name):
+    return [
+        record
+        for record in sink.events
+        if record.get("type") == "event" and record.get("name") == name
+    ]
+
+
+class TestDeadline:
+    def test_deadline_mid_forward_run_lands_exhausted(self):
+        """Satellite regression: a single forward run exceeding the
+        deadline resolves EXHAUSTED near the deadline (cooperative
+        checks inside the worklist), not after the run completes."""
+        clock = SteppingClock(step=0.01)
+        config = TracerConfig(k=5, max_seconds=0.05, budget_check_every=1)
+        records = run_query_group(_client(), [QUERY], config, clock=clock)
+        record = records[QUERY]
+        assert record.status is QueryStatus.EXHAUSTED
+        # The overshoot is bounded by one check interval of fake time:
+        # the budget tripped *inside* the run, within tolerance of the
+        # deadline, instead of letting the fixpoint finish.
+        assert record.time_seconds <= 0.05 + 10 * clock.step
+
+    def test_wall_clock_deadline_with_injected_delay(self):
+        """Real-time variant: a slow forward phase (injected delay)
+        trips the real perf_counter deadline inside the fixpoint."""
+        plan = FaultPlan(
+            [FaultRule("forward_run", "delay", delay=0.05, times=None)]
+        )
+        config = TracerConfig(k=5, max_seconds=0.01, budget_check_every=1)
+        started = time.perf_counter()
+        with fault_scope(plan):
+            record = Tracer(_client(), config).solve(QUERY)
+        assert record.status is QueryStatus.EXHAUSTED
+        assert time.perf_counter() - started < 5.0
+
+    def test_generous_deadline_unaffected(self):
+        config = TracerConfig(k=5, max_seconds=60.0, budget_check_every=1)
+        record = Tracer(_client(), config).solve(QUERY)
+        assert record.status is QueryStatus.PROVEN
+
+    def test_budget_exceeded_event_emitted(self):
+        sink = MemorySink()
+        clock = SteppingClock(step=0.01)
+        config = TracerConfig(k=5, max_seconds=0.05, budget_check_every=1)
+        with obs.tracing(sink):
+            run_query_group(_client(), [QUERY], config, clock=clock)
+        exceeded = events_named(sink, "budget_exceeded")
+        assert exceeded
+        assert exceeded[0]["attrs"]["reason"] == "deadline"
+
+
+class TestStepBudget:
+    def test_step_budget_is_deterministic(self):
+        config = TracerConfig(k=5, max_steps=5)
+        first = Tracer(_client(), config).solve(QUERY)
+        second = Tracer(_client(), config).solve(QUERY)
+        assert first.status is QueryStatus.EXHAUSTED
+        assert (first.iterations, first.time_seconds == 0.0) == (
+            second.iterations,
+            second.time_seconds == 0.0,
+        )
+
+    def test_generous_step_budget_unaffected(self):
+        record = Tracer(_client(), TracerConfig(k=5, max_steps=10**9)).solve(
+            QUERY
+        )
+        assert record.status is QueryStatus.PROVEN
+
+
+class TestDegradationLadder:
+    def test_injected_explosions_shrink_beam_then_succeed(self):
+        """Two injected explosions walk the ladder 8 -> 4 -> 2; the
+        third attempt runs clean and the query still proves."""
+        sink = MemorySink()
+        plan = FaultPlan(
+            [FaultRule("backward", "raise", error="explosion", times=2)]
+        )
+        with obs.tracing(sink), fault_scope(plan):
+            record = Tracer(_client(), TracerConfig(k=8)).solve(QUERY)
+        assert record.status is QueryStatus.PROVEN
+        degraded = events_named(sink, "degraded")
+        shrinks = [
+            e["attrs"]
+            for e in degraded
+            if e["attrs"].get("reason") == "formula_explosion"
+        ]
+        assert [(s["from_k"], s["to_k"]) for s in shrinks] == [(8, 4), (4, 2)]
+
+    def test_persistent_explosion_exhausts_after_degrading(self):
+        """Acceptance: an injected FormulaExplosion produces at least
+        one degraded beam-shrink event before the query lands
+        EXHAUSTED."""
+        sink = MemorySink()
+        plan = FaultPlan(
+            [FaultRule("backward", "raise", error="explosion", times=None)]
+        )
+        with obs.tracing(sink), fault_scope(plan):
+            record = Tracer(_client(), TracerConfig(k=8)).solve(QUERY)
+        assert record.status is QueryStatus.EXHAUSTED
+        shrinks = [
+            e
+            for e in events_named(sink, "degraded")
+            if e["attrs"].get("reason") == "formula_explosion"
+        ]
+        assert len(shrinks) >= 1
+
+    def test_k_min_floor_respected(self):
+        sink = MemorySink()
+        plan = FaultPlan(
+            [FaultRule("backward", "raise", error="explosion", times=None)]
+        )
+        with obs.tracing(sink), fault_scope(plan):
+            record = Tracer(
+                _client(), TracerConfig(k=8, k_min=4)
+            ).solve(QUERY)
+        assert record.status is QueryStatus.EXHAUSTED
+        shrinks = [
+            e["attrs"]["to_k"]
+            for e in events_named(sink, "degraded")
+            if e["attrs"].get("reason") == "formula_explosion"
+        ]
+        assert shrinks and min(shrinks) == 4
+
+
+class TestStrictVsLenient:
+    def test_strict_default_reraises_client_errors(self):
+        plan = FaultPlan([FaultRule("choose", "raise")])
+        with fault_scope(plan):
+            with pytest.raises(RuntimeError):
+                Tracer(_client(), TracerConfig(k=5)).solve(QUERY)
+
+    def test_lenient_contains_forward_phase_error(self):
+        sink = MemorySink()
+        plan = FaultPlan([FaultRule("forward_run", "raise")])
+        with obs.tracing(sink), fault_scope(plan):
+            record = Tracer(
+                _client(), TracerConfig(k=5, strict=False)
+            ).solve(QUERY)
+        assert record.status is QueryStatus.EXHAUSTED
+        degraded = events_named(sink, "degraded")
+        assert any(
+            e["attrs"].get("reason") == "forward_error" for e in degraded
+        )
+
+    def test_lenient_contains_progress_error(self):
+        """The ProgressError that is rightly fatal under strict mode is
+        contained to the query under strict=False."""
+
+        class NoProgress(TypestateMeta):
+            def wp_primitive(self, command, prim):
+                return lit(TsParam("ghost"))
+
+        client = _client()
+        client.meta = NoProgress(client.analysis)
+        record = Tracer(
+            client, TracerConfig(k=None, strict=False)
+        ).solve(QUERY)
+        assert record.status is QueryStatus.EXHAUSTED
+
+    def test_lenient_backward_error_spares_the_rest_of_the_group(self):
+        """A backward-phase fault on one query must not take down its
+        group: the other member still resolves on its own merits."""
+        client = _client(TWO_QUERY_PROGRAM)
+        queries = [
+            TypestateQuery("mid", frozenset({"opened"})),
+            TypestateQuery("end", frozenset({"closed"})),
+        ]
+        baseline = Tracer(client, TracerConfig(k=5)).solve_all(queries)
+        assert all(
+            r.status is QueryStatus.PROVEN for r in baseline.values()
+        )
+        plan = FaultPlan([FaultRule("backward", "raise", at=1, times=1)])
+        with fault_scope(plan):
+            records = Tracer(
+                _client(TWO_QUERY_PROGRAM),
+                TracerConfig(k=5, strict=False),
+            ).solve_all(queries)
+        statuses = sorted(r.status.value for r in records.values())
+        assert "proven" in statuses  # the group survived
+        assert "exhausted" in statuses  # only the faulted query paid

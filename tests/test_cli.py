@@ -295,3 +295,79 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRobustFlags:
+    def test_max_steps_exhausts(self, file_prog, capsys):
+        code = main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check1",
+                "--max-steps",
+                "3",
+            ]
+        )
+        assert code == 1
+        assert "UNRESOLVED" in capsys.readouterr().out
+
+    def test_inject_is_fatal_under_strict_default(self, file_prog):
+        with pytest.raises(RuntimeError):
+            main(
+                [
+                    "solve-typestate",
+                    file_prog,
+                    "--query",
+                    "check1",
+                    "--inject",
+                    "choose:raise",
+                ]
+            )
+
+    def test_inject_contained_under_lenient(self, file_prog, capsys):
+        code = main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check1",
+                "--inject",
+                "choose:raise:times=none",
+                "--lenient",
+            ]
+        )
+        assert code == 1
+        assert "UNRESOLVED" in capsys.readouterr().out
+
+    def test_bad_inject_spec_dies(self, file_prog):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve-typestate",
+                    file_prog,
+                    "--query",
+                    "check1",
+                    "--inject",
+                    "nonsense",
+                ]
+            )
+
+    def test_eval_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["eval", "--quick", "--resume"])
+
+    def test_eval_quick_with_checkpoint(self, tmp_path, capsys):
+        path = str(tmp_path / "ckpt.jsonl")
+        code = main(
+            ["eval", "--quick", "--jobs", "2", "--checkpoint", path]
+        )
+        assert code == 0
+        from repro.robust.checkpoint import load_checkpoint
+
+        assert load_checkpoint(path)
+        capsys.readouterr()
+        code = main(
+            ["eval", "--quick", "--jobs", "2", "--checkpoint", path, "--resume"]
+        )
+        assert code == 0
