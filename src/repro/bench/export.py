@@ -107,6 +107,7 @@ def results_to_dict(results: Mapping[str, Mapping[str, EvalResult]]) -> dict:
                 "wall_seconds": round(result.wall_seconds, 4),
                 "degraded": result.degraded,
                 "failed_units": list(result.failed_units),
+                "certificates": list(result.certificates),
                 "forward_cache": {
                     "hits": result.forward_hits,
                     "misses": result.forward_misses,

@@ -222,6 +222,10 @@ class EvalResult:
     #: ``"benchmark:analysis:index: error"`` strings; their queries are
     #: missing from ``records`` rather than guessed at.
     failed_units: Tuple[str, ...] = ()
+    #: Verdict certificates (one dict per resolved query, in unit
+    #: order), collected when the run was asked to certify (see
+    #: :mod:`repro.robust.certify`); empty otherwise.
+    certificates: List[dict] = field(default_factory=list)
 
     @property
     def query_count(self) -> int:
@@ -307,6 +311,28 @@ def client_cache_counters(client) -> Tuple[CacheCounters, CacheCounters]:
     return wp, dispatch
 
 
+def stamp_certificates(
+    store,
+    bench_name: str,
+    analysis: str,
+    index: int,
+    queries: Sequence[object],
+) -> List[dict]:
+    """Attach the bench rebuild stamp to one unit's certificates, so
+    ``repro certify`` can reconstruct the emitting client from
+    ``(benchmark, analysis, index)`` alone."""
+    position = {str(query): i for i, query in enumerate(queries)}
+    for cert in store.certificates:
+        cert["client"] = {
+            "kind": "bench",
+            "benchmark": bench_name,
+            "analysis": analysis,
+            "index": index,
+            "query_index": position.get(cert["query"]),
+        }
+    return store.certificates
+
+
 def evaluate_benchmark(
     bench: BenchmarkInstance,
     analysis: str,
@@ -329,8 +355,10 @@ def evaluate_benchmark(
         return evaluate_benchmark_parallel(
             bench, analysis, config, jobs, options=options
         )
+    certify = bool(getattr(options, "certify", False))
     started = time.perf_counter()
     records: List[QueryRecord] = []
+    certificates: List[dict] = []
     with obs_metrics.scoped_registry() as registry:
         cache = (
             ForwardRunCache(config.forward_cache_size)
@@ -345,6 +373,11 @@ def evaluate_benchmark(
         for index, (client, queries) in enumerate(setups):
             if not queries:
                 continue
+            store = None
+            if certify:
+                from repro.robust.certify import CertificateStore
+
+                store = CertificateStore()
             with obs.span(
                 "workload",
                 benchmark=bench.name,
@@ -352,10 +385,16 @@ def evaluate_benchmark(
                 unit=index,
                 queries=len(queries),
             ):
-                solved = Tracer(client, config, forward_cache=cache).solve_all(
-                    queries
-                )
+                solved = Tracer(
+                    client, config, forward_cache=cache, certificates=store
+                ).solve_all(queries)
             records.extend(solved[q] for q in queries)
+            if store is not None:
+                certificates.extend(
+                    stamp_certificates(
+                        store, bench.name, analysis, index, queries
+                    )
+                )
         snapshot = registry.snapshot()
     forward, wp_cache, dispatch_cache = counters_from_metrics(snapshot)
     if obs.active():
@@ -377,4 +416,5 @@ def evaluate_benchmark(
         wp_cache=wp_cache,
         dispatch_cache=dispatch_cache,
         metrics=snapshot,
+        certificates=certificates,
     )

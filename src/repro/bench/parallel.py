@@ -83,6 +83,8 @@ class RunOptions:
     resume: bool = False
     #: Deterministic fault plan shipped to every worker (tests, chaos).
     fault_plan: Optional[FaultPlan] = None
+    #: Emit (and checkpoint) per-query verdict certificates.
+    certify: bool = False
 
 
 @dataclass(frozen=True)
@@ -128,19 +130,25 @@ def _instance(unit: WorkUnit) -> BenchmarkInstance:
     return bench
 
 
-#: ``(records, registry snapshot, trace events)`` of one work unit.
-#: The snapshot is the unit's scoped metrics registry read once at the
-#: end; the event list is empty unless the parent asked for tracing.
-UnitResult = Tuple[List[QueryRecord], Dict[str, CacheCounters], List[dict]]
+#: ``(records, registry snapshot, trace events, certificates)`` of one
+#: work unit.  The snapshot is the unit's scoped metrics registry read
+#: once at the end; the event list is empty unless the parent asked for
+#: tracing, and the certificate list unless it asked to certify.
+UnitResult = Tuple[
+    List[QueryRecord], Dict[str, CacheCounters], List[dict], List[dict]
+]
 
 
 def _run_unit(
-    unit: WorkUnit, config: TracerConfig, collect_events: bool = False
+    unit: WorkUnit,
+    config: TracerConfig,
+    collect_events: bool = False,
+    certify: bool = False,
 ) -> UnitResult:
     """Worker entry point: run one unit under a scoped metrics
     registry (and, when requested, an in-memory trace sink), returning
-    its records in query order plus the registry snapshot and the
-    captured event stream."""
+    its records in query order plus the registry snapshot, the captured
+    event stream, and the stamped verdict certificates."""
     bench = _instance(unit)
     # Fault sites for the chaos/retry machinery: a generic one and one
     # addressing this exact unit.  A "corrupt" rule damages the unit's
@@ -159,12 +167,17 @@ def _run_unit(
         # it builds (dispatch tables, wp memos) register here.
         client, queries = analysis_setups(bench, unit.analysis)[unit.index]
         if not queries:
-            return [], {}, []
+            return [], {}, [], []
         cache = (
             ForwardRunCache(config.forward_cache_size)
             if config.forward_cache_size
             else None
         )
+        store = None
+        if certify:
+            from repro.robust.certify import CertificateStore
+
+            store = CertificateStore()
 
         def run():
             with obs.span(
@@ -174,9 +187,9 @@ def _run_unit(
                 unit=unit.index,
                 queries=len(queries),
             ):
-                return Tracer(client, config, forward_cache=cache).solve_all(
-                    queries
-                )
+                return Tracer(
+                    client, config, forward_cache=cache, certificates=store
+                ).solve_all(queries)
 
         if sink is not None:
             with obs.tracing(sink):
@@ -192,18 +205,30 @@ def _run_unit(
             f"unit {unit.benchmark}:{unit.analysis}:{unit.index} produced "
             f"{len(records)} records for {len(queries)} queries"
         )
-    return records, snapshot, sink.events if sink is not None else []
+    certificates: List[dict] = []
+    if store is not None:
+        from repro.bench.harness import stamp_certificates
+
+        certificates = stamp_certificates(
+            store, unit.benchmark, unit.analysis, unit.index, queries
+        )
+    return (
+        records,
+        snapshot,
+        sink.events if sink is not None else [],
+        certificates,
+    )
 
 
 def _execute_unit(task: Tuple, attempt: int) -> UnitResult:
     """Pool-facing wrapper: installs the shipped fault plan (tagged
     with the attempt number, so rules can target first attempts only)
     around :func:`_run_unit`."""
-    unit, config, collect_events, plan = task
+    unit, config, collect_events, certify, plan = task
     if plan is None:
-        return _run_unit(unit, config, collect_events)
+        return _run_unit(unit, config, collect_events, certify)
     with robust_faults.fault_scope(plan, attempt=attempt):
-        return _run_unit(unit, config, collect_events)
+        return _run_unit(unit, config, collect_events, certify)
 
 
 def work_units(bench: BenchmarkInstance, analysis: str) -> List[WorkUnit]:
@@ -231,11 +256,13 @@ def _merge(
     ``failed_units``."""
     records: List[QueryRecord] = []
     metrics: Dict[str, CacheCounters] = {}
+    certificates: List[dict] = []
     for unit_result in unit_results:
         if unit_result is None:
             continue
-        unit_records, unit_metrics, _events = unit_result
+        unit_records, unit_metrics, _events, unit_certs = unit_result
         records.extend(unit_records)
+        certificates.extend(unit_certs)
         for name, counters in unit_metrics.items():
             metrics[name] = metrics.get(name, CacheCounters()) + counters
     forward, wp_cache, dispatch_cache = counters_from_metrics(metrics)
@@ -251,6 +278,7 @@ def _merge(
         metrics=metrics,
         degraded=degraded,
         failed_units=tuple(failed_units),
+        certificates=certificates,
     )
 
 
@@ -305,13 +333,14 @@ def _run_resilient(
         for position, unit in enumerate(units):
             payload = completed.get(unit.key)
             if payload is not None:
-                records, metrics, _attempts = payload
-                results[position] = (records, metrics, [])
+                records, metrics, _attempts, certificates = payload
+                results[position] = (records, metrics, [], certificates)
                 resumed += 1
     pending = [i for i in range(len(units)) if results[i] is None]
     collect = obs.active()
     tasks = [
-        (units[i], config, collect, options.fault_plan) for i in pending
+        (units[i], config, collect, options.certify, options.fault_plan)
+        for i in pending
     ]
     outcomes: List[UnitOutcome] = []
     if tasks:
@@ -333,9 +362,10 @@ def _run_resilient(
             if outcome.succeeded:
                 results[position] = outcome.result
                 if writer is not None:
-                    records, metrics, _events = outcome.result
+                    records, metrics, _events, certificates = outcome.result
                     writer.write_unit(
-                        unit.key, (records, metrics, outcome.attempts)
+                        unit.key,
+                        (records, metrics, outcome.attempts, certificates),
                     )
             else:
                 failed.append(
@@ -375,7 +405,7 @@ def evaluate_benchmark_parallel(
         or options.fault_plan is not None
     )
     if jobs <= 1 or (len(units) <= 1 and not robust):
-        return evaluate_benchmark(bench, analysis, config)
+        return evaluate_benchmark(bench, analysis, config, options=options)
     started = time.perf_counter()
     unit_results, failed, degraded = _run_resilient(
         units, config, options, max_workers=min(jobs, len(units))
@@ -420,7 +450,7 @@ def evaluate_many(
         return_serial: Dict[str, Dict[str, EvalResult]] = {}
         for name, analysis in pairs:
             return_serial.setdefault(name, {})[analysis] = evaluate_benchmark(
-                instances[name], analysis, config
+                instances[name], analysis, config, options=options
             )
         return return_serial
 

@@ -98,7 +98,9 @@ def full_report(
         for name in names:
             started = time.perf_counter()
             results[name] = {
-                analysis: evaluate_benchmark(instances[name], analysis, config)
+                analysis: evaluate_benchmark(
+                    instances[name], analysis, config, options=options
+                )
                 for analysis in ("typestate", "escape")
             }
             aggregates[name] = (

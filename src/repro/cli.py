@@ -8,6 +8,10 @@ Commands:
   query on such a program;
 * ``eval`` — run the paper's full evaluation (Tables 1-4, Figures
   12-14) on the synthetic benchmark suite;
+* ``certify FILE`` — independently re-validate verdict certificates
+  emitted by ``--certify-out`` (see ``docs/ROBUSTNESS.md``);
+* ``selfcheck ANALYSIS FILE`` — machine-check a client analysis's
+  transfer/wp contracts on a program (``docs/WRITING_A_CLIENT.md``);
 * ``info NAME`` — print one benchmark's Table 1 row and query counts;
 * ``trace validate|summarize|transcript FILE`` — work with recorded
   JSONL traces (see ``--trace-out`` and ``docs/OBSERVABILITY.md``).
@@ -25,10 +29,22 @@ deterministically under ``--jobs``.
 
 Robustness flags (see ``docs/ROBUSTNESS.md``): solvers take
 ``--max-seconds`` / ``--max-steps`` (cooperative budgets resolving
-overruns as UNRESOLVED), ``--lenient`` (contain client errors), and
-``--inject`` (deterministic fault injection); ``eval`` adds
-``--retries`` / ``--unit-timeout`` (crash-surviving worker pool) and
-``--checkpoint`` / ``--resume`` (JSONL checkpoint of completed units).
+overruns as UNRESOLVED), ``--lenient`` (contain client errors),
+``--inject`` (deterministic fault injection), ``--journal`` /
+``--resume-journal`` (crash-recoverable CEGAR journal), and
+``--certify-out`` (emit independently checkable verdict certificates);
+``eval`` adds ``--retries`` / ``--unit-timeout`` (crash-surviving
+worker pool), ``--checkpoint`` / ``--resume`` (JSONL checkpoint of
+completed units), and ``--certify-out``.
+
+Exit codes are meaningful so scripts can branch on the verdict:
+
+* 0 — proven (solvers) / evaluation fully resolved;
+* 10 — IMPOSSIBLE: no abstraction in the family proves the query;
+* 20 — EXHAUSTED: budgets/errors stopped the search short of a verdict;
+* 30 — ``eval`` finished but some work units failed permanently;
+* 1 — operational failure (``certify``/``selfcheck`` found violations,
+  invalid trace, bad arguments).
 """
 
 from __future__ import annotations
@@ -59,6 +75,12 @@ from repro.provenance.domain import PtSchema
 from repro.typestate.automaton import file_automaton, stress_automaton
 from repro.typestate.client import TypestateClient, TypestateQuery
 
+#: Verdict exit codes (documented above; tested in tests/test_cli.py).
+EXIT_OK = 0
+EXIT_IMPOSSIBLE = 10
+EXIT_EXHAUSTED = 20
+EXIT_FAILED_UNITS = 30
+
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--k", type=_beam, default=5, metavar="K",
@@ -67,6 +89,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--narrate", action="store_true",
                         help="print the full Figure-1 style transcript")
     _add_robust(parser)
+    _add_journal(parser)
     _add_obs(parser)
 
 
@@ -90,6 +113,24 @@ def _add_robust(parser: argparse.ArgumentParser) -> None:
         help="deterministic fault injection for robustness testing, e.g. "
              "'backward:raise:error=explosion' or 'forward_run:delay:delay=0.1' "
              "(repeatable; see docs/ROBUSTNESS.md)",
+    )
+
+
+def _add_journal(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal", metavar="FILE",
+        help="append a crash-recoverable search journal to FILE "
+             "(one JSONL round record per CEGAR iteration)",
+    )
+    parser.add_argument(
+        "--resume-journal", metavar="FILE",
+        help="replay FILE's recorded rounds before searching live, then "
+             "keep journaling to it (resuming a killed solve)",
+    )
+    parser.add_argument(
+        "--certify-out", metavar="FILE",
+        help="write an independently checkable verdict certificate per "
+             "resolved query to FILE (validate with 'repro certify')",
     )
 
 
@@ -145,15 +186,42 @@ def _fault_plan(args):
         _die(str(error))
 
 
-def _report(client, query, args) -> int:
+def _report(client, query, args, stamp: Optional[dict] = None) -> int:
     from repro.robust.faults import fault_scope
 
     with fault_scope(_fault_plan(args)):
-        return _report_inner(client, query, args)
+        return _report_inner(client, query, args, stamp)
 
 
-def _report_inner(client, query, args) -> int:
+def _status_code(status: QueryStatus) -> int:
+    if status is QueryStatus.IMPOSSIBLE:
+        return EXIT_IMPOSSIBLE
+    if status is QueryStatus.EXHAUSTED:
+        return EXIT_EXHAUSTED
+    return EXIT_OK
+
+
+def _open_journal(args):
+    """Build the ``--journal`` / ``--resume-journal`` journal, or
+    ``None`` when neither was requested."""
+    journal_path = getattr(args, "journal", None)
+    resume_path = getattr(args, "resume_journal", None)
+    if journal_path and resume_path:
+        _die("pass either --journal or --resume-journal, not both")
+    if not journal_path and not resume_path:
+        return None
+    from repro.robust.journal import SearchJournal
+
+    return SearchJournal(resume_path or journal_path, resume=bool(resume_path))
+
+
+def _report_inner(client, query, args, stamp: Optional[dict] = None) -> int:
     sink = _build_sink(args)
+    journal = _open_journal(args)
+    certify_out = getattr(args, "certify_out", None)
+    if args.narrate and (journal is not None or certify_out):
+        _die("--narrate cannot be combined with --journal/--resume-journal/"
+             "--certify-out (journaled runs use the driver, not the narrator)")
     if args.narrate:
         # narrate installs its own detail-tracing context and forwards
         # the event stream to the extra sink, so --trace-out traces
@@ -164,7 +232,26 @@ def _report_inner(client, query, args) -> int:
         abstraction = transcript.abstraction
         iterations = len(transcript.iterations)
     else:
-        record = _solve_traced(client, query, args, sink)
+        store = None
+        if certify_out:
+            from repro.robust.certify import CertificateStore
+
+            store = CertificateStore()
+        try:
+            record = _solve_traced(
+                client, query, args, sink, journal=journal, certificates=store
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        if store is not None:
+            from repro.robust.certify import write_certificates
+
+            if stamp is not None:
+                store.stamp(stamp)
+            write_certificates(store.certificates, certify_out)
+            print(f"wrote {len(store.certificates)} certificate(s) "
+                  f"to {certify_out}")
         status = record.status
         abstraction = record.abstraction
         iterations = record.iterations
@@ -177,13 +264,16 @@ def _report_inner(client, query, args) -> int:
                   f"query ({iterations} iterations)")
         else:
             print(f"UNRESOLVED after {iterations} iterations")
-    return 0 if status is not QueryStatus.EXHAUSTED else 1
+    return _status_code(status)
 
 
-def _solve_traced(client, query, args, sink: Optional[Sink]):
+def _solve_traced(client, query, args, sink: Optional[Sink],
+                  journal=None, certificates=None):
     config = _config(args)
     if sink is None:
-        return Tracer(client, config).solve(query)
+        return Tracer(
+            client, config, journal=journal, certificates=certificates
+        ).solve(query)
     # Own the forward-run cache so it outlives the solve: the metrics
     # registry holds weak references, and a driver-local cache would be
     # collected before the closing snapshot below.
@@ -193,7 +283,10 @@ def _solve_traced(client, query, args, sink: Optional[Sink]):
         else None
     )
     with obs.tracing(sink, detail=bool(args.trace_out)):
-        record = Tracer(client, config, forward_cache=cache).solve(query)
+        record = Tracer(
+            client, config, forward_cache=cache,
+            journal=journal, certificates=certificates,
+        ).solve(query)
         # Close the trace with one metric record per registered cache
         # (the client's caches registered on construction, before this
         # function ran, so read the ambient registry — not a scoped one).
@@ -204,59 +297,100 @@ def _solve_traced(client, query, args, sink: Optional[Sink]):
     return record
 
 
-def _cmd_solve_typestate(args) -> int:
-    with open(args.file) as handle:
-        program = parse_program(handle.read())
-    universe = collect_universe(program)
-    if args.query not in universe.observe_labels:
-        _die(f"no 'observe {args.query}' in the program "
-             f"(labels: {sorted(universe.observe_labels)})")
-    if args.automaton == "file":
+def _parse_program_file(path: str):
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as error:
+        _die(str(error))
+    try:
+        program = parse_program(text)
+    except ValueError as error:
+        _die(f"{path}: {error}")
+    return program, collect_universe(program)
+
+
+def _typestate_client(path: str, automaton_name: str, site: Optional[str]):
+    """Build the type-state client of one program file.  Shared by
+    ``solve-typestate``, ``selfcheck``, and the ``certify`` rebuild, so
+    a certificate's stamp reconstructs the exact emitting client."""
+    program, universe = _parse_program_file(path)
+    if automaton_name == "file":
         automaton = file_automaton()
     else:
         if not universe.methods:
             _die("stress automaton needs at least one method call in the program")
         automaton = stress_automaton(sorted(universe.methods))
-    site = args.site or (sorted(universe.sites)[0] if universe.sites else None)
-    if site is None:
+    resolved = site or (sorted(universe.sites)[0] if universe.sites else None)
+    if resolved is None:
         _die("the program allocates nothing; pass --site explicitly")
+    client = TypestateClient(program, automaton, resolved, universe.variables)
+    return client, universe, automaton, resolved
+
+
+def _escape_client(path: str):
+    program, universe = _parse_program_file(path)
+    schema = EscSchema(sorted(universe.variables), sorted(universe.fields))
+    return EscapeClient(program, schema, universe.sites), universe
+
+
+def _provenance_client(path: str):
+    program, universe = _parse_program_file(path)
+    client = ProvenanceClient(
+        program, PtSchema(universe.variables), universe.sites
+    )
+    return client, universe
+
+
+def _require_label(universe, label: str) -> None:
+    if label not in universe.observe_labels:
+        _die(f"no 'observe {label}' in the program "
+             f"(labels: {sorted(universe.observe_labels)})")
+
+
+def _cmd_solve_typestate(args) -> int:
+    client, universe, automaton, site = _typestate_client(
+        args.file, args.automaton, args.site
+    )
+    _require_label(universe, args.query)
     allowed = frozenset(args.allowed.split(","))
     unknown = allowed - automaton.states
     if unknown:
         _die(f"unknown type-states {sorted(unknown)}; "
              f"automaton has {sorted(automaton.states)}")
-    client = TypestateClient(
-        program, automaton, site, universe.variables
-    )
     print(f"tracking site {site} with the {automaton.name} automaton; "
           f"{len(universe.variables)} variables (2^{len(universe.variables)} abstractions)")
-    return _report(client, TypestateQuery(args.query, allowed), args)
+    stamp = {
+        "kind": "typestate",
+        "file": args.file,
+        "query": args.query,
+        "allowed": sorted(allowed),
+        "automaton": args.automaton,
+        "site": site,
+    }
+    return _report(client, TypestateQuery(args.query, allowed), args, stamp)
 
 
 def _cmd_solve_escape(args) -> int:
-    with open(args.file) as handle:
-        program = parse_program(handle.read())
-    universe = collect_universe(program)
-    if args.query not in universe.observe_labels:
-        _die(f"no 'observe {args.query}' in the program "
-             f"(labels: {sorted(universe.observe_labels)})")
+    client, universe = _escape_client(args.file)
+    _require_label(universe, args.query)
     if args.var not in universe.variables:
         _die(f"unknown variable {args.var!r} "
              f"(variables: {sorted(universe.variables)})")
-    schema = EscSchema(sorted(universe.variables), sorted(universe.fields))
-    client = EscapeClient(program, schema, universe.sites)
     print(f"{len(universe.sites)} allocation sites "
           f"(2^{len(universe.sites)} abstractions)")
-    return _report(client, EscapeQuery(args.query, args.var), args)
+    stamp = {
+        "kind": "escape",
+        "file": args.file,
+        "query": args.query,
+        "var": args.var,
+    }
+    return _report(client, EscapeQuery(args.query, args.var), args, stamp)
 
 
 def _cmd_solve_provenance(args) -> int:
-    with open(args.file) as handle:
-        program = parse_program(handle.read())
-    universe = collect_universe(program)
-    if args.query not in universe.observe_labels:
-        _die(f"no 'observe {args.query}' in the program "
-             f"(labels: {sorted(universe.observe_labels)})")
+    client, universe = _provenance_client(args.file)
+    _require_label(universe, args.query)
     if args.var not in universe.variables:
         _die(f"unknown variable {args.var!r} "
              f"(variables: {sorted(universe.variables)})")
@@ -268,11 +402,19 @@ def _cmd_solve_provenance(args) -> int:
                  f"(sites: {sorted(universe.sites)})")
     else:
         allowed = universe.sites
-    client = ProvenanceClient(program, PtSchema(universe.variables), universe.sites)
     print(f"{len(universe.sites)} allocation sites "
           f"(2^{len(universe.sites)} abstractions); "
           f"allowed: {sorted(allowed)}")
-    return _report(client, ProvenanceQuery(args.query, args.var, allowed), args)
+    stamp = {
+        "kind": "provenance",
+        "file": args.file,
+        "query": args.query,
+        "var": args.var,
+        "allowed": sorted(allowed),
+    }
+    return _report(
+        client, ProvenanceQuery(args.query, args.var, allowed), args, stamp
+    )
 
 
 def _cmd_eval(args) -> int:
@@ -293,6 +435,7 @@ def _cmd_eval(args) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         fault_plan=plan,
+        certify=bool(args.certify_out),
     )
 
     def run():
@@ -317,6 +460,146 @@ def _cmd_eval(args) -> int:
 
         export_json(results, args.json)
         print(f"wrote {args.json}")
+    if args.certify_out:
+        from repro.robust.certify import write_certificates
+
+        certificates = [
+            cert
+            for per_analysis in results.values()
+            for result in per_analysis.values()
+            for cert in result.certificates
+        ]
+        write_certificates(certificates, args.certify_out)
+        print(f"wrote {len(certificates)} certificate(s) to {args.certify_out}")
+    failed = [
+        unit
+        for per_analysis in results.values()
+        for result in per_analysis.values()
+        for unit in result.failed_units
+    ]
+    return EXIT_FAILED_UNITS if failed else EXIT_OK
+
+
+def _cmd_certify(args) -> int:
+    from repro.robust.certify import check_certificate, load_certificates
+
+    try:
+        certificates = load_certificates(args.file)
+    except (OSError, ValueError) as error:
+        _die(str(error))
+    if not certificates:
+        print("no certificates to check")
+        return 0
+    memo: dict = {}
+    failures = 0
+    for cert in certificates:
+        label = f"{cert.get('verdict', '?'):<10} {cert.get('query', '?')}"
+        try:
+            client, query = _certified_client(cert, memo)
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            print(f"FAIL {label}: cannot rebuild the emitting client "
+                  f"from the stamp ({error!r})")
+            failures += 1
+            continue
+        report = check_certificate(client, query, cert)
+        if report.ok:
+            print(f"OK   {label}")
+        else:
+            failures += 1
+            print(f"FAIL {label}")
+            for problem in report.problems:
+                print(f"     - {problem}")
+    print(f"{len(certificates) - failures}/{len(certificates)} "
+          f"certificates check out")
+    return 0 if failures == 0 else 1
+
+
+def _certified_client(cert: dict, memo: dict):
+    """Rebuild the ``(client, query)`` a certificate was emitted
+    against, from its ``client`` stamp alone.  ``memo`` caches prepared
+    benchmarks and parsed programs across certificates of one file."""
+    stamp = cert.get("client")
+    if not isinstance(stamp, dict):
+        raise KeyError("certificate carries no client stamp")
+    kind = stamp.get("kind")
+    if kind == "bench":
+        from repro.bench.harness import analysis_setups, prepare
+
+        name = stamp["benchmark"]
+        bench = memo.get(("bench", name))
+        if bench is None:
+            bench = memo[("bench", name)] = prepare(name)
+        key = ("setups", name, stamp["analysis"])
+        setups = memo.get(key)
+        if setups is None:
+            setups = memo[key] = analysis_setups(bench, stamp["analysis"])
+        client, queries = setups[stamp["index"]]
+        query = queries[stamp["query_index"]]
+    elif kind == "typestate":
+        key = ("typestate", stamp["file"], stamp["automaton"], stamp["site"])
+        client = memo.get(key)
+        if client is None:
+            client, _universe, _automaton, _site = _typestate_client(
+                stamp["file"], stamp["automaton"], stamp["site"]
+            )
+            memo[key] = client
+        query = TypestateQuery(stamp["query"], frozenset(stamp["allowed"]))
+    elif kind == "escape":
+        key = ("escape", stamp["file"])
+        client = memo.get(key)
+        if client is None:
+            client, _universe = _escape_client(stamp["file"])
+            memo[key] = client
+        query = EscapeQuery(stamp["query"], stamp["var"])
+    elif kind == "provenance":
+        key = ("provenance", stamp["file"])
+        client = memo.get(key)
+        if client is None:
+            client, _universe = _provenance_client(stamp["file"])
+            memo[key] = client
+        query = ProvenanceQuery(
+            stamp["query"], stamp["var"], frozenset(stamp["allowed"])
+        )
+    else:
+        raise ValueError(f"unknown client stamp kind {kind!r}")
+    if str(query) != cert.get("query"):
+        raise ValueError(
+            f"stamp rebuilds query {str(query)!r} but the certificate "
+            f"is about {cert.get('query')!r}"
+        )
+    return client, query
+
+
+def _cmd_selfcheck(args) -> int:
+    from repro.core.selfcheck import check_transfer_total, check_wp
+    from repro.lang.ast import atoms_of
+
+    if args.analysis == "typestate":
+        client, _universe, _automaton, _site = _typestate_client(
+            args.file, args.automaton, args.site
+        )
+    elif args.analysis == "escape":
+        client, _universe = _escape_client(args.file)
+    else:
+        client, _universe = _provenance_client(args.file)
+    prims, pairs = client.selfcheck_space()
+    pairs = list(pairs)
+    commands = list(atoms_of(client.program))
+    print(f"selfcheck: {len(commands)} commands x {len(prims)} primitives "
+          f"x {len(pairs)} (p, d) samples")
+    violations = check_transfer_total(
+        client.analysis, commands, pairs, max_violations=args.max_violations
+    )
+    violations += check_wp(
+        client.analysis, client.meta, commands, prims, pairs,
+        max_violations=args.max_violations,
+    )
+    if violations:
+        for violation in violations:
+            print(f"  {violation}")
+        print(f"FAILED: {len(violations)} violation(s)")
+        return 1
+    print("OK: transfer totality and wp-homomorphism hold on every sample")
     return 0
 
 
@@ -458,8 +741,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject", action="append", default=[], metavar="SITE:ACTION[:K=V,..]",
         help="deterministic fault injection (repeatable; see docs/ROBUSTNESS.md)",
     )
+    evaluation.add_argument(
+        "--certify-out", metavar="FILE",
+        help="write one verdict certificate per resolved query to FILE "
+             "(validate with 'repro certify FILE')",
+    )
     _add_obs(evaluation)
     evaluation.set_defaults(func=_cmd_eval)
+
+    certify = commands.add_parser(
+        "certify",
+        help="independently re-validate a file of verdict certificates",
+    )
+    certify.add_argument("file", help="JSONL certificate file (--certify-out)")
+    certify.set_defaults(func=_cmd_certify)
+
+    selfcheck = commands.add_parser(
+        "selfcheck",
+        help="machine-check a client analysis's transfer/wp contracts "
+             "on a program file",
+    )
+    selfcheck.add_argument(
+        "analysis", choices=("typestate", "escape", "provenance")
+    )
+    selfcheck.add_argument("file")
+    selfcheck.add_argument(
+        "--automaton", choices=("file", "stress"), default="file",
+        help="type-state property automaton (typestate only)",
+    )
+    selfcheck.add_argument(
+        "--site", help="tracked allocation site (typestate only; default: first)"
+    )
+    selfcheck.add_argument(
+        "--max-violations", type=int, default=10, metavar="N",
+        help="stop after reporting N violations per check",
+    )
+    selfcheck.set_defaults(func=_cmd_selfcheck)
 
     info = commands.add_parser("info", help="print one benchmark's statistics")
     info.add_argument("name")

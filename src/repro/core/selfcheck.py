@@ -21,6 +21,7 @@ they slot directly into client test suites.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -47,6 +48,43 @@ class Violation:
             f"p={sorted(self.p) if isinstance(self.p, frozenset) else self.p!r} "
             f"d={self.d!r}: {self.detail}"
         )
+
+
+def sample_subsets(universe: Iterable[str], limit: int = 6) -> List[frozenset]:
+    """A deterministic subset sample of ``universe``: exhaustive (all
+    ``2^n`` subsets) while ``n <= limit``, otherwise the bottom set,
+    every singleton, and the full set — enough to exercise both
+    polarities of every parameter variable without exploding."""
+    items = sorted(universe)
+    if len(items) <= limit:
+        return [
+            frozenset(combo)
+            for r in range(len(items) + 1)
+            for combo in itertools.combinations(items, r)
+        ]
+    sample = [frozenset()]
+    sample.extend(frozenset([item]) for item in items)
+    sample.append(frozenset(items))
+    return sample
+
+
+def sample_pairs(
+    params: Sequence[object],
+    states: Iterable[object],
+    limit: int = 4096,
+) -> List[Tuple[object, object]]:
+    """Pair up abstractions and states for :func:`check_wp` /
+    :func:`check_transfer_total`, truncating the product at ``limit``
+    (states vary in the outer loop so a truncated sample still covers
+    many states).  Below the limit this is the full product — and the
+    checks are then exhaustive proofs for the universe."""
+    pairs: List[Tuple[object, object]] = []
+    for d in states:
+        for p in params:
+            pairs.append((p, d))
+            if len(pairs) >= limit:
+                return pairs
+    return pairs
 
 
 def check_wp(
@@ -145,11 +183,15 @@ def check_soundness_on_trace(
     other_params: Iterable[object],
     k: Optional[int] = 5,
     max_violations: int = 10,
+    max_cubes: Optional[int] = None,
 ) -> List[Violation]:
     """Check Theorem 3 on one counterexample trace.
 
     ``other_params`` is the set of abstractions to test clause (2)
-    against (pass the whole family for an exhaustive check)."""
+    against (pass the whole family for an exhaustive check).
+    ``max_cubes`` caps the backward DNF like the driver's
+    ``TracerConfig.max_cubes`` — certificate checking passes the
+    recorded cap so the replay matches the original derivation."""
     theory = meta.theory
     final = analysis.run_trace(trace, p, d_init)
     if not evaluate(fail_condition, theory, p, final):
@@ -163,8 +205,9 @@ def check_soundness_on_trace(
                 detail="the final state does not satisfy the fail condition",
             )
         ]
+    extra = {} if max_cubes is None else {"max_cubes": max_cubes}
     result = backward_trace(
-        meta, analysis, trace, p, d_init, fail_condition, k=k
+        meta, analysis, trace, p, d_init, fail_condition, k=k, **extra
     )
     violations: List[Violation] = []
     if not evaluate(result.condition, theory, p, d_init):

@@ -59,7 +59,20 @@ from repro.obs import trace as obs
 from repro.robust import budget as robust_budget
 from repro.robust import faults as robust_faults
 from repro.robust.budget import Budget, BudgetExceeded
+from repro.robust.certify import (
+    CertificateStore,
+    QueryEvidence,
+    annotation_digest,
+    build_certificate,
+)
 from repro.robust.degrade import run_with_degradation
+from repro.robust.journal import (
+    JournalMismatch,
+    SearchJournal,
+    clause_from_jsonable,
+    clause_to_jsonable,
+    trace_to_jsonable,
+)
 
 Query = Hashable
 
@@ -101,6 +114,19 @@ class TracerClient:
         if token is None:
             token = self._cache_token = next(_client_tokens)
         return token
+
+    def selfcheck_space(self):
+        """Enumeration universe for the selfcheck validators
+        (:mod:`repro.core.selfcheck`): ``(primitives, pairs)`` where
+        ``pairs`` is a sequence of ``(p, d)`` samples.
+
+        The bundled clients return the exhaustive product for small
+        universes (making :func:`~repro.core.selfcheck.check_wp` a
+        proof for the universe) and a bounded deterministic sample
+        beyond that.  Optional — only ``repro selfcheck`` needs it."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement selfcheck_space()"
+        )
 
     def counterexamples(
         self,
@@ -252,10 +278,14 @@ class Tracer:
         client: TracerClient,
         config: TracerConfig = TracerConfig(),
         forward_cache: Optional[ForwardRunCache] = None,
+        journal: Optional[SearchJournal] = None,
+        certificates: Optional[CertificateStore] = None,
     ):
         self.client = client
         self.config = config
         self.forward_cache = forward_cache
+        self.journal = journal
+        self.certificates = certificates
 
     def solve(self, query: Query) -> QueryRecord:
         """Resolve a single query (Algorithm 1)."""
@@ -264,7 +294,12 @@ class Tracer:
     def solve_all(self, queries: Sequence[Query]) -> Dict[Query, QueryRecord]:
         """Resolve many queries with the Section 6 grouping optimisation."""
         return run_query_group(
-            self.client, queries, self.config, forward_cache=self.forward_cache
+            self.client,
+            queries,
+            self.config,
+            forward_cache=self.forward_cache,
+            journal=self.journal,
+            certificates=self.certificates,
         )
 
 
@@ -296,6 +331,8 @@ def run_query_group(
     config: TracerConfig = TracerConfig(),
     forward_cache: Optional[ForwardRunCache] = None,
     clock: Callable[[], float] = time.perf_counter,
+    journal: Optional[SearchJournal] = None,
+    certificates: Optional[CertificateStore] = None,
 ) -> Dict[Query, QueryRecord]:
     """The grouped TRACER driver; see :class:`Tracer`.
 
@@ -303,6 +340,16 @@ def run_query_group(
     share fixpoints across several drivers); by default a fresh cache
     of ``config.forward_cache_size`` entries is used.  ``clock`` is the
     time source for per-query accounting (injectable for tests).
+
+    ``journal`` records one crash-safe JSONL line per executed round
+    (see :class:`~repro.robust.journal.SearchJournal`); opened with
+    ``resume=True`` its recorded rounds are *replayed* before the
+    search goes live — clauses feed back into the viability stores, no
+    already-refuted abstraction is re-run, and counters/charges are
+    restored from the record, so the resumed verdicts (and certificate
+    evidence) are identical to an uninterrupted run's.  ``certificates``
+    collects one verdict certificate per resolved query (see
+    :mod:`repro.robust.certify`).
     """
     theory = client.meta.theory
     if not isinstance(theory, ParamTheory):
@@ -323,6 +370,19 @@ def run_query_group(
         _Group(store=ViabilityStore(theory, d_init), queries=list(queries))
     ]
     budgeted = config.max_seconds is not None or config.max_steps is not None
+    evidence: Dict[Query, QueryEvidence] = {q: QueryEvidence() for q in queries}
+    #: Survivor traces/clauses are serialised only when someone will
+    #: read them (the journal, or certificate evidence).
+    recording = journal is not None or certificates is not None
+    if journal is not None:
+        journal.begin([str(q) for q in queries])
+
+    def digest_for(p: FrozenSet[str], label: str) -> str:
+        if forward_cache is not None:
+            result = forward_cache.fetch(client, p)
+        else:
+            result = client.run_forward(p)
+        return annotation_digest(result, label)
 
     def make_budget(members: Sequence[Query]) -> Optional[Budget]:
         """A cooperative budget for work shared by ``members`` (or for
@@ -350,7 +410,7 @@ def run_query_group(
             check_every=config.budget_check_every,
         )
 
-    def resolve(query: Query, status: QueryStatus, p=None) -> None:
+    def resolve(query: Query, status: QueryStatus, p=None, store=None) -> None:
         record = QueryRecord(
             query_id=str(query),
             status=status,
@@ -378,6 +438,210 @@ def run_query_group(
                 forward_runs=record.forward_runs,
                 forward_cache_hits=record.forward_cache_hits,
             )
+        if certificates is not None:
+            digest = (
+                digest_for(p, query.label)
+                if status is QueryStatus.PROVEN and p is not None
+                else None
+            )
+            certificate = build_certificate(
+                client,
+                query,
+                status,
+                p,
+                store.clauses if store is not None else (),
+                evidence[query],
+                iterations[query],
+                config,
+                digest,
+            )
+            certificates.add(certificate)
+            if obs.active():
+                obs.event(
+                    "certificate_emitted",
+                    query=str(query),
+                    verdict=status.value,
+                    clauses=len(certificate["clauses"]),
+                    witnesses=len(certificate["witnesses"]),
+                )
+
+    def cap_reason(query: Query) -> Optional[str]:
+        if iterations[query] >= config.max_iterations:
+            return "iterations"
+        if (
+            config.max_seconds is not None
+            and elapsed[query] >= config.max_seconds
+        ):
+            return "seconds"
+        if (
+            config.max_steps is not None
+            and steps_used[query] >= config.max_steps
+        ):
+            return "steps"
+        return None
+
+    def settle_buckets(
+        splits: Dict[Tuple, _Group], sink: List[_Group]
+    ) -> List[str]:
+        """End-of-round cap check, shared by the live and the replay
+        paths (the charges are replayed exactly, so both compute the
+        same answer); returns the ids of the queries exhausted."""
+        exhausted_ids: List[str] = []
+        for bucket in splits.values():
+            live: List[Query] = []
+            for query in bucket.queries:
+                reason = cap_reason(query)
+                if reason is not None:
+                    evidence[query].provenance.append(
+                        {"kind": "cap", "reason": reason}
+                    )
+                    resolve(query, QueryStatus.EXHAUSTED, store=bucket.store)
+                    exhausted_ids.append(str(query))
+                else:
+                    live.append(query)
+            if live:
+                bucket.queries = live
+                sink.append(bucket)
+        return exhausted_ids
+
+    def apply_replay(
+        group: _Group, rec: dict, next_groups: List[_Group]
+    ) -> None:
+        """Re-enact one recorded round without re-running any analysis:
+        restore the charges and counters, feed the recorded clauses
+        back into the viability stores, and integrity-check the record
+        against the store as we go (see :mod:`repro.robust.journal`)."""
+        members = list(group.queries)
+        by_id = {str(q): q for q in members}
+        outcome = rec.get("outcome")
+        _charge(members, float(rec.get("seconds", 0.0)), elapsed)
+        _charge(members, float(rec.get("steps", 0.0)), steps_used)
+        if obs.active():
+            obs.event(
+                "journal_replayed",
+                round=rec.get("round"),
+                queries=len(members),
+                outcome=outcome,
+            )
+        if outcome in ("budget", "error"):
+            reason = rec.get("reason")
+            for query in members:
+                if outcome == "budget":
+                    evidence[query].provenance.append(
+                        {"kind": "budget", "phase": "forward", "reason": reason}
+                    )
+                else:
+                    evidence[query].provenance.append(
+                        {"kind": "error", "phase": "forward", "error": reason}
+                    )
+                resolve(query, QueryStatus.EXHAUSTED, store=group.store)
+            return
+        if outcome == "impossible":
+            if group.store.choose_minimum() is not None:
+                raise JournalMismatch(
+                    "journal records an impossible round but the replayed "
+                    "store still has viable abstractions"
+                )
+            for query in members:
+                resolve(query, QueryStatus.IMPOSSIBLE, store=group.store)
+            return
+        if outcome != "ok":
+            raise JournalMismatch(f"unknown recorded round outcome {outcome!r}")
+        recorded_p = frozenset(rec.get("abstraction") or ())
+        p = group.store.choose_minimum()
+        if p != recorded_p:
+            raise JournalMismatch(
+                f"journal records abstraction {sorted(recorded_p)} but the "
+                "replayed store chooses "
+                f"{sorted(p) if p is not None else None}"
+            )
+        cached = bool(rec.get("cached"))
+        for query in members:
+            iterations[query] += 1
+            forward_runs[query] += 1
+            if cached:
+                cached_runs[query] += 1
+        try:
+            for qid in rec.get("proven", []):
+                resolve(by_id[qid], QueryStatus.PROVEN, p, store=group.store)
+            splits: Dict[Tuple, _Group] = {}
+            for entry in rec.get("survivors", []):
+                query = by_id[entry["query"]]
+                elapsed[query] += float(entry.get("seconds", 0.0))
+                steps_used[query] += float(entry.get("steps", 0.0))
+                for from_k, to_k in entry.get("degraded", []):
+                    evidence[query].provenance.append(
+                        {"kind": "degraded", "from_k": from_k, "to_k": to_k}
+                    )
+                entry_outcome = entry.get("outcome")
+                if entry_outcome == "clauses":
+                    max_disjuncts[query] = max(
+                        max_disjuncts[query],
+                        int(entry.get("max_disjuncts", 0)),
+                    )
+                    clauses = [
+                        clause_from_jsonable(c)
+                        for c in entry.get("clauses", [])
+                    ]
+                    probe = group.store.copy()
+                    added = probe.add_clauses(clauses)
+                    if not probe.excludes(p):
+                        raise JournalMismatch(
+                            f"replayed clauses for query {entry['query']!r} "
+                            "do not eliminate the recorded abstraction"
+                        )
+                    evidence[query].witnesses.append(
+                        {
+                            "abstraction": sorted(p),
+                            "k": entry.get("k"),
+                            "trace": entry.get("trace", []),
+                            "clauses": entry.get("clauses", []),
+                        }
+                    )
+                    signature = _clause_signature(added)
+                    bucket = splits.get(signature)
+                    if bucket is None:
+                        bucket = _Group(store=probe, queries=[])
+                        splits[signature] = bucket
+                    bucket.queries.append(query)
+                elif entry_outcome == "budget":
+                    evidence[query].provenance.append(
+                        {
+                            "kind": "budget",
+                            "phase": "backward",
+                            "reason": entry.get("reason"),
+                        }
+                    )
+                    resolve(query, QueryStatus.EXHAUSTED, store=group.store)
+                elif entry_outcome == "explosion":
+                    evidence[query].provenance.append(
+                        {"kind": "explosion", "phase": "backward"}
+                    )
+                    resolve(query, QueryStatus.EXHAUSTED, store=group.store)
+                elif entry_outcome == "error":
+                    evidence[query].provenance.append(
+                        {
+                            "kind": "error",
+                            "phase": "backward",
+                            "error": entry.get("reason"),
+                        }
+                    )
+                    resolve(query, QueryStatus.EXHAUSTED, store=group.store)
+                else:
+                    raise JournalMismatch(
+                        f"unknown recorded survivor outcome {entry_outcome!r}"
+                    )
+        except KeyError as error:
+            raise JournalMismatch(
+                f"journal names query {error.args[0]!r}, which is not in "
+                "the replayed group"
+            )
+        exhausted_ids = settle_buckets(splits, next_groups)
+        if rec.get("exhausted", []) != exhausted_ids:
+            raise JournalMismatch(
+                f"replay exhausted {exhausted_ids!r} at end of round, "
+                f"journal records {rec.get('exhausted')!r}"
+            )
 
     round_index = 0
     with obs.span("query_group", queries=len(queries)):
@@ -385,6 +649,18 @@ def run_query_group(
             next_groups: List[_Group] = []
             for group in groups:
                 round_index += 1
+                if journal is not None and journal.replaying:
+                    rec = journal.replay_round(
+                        [str(q) for q in group.queries]
+                    )
+                    if rec is not None:
+                        if rec.get("round") != round_index:
+                            raise JournalMismatch(
+                                f"journal records round {rec.get('round')!r} "
+                                f"where the search reached round {round_index}"
+                            )
+                        apply_replay(group, rec, next_groups)
+                        continue
                 with obs.span(
                     "iteration",
                     round=round_index,
@@ -442,12 +718,30 @@ def run_query_group(
                     # is shared by every member; charge it *before*
                     # resolving so queries proven this round carry
                     # their share but none of the backward time below.
-                    _charge(group.queries, clock() - started, elapsed)
+                    round_seconds = clock() - started
+                    round_steps = (
+                        round_budget.steps if round_budget is not None else 0.0
+                    )
+                    _charge(group.queries, round_seconds, elapsed)
                     if round_budget is not None:
-                        _charge(group.queries, round_budget.steps, steps_used)
+                        _charge(group.queries, round_steps, steps_used)
+                    round_record = {
+                        "round": round_index,
+                        "queries": [str(q) for q in group.queries],
+                        "outcome": "ok",
+                        "reason": None,
+                        "abstraction": sorted(p) if p is not None else None,
+                        "cached": round_was_cached,
+                        "seconds": round_seconds,
+                        "steps": round_steps,
+                        "proven": [],
+                        "survivors": [],
+                        "exhausted": [],
+                    }
                     if failure is not None:
                         kind, exc = failure
                         if kind == "budget":
+                            reason = exc.reason
                             obs.event(
                                 "budget_exceeded",
                                 phase="forward",
@@ -455,6 +749,7 @@ def run_query_group(
                                 queries=len(group.queries),
                             )
                         else:
+                            reason = repr(exc)
                             obs.event(
                                 "degraded",
                                 reason="forward_error",
@@ -463,11 +758,40 @@ def run_query_group(
                             )
                         iteration_span.set(outcome=kind)
                         for query in group.queries:
-                            resolve(query, QueryStatus.EXHAUSTED)
+                            if kind == "budget":
+                                evidence[query].provenance.append(
+                                    {
+                                        "kind": "budget",
+                                        "phase": "forward",
+                                        "reason": reason,
+                                    }
+                                )
+                            else:
+                                evidence[query].provenance.append(
+                                    {
+                                        "kind": "error",
+                                        "phase": "forward",
+                                        "error": reason,
+                                    }
+                                )
+                            resolve(
+                                query, QueryStatus.EXHAUSTED, store=group.store
+                            )
+                        if journal is not None:
+                            round_record["outcome"] = kind
+                            round_record["reason"] = reason
+                            journal.record_round(round_record)
                         continue
                     if p is None:
                         for query in group.queries:
-                            resolve(query, QueryStatus.IMPOSSIBLE)
+                            resolve(
+                                query,
+                                QueryStatus.IMPOSSIBLE,
+                                store=group.store,
+                            )
+                        if journal is not None:
+                            round_record["outcome"] = "impossible"
+                            journal.record_round(round_record)
                         continue
                     survivors: List[Query] = []
                     for query in group.queries:
@@ -484,7 +808,13 @@ def run_query_group(
                                     proven=True,
                                     abstraction=sorted(p),
                                 )
-                            resolve(query, QueryStatus.PROVEN, p)
+                            round_record["proven"].append(str(query))
+                            resolve(
+                                query,
+                                QueryStatus.PROVEN,
+                                p,
+                                store=group.store,
+                            )
                         else:
                             survivors.append(query)
                     iteration_span.set(
@@ -499,6 +829,21 @@ def run_query_group(
                     splits: Dict[Tuple, _Group] = {}
                     for query in survivors:
                         trace = witnesses[query]
+                        entry = {
+                            "query": str(query),
+                            "outcome": None,
+                            "reason": None,
+                            "seconds": 0.0,
+                            "steps": 0.0,
+                            "k": None,
+                            "max_disjuncts": 0,
+                            "degraded": [],
+                            "trace": (
+                                trace_to_jsonable(trace) if recording else []
+                            ),
+                            "clauses": [],
+                        }
+                        round_record["survivors"].append(entry)
                         with obs.span(
                             "backward", phase="backward", query=str(query)
                         ) as backward_span:
@@ -509,10 +854,14 @@ def run_query_group(
                                 _query=query,
                                 _started=backward_started,
                                 _budget=query_budget,
+                                _entry=entry,
                             ) -> None:
-                                elapsed[_query] += clock() - _started
+                                seconds = clock() - _started
+                                elapsed[_query] += seconds
+                                _entry["seconds"] = seconds
                                 if _budget is not None:
                                     steps_used[_query] += _budget.steps
+                                    _entry["steps"] = _budget.steps
 
                             def attempt(width, _trace=trace, _query=query):
                                 robust_faults.inject("backward")
@@ -527,7 +876,17 @@ def run_query_group(
                                     max_cubes=config.max_cubes,
                                 )
 
-                            def on_degrade(failed_k, next_k, _query=query):
+                            def on_degrade(
+                                failed_k, next_k, _query=query, _entry=entry
+                            ):
+                                _entry["degraded"].append([failed_k, next_k])
+                                evidence[_query].provenance.append(
+                                    {
+                                        "kind": "degraded",
+                                        "from_k": failed_k,
+                                        "to_k": next_k,
+                                    }
+                                )
                                 obs.event(
                                     "degraded",
                                     reason="formula_explosion",
@@ -559,6 +918,15 @@ def run_query_group(
                                     )
                             except BudgetExceeded as exc:
                                 charge_backward()
+                                entry["outcome"] = "budget"
+                                entry["reason"] = exc.reason
+                                evidence[query].provenance.append(
+                                    {
+                                        "kind": "budget",
+                                        "phase": "backward",
+                                        "reason": exc.reason,
+                                    }
+                                )
                                 backward_span.set(outcome="budget")
                                 obs.event(
                                     "budget_exceeded",
@@ -566,7 +934,11 @@ def run_query_group(
                                     reason=exc.reason,
                                     query=str(query),
                                 )
-                                resolve(query, QueryStatus.EXHAUSTED)
+                                resolve(
+                                    query,
+                                    QueryStatus.EXHAUSTED,
+                                    store=group.store,
+                                )
                                 continue
                             except FormulaExplosion:
                                 # The meta-analysis formula outgrew the
@@ -576,8 +948,16 @@ def run_query_group(
                                 # blow-ups): give up on this query
                                 # rather than on the run.
                                 charge_backward()
+                                entry["outcome"] = "explosion"
+                                evidence[query].provenance.append(
+                                    {"kind": "explosion", "phase": "backward"}
+                                )
                                 backward_span.set(outcome="explosion")
-                                resolve(query, QueryStatus.EXHAUSTED)
+                                resolve(
+                                    query,
+                                    QueryStatus.EXHAUSTED,
+                                    store=group.store,
+                                )
                                 continue
                             except Exception as exc:
                                 # ProgressError or an unexpected client
@@ -586,6 +966,15 @@ def run_query_group(
                                 if config.strict:
                                     raise
                                 charge_backward()
+                                entry["outcome"] = "error"
+                                entry["reason"] = repr(exc)
+                                evidence[query].provenance.append(
+                                    {
+                                        "kind": "error",
+                                        "phase": "backward",
+                                        "error": repr(exc),
+                                    }
+                                )
                                 backward_span.set(outcome="error")
                                 obs.event(
                                     "degraded",
@@ -593,7 +982,11 @@ def run_query_group(
                                     query=str(query),
                                     error=repr(exc),
                                 )
-                                resolve(query, QueryStatus.EXHAUSTED)
+                                resolve(
+                                    query,
+                                    QueryStatus.EXHAUSTED,
+                                    store=group.store,
+                                )
                                 continue
                             if used_k != config.k:
                                 backward_span.set(degraded_to=used_k)
@@ -624,6 +1017,21 @@ def run_query_group(
                                         str(f) for f in result.intermediate
                                     ],
                                 )
+                            entry["outcome"] = "clauses"
+                            entry["k"] = used_k
+                            entry["max_disjuncts"] = result.max_disjuncts
+                            entry["clauses"] = [
+                                clause_to_jsonable(c) for c in added
+                            ]
+                            if recording:
+                                evidence[query].witnesses.append(
+                                    {
+                                        "abstraction": sorted(p),
+                                        "k": used_k,
+                                        "trace": entry["trace"],
+                                        "clauses": entry["clauses"],
+                                    }
+                                )
                             signature = _clause_signature(added)
                             bucket = splits.get(signature)
                             if bucket is None:
@@ -631,22 +1039,11 @@ def run_query_group(
                                 splits[signature] = bucket
                             bucket.queries.append(query)
                             charge_backward()
-                    for bucket in splits.values():
-                        live: List[Query] = []
-                        for query in bucket.queries:
-                            if iterations[query] >= config.max_iterations or (
-                                config.max_seconds is not None
-                                and elapsed[query] >= config.max_seconds
-                            ) or (
-                                config.max_steps is not None
-                                and steps_used[query] >= config.max_steps
-                            ):
-                                resolve(query, QueryStatus.EXHAUSTED)
-                            else:
-                                live.append(query)
-                        if live:
-                            bucket.queries = live
-                            next_groups.append(bucket)
+                    round_record["exhausted"] = settle_buckets(
+                        splits, next_groups
+                    )
+                    if journal is not None:
+                        journal.record_round(round_record)
             groups = next_groups
     return records
 

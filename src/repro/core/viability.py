@@ -23,7 +23,7 @@ from a model as the set of true variables, which matches both clients
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.formula import Cube, Dnf, Theory, evaluate_literal
 from repro.core.minsat import Clause, MinCostSat
@@ -67,6 +67,22 @@ class ViabilityStore:
             clause = self._clause_of_cube(cube)
             if clause is None:
                 continue
+            if not clause:
+                self._impossible = True
+            added.append(clause)
+            self._clauses.append(clause)
+        return tuple(added)
+
+    def add_clauses(self, clauses: Iterable[Clause]) -> Tuple[Clause, ...]:
+        """Conjoin already-derived clauses onto the store — the journal
+        replay path: a resumed search re-applies the clauses recorded
+        by the interrupted run instead of re-deriving them from
+        counterexample traces.  Mirrors the bookkeeping of
+        :meth:`add_failure_condition` (an empty clause marks the store
+        impossible) and returns the clauses in application order so the
+        caller can recompute group-split signatures."""
+        added: List[Clause] = []
+        for clause in clauses:
             if not clause:
                 self._impossible = True
             added.append(clause)

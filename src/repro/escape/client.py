@@ -13,11 +13,12 @@ from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
 from repro.core.formula import Formula, lit
+from repro.core.selfcheck import sample_pairs, sample_subsets
 from repro.core.tracer import TracerClient
 from repro.dataflow.engines import ForwardResult, engine_for
 from repro.escape.analysis import EscapeAnalysis
-from repro.escape.domain import ESC, EscSchema
-from repro.escape.meta import EscapeMeta, VarIs
+from repro.escape.domain import ESC, LOC, NIL, EscSchema
+from repro.escape.meta import EscapeMeta, FieldIs, SiteIs, VarIs
 from repro.lang.ast import Program
 from repro.lang.cfg import Cfg, build_cfg
 
@@ -64,6 +65,21 @@ class EscapeClient(TracerClient):
         return self.engine.run(
             self.analysis.semantics.bound_step(p),
             self.analysis.initial_state(),
+        )
+
+    def selfcheck_space(self):
+        """Primitives and ``(p, d)`` samples for ``repro selfcheck``;
+        exhaustive when the site/state universes are small."""
+        sites = sorted(self.analysis.param_space.keys)
+        prims = []
+        for site in sites:
+            prims.extend(SiteIs(site, value) for value in (LOC, ESC))
+        for var in self.schema.locals:
+            prims.extend(VarIs(var, value) for value in (LOC, ESC, NIL))
+        for fld in self.schema.fields:
+            prims.extend(FieldIs(fld, value) for value in (LOC, ESC, NIL))
+        return prims, sample_pairs(
+            sample_subsets(sites), self.schema.all_states()
         )
 
     # counterexamples() is inherited from TracerClient.

@@ -33,7 +33,14 @@ file).  Record types:
     formula explosion, a contained client error under lenient mode,
     or permanently failed work units), and ``fault_injected`` (a
     :mod:`repro.robust.faults` rule fired; carries ``site``,
-    ``action``, ``hit``).  Event names are open — these carry no
+    ``action``, ``hit``).  The certification layer adds three more:
+    ``certificate_emitted`` (the driver packaged a verdict certificate;
+    carries ``query``, ``verdict``, ``clauses``, ``witnesses``),
+    ``certificate_checked`` (the independent checker finished one
+    certificate; carries ``query``, ``verdict``, ``ok``, ``problems``),
+    and ``journal_replayed`` (a resumed search consumed one recorded
+    CEGAR round instead of re-running it; carries ``round``,
+    ``queries``, ``outcome``).  Event names are open — these carry no
     schema change.
 
 ``metric``

@@ -14,14 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
+import itertools
+
 from repro.core.formula import Formula, disj, lit
+from repro.core.selfcheck import sample_pairs, sample_subsets
 from repro.core.tracer import TracerClient
 from repro.dataflow.engines import ForwardResult, engine_for
 from repro.lang.ast import Program
 from repro.lang.cfg import Cfg, build_cfg
 from repro.provenance.analysis import ProvenanceAnalysis
-from repro.provenance.domain import PtSchema
-from repro.provenance.meta import ProvenanceMeta, PtHas, PtTop
+from repro.provenance.domain import PT_TOP, PtSchema
+from repro.provenance.meta import ProvenanceMeta, PtHas, PtParam, PtTop
 
 
 @dataclass(frozen=True)
@@ -65,5 +68,21 @@ class ProvenanceClient(TracerClient):
             self.analysis.semantics.bound_step(p),
             self.analysis.initial_state(),
         )
+
+    def selfcheck_space(self):
+        """Primitives and ``(p, d)`` samples for ``repro selfcheck``;
+        exhaustive when the site/variable universes are small."""
+        sites = sorted(self.analysis.sites)
+        variables = self.schema.variables
+        prims = [PtParam(site) for site in sites]
+        for var in variables:
+            prims.append(PtTop(var))
+            prims.extend(PtHas(var, site) for site in sites)
+        values = [PT_TOP] + sample_subsets(sites, limit=3)
+        states = (
+            self.schema.state(dict(zip(variables, combo)))
+            for combo in itertools.product(values, repeat=len(variables))
+        )
+        return prims, sample_pairs(sample_subsets(sites), states)
 
     # counterexamples() is inherited from TracerClient.

@@ -12,7 +12,17 @@ The pieces (see ``docs/ROBUSTNESS.md`` for the full story):
 * :mod:`repro.robust.pool` — a process pool with per-unit timeouts,
   ``BrokenProcessPool`` recovery, and bounded retries;
 * :mod:`repro.robust.checkpoint` — JSONL checkpoints of completed
-  evaluation units behind ``repro eval --resume``.
+  evaluation units behind ``repro eval --resume``;
+* :mod:`repro.robust.journal` — the append-only CEGAR search journal
+  behind ``--journal`` / ``--resume-journal``;
+* :mod:`repro.robust.certify` — verdict certificates and their
+  independent checker (``--certify-out`` / ``repro certify``).
+
+:mod:`repro.robust.certify` is deliberately *not* re-exported here:
+it imports :mod:`repro.core.selfcheck` (and through it the meta
+machinery), which itself imports :mod:`repro.robust.budget` — pulling
+certify in at package-import time would re-enter this partially
+initialised package.  Import it as ``repro.robust.certify`` directly.
 """
 
 from repro.robust.budget import (
@@ -29,6 +39,7 @@ from repro.robust.faults import (
     current_plan,
     fault_scope,
 )
+from repro.robust.journal import JournalMismatch, SearchJournal
 
 __all__ = [
     "Budget",
@@ -36,6 +47,8 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
+    "JournalMismatch",
+    "SearchJournal",
     "beam_ladder",
     "budget_scope",
     "current_budget",

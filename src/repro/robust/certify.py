@@ -1,0 +1,418 @@
+"""Machine-checkable verdict certificates for the TRACER search.
+
+A ``PROVEN`` or ``IMPOSSIBLE`` answer from the driver is a claim; a
+*certificate* makes it independently checkable, in the tradition of
+certifying model checkers (witness validation in CEGAR à la Beyer &
+Löwe; refinement validation à la Greitschus et al.).  The paper's own
+theorems say exactly what there is to check:
+
+``PROVEN p``
+    the forward fixpoint annotation under ``bind(p)`` proves the query
+    (re-run the fixpoint — it is inductive by construction of the
+    worklist engines — and scan the query point; a digest ties the
+    recorded annotation to the re-run), and ``p`` is minimum-cost
+    among the models of the accumulated failure clauses (a fresh
+    :class:`~repro.core.minsat.MinCostSat` call — Algorithm 1 line 8
+    redone from the certificate alone);
+
+``IMPOSSIBLE``
+    every learned clause is justified by a recorded counterexample
+    trace — replayed through
+    :func:`repro.core.selfcheck.check_soundness_on_trace` (Theorem 3:
+    the trace really is a counterexample and its failure condition
+    covers the abstraction it eliminated) and re-derived through a
+    fresh :class:`~repro.core.viability.ViabilityStore` — and the
+    conjunction of the clauses is UNSAT;
+
+``EXHAUSTED``
+    a provenance record of the budget/degradation events that caused
+    the give-up (structural check only — exhaustion is a report, not a
+    theorem).
+
+Certificates are plain JSON dicts (one per query, JSONL on disk) so
+they survive worker pools, checkpoints, and ``repro certify``.  The
+``client`` field is a *rebuild stamp* the emitting layer (CLI solver
+or bench harness) adds after the solve; the checker uses it to
+reconstruct the client analysis from scratch — the check shares no
+state with the run that produced the certificate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.formula import evaluate
+from repro.core.meta import backward_trace
+from repro.core.minsat import MinCostSat
+from repro.core.selfcheck import check_soundness_on_trace
+from repro.core.stats import QueryStatus
+from repro.core.viability import ViabilityStore
+from repro.obs import trace as obs
+from repro.robust.journal import (
+    clause_from_jsonable,
+    clause_to_jsonable,
+    trace_from_jsonable,
+)
+
+__all__ = [
+    "CertificateStore",
+    "CheckReport",
+    "QueryEvidence",
+    "annotation_digest",
+    "build_certificate",
+    "check_certificate",
+    "load_certificates",
+    "write_certificates",
+]
+
+CERTIFICATE_VERSION = 1
+
+
+@dataclass
+class QueryEvidence:
+    """Per-query evidence the driver accumulates while searching.
+
+    ``witnesses`` holds one entry per learned clause set — the
+    counterexample trace, the abstraction it refuted, the beam width
+    used, and the clauses derived; ``provenance`` holds the budget /
+    degradation / error events that explain an ``EXHAUSTED`` verdict."""
+
+    witnesses: List[dict] = field(default_factory=list)
+    provenance: List[dict] = field(default_factory=list)
+
+
+class CertificateStore:
+    """Collects the certificates emitted by one driver run, in
+    resolution order."""
+
+    def __init__(self) -> None:
+        self.certificates: List[dict] = []
+
+    def add(self, certificate: dict) -> None:
+        self.certificates.append(certificate)
+
+    def by_query(self) -> Dict[str, dict]:
+        return {cert["query"]: cert for cert in self.certificates}
+
+    def stamp(self, client_info: dict) -> None:
+        """Attach one rebuild stamp to every collected certificate."""
+        for cert in self.certificates:
+            cert["client"] = dict(client_info)
+
+
+def build_certificate(
+    client,
+    query,
+    status: QueryStatus,
+    p: Optional[frozenset],
+    clauses,
+    evidence: QueryEvidence,
+    iterations: int,
+    config,
+    digest: Optional[str],
+) -> dict:
+    """One verdict certificate as a JSON-able dict (see module doc)."""
+    cert = {
+        "type": "certificate",
+        "version": CERTIFICATE_VERSION,
+        "verdict": status.value,
+        "query": str(query),
+        "iterations": iterations,
+        "abstraction": sorted(p) if p is not None else None,
+        "abstraction_cost": (
+            client.analysis.param_space.cost(p) if p is not None else None
+        ),
+        "clauses": sorted(clause_to_jsonable(c) for c in set(clauses)),
+        "annotation_digest": digest,
+        "k": config.k,
+        "max_cubes": config.max_cubes,
+        "witnesses": [
+            {
+                "abstraction": w["abstraction"],
+                "k": w.get("k"),
+                "trace": w["trace"],
+                "clauses": w["clauses"],
+            }
+            for w in evidence.witnesses
+        ],
+        "provenance": list(evidence.provenance),
+    }
+    return cert
+
+
+def annotation_digest(result, label: str) -> str:
+    """SHA-256 over the sorted canonical state strings reaching the
+    ``Observe(label)`` query point — the part of the forward fixpoint
+    annotation the verdict rests on.  Every bundled client's state
+    ``str()`` is deterministic (sorted / schema-ordered), so the digest
+    is stable across processes and platforms."""
+    digest = hashlib.sha256()
+    for line in sorted(
+        str(state) for _node, state in result.states_before_observe(label)
+    ):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+# -- persistence --------------------------------------------------------------
+
+
+def write_certificates(certificates: Iterable[dict], path: str) -> None:
+    """Write certificates as JSONL (header line first)."""
+    with open(path, "w") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "type": "certificate_header",
+                    "version": CERTIFICATE_VERSION,
+                }
+            )
+            + "\n"
+        )
+        for cert in certificates:
+            handle.write(json.dumps(cert, sort_keys=True) + "\n")
+
+
+def load_certificates(path: str) -> List[dict]:
+    """Load a certificate file strictly: unlike checkpoints and
+    journals, a certificate file is evidence — any damage rejects it."""
+    if not os.path.exists(path):
+        raise ValueError(f"{path}: no such certificate file")
+    certificates: List[dict] = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                raise ValueError(f"{path}: line {number} is not valid JSON")
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}: line {number} is not a record")
+            rtype = record.get("type")
+            if rtype == "certificate_header":
+                version = record.get("version")
+                if version != CERTIFICATE_VERSION:
+                    raise ValueError(
+                        f"{path}: unsupported certificate version {version!r}"
+                    )
+            elif rtype == "certificate":
+                certificates.append(record)
+            else:
+                raise ValueError(
+                    f"{path}: line {number} has unknown type {rtype!r}"
+                )
+    return certificates
+
+
+# -- the independent checker --------------------------------------------------
+
+
+@dataclass
+class CheckReport:
+    """Outcome of checking one certificate."""
+
+    query: str
+    verdict: str
+    problems: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _satisfies(p: frozenset, clause: frozenset) -> bool:
+    return any((var in p) == sign for var, sign in clause)
+
+
+def check_certificate(client, query, cert: dict) -> CheckReport:
+    """Re-validate one certificate against a freshly built client.
+
+    The check uses nothing from the emitting run but the certificate
+    itself: forward fixpoints are re-run, minimality is re-decided by a
+    fresh MinCostSAT call, counterexample traces are replayed through
+    the selfcheck machinery, and clauses are re-derived and compared."""
+    problems: List[str] = []
+    verdict = str(cert.get("verdict"))
+    if cert.get("version") != CERTIFICATE_VERSION:
+        problems.append(f"unsupported certificate version {cert.get('version')!r}")
+    if cert.get("query") != str(query):
+        problems.append(
+            f"certificate names query {cert.get('query')!r}, "
+            f"checker was given {str(query)!r}"
+        )
+    if not problems:
+        try:
+            clauses = [clause_from_jsonable(c) for c in cert.get("clauses", [])]
+        except (TypeError, ValueError) as error:
+            clauses = None
+            problems.append(f"malformed clause set: {error}")
+        if clauses is not None:
+            if verdict == QueryStatus.PROVEN.value:
+                _check_proven(client, query, cert, clauses, problems)
+            elif verdict == QueryStatus.IMPOSSIBLE.value:
+                _check_impossible(client, query, cert, clauses, problems)
+            elif verdict == QueryStatus.EXHAUSTED.value:
+                _check_exhausted(cert, problems)
+            else:
+                problems.append(f"unknown verdict {verdict!r}")
+    if obs.active():
+        obs.event(
+            "certificate_checked",
+            query=cert.get("query"),
+            verdict=verdict,
+            ok=not problems,
+            problems=len(problems),
+        )
+    return CheckReport(
+        query=str(cert.get("query")), verdict=verdict, problems=problems
+    )
+
+
+def _check_proven(client, query, cert, clauses, problems: List[str]) -> None:
+    abstraction = cert.get("abstraction")
+    if abstraction is None:
+        problems.append("proven certificate carries no abstraction")
+        return
+    p = frozenset(abstraction)
+    space = client.analysis.param_space
+    cost = space.cost(p)
+    if cert.get("abstraction_cost") != cost:
+        problems.append(
+            f"recorded cost {cert.get('abstraction_cost')} != "
+            f"recomputed cost {cost}"
+        )
+    # (a) p is a model of the accumulated clauses ...
+    for clause in clauses:
+        if not _satisfies(p, clause):
+            problems.append(
+                "chosen abstraction violates learned clause "
+                f"{clause_to_jsonable(clause)}"
+            )
+            return
+    # (b) ... and a *minimum-cost* one: Algorithm 1 line 8 redone by an
+    # independent MinCostSAT call.  p being a model bounds the optimum
+    # from above, so a strictly cheaper model means p was not minimal.
+    solver = MinCostSat()
+    for clause in clauses:
+        solver.add_clause(clause)
+    model = solver.solve()
+    if model is None:
+        problems.append("clause set is unsatisfiable yet the verdict is proven")
+    elif space.cost(frozenset(model)) < cost:
+        problems.append(
+            f"abstraction of cost {cost} is not minimum: model "
+            f"{sorted(model)} costs {space.cost(frozenset(model))}"
+        )
+    # (c) the forward fixpoint under bind(p) proves the query.  The
+    # worklist engines compute the least fixpoint, which is inductive
+    # by construction; re-running and re-scanning the query point (and
+    # matching the digest) re-establishes the verdict from scratch.
+    result = client.run_forward(p)
+    fail = client.fail_condition(query)
+    theory = client.meta.theory
+    for _node, state in result.states_before_observe(query.label):
+        if evaluate(fail, theory, p, state):
+            problems.append(
+                "forward annotation under the certified abstraction does "
+                f"not prove the query (failing state {state!r})"
+            )
+            break
+    recorded = cert.get("annotation_digest")
+    if recorded is not None:
+        recomputed = annotation_digest(result, query.label)
+        if recorded != recomputed:
+            problems.append(
+                "annotation digest mismatch: recorded "
+                f"{recorded[:12]}…, recomputed {recomputed[:12]}…"
+            )
+
+
+def _check_impossible(client, query, cert, clauses, problems: List[str]) -> None:
+    # (a) the clause conjunction is UNSAT — no abstraction is viable.
+    solver = MinCostSat()
+    for clause in clauses:
+        solver.add_clause(clause)
+    if solver.is_satisfiable():
+        problems.append(
+            "clause conjunction is satisfiable — some abstraction was "
+            "never refuted"
+        )
+    # (b) every clause is justified by some recorded counterexample.
+    witnessed = set()
+    witnesses = cert.get("witnesses", [])
+    for witness in witnesses:
+        for item in witness.get("clauses", []):
+            witnessed.add(clause_from_jsonable(item))
+    for clause in set(clauses):
+        if clause not in witnessed:
+            problems.append(
+                "clause not justified by any recorded counterexample: "
+                f"{clause_to_jsonable(clause)}"
+            )
+    # (c) each witness replays: the trace is a genuine counterexample
+    # for the abstraction it refuted (Theorem 3, via the selfcheck
+    # machinery) and re-deriving its failure condition yields exactly
+    # the recorded clauses.
+    analysis = client.analysis
+    meta = client.meta
+    d_init = analysis.initial_state()
+    fail = client.fail_condition(query)
+    max_cubes = cert.get("max_cubes")
+    for index, witness in enumerate(witnesses):
+        try:
+            trace = trace_from_jsonable(witness.get("trace", []))
+            refuted = frozenset(witness.get("abstraction", []))
+            recorded = {
+                clause_from_jsonable(item)
+                for item in witness.get("clauses", [])
+            }
+        except (TypeError, ValueError) as error:
+            problems.append(f"witness {index} is malformed: {error}")
+            continue
+        k = witness.get("k")
+        violations = check_soundness_on_trace(
+            analysis,
+            meta,
+            trace,
+            refuted,
+            d_init,
+            fail,
+            other_params=(analysis.param_space.bottom(),),
+            k=k,
+            max_cubes=max_cubes,
+        )
+        for violation in violations:
+            problems.append(f"witness {index}: {violation}")
+        if violations:
+            continue
+        result = backward_trace(
+            meta, analysis, trace, refuted, d_init, fail,
+            k=k, max_cubes=max_cubes,
+        )
+        probe = ViabilityStore(meta.theory, d_init)
+        derived = set(probe.add_failure_condition(result.condition))
+        if derived != recorded:
+            problems.append(
+                f"witness {index}: replay derives clauses "
+                f"{sorted(map(clause_to_jsonable, derived))}, certificate "
+                f"records {sorted(map(clause_to_jsonable, recorded))}"
+            )
+
+
+def _check_exhausted(cert, problems: List[str]) -> None:
+    provenance = cert.get("provenance")
+    if not isinstance(provenance, list) or not provenance:
+        problems.append(
+            "exhausted certificate carries no provenance events"
+        )
+        return
+    for index, entry in enumerate(provenance):
+        if not isinstance(entry, dict) or "kind" not in entry:
+            problems.append(f"provenance entry {index} has no kind")

@@ -2,29 +2,42 @@
 
 A long parallel evaluation that dies at unit 47 of 50 should not have
 to redo the first 46.  The bench harness appends one self-contained
-JSONL line per *completed* unit — its query records and its metrics
-snapshot — flushed immediately, so the file is valid after a crash at
-any point (a torn final line is detected and ignored by the loader).
+JSONL line per *completed* unit — its query records, its metrics
+snapshot, and any verdict certificates it emitted — flushed and
+fsync'd immediately, so the file is valid after a crash at any point.
 ``repro eval --resume`` then merges the checkpointed units and runs
 only the missing ones; the merge is deterministic because units are
 keyed by ``(benchmark, analysis, index)`` and merged in unit order, so
 a resumed evaluation is record-for-record identical to an uninterrupted
 one (worker trace events are the one thing not checkpointed — a
 resumed unit replays no spans).
+
+Crash semantics, shared with the search journal
+(:mod:`repro.robust.journal`) through :func:`scan_jsonl` and
+:class:`JsonlAppender`:
+
+* a *trailing* truncated line — the one a SIGKILL mid-write leaves —
+  is skipped on load and truncated away before the next append, so a
+  recovered file never grows a record concatenated onto a torn tail;
+* a corrupt *interior* line raises: that is data loss, not a crash
+  tail, and silently dropping completed units would be worse than
+  failing loudly.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.stats import CacheCounters, QueryRecord
 
 __all__ = [
     "CheckpointWriter",
+    "JsonlAppender",
     "UnitKey",
     "load_checkpoint",
+    "scan_jsonl",
     "unit_from_dict",
     "unit_to_dict",
 ]
@@ -34,14 +47,103 @@ CHECKPOINT_VERSION = 1
 UnitKey = Tuple[str, str, int]  # (benchmark, analysis, unit index)
 
 #: What a checkpoint stores per unit: records + metrics snapshot +
-#: how many attempts the unit took (trace events are not persisted).
-UnitPayload = Tuple[List[QueryRecord], Dict[str, CacheCounters], int]
+#: how many attempts the unit took + the unit's verdict certificates
+#: (trace events are not persisted).
+UnitPayload = Tuple[
+    List[QueryRecord], Dict[str, CacheCounters], int, List[dict]
+]
+
+
+def scan_jsonl(path: str) -> Tuple[List[dict], int]:
+    """Parse a JSONL file of dict records written by an fsync-per-line
+    appender; returns ``(records, intact_length)`` where
+    ``intact_length`` is the byte offset just past the last intact line.
+
+    A torn final line (missing its newline, or not valid JSON — what a
+    SIGKILL mid-write leaves behind) is skipped.  A corrupt line
+    *before* the end raises ``ValueError``: interior corruption is data
+    loss, not a crash tail, and must not be silently dropped.  A
+    missing file is simply empty."""
+    records: List[dict] = []
+    intact = 0
+    if not os.path.exists(path):
+        return records, intact
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = data.splitlines(keepends=True)
+    offset = 0
+    for index, line in enumerate(lines):
+        is_last = index == len(lines) - 1
+        if not line.endswith(b"\n"):
+            # Writers newline-terminate every record; a line without
+            # one is a torn tail (only the last line can lack it).
+            break
+        offset += len(line)
+        text = line.decode("utf-8", errors="replace").strip()
+        if not text:
+            intact = offset
+            continue
+        record: Optional[dict] = None
+        try:
+            parsed = json.loads(text)
+            if isinstance(parsed, dict):
+                record = parsed
+        except ValueError:
+            record = None
+        if record is None:
+            if is_last:
+                break  # torn tail from a crash mid-write
+            raise ValueError(
+                f"{path}: corrupt JSONL record on line {index + 1} "
+                "(not a trailing crash artifact)"
+            )
+        records.append(record)
+        intact = offset
+    return records, intact
+
+
+class JsonlAppender:
+    """Crash-safe append-only JSONL writer.
+
+    On open, the file is truncated back to its last intact line (see
+    :func:`scan_jsonl`), so appending after a SIGKILL never produces a
+    record concatenated onto a torn tail.  Every record is written,
+    flushed, and fsync'd before :meth:`append` returns — a kill at any
+    instant loses at most the record being written."""
+
+    def __init__(self, path: str):
+        self.path = path
+        if os.path.exists(path):
+            _records, intact = scan_jsonl(path)
+            handle = open(path, "r+")
+            handle.truncate(intact)
+            handle.seek(intact)
+            self.fresh = intact == 0
+        else:
+            handle = open(path, "w")
+            self.fresh = True
+        self._handle = handle
+
+    def append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 def unit_to_dict(key: UnitKey, payload: UnitPayload) -> dict:
     from repro.bench.export import record_to_dict
 
-    records, metrics, attempts = payload
+    records, metrics, attempts, certificates = payload
     return {
         "type": "unit",
         "benchmark": key[0],
@@ -53,6 +155,7 @@ def unit_to_dict(key: UnitKey, payload: UnitPayload) -> dict:
             name: {"hits": counters.hits, "misses": counters.misses}
             for name, counters in sorted(metrics.items())
         },
+        "certificates": list(certificates),
     }
 
 
@@ -65,7 +168,8 @@ def unit_from_dict(data: dict) -> Tuple[UnitKey, UnitPayload]:
         name: CacheCounters(hits=int(entry["hits"]), misses=int(entry["misses"]))
         for name, entry in data.get("metrics", {}).items()
     }
-    return key, (records, metrics, int(data.get("attempts", 1)))
+    certificates = list(data.get("certificates", []))
+    return key, (records, metrics, int(data.get("attempts", 1)), certificates)
 
 
 class CheckpointWriter:
@@ -73,23 +177,17 @@ class CheckpointWriter:
 
     def __init__(self, path: str):
         self.path = path
-        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
-        self._handle = open(path, "a")
-        if fresh:
-            self._emit(
+        self._appender = JsonlAppender(path)
+        if self._appender.fresh:
+            self._appender.append(
                 {"type": "checkpoint_header", "version": CHECKPOINT_VERSION}
             )
 
-    def _emit(self, record: dict) -> None:
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-
     def write_unit(self, key: UnitKey, payload: UnitPayload) -> None:
-        self._emit(unit_to_dict(key, payload))
+        self._appender.append(unit_to_dict(key, payload))
 
     def close(self) -> None:
-        self._handle.close()
+        self._appender.close()
 
     def __enter__(self) -> "CheckpointWriter":
         return self
@@ -100,38 +198,31 @@ class CheckpointWriter:
 
 
 def load_checkpoint(path: str) -> Dict[UnitKey, UnitPayload]:
-    """Read every intact unit line of a checkpoint (missing file = empty).
+    """Read every intact unit line of a checkpoint (missing file =
+    empty).
 
-    Robust by construction: a torn or corrupt line — the crash the
-    checkpoint exists for may have happened mid-write — ends the scan
-    instead of raising, so everything before it is still recovered."""
+    A trailing truncated line — the crash the checkpoint exists for may
+    have happened mid-write — is skipped; everything before it is still
+    recovered.  Corruption *inside* the file (a damaged interior line,
+    a malformed unit record, an unknown version) raises instead: that
+    is not a crash artifact, and pretending the affected units never
+    ran would silently redo — or worse, half-merge — finished work."""
     completed: Dict[UnitKey, UnitPayload] = {}
-    if not os.path.exists(path):
-        return completed
-    with open(path) as handle:
-        for line_number, line in enumerate(handle):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except ValueError:
-                break  # torn tail from a crash mid-write
-            if not isinstance(data, dict):
-                break
-            rtype = data.get("type")
-            if rtype == "checkpoint_header":
-                version = data.get("version")
-                if version != CHECKPOINT_VERSION:
-                    raise ValueError(
-                        f"{path}: unsupported checkpoint version {version!r}"
-                    )
-                continue
-            if rtype != "unit":
-                break
-            try:
-                key, payload = unit_from_dict(data)
-            except (KeyError, TypeError, ValueError):
-                break
-            completed[key] = payload
+    records, _intact = scan_jsonl(path)
+    for data in records:
+        rtype = data.get("type")
+        if rtype == "checkpoint_header":
+            version = data.get("version")
+            if version != CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"{path}: unsupported checkpoint version {version!r}"
+                )
+            continue
+        if rtype != "unit":
+            continue  # unknown record types are forward-compatible
+        try:
+            key, payload = unit_from_dict(data)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"{path}: malformed unit record: {error}")
+        completed[key] = payload
     return completed

@@ -17,13 +17,15 @@ from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
 from repro.core.formula import Formula, disj, lit
+from repro.core.selfcheck import sample_pairs, sample_subsets
 from repro.core.tracer import TracerClient
 from repro.dataflow.engines import ForwardResult, engine_for
 from repro.lang.ast import Program
 from repro.lang.cfg import Cfg, build_cfg
 from repro.typestate.analysis import MayPoint, TypestateAnalysis
 from repro.typestate.automaton import TypestateAutomaton
-from repro.typestate.meta import ERR, TsType, TypestateMeta
+from repro.typestate.domain import TOP, TsState
+from repro.typestate.meta import ERR, TsParam, TsType, TsVar, TypestateMeta
 
 
 @dataclass(frozen=True)
@@ -79,6 +81,22 @@ class TypestateClient(TracerClient):
             self.analysis.semantics.bound_step(p),
             self.analysis.initial_state(),
         )
+
+    def selfcheck_space(self):
+        """Primitives and ``(p, d)`` samples for ``repro selfcheck``;
+        exhaustive when the variable/state universes are small."""
+        automaton_states = sorted(self.analysis.automaton.states)
+        variables = sorted(self.analysis.param_space.universe)
+        prims = [ERR]
+        for var in variables:
+            prims.append(TsParam(var))
+            prims.append(TsVar(var))
+        prims.extend(TsType(s) for s in automaton_states)
+        states = [TOP]
+        for ts in sample_subsets(automaton_states, limit=4):
+            for vs in sample_subsets(variables, limit=4):
+                states.append(TsState(ts, vs))
+        return prims, sample_pairs(sample_subsets(variables), states)
 
     # counterexamples() is inherited from TracerClient: one forward run
     # (through the forward-run cache when the driver passes one), then a

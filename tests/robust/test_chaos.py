@@ -88,3 +88,128 @@ def test_chaos_with_budget_still_resolves_every_query():
         records = Tracer(_client(), config).solve_all(QUERIES)
     assert set(records) == set(QUERIES)
     assert all(r.status in VALID for r in records.values())
+
+
+class TestKillMidQuery:
+    """SIGKILL the solver mid-CEGAR (a real ``kill`` fault, so the
+    process dies with no chance to clean up), then resume from the
+    journal and demand an identical verdict and clause set.
+
+    The kill runs in a subprocess — ``kill`` SIGKILLs the *current*
+    process, which would take pytest down with it."""
+
+    PROGRAM_TEXT = (
+        "x = new File\n"
+        "y = x\n"
+        "x.open()\n"
+        "y.close()\n"
+        "observe check1\n"
+        "observe check2\n"
+    )
+
+    def _run(self, tmp_path, *argv):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(root)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            cwd=str(tmp_path),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def _certificates(self, path):
+        import json
+
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        return [r for r in records if r.get("type") == "certificate"]
+
+    @pytest.mark.parametrize("site,hit", [("backward", 1), ("choose", 2)])
+    def test_kill_then_resume_is_verdict_identical(self, tmp_path, site, hit):
+        prog = tmp_path / "prog.rp"
+        prog.write_text(self.PROGRAM_TEXT)
+        base = [
+            "solve-typestate",
+            "prog.rp",
+            "--query",
+            "check1",
+            "--allowed",
+            "closed",
+        ]
+        # Reference run: no faults, no journal.
+        reference = self._run(
+            tmp_path, *base, "--certify-out", "ref.jsonl"
+        )
+        assert reference.returncode == 0, reference.stderr
+        # Killed run: SIGKILL mid-search, journal survives on disk.
+        killed = self._run(
+            tmp_path,
+            *base,
+            "--journal",
+            "journal.jsonl",
+            "--inject",
+            f"{site}:kill:at={hit}",
+        )
+        assert killed.returncode == -9
+        assert (tmp_path / "journal.jsonl").exists()
+        # Resumed run: replay the journal, finish live, certify.
+        resumed = self._run(
+            tmp_path,
+            *base,
+            "--resume-journal",
+            "journal.jsonl",
+            "--certify-out",
+            "resumed.jsonl",
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "PROVEN" in resumed.stdout
+        ref_cert, = self._certificates(tmp_path / "ref.jsonl")
+        res_cert, = self._certificates(tmp_path / "resumed.jsonl")
+        assert res_cert["verdict"] == ref_cert["verdict"] == "proven"
+        assert res_cert["abstraction"] == ref_cert["abstraction"]
+        assert res_cert["clauses"] == ref_cert["clauses"]
+        assert res_cert["annotation_digest"] == ref_cert["annotation_digest"]
+
+    def test_kill_mid_impossible_query(self, tmp_path):
+        prog = tmp_path / "prog.rp"
+        prog.write_text(self.PROGRAM_TEXT)
+        base = [
+            "solve-typestate",
+            "prog.rp",
+            "--query",
+            "check2",
+            "--allowed",
+            "opened",
+        ]
+        reference = self._run(tmp_path, *base, "--certify-out", "ref.jsonl")
+        assert reference.returncode == 10, reference.stderr
+        killed = self._run(
+            tmp_path,
+            *base,
+            "--journal",
+            "journal.jsonl",
+            "--inject",
+            "backward:kill:at=1",
+        )
+        assert killed.returncode == -9
+        resumed = self._run(
+            tmp_path,
+            *base,
+            "--resume-journal",
+            "journal.jsonl",
+            "--certify-out",
+            "resumed.jsonl",
+        )
+        assert resumed.returncode == 10, resumed.stderr
+        assert "IMPOSSIBLE" in resumed.stdout
+        ref_cert, = self._certificates(tmp_path / "ref.jsonl")
+        res_cert, = self._certificates(tmp_path / "resumed.jsonl")
+        assert res_cert["verdict"] == ref_cert["verdict"] == "impossible"
+        assert res_cert["clauses"] == ref_cert["clauses"]

@@ -29,17 +29,19 @@ RECORDS = [
     QueryRecord(query_id="q2", status=QueryStatus.EXHAUSTED, iterations=30),
 ]
 METRICS = {"forward_run": CacheCounters(hits=5, misses=2)}
-PAYLOAD = (RECORDS, METRICS, 2)
+CERTIFICATES = [{"type": "certificate", "query": "q1", "verdict": "proven"}]
+PAYLOAD = (RECORDS, METRICS, 2, CERTIFICATES)
 
 
 class TestRoundTrip:
     def test_unit_dict_round_trip(self):
         key, payload = unit_from_dict(unit_to_dict(KEY, PAYLOAD))
         assert key == KEY
-        records, metrics, attempts = payload
+        records, metrics, attempts, certificates = payload
         assert records == RECORDS
         assert metrics == METRICS
         assert attempts == 2
+        assert certificates == CERTIFICATES
 
     def test_write_then_load(self, tmp_path):
         path = str(tmp_path / "ckpt.jsonl")

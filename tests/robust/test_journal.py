@@ -1,0 +1,176 @@
+"""The append-only CEGAR search journal: recording, replay, mismatch
+detection, and crash tolerance of the underlying JSONL file."""
+
+import json
+
+import pytest
+
+from repro.core import Tracer, TracerConfig
+from repro.core.stats import QueryStatus
+from repro.lang import parse_program
+from repro.robust.journal import (
+    JOURNAL_VERSION,
+    JournalMismatch,
+    SearchJournal,
+    clause_from_jsonable,
+    clause_to_jsonable,
+    command_from_dict,
+    command_to_dict,
+    load_journal,
+    trace_from_jsonable,
+    trace_to_jsonable,
+)
+from repro.typestate import TypestateClient, TypestateQuery, file_automaton
+
+PROGRAM = parse_program(
+    """
+    x = new File
+    y = x
+    x.open()
+    y.close()
+    observe check1
+    observe check2
+    """
+)
+
+Q_PROVEN = TypestateQuery("check1", frozenset({"closed"}))
+Q_IMPOSSIBLE = TypestateQuery("check2", frozenset({"opened"}))
+
+
+def _client():
+    return TypestateClient(
+        PROGRAM, file_automaton(), "File", frozenset({"x", "y"})
+    )
+
+
+def _config():
+    return TracerConfig(k=5, max_iterations=30)
+
+
+class TestCodecs:
+    def test_clause_round_trip(self):
+        clause = frozenset({("b", False), ("a", True)})
+        encoded = clause_to_jsonable(clause)
+        assert encoded == [["a", True], ["b", False]]  # sorted, stable
+        assert clause_from_jsonable(encoded) == clause
+
+    def test_command_round_trip_covers_the_program(self):
+        from repro.lang.ast import atoms_of
+
+        for command in atoms_of(PROGRAM):
+            encoded = command_to_dict(command)
+            json.dumps(encoded)  # must be JSON-able as-is
+            assert command_from_dict(encoded) == command
+
+    def test_trace_round_trip(self):
+        from repro.lang.ast import atoms_of
+
+        trace = tuple(atoms_of(PROGRAM))
+        assert trace_from_jsonable(trace_to_jsonable(trace)) == trace
+
+
+class TestRecordReplay:
+    def _solve(self, queries, journal):
+        with journal:
+            solved = Tracer(_client(), _config(), journal=journal).solve_all(
+                queries
+            )
+        return solved
+
+    def test_fresh_run_writes_header_and_rounds(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        solved = self._solve([Q_PROVEN], SearchJournal(path))
+        assert solved[Q_PROVEN].status is QueryStatus.PROVEN
+        header, rounds = load_journal(path)
+        assert header["version"] == JOURNAL_VERSION
+        assert header["queries"] == [str(Q_PROVEN)]
+        assert rounds
+        assert all(r["round"] == i + 1 for i, r in enumerate(rounds))
+
+    def test_resume_reproduces_records_bit_identically(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        queries = [Q_PROVEN, Q_IMPOSSIBLE]
+        first = self._solve(queries, SearchJournal(path))
+        second = self._solve(queries, SearchJournal(path, resume=True))
+        for query in queries:
+            a, b = first[query], second[query]
+            assert a.status == b.status
+            assert a.abstraction == b.abstraction
+            assert a.abstraction_cost == b.abstraction_cost
+            assert a.iterations == b.iterations
+            assert a.forward_runs == b.forward_runs
+            assert a.forward_cache_hits == b.forward_cache_hits
+
+    def test_resume_does_not_rerun_recorded_rounds(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        self._solve([Q_PROVEN], SearchJournal(path))
+
+        class ExplodingClient(TypestateClient):
+            def run_forward(self, p):
+                raise AssertionError("replay must not run the analysis")
+
+        client = ExplodingClient(
+            PROGRAM, file_automaton(), "File", frozenset({"x", "y"})
+        )
+        with SearchJournal(path, resume=True) as journal:
+            solved = Tracer(client, _config(), journal=journal).solve_all(
+                [Q_PROVEN]
+            )
+        assert solved[Q_PROVEN].status is QueryStatus.PROVEN
+
+    def test_resume_after_truncated_tail(self, tmp_path):
+        """A SIGKILL mid-append leaves a torn last line; resume must
+        replay the intact prefix and search the rest live."""
+        path = str(tmp_path / "journal.jsonl")
+        self._solve([Q_PROVEN], SearchJournal(path))
+        with open(path, "r+") as handle:
+            content = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(content[: len(content) - 20])  # tear the tail
+        solved = self._solve([Q_PROVEN], SearchJournal(path, resume=True))
+        assert solved[Q_PROVEN].status is QueryStatus.PROVEN
+
+    def test_resume_with_different_queries_rejected(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        self._solve([Q_PROVEN], SearchJournal(path))
+        with pytest.raises(JournalMismatch):
+            self._solve([Q_IMPOSSIBLE], SearchJournal(path, resume=True))
+
+    def test_resume_with_tampered_abstraction_rejected(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        self._solve([Q_PROVEN], SearchJournal(path))
+        lines = open(path).read().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "round" and record.get("abstraction"):
+                record["abstraction"] = ["ghost"]
+            doctored.append(json.dumps(record, sort_keys=True))
+        with open(path, "w") as handle:
+            handle.write("\n".join(doctored) + "\n")
+        with pytest.raises(JournalMismatch):
+            self._solve([Q_PROVEN], SearchJournal(path, resume=True))
+
+    def test_fresh_journal_truncates_stale_file(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        self._solve([Q_IMPOSSIBLE], SearchJournal(path))
+        self._solve([Q_PROVEN], SearchJournal(path))  # fresh, not resume
+        header, _rounds = load_journal(path)
+        assert header["queries"] == [str(Q_PROVEN)]
+
+    def test_journal_emits_replay_events(self, tmp_path):
+        from repro.obs import trace as obs
+        from repro.obs.sinks import MemorySink
+
+        path = str(tmp_path / "journal.jsonl")
+        self._solve([Q_PROVEN], SearchJournal(path))
+        sink = MemorySink()
+        with obs.tracing(sink):
+            self._solve([Q_PROVEN], SearchJournal(path, resume=True))
+        names = [
+            record.get("name")
+            for record in sink.events
+            if record.get("type") == "event"
+        ]
+        assert "journal_replayed" in names

@@ -1,8 +1,10 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_EXHAUSTED, EXIT_IMPOSSIBLE, main
 
 FILE_PROGRAM = """
 x = new File
@@ -56,7 +58,7 @@ class TestSolveTypestate:
                 "opened",
             ]
         )
-        assert code == 0
+        assert code == EXIT_IMPOSSIBLE
         assert "IMPOSSIBLE" in capsys.readouterr().out
 
     def test_narrate_transcript(self, file_prog, capsys):
@@ -139,7 +141,7 @@ class TestSolveEscape:
                 "1",
             ]
         )
-        assert code == 1
+        assert code == EXIT_EXHAUSTED
         assert "UNRESOLVED" in capsys.readouterr().out
 
 
@@ -171,7 +173,7 @@ class TestSolveProvenance:
                 "A",
             ]
         )
-        assert code == 0
+        assert code == EXIT_IMPOSSIBLE
         assert "IMPOSSIBLE" in capsys.readouterr().out
 
     def test_unknown_site_rejected(self, prov_prog):
@@ -309,7 +311,7 @@ class TestRobustFlags:
                 "3",
             ]
         )
-        assert code == 1
+        assert code == EXIT_EXHAUSTED
         assert "UNRESOLVED" in capsys.readouterr().out
 
     def test_inject_is_fatal_under_strict_default(self, file_prog):
@@ -337,7 +339,7 @@ class TestRobustFlags:
                 "--lenient",
             ]
         )
-        assert code == 1
+        assert code == EXIT_EXHAUSTED
         assert "UNRESOLVED" in capsys.readouterr().out
 
     def test_bad_inject_spec_dies(self, file_prog):
@@ -357,6 +359,35 @@ class TestRobustFlags:
         with pytest.raises(SystemExit):
             main(["eval", "--quick", "--resume"])
 
+    def test_journal_and_resume_journal_conflict(self, file_prog, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve-typestate",
+                    file_prog,
+                    "--query",
+                    "check1",
+                    "--journal",
+                    str(tmp_path / "a.jsonl"),
+                    "--resume-journal",
+                    str(tmp_path / "b.jsonl"),
+                ]
+            )
+
+    def test_narrate_rejects_journal(self, file_prog, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve-typestate",
+                    file_prog,
+                    "--query",
+                    "check1",
+                    "--narrate",
+                    "--journal",
+                    str(tmp_path / "j.jsonl"),
+                ]
+            )
+
     def test_eval_quick_with_checkpoint(self, tmp_path, capsys):
         path = str(tmp_path / "ckpt.jsonl")
         code = main(
@@ -371,3 +402,159 @@ class TestRobustFlags:
             ["eval", "--quick", "--jobs", "2", "--checkpoint", path, "--resume"]
         )
         assert code == 0
+
+
+class TestCertify:
+    def solve_certified(self, file_prog, tmp_path, *extra):
+        cert_path = str(tmp_path / "certs.jsonl")
+        main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check1",
+                "--certify-out",
+                cert_path,
+                *extra,
+            ]
+        )
+        return cert_path
+
+    def test_solver_certificate_checks_out(self, file_prog, tmp_path, capsys):
+        cert_path = self.solve_certified(file_prog, tmp_path)
+        code = main(["certify", cert_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1/1 certificates check out" in out
+
+    def test_impossible_certificate_checks_out(
+        self, file_prog, tmp_path, capsys
+    ):
+        cert_path = str(tmp_path / "certs.jsonl")
+        code = main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check2",
+                "--allowed",
+                "opened",
+                "--certify-out",
+                cert_path,
+            ]
+        )
+        assert code == EXIT_IMPOSSIBLE
+        capsys.readouterr()
+        assert main(["certify", cert_path]) == 0
+        assert "impossible" in capsys.readouterr().out
+
+    def test_escape_certificate_checks_out(
+        self, escape_prog, tmp_path, capsys
+    ):
+        cert_path = str(tmp_path / "certs.jsonl")
+        main(
+            [
+                "solve-escape",
+                escape_prog,
+                "--query",
+                "pc",
+                "--var",
+                "u",
+                "--certify-out",
+                cert_path,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["certify", cert_path]) == 0
+
+    def test_tampered_certificate_rejected(self, file_prog, tmp_path, capsys):
+        cert_path = self.solve_certified(file_prog, tmp_path)
+        lines = open(cert_path).read().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "certificate":
+                record["abstraction"] = []  # claim a cheaper abstraction
+            doctored.append(json.dumps(record, sort_keys=True))
+        with open(cert_path, "w") as handle:
+            handle.write("\n".join(doctored) + "\n")
+        code = main(["certify", cert_path])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_corrupt_certificate_file_dies(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "certificate_header", "version": 1}\nnot json\n')
+        with pytest.raises(SystemExit):
+            main(["certify", str(path)])
+
+    def test_eval_certificates_check_out(self, tmp_path, capsys):
+        cert_path = str(tmp_path / "eval-certs.jsonl")
+        code = main(["eval", "--quick", "--certify-out", cert_path])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["certify", cert_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "certificates check out" in out
+        assert "FAIL" not in out
+
+
+class TestJournalFlags:
+    def test_resume_replays_to_identical_verdict(
+        self, file_prog, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "journal.jsonl")
+        first_cert = str(tmp_path / "first.jsonl")
+        second_cert = str(tmp_path / "second.jsonl")
+        code = main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check1",
+                "--journal",
+                journal,
+                "--certify-out",
+                first_cert,
+            ]
+        )
+        assert code == 0
+        first_out = capsys.readouterr().out
+        code = main(
+            [
+                "solve-typestate",
+                file_prog,
+                "--query",
+                "check1",
+                "--resume-journal",
+                journal,
+                "--certify-out",
+                second_cert,
+            ]
+        )
+        assert code == 0
+        second_out = capsys.readouterr().out
+        assert "PROVEN" in first_out and "PROVEN" in second_out
+        assert open(first_cert).read() == open(second_cert).read()
+
+
+class TestSelfcheck:
+    def test_typestate_passes(self, file_prog, capsys):
+        code = main(["selfcheck", "typestate", file_prog])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK:" in out
+
+    def test_escape_passes(self, escape_prog, capsys):
+        code = main(["selfcheck", "escape", escape_prog])
+        assert code == 0
+
+    def test_provenance_passes(self, escape_prog, capsys):
+        code = main(["selfcheck", "provenance", escape_prog])
+        assert code == 0
+
+    def test_unknown_analysis_rejected(self, file_prog):
+        with pytest.raises(SystemExit):
+            main(["selfcheck", "nonsense", file_prog])
