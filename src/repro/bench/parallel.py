@@ -111,6 +111,13 @@ class WorkUnit:
 #: preparing from the unit description.
 _INSTANCES: Dict[Tuple[str, int], BenchmarkInstance] = {}
 
+#: Cross-token memo of *suite* benchmarks, keyed by name alone.  The
+#: shared pool outlives a single evaluation, so a worker forked during
+#: evaluation N serves units of evaluation N+1 whose token it never saw
+#: seeded; suite programs are deterministic functions of their name, so
+#: the instance synthesized under the old token is still the right one.
+_STANDARD: Dict[str, BenchmarkInstance] = {}
+
 
 def _seed_instance(bench: BenchmarkInstance) -> int:
     """Register ``bench`` in the process-local memo and return its
@@ -118,15 +125,23 @@ def _seed_instance(bench: BenchmarkInstance) -> int:
     start with the instance already in memory."""
     token = next(_seed_tokens)
     _INSTANCES[(bench.name, token)] = bench
+    if bench.standard:
+        _STANDARD.setdefault(bench.name, bench)
     return token
 
 
 def _instance(unit: WorkUnit) -> BenchmarkInstance:
     key = (unit.benchmark, unit.token)
     bench = _INSTANCES.get(key)
+    if bench is None and unit.front is None:
+        bench = _STANDARD.get(unit.benchmark)
+        if bench is not None:
+            _INSTANCES[key] = bench
     if bench is None:
         bench = prepare(unit.benchmark, unit.front)
         _INSTANCES[key] = bench
+        if unit.front is None and bench.standard:
+            _STANDARD.setdefault(unit.benchmark, bench)
     return bench
 
 

@@ -88,6 +88,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-iterations", type=int, default=60)
     parser.add_argument("--narrate", action="store_true",
                         help="print the full Figure-1 style transcript")
+    parser.add_argument(
+        "--engine", choices=("interpreted", "compiled"), default="interpreted",
+        help="forward-phase engine: 'compiled' runs the bitset kernel "
+             "(bit-identical verdicts, faster); default interpreted",
+    )
     _add_robust(parser)
     _add_journal(parser)
     _add_obs(parser)
@@ -170,6 +175,7 @@ def _config(args) -> TracerConfig:
         max_seconds=getattr(args, "max_seconds", None),
         max_steps=getattr(args, "max_steps", None),
         strict=not getattr(args, "lenient", False),
+        engine=getattr(args, "engine", "interpreted"),
     )
 
 
@@ -438,12 +444,17 @@ def _cmd_eval(args) -> int:
         certify=bool(args.certify_out),
     )
 
+    config = TracerConfig(
+        k=args.k, max_iterations=30, engine=getattr(args, "engine", "interpreted")
+    )
+
     def run():
         # With worker processes the plan ships inside ``options``; on
         # the serial path it installs ambiently around the whole run.
         with fault_scope(plan if args.jobs <= 1 else None):
             return full_report(
-                names=names, k=args.k, jobs=args.jobs, options=options
+                names=names, k=args.k, jobs=args.jobs, options=options,
+                config=config,
             )
 
     sink = _build_sink(args)
@@ -713,6 +724,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="only the 4 smallest benchmarks"
     )
     evaluation.add_argument("--k", type=_beam, default=5, metavar="K")
+    evaluation.add_argument(
+        "--engine", choices=("interpreted", "compiled"), default="interpreted",
+        help="forward-phase engine for every workload (see --engine above)",
+    )
     evaluation.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan independent workloads across N worker processes",

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.lru import LruCache
+from repro.obs import metrics as obs_metrics
 
 #: Distinguishes "absent" from a cached ``None`` (an unsatisfiable cube).
 _CACHE_MISS = object()
@@ -288,6 +289,32 @@ class Theory:
             cache.put(literals, result)
         return result
 
+    #: Bounds on the per-theory :func:`to_dnf` / :func:`simplify` memos.
+    #: The backward pass converts and simplifies the same post-state
+    #: formulas once per trace suffix; both operations are pure
+    #: functions of (hashable) formula identity, so results are shared
+    #: across iterations and queries of one theory instance.
+    DNF_CACHE_SIZE = 100_000
+    SIMPLIFY_CACHE_SIZE = 100_000
+
+    def _dnf_memo(self) -> LruCache:
+        cache = getattr(self, "_dnf_cache", None)
+        if cache is None:
+            cache = self._dnf_cache = LruCache(self.DNF_CACHE_SIZE)
+            obs_metrics.register_cache(
+                f"dnf_memo.{type(self).__name__}", cache
+            )
+        return cache
+
+    def _simplify_memo(self) -> LruCache:
+        cache = getattr(self, "_simplify_cache", None)
+        if cache is None:
+            cache = self._simplify_cache = LruCache(self.SIMPLIFY_CACHE_SIZE)
+            obs_metrics.register_cache(
+                f"simplify_memo.{type(self).__name__}", cache
+            )
+        return cache
+
 
 class ExclusiveValueTheory(Theory):
     """A theory whose primitives assert ``location = value`` facts.
@@ -463,9 +490,21 @@ def to_dnf(
     the conversion; exceeding it raises :class:`FormulaExplosion`.
     The result's cubes are sorted by size, matching ``toDNF`` of
     Figure 8.
+
+    Successful conversions are memoised per theory, keyed on the
+    (hashable) formula plus the budget — the budget must be in the key
+    because whether a conversion explodes depends on the *intermediate*
+    cube counts it allows.  Explosions are never cached: a later call
+    with a larger budget must get its chance to succeed.
     """
-    cubes = _dnf_cubes(formula, theory, max_cubes)
-    return Dnf(_sorted_cubes(cubes))
+    cache = theory._dnf_memo()
+    key = (formula, max_cubes)
+    result = cache.get(key, _CACHE_MISS)
+    if result is _CACHE_MISS:
+        cubes = _dnf_cubes(formula, theory, max_cubes)
+        result = Dnf(_sorted_cubes(cubes))
+        cache.put(key, result)
+    return result
 
 
 def _dnf_cubes(
@@ -528,13 +567,21 @@ def simplify(dnf: Dnf, theory: Theory) -> Dnf:
 
     This is ``simplify`` of Figure 8 and is semantics-preserving: a
     removed cube denotes a subset of a kept one.
+
+    Memoised per theory on the cube tuple: the backward pass simplifies
+    the same post-state DNFs once per trace suffix.
     """
-    kept: List[Cube] = []
-    for cube in dnf.cubes:
-        if any(cube_entails(cube, earlier, theory) for earlier in kept):
-            continue
-        kept.append(cube)
-    return Dnf(tuple(kept))
+    cache = theory._simplify_memo()
+    result = cache.get(dnf.cubes, _CACHE_MISS)
+    if result is _CACHE_MISS:
+        kept: List[Cube] = []
+        for cube in dnf.cubes:
+            if any(cube_entails(cube, earlier, theory) for earlier in kept):
+                continue
+            kept.append(cube)
+        result = Dnf(tuple(kept))
+        cache.put(dnf.cubes, result)
+    return result
 
 
 def merge_cubes(dnf: Dnf, theory: Theory) -> Dnf:

@@ -24,7 +24,7 @@ class LruCache:
     degrades gracefully instead of thrashing.
     """
 
-    __slots__ = ("max_entries", "_entries", "hits", "misses")
+    __slots__ = ("max_entries", "_entries", "hits", "misses", "__weakref__")
 
     def __init__(self, max_entries: int):
         if max_entries <= 0:

@@ -745,6 +745,21 @@ class CompiledCommand:
             fn = self._apply = self._compile_apply()
         return fn(p, d)
 
+    def specialisation_key(self, p) -> object:
+        """The cache key identifying ``p``'s specialisation of this
+        table: its *parameter footprint* — the truth values of the
+        parameter primitives the table consults — when known, else
+        ``p`` itself.  Abstractions sharing a footprint share one
+        specialised step; the compiled bitset kernel keys its
+        per-command functions on the same value."""
+        prims = self._param_prims
+        if prims is None:
+            return p
+        if prims:
+            theory = self.binding.theory
+            return tuple(theory.holds(prim, p, None) for prim in prims)
+        return ()
+
     def bind(self, p) -> Callable:
         """A specialised step ``d -> d'`` for the fixed abstraction.
 
@@ -756,14 +771,7 @@ class CompiledCommand:
         closure across every abstraction."""
         if self._all_identity:
             return _identity_step
-        prims = self._param_prims
-        if prims is None:
-            key = p
-        elif prims:
-            theory = self.binding.theory
-            key = tuple(theory.holds(prim, p, None) for prim in prims)
-        else:
-            key = ()
+        key = self.specialisation_key(p)
         fn = self._bound.get(key)
         if fn is None:
             fn = self._bound[key] = self._compile_bound(p)

@@ -23,10 +23,23 @@ rules pin to (see :mod:`repro.robust.faults`).  Results arrive keyed
 by item index, so callers merge them in submission order regardless of
 completion order — determinism is preserved across crashes and
 retries.
+
+The executor itself is a module-level **shared pool**: the first wave
+spawns it and every later wave — and every later :func:`run_units`
+call in the process — reuses it, so worker startup is paid once per
+process instead of once per evaluation.  The pool is discarded and
+respawned only when it must be (a broken pool or a timed-out wave
+whose workers had to be killed), or when a wave needs more workers
+than the live pool has.  :func:`pool_stats` exposes the
+created/reused/respawned counters so benchmarks can report how often
+the pool survived; :func:`shutdown_shared_pool` tears it down (also
+registered via ``atexit``).
 """
 
 from __future__ import annotations
 
+import atexit
+import gc
 import math
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -34,7 +47,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["RetryPolicy", "UnitOutcome", "run_units"]
+__all__ = [
+    "RetryPolicy",
+    "UnitOutcome",
+    "pool_stats",
+    "run_units",
+    "shutdown_shared_pool",
+]
 
 
 @dataclass(frozen=True)
@@ -88,6 +107,92 @@ def _kill_lingering_workers(pool: ProcessPoolExecutor) -> None:
             pass
 
 
+# The process-wide shared pool.  ``_SHARED_WORKERS`` records its size so
+# acquisition can tell whether the live pool satisfies a wave's needs.
+_SHARED: Optional[ProcessPoolExecutor] = None
+_SHARED_WORKERS: int = 0
+_STATS: Dict[str, int] = {
+    "created": 0,
+    "reused": 0,
+    "respawned": 0,
+    "discarded": 0,
+}
+
+
+def pool_stats() -> Dict[str, int]:
+    """A snapshot of the shared-pool lifecycle counters.
+
+    ``created`` counts cold starts (no pool existed), ``reused`` waves
+    served by an already-live pool, ``respawned`` replacements of a
+    live pool (wrong size for the wave), and ``discarded`` teardowns
+    forced by broken pools or timed-out waves.
+    """
+    return dict(_STATS)
+
+
+def _discard_shared_pool(kill: bool = False) -> None:
+    global _SHARED, _SHARED_WORKERS
+    pool, _SHARED, _SHARED_WORKERS = _SHARED, None, 0
+    if pool is None:
+        return
+    if kill:
+        _STATS["discarded"] += 1
+        pool.shutdown(wait=False, cancel_futures=True)
+        _kill_lingering_workers(pool)
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool (idempotent; also runs at exit)."""
+    _discard_shared_pool(kill=False)
+
+
+atexit.register(shutdown_shared_pool)
+
+
+def _worker_initializer() -> None:
+    """Runs once in every freshly spawned worker.
+
+    Workers are batch processors of short-lived units: refcounting
+    reclaims their (overwhelmingly acyclic) analysis garbage the
+    moment it drops, so the cycle collector mostly burns time walking
+    the large heap the worker inherited from the parent — and, on
+    fork platforms, every generation sweep dirties inherited
+    copy-on-write pages.  Cyclic garbage merely accrues until the pool
+    is respawned, which is bounded by one evaluation's working set.
+    """
+    gc.disable()
+
+
+def _acquire_pool(workers: int, max_workers: int) -> ProcessPoolExecutor:
+    """Return a pool with at least ``workers`` and at most
+    ``max_workers`` workers, reusing the shared one when it fits.
+
+    The upper bound matters: a caller that asked for ``max_workers=1``
+    (say, to bound memory) must not inherit a wider pool left over
+    from an earlier evaluation.
+    """
+    global _SHARED, _SHARED_WORKERS
+    if _SHARED is not None:
+        if workers <= _SHARED_WORKERS <= max_workers:
+            _STATS["reused"] += 1
+            return _SHARED
+        _discard_shared_pool(kill=False)
+        _STATS["respawned"] += 1
+    else:
+        _STATS["created"] += 1
+    # Move the parent's long-lived heap into the permanent generation
+    # before forking: neither parent nor child generation sweeps will
+    # rewrite those objects' GC headers, so the forked pages stay
+    # shared instead of being copied on the first collection.
+    gc.freeze()
+    _SHARED = ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_initializer
+    )
+    _SHARED_WORKERS = workers
+    return _SHARED
+
+
 def run_units(
     fn: Callable,
     items: Sequence[object],
@@ -108,16 +213,32 @@ def run_units(
             wave_timeout = policy.unit_timeout * math.ceil(
                 len(pending) / workers
             )
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = _acquire_pool(workers, max_workers)
         needs_kill = False
+        failed_this_wave: List[int] = []
         try:
             futures = {}
             for index in pending:
                 outcomes[index].attempts += 1
-                futures[pool.submit(fn, items[index], outcomes[index].attempts - 1)] = index
+                try:
+                    future = pool.submit(
+                        fn, items[index], outcomes[index].attempts - 1
+                    )
+                except BrokenProcessPool:
+                    # A warm pool can break *while we are still
+                    # submitting* (a just-submitted unit killed its
+                    # worker before the loop finished); submit then
+                    # raises synchronously.  Charge the unit a crashed
+                    # attempt, same as if its future had failed.
+                    needs_kill = True
+                    outcomes[index].errors.append(
+                        f"worker crashed (attempt {outcomes[index].attempts})"
+                    )
+                    failed_this_wave.append(index)
+                    continue
+                futures[future] = index
             deadline = None if wave_timeout is None else monotonic() + wave_timeout
             not_done = set(futures)
-            failed_this_wave: List[int] = []
             while not_done:
                 remaining = None
                 if deadline is not None:
@@ -158,10 +279,10 @@ def run_units(
                     else:
                         outcomes[index].result = result
         finally:
+            # A healthy pool stays alive for the next wave (and the
+            # next run_units call); only broken/timed-out pools die.
             if needs_kill:
-                pool.shutdown(wait=False, cancel_futures=True)
-                _kill_lingering_workers(pool)
-            pool.shutdown(wait=True, cancel_futures=True)
+                _discard_shared_pool(kill=True)
         next_pending: List[int] = []
         for index in failed_this_wave:
             outcome = outcomes[index]

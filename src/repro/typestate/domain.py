@@ -44,5 +44,12 @@ class TsState:
         vs = "{" + ", ".join(sorted(self.vs)) + "}"
         return f"({ts}, {vs})"
 
+    def __repr__(self) -> str:
+        # Canonical (sorted) — the dataclass default interpolates raw
+        # frozensets, whose iteration order depends on insertion
+        # history, and ``states_at`` sorts states by repr: equal states
+        # must repr identically no matter which engine built them.
+        return f"TsState{self}"
+
 
 TsAbstract = Union[TsState, TsTop]

@@ -1,0 +1,331 @@
+"""The compiled bitset kernel must be observationally identical to the
+interpreted engine.
+
+The kernel (:mod:`repro.core.kernel`) is a pure performance substitute
+for the collecting interpreter: every forward-phase observable the
+TRACER loop and the certificate machinery consume — per-node state
+sets, first-derivation witnesses, traces, observe-point annotations,
+step counts, budget ticks — must match bit-for-bit, or CEGAR takes a
+different refinement path and verdicts/certificates silently diverge.
+
+The equivalence tests sweep seeded random programs for all three
+bundled clients plus suite benchmarks; the unit tests pin the codec
+round-trips and the two fallback paths (non-lowerable command, and an
+entry state outside the bitset layout).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.core.kernel as kernel_mod
+from repro.bench.harness import escape_setup, prepare, typestate_setup
+from repro.core.kernel import KernelEngine
+from repro.core.tracer import Tracer, TracerConfig
+from repro.dataflow.bitset import KernelFallback
+from repro.escape.client import EscapeClient
+from repro.escape.domain import EscSchema
+from repro.lang.universe import collect_universe
+from repro.provenance.client import ProvenanceClient
+from repro.provenance.domain import PT_TOP, PtSchema, PtState
+from repro.robust.budget import Budget, budget_scope
+from repro.robust.certify import annotation_digest
+from repro.typestate.automaton import file_automaton
+from repro.typestate.client import TypestateClient
+from tests.randprog import (
+    FIELDS,
+    SITES,
+    VARS,
+    random_escape_program,
+    random_typestate_program,
+)
+
+
+def abstractions_for(client):
+    """Bottom, every singleton, one pair, and the full universe."""
+    space = client.analysis.param_space
+    universe = sorted(getattr(space, "universe", None) or space.keys)
+    out = [frozenset()]
+    out += [frozenset({x}) for x in universe]
+    if len(universe) >= 2:
+        out.append(frozenset(universe[:2]))
+    out.append(frozenset(universe))
+    return list(dict.fromkeys(out))
+
+
+def assert_engines_agree(client, p):
+    """Interpreted and compiled forward runs must agree on every
+    observable: states, witnesses, traces, observe annotations, steps,
+    and digests."""
+    client.use_engine("interpreted")
+    ref = client.run_forward(p)
+    mode = client.use_engine("compiled")
+    got = client.run_forward(p)
+    client.use_engine("interpreted")
+    if mode != "compiled":
+        pytest.skip("client has no compiled kernel")
+
+    mat = got.materialize()
+    assert got.steps == ref.steps
+    assert mat.steps == ref.steps
+    assert mat.entry_state == ref.entry_state
+    assert set(mat.states) == set(ref.states)
+    for node, table in ref.states.items():
+        got_table = mat.states[node]
+        assert set(table) == set(got_table), node
+        for state, witness in table.items():
+            got_witness = got_table[state]
+            if witness is None:
+                assert got_witness is None, (node, state)
+            else:
+                # Same predecessor node+state, and the *same edge
+                # object* — traces rebuilt from either engine replay
+                # identical command sequences.
+                assert got_witness is not None, (node, state)
+                assert witness[0] == got_witness[0], (node, state)
+                assert witness[1] == got_witness[1], (node, state)
+                assert witness[2] is got_witness[2], (node, state)
+        for state in table:
+            assert ref.trace_to(node, state) == got.trace_to(node, state)
+    for label in client.cfg.observe_edges():
+        assert ref.states_before_observe(label) == got.states_before_observe(
+            label
+        ), label
+        assert annotation_digest(ref, label) == annotation_digest(got, label)
+
+
+def typestate_client(seed):
+    rng = random.Random(seed)
+    program = random_typestate_program(rng, length=7)
+    return TypestateClient(program, file_automaton(), "h1", frozenset(VARS))
+
+
+def escape_client(seed):
+    rng = random.Random(seed + 1000)
+    program = random_escape_program(rng, length=7)
+    return EscapeClient(program, EscSchema(VARS, FIELDS), frozenset(SITES))
+
+
+def provenance_client(seed):
+    rng = random.Random(seed + 2000)
+    program = random_escape_program(rng, length=7)
+    return ProvenanceClient(program, PtSchema(VARS), frozenset(SITES))
+
+
+class TestEngineEquivalenceRandom:
+    """Property sweep: seeded random programs, all three clients, all
+    abstractions of the (small) parameter universe."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_typestate(self, seed):
+        client = typestate_client(seed)
+        for p in abstractions_for(client):
+            assert_engines_agree(client, p)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_escape(self, seed):
+        client = escape_client(seed)
+        for p in abstractions_for(client):
+            assert_engines_agree(client, p)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_provenance(self, seed):
+        client = provenance_client(seed)
+        for p in abstractions_for(client):
+            assert_engines_agree(client, p)
+
+
+class TestEngineEquivalenceSuite:
+    """Suite benchmarks: one escape, one typestate, one provenance
+    client per program, bottom/singleton/full abstractions."""
+
+    @pytest.mark.parametrize("name", ["tsp", "elevator"])
+    def test_suite_clients(self, name):
+        bench = prepare(name)
+        clients = [escape_setup(bench)[0]]
+        clients += [c for c, _queries in typestate_setup(bench)[:1]]
+        universe = collect_universe(bench.inlined.program)
+        clients.append(
+            ProvenanceClient(
+                bench.inlined.program,
+                PtSchema(universe.variables),
+                universe.sites,
+            )
+        )
+        for client in clients:
+            space = client.analysis.param_space
+            keys = sorted(getattr(space, "universe", None) or space.keys)
+            for p in (
+                frozenset(),
+                frozenset(keys[:1]),
+                frozenset(keys),
+            ):
+                assert_engines_agree(client, p)
+
+    def test_observe_order_is_engine_independent(self):
+        """Regression: ``states_at`` orders states by ``repr``, and a
+        dataclass-default repr interpolating raw frozensets depends on
+        set insertion history — interpreter-built and codec-decoded
+        equal states then sort differently under some hash seeds.
+        Every bundled state type now reprs canonically (sorted), so
+        the observe-point annotation order must match exactly."""
+        bench = prepare("elevator")
+        for client, _queries in typestate_setup(bench):
+            space = client.analysis.param_space
+            full = frozenset(space.universe)
+            client.use_engine("interpreted")
+            ref = client.run_forward(full)
+            client.use_engine("compiled")
+            got = client.run_forward(full)
+            client.use_engine("interpreted")
+            for label in client.cfg.observe_edges():
+                assert ref.states_before_observe(
+                    label
+                ) == got.states_before_observe(label), label
+
+
+class TestBudgetParity:
+    """The compiled loop must charge the same step budget as the
+    interpreted loop — budget exhaustion mid-search is an observable
+    the CEGAR journal records."""
+
+    def test_tick_counts_match(self):
+        client = typestate_client(3)
+        for p in abstractions_for(client):
+            client.use_engine("interpreted")
+            ref_budget = Budget(max_steps=10**9)
+            with budget_scope(ref_budget):
+                client.run_forward(p)
+            client.use_engine("compiled")
+            got_budget = Budget(max_steps=10**9)
+            with budget_scope(got_budget):
+                client.run_forward(p)
+            client.use_engine("interpreted")
+            assert ref_budget.steps == got_budget.steps, p
+
+
+class TestCodecRoundTrip:
+    """encode/decode must be exact inverses on every reachable state,
+    for the full codec and for every footprint-narrowed codec."""
+
+    @pytest.mark.parametrize(
+        "make_client",
+        [typestate_client, escape_client, provenance_client],
+        ids=["typestate", "escape", "provenance"],
+    )
+    def test_reachable_states_round_trip(self, make_client):
+        client = make_client(0)
+        codec = client._kernel_codec()
+        assert codec is not None
+        for p in abstractions_for(client):
+            narrow_key = codec.narrow_key(p)
+            scoped = codec if narrow_key is None else codec.narrow(p)
+            result = client.run_forward(p)
+            seen = 0
+            for node in result.states:
+                for state in result.states[node]:
+                    bits = scoped.encode(state)
+                    assert scoped.decode(bits) == state, (p, state)
+                    seen += 1
+            assert seen > 0
+
+    def test_narrowed_codec_layout_is_smaller(self):
+        """Narrowing a provenance codec to a sub-footprint must shrink
+        the layout (that is its point: fewer bits, smaller tables)."""
+        client = provenance_client(0)
+        codec = client._kernel_codec()
+        sub = frozenset(list(SITES)[:1])
+        assert codec.narrow_key(sub) is not None
+        narrowed = codec.narrow(sub)
+        assert (
+            narrowed.layout.full_mask.bit_count()
+            < codec.layout.full_mask.bit_count()
+        )
+        # Narrowing to the full universe is the identity case.
+        assert codec.narrow_key(frozenset(SITES)) is None
+
+
+class TestFallback:
+    """When a command cannot be lowered the engine must degrade to an
+    interpreted per-command closure, not fail or diverge."""
+
+    def test_lowering_failure_falls_back_and_stays_identical(
+        self, monkeypatch
+    ):
+        def always_fallback(compiled, codec, p):
+            raise KernelFallback("forced by test")
+
+        client = typestate_client(1)
+        client.use_engine("interpreted")
+        refs = [
+            client.run_forward(p).states for p in abstractions_for(client)
+        ]
+        monkeypatch.setattr(kernel_mod, "lower_command", always_fallback)
+        assert client.use_engine("compiled") == "compiled"
+        engine = client._kernel_engine
+        for p, ref_states in zip(abstractions_for(client), refs):
+            assert client.run_forward(p).materialize().states == ref_states
+        assert engine.fallbacks > 0
+        client.use_engine("interpreted")
+
+    def test_standard_clients_lower_without_fallback(self):
+        """The bundled clients' semantics are fully lowerable — a
+        fallback here would silently forfeit the kernel speedup."""
+        for make_client in (typestate_client, escape_client, provenance_client):
+            client = make_client(2)
+            assert client.use_engine("compiled") == "compiled"
+            for p in abstractions_for(client):
+                client.run_forward(p)
+            assert client._kernel_engine.fallbacks == 0
+            client.use_engine("interpreted")
+
+    def test_unencodable_entry_state_runs_interpreted(self):
+        """An entry state outside the bitset layout (here: a points-to
+        set naming an untracked site) must route the whole run to the
+        inner engine instead of raising."""
+        client = provenance_client(4)
+        assert client.use_engine("compiled") == "compiled"
+        engine = client.engine
+        assert isinstance(engine, KernelEngine)
+        schema = client.schema
+        weird = PtState(
+            schema,
+            tuple(
+                frozenset({"not_a_site"}) if i == 0 else PT_TOP
+                for i in range(len(schema.variables))
+            ),
+        )
+        p = frozenset(SITES)
+        step = client.analysis.semantics.bound_step(p)
+        result = engine.run(step, weird)
+        expected = engine.inner.run(step, weird)
+        assert result.states == expected.states
+        assert result.steps == expected.steps
+        client.use_engine("interpreted")
+
+
+class TestEngineConfig:
+    """``TracerConfig.engine`` must thread through the solver: the
+    verdict, iteration count, and annotation digest of a query are
+    engine-independent."""
+
+    def test_solver_records_match_across_engines(self):
+        bench = prepare("tsp")
+        client, queries = typestate_setup(bench)[0]
+        records = {}
+        for engine in ("interpreted", "compiled"):
+            config = TracerConfig(k=5, max_iterations=30, engine=engine)
+            solved = Tracer(client, config).solve_all(queries)
+            records[engine] = [
+                (
+                    record.query_id,
+                    record.status.value,
+                    record.abstraction,
+                    record.iterations,
+                )
+                for record in (solved[q] for q in queries)
+            ]
+        client.use_engine("interpreted")
+        assert records["interpreted"] == records["compiled"]
