@@ -303,6 +303,72 @@ def smoke_evaluation():
     }
 
 
+def serve_warm():
+    """Warm-vs-cold serving through the resident session + knowledge
+    store (docs/SERVING.md).
+
+    One fresh session with an empty store runs every smoke workload
+    cold (recording each finished search), then a second fresh session
+    re-opens the same store file and runs the identical workloads —
+    the warm pass must answer every unit from the store's replay tier
+    (store hit rate 1.0, zero forward fixpoint re-runs for proven
+    queries) with verdicts identical to the cold pass.  Records the
+    two wall times, the hit rate, and the equivalence bit the
+    acceptance gate watches.
+    """
+    import tempfile
+
+    from repro.core.tracer import TracerConfig
+    from repro.serve.session import AnalysisSession
+    from repro.serve.store import KnowledgeStore
+
+    config = TracerConfig(k=5, max_iterations=30)
+    store_path = os.path.join(
+        tempfile.gettempdir(), f"bench_smoke_store_{os.getpid()}.jsonl"
+    )
+    if os.path.exists(store_path):
+        os.remove(store_path)
+
+    def run_pass():
+        with KnowledgeStore(store_path) as store:
+            session = AnalysisSession(store=store)
+            verdicts = {}
+            modes = []
+            started = time.perf_counter()
+            for name in SMOKE_BENCHMARKS:
+                for analysis in SMOKE_ANALYSES:
+                    for index, queries, result in session.solve_benchmark(
+                        name, analysis, config
+                    ):
+                        modes.append(result.mode)
+                        for query in queries:
+                            record = result.records[query]
+                            verdicts[f"{name}/{analysis}/{index}/{query}"] = (
+                                record.status.value,
+                                record.iterations,
+                            )
+            seconds = time.perf_counter() - started
+            hit_rate = store.hit_rate
+        return seconds, verdicts, modes, hit_rate
+
+    cold_seconds, cold_verdicts, cold_modes, _ = run_pass()
+    warm_seconds, warm_verdicts, warm_modes, warm_hit_rate = run_pass()
+    os.remove(store_path)
+    return {
+        "benchmarks": list(SMOKE_BENCHMARKS),
+        "analyses": list(SMOKE_ANALYSES),
+        "units": len(cold_modes),
+        "queries": len(cold_verdicts),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2) if warm_seconds else 0.0,
+        "cold_modes": sorted(set(cold_modes)),
+        "warm_modes": sorted(set(warm_modes)),
+        "warm_store_hit_rate": round(warm_hit_rate, 4),
+        "warm_matches_cold": warm_verdicts == cold_verdicts,
+    }
+
+
 def tracing_overhead():
     """Cost of the observability layer on one fixed workload.
 
@@ -382,6 +448,7 @@ def main(argv=None):
             for key, value in forward.items()
         },
         "evaluation": smoke_evaluation(),
+        "serve_warm": serve_warm(),
         "tracing_overhead": tracing_overhead(),
     }
     report["total_seconds"] = round(time.perf_counter() - started, 4)

@@ -1,0 +1,165 @@
+"""Serve smoke check: the daemon warm-starts repeat submissions.
+
+Starts a ``repro serve`` daemon with a fresh knowledge store, submits
+every paper benchmark twice, and asserts the serving contract
+(docs/SERVING.md):
+
+1. the first pass runs cold (the store is empty) and records every
+   finished search;
+2. the second pass answers every unit from the store's replay tier —
+   ``store hits > 0``, every unit mode ``"replay"``, and per-query
+   verdicts identical to the first pass;
+3. daemon verdicts match a one-shot in-process evaluation of the same
+   workloads under the same config (the daemon is an optimisation,
+   never a different answer).
+
+Exit code 0 on success, 1 with a diagnostic on any violation::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--analysis typestate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.suite import BENCHMARK_NAMES  # noqa: E402
+from repro.serve.client import ServeClient, ServeError  # noqa: E402
+
+MAX_ITERATIONS = 30
+
+
+def start_daemon(socket_path: str, store_path: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", socket_path,
+            "--store", store_path,
+            "--max-iterations", str(MAX_ITERATIONS),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if daemon.poll() is not None:
+            stderr = daemon.stderr.read().decode()
+            raise RuntimeError(f"daemon died on startup:\n{stderr}")
+        if os.path.exists(socket_path):
+            try:
+                ServeClient(socket_path, timeout=5).ping()
+                return daemon
+            except ServeError:
+                pass
+        time.sleep(0.1)
+    daemon.kill()
+    raise RuntimeError("daemon did not come up within 30s")
+
+
+def submit_pass(client: ServeClient, analysis: str):
+    """One submission sweep; returns (verdicts by qid, modes, hits)."""
+    verdicts = {}
+    modes = []
+    hits = 0
+    for name in BENCHMARK_NAMES:
+        reply = client.solve_benchmark(name, analysis)
+        modes.extend(reply["modes"])
+        hits += reply["store_hits"]
+        for entry in reply["results"]:
+            verdicts[f"{name}:{entry['query']}"] = entry["verdict"]
+    return verdicts, modes, hits
+
+
+def one_shot_verdicts(analysis: str):
+    """The same workloads evaluated in-process with no daemon and no
+    store — the baseline the served verdicts must match."""
+    from repro.bench.harness import evaluate_benchmark, prepare
+    from repro.core.tracer import TracerConfig
+
+    # Mirror the daemon's request config: `repro serve` defaults plus
+    # the --max-iterations passed above (strict and engine are the
+    # TracerConfig defaults on both sides).
+    config = TracerConfig(k=5, max_iterations=MAX_ITERATIONS)
+    verdicts = {}
+    for name in BENCHMARK_NAMES:
+        result = evaluate_benchmark(prepare(name), analysis, config)
+        for record in result.records:
+            verdicts[f"{name}:{record.query_id}"] = record.status.value
+    return verdicts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--analysis", default="typestate")
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    socket_path = os.path.join(workdir, "serve.sock")
+    store_path = os.path.join(workdir, "store.jsonl")
+    failures = []
+
+    daemon = start_daemon(socket_path, store_path)
+    client = ServeClient(socket_path)
+    try:
+        cold, cold_modes, cold_hits = submit_pass(client, args.analysis)
+        warm, warm_modes, warm_hits = submit_pass(client, args.analysis)
+        stats = client.stats()
+    finally:
+        try:
+            client.shutdown()
+            daemon.wait(timeout=15)
+        except (ServeError, subprocess.TimeoutExpired):
+            daemon.kill()
+
+    print(f"{len(BENCHMARK_NAMES)} benchmarks x {args.analysis}: "
+          f"{len(cold)} queries")
+    print(f"cold pass: modes={sorted(set(cold_modes))} hits={cold_hits}")
+    print(f"warm pass: modes={sorted(set(warm_modes))} hits={warm_hits}")
+    print(f"store: {stats.get('store')}")
+
+    if cold_hits != 0:
+        failures.append(f"cold pass hit the store ({cold_hits} hits)")
+    if set(cold_modes) != {"cold"}:
+        failures.append(f"cold pass modes {sorted(set(cold_modes))}, "
+                        "expected all 'cold'")
+    if warm_hits == 0:
+        failures.append("warm pass had zero store hits")
+    if set(warm_modes) != {"replay"}:
+        failures.append(f"warm pass modes {sorted(set(warm_modes))}, "
+                        "expected all 'replay'")
+    if warm != cold:
+        diff = {k for k in set(cold) | set(warm) if cold.get(k) != warm.get(k)}
+        failures.append(f"warm verdicts differ from cold: {sorted(diff)[:5]}")
+
+    baseline = one_shot_verdicts(args.analysis)
+    if cold != baseline:
+        diff = {
+            k for k in set(cold) | set(baseline)
+            if cold.get(k) != baseline.get(k)
+        }
+        failures.append(
+            f"served verdicts differ from one-shot: {sorted(diff)[:5]}"
+        )
+    else:
+        print("served verdicts match one-shot in-process evaluation")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,7 +52,20 @@ class BenchmarkInstance:
 
 
 def prepare(name: str, front: Optional[FrontProgram] = None) -> BenchmarkInstance:
-    """Synthesize (or accept) a program and run the front-end pipeline."""
+    """Synthesize (or accept) a program and run the front-end pipeline,
+    memoized per suite name on the process-wide
+    :class:`~repro.serve.session.AnalysisSession` (the pipeline is
+    deterministic, so a resident instance is equivalent to a fresh
+    one)."""
+    from repro.serve.session import process_session
+
+    return process_session().prepare(name, front)
+
+
+def prepare_uncached(
+    name: str, front: Optional[FrontProgram] = None
+) -> BenchmarkInstance:
+    """The un-memoized pipeline behind :func:`prepare`."""
     standard = front is None
     if front is None:
         front = benchmark(name)

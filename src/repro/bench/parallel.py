@@ -37,7 +37,6 @@ Entry points:
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -48,7 +47,6 @@ from repro.bench.harness import (
     EvalResult,
     analysis_setups,
     counters_from_metrics,
-    prepare,
 )
 from repro.core.stats import CacheCounters, QueryRecord
 from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
@@ -66,9 +64,10 @@ from repro.robust.checkpoint import (
 from repro.robust.faults import FaultPlan
 from repro.robust.pool import RetryPolicy, UnitOutcome, run_units
 
-#: Unique tokens naming one parent-side ``BenchmarkInstance`` per
-#: evaluation call; see :func:`_seed_instance`.
-_seed_tokens = itertools.count()
+#: The instance memos behind :func:`_seed_instance` / :func:`_instance`
+#: now live on the process-wide :class:`~repro.serve.session.AnalysisSession`
+#: (forked workers inherit the parent's session, exactly as they
+#: inherited the former module-level dicts).
 
 
 @dataclass(frozen=True)
@@ -105,44 +104,27 @@ class WorkUnit:
         return (self.benchmark, self.analysis, self.index)
 
 
-#: Per-process memo of prepared benchmarks, keyed by (name, token).
-#: Fork-based platforms inherit the parent's seeded entries, so workers
-#: skip re-synthesizing the program; spawn-based platforms fall back to
-#: preparing from the unit description.
-_INSTANCES: Dict[Tuple[str, int], BenchmarkInstance] = {}
-
-#: Cross-token memo of *suite* benchmarks, keyed by name alone.  The
-#: shared pool outlives a single evaluation, so a worker forked during
-#: evaluation N serves units of evaluation N+1 whose token it never saw
-#: seeded; suite programs are deterministic functions of their name, so
-#: the instance synthesized under the old token is still the right one.
-_STANDARD: Dict[str, BenchmarkInstance] = {}
-
-
 def _seed_instance(bench: BenchmarkInstance) -> int:
-    """Register ``bench`` in the process-local memo and return its
+    """Register ``bench`` in the process-wide session and return its
     token.  Called in the parent *before* the pool forks, so workers
-    start with the instance already in memory."""
-    token = next(_seed_tokens)
-    _INSTANCES[(bench.name, token)] = bench
-    if bench.standard:
-        _STANDARD.setdefault(bench.name, bench)
-    return token
+    start with the instance already in memory.  Fork-based platforms
+    inherit the parent's seeded entries; spawn-based platforms fall
+    back to preparing from the unit description.  The session also
+    keeps a cross-token memo of *suite* benchmarks keyed by name alone:
+    the shared pool outlives a single evaluation, so a worker forked
+    during evaluation N serves units of evaluation N+1 whose token it
+    never saw seeded — suite programs are deterministic functions of
+    their name, so the instance synthesized under the old token is
+    still the right one."""
+    from repro.serve.session import process_session
+
+    return process_session().seed(bench)
 
 
 def _instance(unit: WorkUnit) -> BenchmarkInstance:
-    key = (unit.benchmark, unit.token)
-    bench = _INSTANCES.get(key)
-    if bench is None and unit.front is None:
-        bench = _STANDARD.get(unit.benchmark)
-        if bench is not None:
-            _INSTANCES[key] = bench
-    if bench is None:
-        bench = prepare(unit.benchmark, unit.front)
-        _INSTANCES[key] = bench
-        if unit.front is None and bench.standard:
-            _STANDARD.setdefault(unit.benchmark, bench)
-    return bench
+    from repro.serve.session import process_session
+
+    return process_session().instance(unit.benchmark, unit.token, unit.front)
 
 
 #: ``(records, registry snapshot, trace events, certificates)`` of one

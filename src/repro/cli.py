@@ -50,12 +50,13 @@ Exit codes are meaningful so scripts can branch on the verdict:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.core.narrate import narrate, transcript_from_events
 from repro.core.stats import QueryStatus
-from repro.core.tracer import ForwardRunCache, Tracer, TracerConfig
+from repro.core.tracer import TracerConfig
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
 from repro.obs.events import SCHEMA_VERSION
@@ -66,14 +67,9 @@ from repro.obs.summarize import (
     summarize_trace,
     validate_trace,
 )
-from repro.escape.client import EscapeClient, EscapeQuery
-from repro.escape.domain import EscSchema
-from repro.lang.parser import parse_program
-from repro.lang.universe import collect_universe
-from repro.provenance.client import ProvenanceClient, ProvenanceQuery
-from repro.provenance.domain import PtSchema
-from repro.typestate.automaton import file_automaton, stress_automaton
-from repro.typestate.client import TypestateClient, TypestateQuery
+from repro.escape.client import EscapeQuery
+from repro.provenance.client import ProvenanceQuery
+from repro.typestate.client import TypestateQuery
 
 #: Verdict exit codes (documented above; tested in tests/test_cli.py).
 EXIT_OK = 0
@@ -136,6 +132,12 @@ def _add_journal(parser: argparse.ArgumentParser) -> None:
         "--certify-out", metavar="FILE",
         help="write an independently checkable verdict certificate per "
              "resolved query to FILE (validate with 'repro certify')",
+    )
+    parser.add_argument(
+        "--store", metavar="FILE",
+        help="attach a persistent cross-run knowledge store: warm-start "
+             "this search from FILE's recorded knowledge and record the "
+             "finished search back to it (see docs/SERVING.md)",
     )
 
 
@@ -273,79 +275,105 @@ def _report_inner(client, query, args, stamp: Optional[dict] = None) -> int:
     return _status_code(status)
 
 
+def _open_store(args):
+    """Open the ``--store`` knowledge store, or ``None``."""
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    from repro.serve.store import KnowledgeStore
+
+    try:
+        return KnowledgeStore(path)
+    except ValueError as error:
+        _die(str(error))
+
+
 def _solve_traced(client, query, args, sink: Optional[Sink],
                   journal=None, certificates=None):
+    """Run one query through the process-wide analysis session (which
+    owns the forward-run cache, so it outlives the solve — the metrics
+    registry holds weak references — and, under ``--store``, the
+    warm-start against the knowledge store)."""
+    from repro.serve.session import process_session
+
     config = _config(args)
-    if sink is None:
-        return Tracer(
-            client, config, journal=journal, certificates=certificates
-        ).solve(query)
-    # Own the forward-run cache so it outlives the solve: the metrics
-    # registry holds weak references, and a driver-local cache would be
-    # collected before the closing snapshot below.
-    cache = (
-        ForwardRunCache(config.forward_cache_size)
-        if config.forward_cache_size
-        else None
-    )
-    with obs.tracing(sink, detail=bool(args.trace_out)):
-        record = Tracer(
-            client, config, forward_cache=cache,
-            journal=journal, certificates=certificates,
-        ).solve(query)
-        # Close the trace with one metric record per registered cache
-        # (the client's caches registered on construction, before this
-        # function ran, so read the ambient registry — not a scoped one).
-        for name, counters in sorted(
-            obs_metrics.current_registry().snapshot().items()
-        ):
-            obs.metric(name, counters.hits, counters.misses)
-    return record
+    session = process_session()
+    store = _open_store(args)
+    previous = session.store
+    session.store = store
+    source = f"cli:{getattr(args, 'file', '')}:{query}"
+    try:
+        if sink is None:
+            result = session.solve(
+                client, [query], config,
+                journal=journal, certificates=certificates, source=source,
+            )
+        else:
+            with obs.tracing(sink, detail=bool(args.trace_out)):
+                result = session.solve(
+                    client, [query], config,
+                    journal=journal, certificates=certificates,
+                    source=source,
+                )
+                # Close the trace with one metric record per registered
+                # cache (the client's caches registered on construction,
+                # before this function ran, so read the ambient registry
+                # — not a scoped one).
+                for name, counters in sorted(
+                    obs_metrics.current_registry().snapshot().items()
+                ):
+                    obs.metric(name, counters.hits, counters.misses)
+    finally:
+        session.store = previous
+        if store is not None:
+            store.close()
+    if store is not None:
+        print(f"store: {result.mode}"
+              + (" (replayed without re-running the search)"
+                 if result.store_hit else ""),
+              file=sys.stderr)
+    return result.records[query]
 
 
-def _parse_program_file(path: str):
+def _read_program_file(path: str) -> str:
     try:
         with open(path) as handle:
-            text = handle.read()
+            return handle.read()
     except OSError as error:
         _die(str(error))
-    try:
-        program = parse_program(text)
-    except ValueError as error:
-        _die(f"{path}: {error}")
-    return program, collect_universe(program)
 
 
 def _typestate_client(path: str, automaton_name: str, site: Optional[str]):
-    """Build the type-state client of one program file.  Shared by
-    ``solve-typestate``, ``selfcheck``, and the ``certify`` rebuild, so
-    a certificate's stamp reconstructs the exact emitting client."""
-    program, universe = _parse_program_file(path)
-    if automaton_name == "file":
-        automaton = file_automaton()
-    else:
-        if not universe.methods:
-            _die("stress automaton needs at least one method call in the program")
-        automaton = stress_automaton(sorted(universe.methods))
-    resolved = site or (sorted(universe.sites)[0] if universe.sites else None)
-    if resolved is None:
-        _die("the program allocates nothing; pass --site explicitly")
-    client = TypestateClient(program, automaton, resolved, universe.variables)
-    return client, universe, automaton, resolved
+    """Build the type-state client of one program file through the
+    resident session.  Shared by ``solve-typestate``, ``selfcheck``,
+    and the ``certify`` rebuild, so a certificate's stamp reconstructs
+    the exact emitting client."""
+    from repro.serve.session import process_session
+
+    try:
+        return process_session().typestate_client(
+            _read_program_file(path), automaton_name, site
+        )
+    except ValueError as error:
+        _die(f"{path}: {error}")
 
 
 def _escape_client(path: str):
-    program, universe = _parse_program_file(path)
-    schema = EscSchema(sorted(universe.variables), sorted(universe.fields))
-    return EscapeClient(program, schema, universe.sites), universe
+    from repro.serve.session import process_session
+
+    try:
+        return process_session().escape_client(_read_program_file(path))
+    except ValueError as error:
+        _die(f"{path}: {error}")
 
 
 def _provenance_client(path: str):
-    program, universe = _parse_program_file(path)
-    client = ProvenanceClient(
-        program, PtSchema(universe.variables), universe.sites
-    )
-    return client, universe
+    from repro.serve.session import process_session
+
+    try:
+        return process_session().provenance_client(_read_program_file(path))
+    except ValueError as error:
+        _die(f"{path}: {error}")
 
 
 def _require_label(universe, label: str) -> None:
@@ -670,6 +698,131 @@ def _die(message: str) -> None:
     raise SystemExit(f"error: {message}")
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import AnalysisServer
+
+    config = TracerConfig(
+        k=args.k,
+        max_iterations=args.max_iterations,
+        max_seconds=args.max_seconds,
+        max_steps=args.max_steps,
+        engine=args.engine,
+    )
+    try:
+        server = AnalysisServer(args.socket, args.store, config)
+    except (ValueError, OSError) as error:
+        _die(str(error))
+    print(
+        f"repro daemon listening on {args.socket}"
+        + (f" (store: {args.store})" if args.store else ""),
+        file=sys.stderr,
+    )
+    try:
+        if args.trace_out:
+            # The trace context is a module global, so the worker
+            # thread the requests run on sees it too.
+            with obs.tracing(JsonlSink(args.trace_out)):
+                asyncio.run(server.run())
+        else:
+            asyncio.run(server.run())
+    except KeyboardInterrupt:
+        pass
+    return EXIT_OK
+
+
+def _worst_verdict_code(results: List[dict]) -> int:
+    code = EXIT_OK
+    for entry in results:
+        if entry["verdict"] == QueryStatus.EXHAUSTED.value:
+            code = max(code, EXIT_EXHAUSTED)
+        elif entry["verdict"] == QueryStatus.IMPOSSIBLE.value:
+            code = max(code, EXIT_IMPOSSIBLE)
+    return code
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.socket, timeout=args.timeout)
+    config = {}
+    if args.max_seconds is not None:
+        config["max_seconds"] = args.max_seconds
+    if args.max_steps is not None:
+        config["max_steps"] = args.max_steps
+    try:
+        if args.ping:
+            reply = client.ping()
+            print(f"pong from pid {reply['pid']}")
+            return EXIT_OK
+        if args.stats:
+            reply = client.stats()
+            print(json.dumps(reply, indent=2, sort_keys=True))
+            return EXIT_OK
+        if args.shutdown:
+            client.shutdown()
+            print("daemon stopping")
+            return EXIT_OK
+        if args.benchmark:
+            reply = client.solve_benchmark(
+                args.benchmark, args.analysis, config or None
+            )
+            by_verdict: dict = {}
+            for entry in reply["results"]:
+                by_verdict[entry["verdict"]] = (
+                    by_verdict.get(entry["verdict"], 0) + 1
+                )
+            shown = ", ".join(
+                f"{count} {verdict}"
+                for verdict, count in sorted(by_verdict.items())
+            )
+            print(
+                f"{args.benchmark}/{args.analysis}: "
+                f"{len(reply['results'])} queries ({shown or 'none'}); "
+                f"modes: {', '.join(reply['modes'])}; "
+                f"store hits: {reply['store_hits']}"
+            )
+            return _worst_verdict_code(reply["results"])
+        if not args.file or not args.query:
+            _die("submit needs a FILE and --query "
+                 "(or --ping/--stats/--shutdown/--benchmark)")
+        params = {"source": f"cli:{args.file}"}
+        if args.kind == "typestate":
+            params["automaton"] = args.automaton
+            if args.site:
+                params["site"] = args.site
+            if args.allowed:
+                params["allowed"] = args.allowed.split(",")
+        else:
+            if not args.var:
+                _die(f"--kind {args.kind} needs --var")
+            params["var"] = args.var
+            if args.kind == "provenance" and args.allowed:
+                params["allowed"] = args.allowed.split(",")
+        reply = client.solve(
+            args.kind,
+            _read_program_file(args.file),
+            query=args.query,
+            config=config or None,
+            **params,
+        )
+    except ServeError as error:
+        _die(str(error))
+    entry = reply["results"][0]
+    print(f"store: {reply['mode']}", file=sys.stderr)
+    if entry["verdict"] == QueryStatus.PROVEN.value:
+        shown = "{" + ", ".join(entry["abstraction"]) + "}"
+        print(f"PROVEN with cheapest abstraction {shown} "
+              f"({entry['iterations']} iterations)")
+    elif entry["verdict"] == QueryStatus.IMPOSSIBLE.value:
+        print(f"IMPOSSIBLE: no abstraction in the family proves the "
+              f"query ({entry['iterations']} iterations)")
+    else:
+        print(f"UNRESOLVED after {entry['iterations']} iterations")
+    return _worst_verdict_code(reply["results"])
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -796,6 +949,71 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="print one benchmark's statistics")
     info.add_argument("name")
     info.set_defaults(func=_cmd_info)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the resident analysis daemon (JSON over a unix socket; "
+             "see docs/SERVING.md)",
+    )
+    serve.add_argument("--socket", required=True, metavar="PATH",
+                       help="unix socket to listen on")
+    serve.add_argument(
+        "--store", metavar="FILE",
+        help="persistent cross-run knowledge store (warm-starts repeat "
+             "submissions, survives restarts)",
+    )
+    serve.add_argument("--k", type=_beam, default=5, metavar="K")
+    serve.add_argument("--max-iterations", type=int, default=60)
+    serve.add_argument(
+        "--engine", choices=("interpreted", "compiled"),
+        default="interpreted",
+    )
+    serve.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="per-request wall-clock ceiling (requests may tighten it, "
+             "never exceed it)",
+    )
+    serve.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="per-request solver step ceiling",
+    )
+    serve.add_argument(
+        "--trace-out", metavar="FILE",
+        help="record a JSONL trace of every served request",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit work to a running 'repro serve' daemon",
+    )
+    submit.add_argument("--socket", required=True, metavar="PATH")
+    submit.add_argument("file", nargs="?",
+                        help="program file to solve (omit for --ping/--stats/"
+                             "--shutdown/--benchmark)")
+    submit.add_argument("--ping", action="store_true")
+    submit.add_argument("--stats", action="store_true")
+    submit.add_argument("--shutdown", action="store_true")
+    submit.add_argument("--benchmark", metavar="NAME",
+                        help="solve a bundled suite benchmark on the daemon")
+    submit.add_argument("--analysis", default="typestate",
+                        help="analysis for --benchmark (default: typestate)")
+    submit.add_argument(
+        "--kind", choices=("typestate", "escape", "provenance"),
+        default="typestate", help="analysis kind for a program file",
+    )
+    submit.add_argument("--query", help="observe label to check")
+    submit.add_argument("--allowed", default="",
+                        help="comma-separated allowed type-states/sites")
+    submit.add_argument("--automaton", choices=("file", "stress"),
+                        default="file")
+    submit.add_argument("--site", help="tracked allocation site (typestate)")
+    submit.add_argument("--var", help="variable (escape/provenance)")
+    submit.add_argument("--max-seconds", type=float, default=None, metavar="S")
+    submit.add_argument("--max-steps", type=int, default=None, metavar="N")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="client-side reply timeout in seconds")
+    submit.set_defaults(func=_cmd_submit)
 
     trace = commands.add_parser(
         "trace", help="validate, summarize, or replay a recorded JSONL trace"

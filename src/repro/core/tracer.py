@@ -312,6 +312,105 @@ class ProgressError(RuntimeError):
     a soundness bug (Theorem 3.1 guarantees elimination)."""
 
 
+class WarmStart:
+    """Prior knowledge seeding a new search — the PR 5 journal replay
+    generalised from "resume one crashed search" to "seed any new
+    search" (see :mod:`repro.serve.store` for where the knowledge
+    comes from).
+
+    Two tiers, mutually exclusive:
+
+    * **replay** (``rounds`` non-empty): the recorded CEGAR rounds of a
+      completed search over the *same* program digest, query set, and
+      config are re-enacted through the journal replay machinery —
+      clauses feed back into the viability stores, counters and
+      charges are restored, refuted abstractions are never re-run, and
+      every round is integrity-checked against the evolving store
+      (:class:`~repro.robust.journal.JournalMismatch` on divergence).
+      Verdicts, certificates, and journal records are bit-identical to
+      a cold search; no forward fixpoint runs at all (``digests`` lets
+      the certificate path reuse the recorded annotation digests
+      instead of re-running the proving fixpoint).
+
+    * **clauses** (``clauses`` non-empty): per-query clause sets from a
+      prior — possibly different — search seed the initial viability
+      stores.  Queries are pre-partitioned by seeded clause signature
+      (a clause learned for one query must never constrain a
+      different query's store, or minimality breaks), and each clause
+      is validated against the current parameter space by
+      :meth:`~repro.core.viability.ViabilityStore.warm_start` before
+      it constrains anything.  Verdicts and minimal abstractions are
+      preserved when the seeded clauses are sound for this program;
+      iteration counts shrink.
+
+    ``queries`` is the query-id list the knowledge was recorded for;
+    :meth:`begin` rejects a mismatched search the same way a resumed
+    journal would.
+    """
+
+    def __init__(
+        self,
+        rounds: Sequence[dict] = (),
+        clauses: Optional[Dict[str, Sequence]] = None,
+        digests: Optional[Dict[str, Tuple[Tuple[str, ...], str]]] = None,
+        queries: Optional[Sequence[str]] = None,
+    ):
+        self.rounds = list(rounds)
+        self.clauses = dict(clauses or {})
+        self.digests = dict(digests or {})
+        self.queries = list(queries) if queries is not None else None
+        self.replayed_rounds = 0
+        self.seeded_clauses = 0
+        self.dropped_clauses = 0
+        self._cursor = 0
+        self._replaying = bool(self.rounds)
+
+    @property
+    def replaying(self) -> bool:
+        return self._replaying
+
+    def begin(self, query_ids: Sequence[str]) -> None:
+        if self.queries is not None and list(query_ids) != self.queries:
+            raise JournalMismatch(
+                f"warm-start knowledge was recorded for queries "
+                f"{self.queries!r}, not {list(query_ids)!r}"
+            )
+
+    def replay_round(self, query_ids: Sequence[str]) -> Optional[dict]:
+        """Mirror of :meth:`SearchJournal.replay_round`: the next
+        recorded round if it matches the group about to run; ``None``
+        once the knowledge is exhausted (the search goes live)."""
+        if not self._replaying:
+            return None
+        if self._cursor >= len(self.rounds):
+            self._replaying = False
+            return None
+        record = self.rounds[self._cursor]
+        if record.get("queries") != list(query_ids):
+            raise JournalMismatch(
+                f"warm-start round {record.get('round')} was recorded for "
+                f"group {record.get('queries')!r}, but the search reached "
+                f"group {list(query_ids)!r}"
+            )
+        self._cursor += 1
+        self.replayed_rounds += 1
+        return record
+
+    def stored_digest(self, query_id: str, p: FrozenSet[str]) -> Optional[str]:
+        """The recorded annotation digest for ``query_id``, provided
+        the recorded proving abstraction matches ``p`` — replay-tier
+        certificates reuse it instead of re-running the proving
+        forward fixpoint (the digest is a deterministic function of
+        ``(program, p)``, so reuse is exact, not approximate)."""
+        entry = self.digests.get(query_id)
+        if entry is None:
+            return None
+        abstraction, digest = entry
+        if tuple(sorted(p)) != tuple(abstraction):
+            return None
+        return digest
+
+
 @dataclass
 class _Group:
     """One group of queries sharing an identical unviable set."""
@@ -330,12 +429,14 @@ class Tracer:
         forward_cache: Optional[ForwardRunCache] = None,
         journal: Optional[SearchJournal] = None,
         certificates: Optional[CertificateStore] = None,
+        warm_start: Optional[WarmStart] = None,
     ):
         self.client = client
         self.config = config
         self.forward_cache = forward_cache
         self.journal = journal
         self.certificates = certificates
+        self.warm_start = warm_start
 
     def solve(self, query: Query) -> QueryRecord:
         """Resolve a single query (Algorithm 1)."""
@@ -350,6 +451,7 @@ class Tracer:
             forward_cache=self.forward_cache,
             journal=self.journal,
             certificates=self.certificates,
+            warm_start=self.warm_start,
         )
 
 
@@ -383,6 +485,7 @@ def run_query_group(
     clock: Callable[[], float] = time.perf_counter,
     journal: Optional[SearchJournal] = None,
     certificates: Optional[CertificateStore] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> Dict[Query, QueryRecord]:
     """The grouped TRACER driver; see :class:`Tracer`.
 
@@ -400,6 +503,16 @@ def run_query_group(
     evidence) are identical to an uninterrupted run's.  ``certificates``
     collects one verdict certificate per resolved query (see
     :mod:`repro.robust.certify`).
+
+    ``warm_start`` seeds the search with knowledge from a *prior*
+    search (see :class:`WarmStart`): replay-tier knowledge re-enacts
+    the recorded rounds through the same machinery as journal resume
+    (and writes them through to a live ``journal``, so the resulting
+    journal file is bit-identical to a cold run's); clause-tier
+    knowledge pre-partitions the initial groups and seeds each group's
+    viability store with validated clauses.  A journal opened with
+    ``resume=True`` takes precedence — its recorded rounds already are
+    this exact search's knowledge — and ``warm_start`` is ignored.
     """
     theory = client.meta.theory
     if not isinstance(theory, ParamTheory):
@@ -419,9 +532,60 @@ def run_query_group(
     forward_runs: Dict[Query, int] = {q: 0 for q in queries}
     cached_runs: Dict[Query, int] = {q: 0 for q in queries}
     max_disjuncts: Dict[Query, int] = {q: 0 for q in queries}
+    warm = warm_start
+    if warm is not None and journal is not None and journal.replaying:
+        # A resumed journal already *is* this exact search's knowledge;
+        # replaying both would double-apply clauses.
+        warm = None
+    if warm is not None:
+        warm.begin([str(q) for q in queries])
     groups: List[_Group] = [
         _Group(store=ViabilityStore(theory, d_init), queries=list(queries))
     ]
+    if warm is not None and not warm.rounds and warm.clauses:
+        # Clause tier: partition the initial groups by seeded clause
+        # signature — a clause learned for one query must never enter
+        # another query's store (it could mask that query's minimum) —
+        # and validate every clause against the current parameter
+        # space before it constrains anything.
+        space = client.analysis.param_space
+        universe = getattr(space, "universe", None)
+        if universe is None:
+            universe = getattr(space, "keys", None)
+        buckets: "OrderedDict[Tuple, _Group]" = OrderedDict()
+        for query in queries:
+            seed = [
+                clause_from_jsonable(c)
+                for c in warm.clauses.get(str(query), [])
+            ]
+            store = ViabilityStore(theory, d_init)
+            seeded, dropped = store.warm_start(seed, universe)
+            warm.seeded_clauses += len(seeded)
+            warm.dropped_clauses += len(dropped)
+            signature = _clause_signature(seeded)
+            bucket = buckets.get(signature)
+            if bucket is None:
+                bucket = _Group(store=store, queries=[])
+                buckets[signature] = bucket
+            bucket.queries.append(query)
+        groups = list(buckets.values())
+        if obs.active():
+            obs.event(
+                "warm_start",
+                mode="clauses",
+                queries=len(queries),
+                groups=len(groups),
+                seeded=warm.seeded_clauses,
+                dropped=warm.dropped_clauses,
+            )
+    elif warm is not None and warm.rounds:
+        if obs.active():
+            obs.event(
+                "warm_start",
+                mode="replay",
+                queries=len(queries),
+                rounds=len(warm.rounds),
+            )
     budgeted = config.max_seconds is not None or config.max_steps is not None
     evidence: Dict[Query, QueryEvidence] = {q: QueryEvidence() for q in queries}
     #: Survivor traces/clauses are serialised only when someone will
@@ -492,11 +656,16 @@ def run_query_group(
                 forward_cache_hits=record.forward_cache_hits,
             )
         if certificates is not None:
-            digest = (
-                digest_for(p, query.label)
-                if status is QueryStatus.PROVEN and p is not None
-                else None
-            )
+            digest = None
+            if status is QueryStatus.PROVEN and p is not None:
+                if warm is not None:
+                    # Replay tier: reuse the recorded annotation digest
+                    # (checked against the proving abstraction) so the
+                    # warm run performs zero forward fixpoints even
+                    # with certification on.
+                    digest = warm.stored_digest(str(query), p)
+                if digest is None:
+                    digest = digest_for(p, query.label)
             certificate = build_certificate(
                 client,
                 query,
@@ -713,6 +882,22 @@ def run_query_group(
                                 f"where the search reached round {round_index}"
                             )
                         apply_replay(group, rec, next_groups)
+                        continue
+                elif warm is not None and warm.replaying:
+                    rec = warm.replay_round([str(q) for q in group.queries])
+                    if rec is not None:
+                        if rec.get("round") != round_index:
+                            raise JournalMismatch(
+                                f"warm-start knowledge records round "
+                                f"{rec.get('round')!r} where the search "
+                                f"reached round {round_index}"
+                            )
+                        apply_replay(group, rec, next_groups)
+                        if journal is not None:
+                            # Write the replayed round through, so a
+                            # warm-started journal is bit-identical to
+                            # the cold search's journal.
+                            journal.record_round(rec)
                         continue
                 with obs.span(
                     "iteration",

@@ -73,6 +73,39 @@ class ViabilityStore:
             self._clauses.append(clause)
         return tuple(added)
 
+    def warm_start(
+        self,
+        clauses: Iterable[Clause],
+        universe: Optional[Iterable[object]] = None,
+    ) -> Tuple[Tuple[Clause, ...], Tuple[Clause, ...]]:
+        """Seed the store with clauses learned by a *previous* search
+        (the knowledge-store warm-start path; see
+        :mod:`repro.serve.store`), so abstractions refuted back then
+        are never chosen — and never forward-run — again.
+
+        Unlike :meth:`add_clauses` (the journal replay path, whose
+        clauses are integrity-checked round by round), seeded clauses
+        arrive from outside this search, so they are *validated* before
+        they constrain anything: a clause naming a parameter variable
+        outside ``universe`` (the current parameter space) is dropped —
+        on a lightly-edited program such a clause could silently mask
+        viable abstractions, or with a positive orphan literal declare
+        the query impossible outright.  When ``universe`` is ``None``
+        the space is unknown and *every* clause is dropped (seeding is
+        an optimisation; refusing it is always sound).
+
+        Returns ``(seeded, dropped)``."""
+        seeded: List[Clause] = []
+        dropped: List[Clause] = []
+        known = None if universe is None else set(universe)
+        for clause in clauses:
+            if known is None or any(var not in known for var, _sign in clause):
+                dropped.append(clause)
+                continue
+            seeded.append(clause)
+        self.add_clauses(seeded)
+        return tuple(seeded), tuple(dropped)
+
     def add_clauses(self, clauses: Iterable[Clause]) -> Tuple[Clause, ...]:
         """Conjoin already-derived clauses onto the store — the journal
         replay path: a resumed search re-applies the clauses recorded

@@ -40,8 +40,16 @@ file).  Record types:
     certificate; carries ``query``, ``verdict``, ``ok``, ``problems``),
     and ``journal_replayed`` (a resumed search consumed one recorded
     CEGAR round instead of re-running it; carries ``round``,
-    ``queries``, ``outcome``).  Event names are open — these carry no
-    schema change.
+    ``queries``, ``outcome``).  The serving layer adds four more:
+    ``session_opened`` (a resident session first saw a program digest,
+    or the daemon started listening), ``warm_start`` (a search was
+    seeded from prior knowledge; ``mode`` is ``"replay"`` or
+    ``"clauses"``), ``store_hit`` (a knowledge-store lookup answered;
+    ``tier`` is ``"replay"`` or ``"clauses"``), and ``request_served``
+    (the daemon finished one request; carries ``op``, ``ok``, ``mode``,
+    ``seconds``).  Event names are open — new ones carry no schema
+    change — but every name the codebase emits is registered in
+    :data:`KNOWN_EVENT_NAMES` so tools (and tests) can spot typos.
 
 ``metric``
     A named counter snapshot: ``{"type": "metric", "name": str,
@@ -70,6 +78,31 @@ METRIC = "metric"
 RECORD_TYPES = frozenset({TRACE_HEADER, SPAN_START, SPAN_END, EVENT, METRIC})
 
 PHASES = ("forward", "backward", "synthesis")
+
+#: Every event name the codebase emits (``obs.event(name, ...)``).
+#: The schema leaves names open, so an unknown name is not a validation
+#: error — this registry exists so consumers can enumerate what a
+#: trace may contain and so the test suite catches emit-site typos.
+KNOWN_EVENT_NAMES = frozenset({
+    # the TRACER driver
+    "query_resolved",
+    "iteration_detail",
+    # the robustness layer (docs/ROBUSTNESS.md)
+    "budget_exceeded",
+    "degraded",
+    "fault_injected",
+    # certification and the search journal
+    "certificate_emitted",
+    "certificate_checked",
+    "journal_replayed",
+    # the compiled forward engine (docs/PERFORMANCE.md)
+    "kernel_exec",
+    # the serving layer (docs/SERVING.md)
+    "session_opened",
+    "warm_start",
+    "store_hit",
+    "request_served",
+})
 
 
 def header() -> dict:

@@ -71,6 +71,7 @@ from repro.robust.checkpoint import JsonlAppender, scan_jsonl
 
 __all__ = [
     "JournalMismatch",
+    "RoundCollector",
     "SearchJournal",
     "clause_from_jsonable",
     "clause_to_jsonable",
@@ -256,3 +257,41 @@ class SearchJournal:
     def __exit__(self, *exc) -> bool:
         self.close()
         return False
+
+
+class RoundCollector:
+    """An in-memory journal sink, duck-typed like :class:`SearchJournal`.
+
+    The session layer (:mod:`repro.serve.session`) passes one of these
+    as the driver's ``journal`` to capture the executed rounds for the
+    knowledge store without touching disk; when ``inner`` is given
+    (the caller's real journal), every call is forwarded to it too, so
+    the on-disk journal stays byte-identical to what the driver would
+    have written directly.  Never replays — replay belongs to the real
+    journal or to :class:`~repro.core.tracer.WarmStart`."""
+
+    def __init__(self, inner=None):
+        self.inner = inner
+        self.query_ids: Optional[List[str]] = None
+        self.rounds: List[dict] = []
+
+    @property
+    def replaying(self) -> bool:
+        return False
+
+    def begin(self, query_ids: List[str]) -> None:
+        self.query_ids = list(query_ids)
+        if self.inner is not None:
+            self.inner.begin(query_ids)
+
+    def replay_round(self, query_ids: List[str]) -> Optional[dict]:
+        return None
+
+    def record_round(self, record: dict) -> None:
+        self.rounds.append({k: v for k, v in record.items() if k != "type"})
+        if self.inner is not None:
+            self.inner.record_round(record)
+
+    def close(self) -> None:
+        # The inner journal belongs to the caller; leave it open.
+        pass

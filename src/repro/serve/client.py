@@ -1,0 +1,114 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+One newline-delimited JSON request/response per call, over a fresh
+``AF_UNIX`` connection (the daemon queues requests FIFO server-side,
+so per-call connections keep the client trivially correct).  Used by
+``repro submit`` and by the serve smoke tests; scripting against the
+daemon from Python looks like::
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient("/tmp/repro.sock") as cli:
+        cli.ping()
+        reply = cli.solve("typestate", open("prog.rp").read(),
+                          query="check1", allowed=["closed"])
+        for entry in reply["results"]:
+            print(entry["query"], entry["verdict"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered ``{"ok": false}`` (the message is its
+    ``error`` field) or the transport failed."""
+
+
+class ServeClient:
+    def __init__(self, socket_path: str, timeout: Optional[float] = 600.0):
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def request(self, payload: dict) -> dict:
+        """Send one request and return the decoded response; raises
+        :class:`ServeError` on ``ok: false`` or transport failure."""
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+                sock.sendall(
+                    (json.dumps(payload) + "\n").encode("utf-8")
+                )
+                with sock.makefile("r", encoding="utf-8") as stream:
+                    line = stream.readline()
+        except OSError as error:
+            raise ServeError(
+                f"cannot reach daemon at {self.socket_path}: {error}"
+            ) from error
+        if not line:
+            raise ServeError("daemon closed the connection without a reply")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "request failed"))
+        return response
+
+    # -- convenience wrappers -------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def solve(
+        self,
+        kind: str,
+        program: str,
+        *,
+        query: str,
+        source: Optional[str] = None,
+        config: Optional[dict] = None,
+        **params,
+    ) -> dict:
+        payload = {
+            "op": "solve",
+            "kind": kind,
+            "program": program,
+            "query": query,
+        }
+        if source is not None:
+            payload["source"] = source
+        if config:
+            payload["config"] = config
+        payload.update(params)
+        return self.request(payload)
+
+    def solve_benchmark(
+        self,
+        benchmark: str,
+        analysis: str,
+        config: Optional[dict] = None,
+    ) -> dict:
+        payload = {
+            "op": "solve-bench",
+            "benchmark": benchmark,
+            "analysis": analysis,
+        }
+        if config:
+            payload["config"] = config
+        return self.request(payload)
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False

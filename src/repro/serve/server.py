@@ -1,0 +1,366 @@
+"""The ``repro serve`` daemon: analysis as a service.
+
+One asyncio JSON-over-unix-socket server owning one resident
+:class:`~repro.serve.session.AnalysisSession` (and, with ``--store``,
+one :class:`~repro.serve.store.KnowledgeStore`).  Requests are
+newline-delimited JSON objects, one response line per request::
+
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+    {"op": "solve", "kind": "typestate" | "escape" | "provenance",
+     "program": <text>, "query": <label>, ...,
+     "config": {"k": ..., "max_iterations": ..., "max_seconds": ...,
+                "max_steps": ...}}          # all optional overrides
+    {"op": "solve-bench", "benchmark": <name>, "analysis": <name>,
+     "config": {...}}
+
+Solve responses carry one entry per query::
+
+    {"ok": true, "mode": "cold" | "replay" | "clauses" | "stale",
+     "store_hit": bool, "digest": <sha256> | null, "seconds": float,
+     "results": [{"query": qid, "verdict": "proven" | "impossible"
+                  | "exhausted", "abstraction": [...] | null,
+                  "iterations": int}]}
+
+Errors come back as ``{"ok": false, "error": <message>}`` — a bad
+request never kills the daemon.
+
+Execution is strictly FIFO: analysis runs on a single worker thread
+behind an asyncio lock (the session is single-threaded state), while
+the event loop keeps accepting and queueing connections.  Per-request
+budgets ride the existing :mod:`repro.robust.budget` layer through
+``TracerConfig.max_seconds`` / ``max_steps``; a request may *tighten*
+the server's ceilings, never exceed them.  Every served request emits
+a ``request_served`` event (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Optional
+
+from repro.core.stats import QueryStatus
+from repro.core.tracer import TracerConfig
+from repro.obs import trace as obs
+from repro.serve.session import AnalysisSession
+from repro.serve.store import KnowledgeStore
+
+__all__ = ["AnalysisServer", "serve"]
+
+#: Per-request config overrides a client may send (``max_seconds`` and
+#: ``max_steps`` are additionally clamped to the server's ceilings).
+_CONFIG_OVERRIDES = ("k", "max_iterations", "max_seconds", "max_steps")
+
+
+def _tightest(request_value, ceiling):
+    """The tighter of a request's budget and the server's ceiling
+    (``None`` = unlimited)."""
+    if request_value is None:
+        return ceiling
+    if ceiling is None:
+        return request_value
+    return min(request_value, ceiling)
+
+
+class AnalysisServer:
+    """The daemon: one resident session, one socket, FIFO execution."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        store_path: Optional[str] = None,
+        config: TracerConfig = TracerConfig(),
+    ):
+        self.socket_path = socket_path
+        self.store = (
+            KnowledgeStore(store_path) if store_path is not None else None
+        )
+        self.session = AnalysisSession(store=self.store)
+        self.config = config
+        self.requests_served = 0
+        self._lock: Optional[asyncio.Lock] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping: Optional[asyncio.Event] = None
+
+    # -- request handling -----------------------------------------------------
+
+    def _request_config(self, request: dict) -> TracerConfig:
+        overrides = request.get("config") or {}
+        unknown = set(overrides) - set(_CONFIG_OVERRIDES)
+        if unknown:
+            raise ValueError(
+                f"unknown config overrides {sorted(unknown)} "
+                f"(allowed: {list(_CONFIG_OVERRIDES)})"
+            )
+        base = self.config
+        return TracerConfig(
+            k=overrides.get("k", base.k),
+            max_iterations=overrides.get(
+                "max_iterations", base.max_iterations
+            ),
+            max_seconds=_tightest(
+                overrides.get("max_seconds"), base.max_seconds
+            ),
+            max_steps=_tightest(overrides.get("max_steps"), base.max_steps),
+            strict=base.strict,
+            engine=base.engine,
+        )
+
+    def _solve(self, request: dict) -> dict:
+        kind = request.get("kind")
+        text = request.get("program")
+        if not isinstance(text, str):
+            raise ValueError("'solve' needs a 'program' text")
+        config = self._request_config(request)
+        source = request.get("source") or f"submit:{kind}"
+        if kind == "typestate":
+            client, universe, automaton, _site = (
+                self.session.typestate_client(
+                    text,
+                    request.get("automaton", "file"),
+                    request.get("site"),
+                )
+            )
+            label = _label(request, universe)
+            allowed = frozenset(request.get("allowed") or [automaton.init])
+            unknown = allowed - automaton.states
+            if unknown:
+                raise ValueError(
+                    f"unknown type-states {sorted(unknown)}; "
+                    f"automaton has {sorted(automaton.states)}"
+                )
+            from repro.typestate.client import TypestateQuery
+
+            queries = [TypestateQuery(label, allowed)]
+        elif kind == "escape":
+            client, universe = self.session.escape_client(text)
+            label = _label(request, universe)
+            var = _variable(request, universe)
+            from repro.escape.client import EscapeQuery
+
+            queries = [EscapeQuery(label, var)]
+        elif kind == "provenance":
+            client, universe = self.session.provenance_client(text)
+            label = _label(request, universe)
+            var = _variable(request, universe)
+            allowed = frozenset(request.get("allowed") or universe.sites)
+            unknown = allowed - universe.sites
+            if unknown:
+                raise ValueError(
+                    f"unknown sites {sorted(unknown)} "
+                    f"(sites: {sorted(universe.sites)})"
+                )
+            from repro.provenance.client import ProvenanceQuery
+
+            queries = [ProvenanceQuery(label, var, allowed)]
+        else:
+            raise ValueError(
+                f"unknown solve kind {kind!r} "
+                "(one of: typestate, escape, provenance)"
+            )
+        result = self.session.solve(
+            client, queries, config, source=source
+        )
+        return _solve_response(queries, result)
+
+    def _solve_bench(self, request: dict) -> dict:
+        name = request.get("benchmark")
+        analysis = request.get("analysis")
+        if not name or not analysis:
+            raise ValueError("'solve-bench' needs 'benchmark' and 'analysis'")
+        config = self._request_config(request)
+        units = self.session.solve_benchmark(name, analysis, config)
+        results = []
+        modes = set()
+        hits = 0
+        for _index, queries, unit in units:
+            modes.add(unit.mode)
+            hits += int(unit.store_hit)
+            results.extend(_solve_response(queries, unit)["results"])
+        return {
+            "ok": True,
+            "benchmark": name,
+            "analysis": analysis,
+            "units": len(units),
+            "store_hits": hits,
+            "modes": sorted(modes),
+            "results": results,
+        }
+
+    def _stats(self) -> dict:
+        body = {
+            "ok": True,
+            "pid": os.getpid(),
+            "requests_served": self.requests_served,
+            "session": dict(self.session.stats),
+        }
+        if self.store is not None:
+            body["store"] = {
+                "path": self.store.path,
+                "entries": len(self.store),
+                "entries_loaded": self.store.entries_loaded,
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "hit_rate": self.store.hit_rate,
+            }
+        return body
+
+    def handle_request(self, request: dict) -> dict:
+        """Serve one decoded request (synchronous; runs on the worker
+        thread).  Exposed for in-process tests."""
+        op = request.get("op")
+        started = time.perf_counter()
+        try:
+            if op == "ping":
+                response = {"ok": True, "pong": True, "pid": os.getpid()}
+            elif op == "stats":
+                response = self._stats()
+            elif op == "solve":
+                response = self._solve(request)
+            elif op == "solve-bench":
+                response = self._solve_bench(request)
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except Exception as error:  # a bad request must not kill the daemon
+            response = {"ok": False, "error": str(error)}
+        response.setdefault("seconds", time.perf_counter() - started)
+        self.requests_served += 1
+        if obs.active():
+            obs.event(
+                "request_served",
+                op=op,
+                ok=response.get("ok", False),
+                mode=response.get("mode"),
+                seconds=response["seconds"],
+            )
+        return response
+
+    # -- the asyncio shell ----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as error:
+                    response = {"ok": False, "error": f"bad request: {error}"}
+                else:
+                    if request.get("op") == "shutdown":
+                        response = {"ok": True, "stopping": True}
+                        writer.write(_encode(response))
+                        await writer.drain()
+                        self._stopping.set()
+                        break
+                    loop = asyncio.get_running_loop()
+                    # FIFO: the lock serialises requests across
+                    # connections; the executor keeps the loop free to
+                    # accept and queue meanwhile.
+                    async with self._lock:
+                        response = await loop.run_in_executor(
+                            None, self.handle_request, request
+                        )
+                writer.write(_encode(response))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def run(self) -> None:
+        """Listen until a ``shutdown`` request arrives."""
+        self._lock = asyncio.Lock()
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=self.socket_path
+        )
+        if obs.active():
+            obs.event(
+                "session_opened",
+                daemon=True,
+                socket=self.socket_path,
+                store=self.store.path if self.store is not None else None,
+            )
+        try:
+            await self._stopping.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            if self.store is not None:
+                self.store.close()
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+
+def _label(request: dict, universe) -> str:
+    label = request.get("query")
+    if not label:
+        raise ValueError("'solve' needs a 'query' observe label")
+    if label not in universe.observe_labels:
+        raise ValueError(
+            f"no 'observe {label}' in the program "
+            f"(labels: {sorted(universe.observe_labels)})"
+        )
+    return label
+
+
+def _variable(request: dict, universe) -> str:
+    var = request.get("var")
+    if not var or var not in universe.variables:
+        raise ValueError(
+            f"unknown variable {var!r} "
+            f"(variables: {sorted(universe.variables)})"
+        )
+    return var
+
+
+def _solve_response(queries, result) -> dict:
+    entries = []
+    for query in queries:
+        record = result.records[query]
+        entries.append(
+            {
+                "query": str(query),
+                "verdict": record.status.value,
+                "abstraction": (
+                    sorted(record.abstraction)
+                    if record.status is QueryStatus.PROVEN
+                    and record.abstraction is not None
+                    else None
+                ),
+                "iterations": record.iterations,
+            }
+        )
+    return {
+        "ok": True,
+        "mode": result.mode,
+        "store_hit": result.store_hit,
+        "digest": result.digest,
+        "results": entries,
+    }
+
+
+def _encode(response: dict) -> bytes:
+    return (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+
+
+def serve(
+    socket_path: str,
+    store_path: Optional[str] = None,
+    config: TracerConfig = TracerConfig(),
+) -> None:
+    """Blocking entry point behind ``repro serve``."""
+    server = AnalysisServer(socket_path, store_path, config)
+    asyncio.run(server.run())

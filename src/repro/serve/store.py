@@ -1,0 +1,278 @@
+"""The persistent cross-run knowledge store.
+
+One JSONL file, written through the torn-tail-tolerant
+:class:`~repro.robust.checkpoint.JsonlAppender` (fsync per record, a
+SIGKILL mid-write loses at most the entry in flight, and the torn tail
+is truncated away on the next open).  Each entry is the complete
+knowledge of one finished search::
+
+    {"type": "store_header", "version": 1}
+    {"type": "entry",
+     "digest": sha256,                # program + client fingerprint
+     "source": str | null,            # stable submission id (file path,
+                                      # "bench:<name>:<analysis>:<i>", ...)
+     "client": {...},                 # client fingerprint (see
+                                      # session.describe_client)
+     "config": [...],                 # config_key() of the search
+     "queries": [qid, ...],
+     "rounds": [...],                 # journal-style round records
+     "results": {qid: {"verdict": str, "abstraction": [...] | null,
+                       "cost": int | null, "iterations": int,
+                       "annotation_digest": sha256 | null}},
+     "witnesses": {qid: [{"abstraction": [...], "k": int | null,
+                          "trace": [...], "clauses": [...]}, ...]}}
+
+Lookup is two-tier, mirroring :class:`~repro.core.tracer.WarmStart`:
+
+* :meth:`lookup` — exact ``(digest, config, query set)`` match: the
+  recorded rounds replay bit-identically (verdicts, certificates, and
+  journal records equal to a cold search, zero forward fixpoints);
+* :meth:`lookup_seed` — same ``source`` and client kind but a changed
+  digest (a lightly-edited program): the recorded witnesses seed the
+  new search's viability stores after per-witness validation by the
+  session.
+
+Later entries shadow earlier ones for the same key (append-only file,
+last-wins index), so re-recording after an edit needs no rewriting.
+The store registers with the metrics registry as ``knowledge_store``;
+its hit/miss counters surface like every other cache's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.pretty import pretty_command, pretty_program
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.robust.checkpoint import JsonlAppender, scan_jsonl
+
+__all__ = [
+    "KnowledgeStore",
+    "canonical_program_text",
+    "config_key",
+    "program_digest",
+]
+
+STORE_VERSION = 1
+
+
+def canonical_program_text(program) -> str:
+    """A deterministic textual rendering of any client program shape:
+    a structured :class:`~repro.lang.ast.Program` (the pretty-printer
+    is the parser's concrete syntax), a single
+    :class:`~repro.lang.cfg.Cfg`, or an interprocedural
+    :class:`~repro.dataflow.interproc.ProcGraph` (each procedure's CFG
+    rendered under its name, main first)."""
+    procedures = getattr(program, "procedures", None)
+    if procedures is not None and hasattr(program, "main"):
+        parts = [f"main {program.main}"]
+        for name in sorted(procedures):
+            parts.append(f"proc {name}")
+            parts.append(_cfg_text(procedures[name]))
+        return "\n".join(parts)
+    if hasattr(program, "edges") and hasattr(program, "entry"):
+        return _cfg_text(program)
+    return pretty_program(program)
+
+
+def _cfg_text(cfg) -> str:
+    lines = [f"entry {cfg.entry} exit {cfg.exit}"]
+    for edge in cfg.edges:
+        command = (
+            "eps" if edge.command is None else pretty_command(edge.command)
+        )
+        lines.append(f"{edge.src} -[{command}]-> {edge.dst}")
+    return "\n".join(lines)
+
+
+def program_digest(program, client_info: dict) -> str:
+    """SHA-256 over the canonical program text and the client
+    fingerprint — the store key.  Two submissions share a digest
+    exactly when the search they describe is the same: same program
+    semantics, same analysis parameters."""
+    digest = hashlib.sha256()
+    digest.update(canonical_program_text(program).encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(
+        json.dumps(client_info, sort_keys=True, default=str).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+def config_key(config) -> Tuple:
+    """The part of a :class:`~repro.core.tracer.TracerConfig` that a
+    recorded search depends on.  ``engine`` is deliberately excluded:
+    the interpreted and compiled engines are bit-identical (gated in
+    CI), so knowledge recorded under one replays under the other."""
+    return (
+        config.k,
+        config.k_min,
+        config.max_iterations,
+        config.max_cubes,
+        config.max_steps,
+        config.max_seconds,
+        config.budget_check_every,
+        config.strict,
+    )
+
+
+class KnowledgeStore:
+    """Crash-safe on-disk knowledge of every search a session ran.
+
+    Loading tolerates a torn trailing line (the crash the appender is
+    built for) but raises on interior corruption, exactly like the
+    checkpoint and journal layers it shares :func:`scan_jsonl` with.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        #: Exact-match index: (digest, config, query ids) -> entry.
+        self._exact: Dict[Tuple, dict] = {}
+        #: Seed index: (source, client kind) -> latest entry.
+        self._by_source: Dict[Tuple[str, str], dict] = {}
+        self.entries_loaded = 0
+        self.hits = 0
+        self.misses = 0
+        records, _intact = scan_jsonl(path)
+        for record in records:
+            rtype = record.get("type")
+            if rtype == "store_header":
+                version = record.get("version")
+                if version != STORE_VERSION:
+                    raise ValueError(
+                        f"{path}: unsupported store version {version!r}"
+                    )
+            elif rtype == "entry":
+                self._index(record)
+                self.entries_loaded += 1
+            # unknown record types are forward-compatible noise
+        self._appender = JsonlAppender(path)
+        if self._appender.fresh:
+            self._appender.append(
+                {"type": "store_header", "version": STORE_VERSION}
+            )
+        obs_metrics.register_cache("knowledge_store", self)
+
+    def __len__(self) -> int:
+        return len(self._exact)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _index(self, entry: dict) -> None:
+        key = self._exact_key(
+            entry.get("digest"),
+            tuple(entry.get("config") or ()),
+            entry.get("queries") or (),
+        )
+        self._exact[key] = entry
+        source = entry.get("source")
+        kind = (entry.get("client") or {}).get("kind")
+        if source and kind:
+            self._by_source[(source, kind)] = entry
+
+    @staticmethod
+    def _exact_key(digest, config, query_ids) -> Tuple:
+        return (digest, tuple(config), tuple(query_ids))
+
+    def lookup(
+        self, digest: str, config: Tuple, query_ids: Sequence[str]
+    ) -> Optional[dict]:
+        """Replay-tier lookup: the entry recorded for exactly this
+        ``(digest, config, query set)``, or ``None``.  Counts one hit
+        or miss and emits a ``store_hit`` event on success."""
+        entry = self._exact.get(self._exact_key(digest, config, query_ids))
+        if entry is not None:
+            self.hits += 1
+            if obs.active():
+                obs.event(
+                    "store_hit",
+                    tier="replay",
+                    digest=digest[:12],
+                    source=entry.get("source"),
+                    queries=len(entry.get("queries") or ()),
+                    rounds=len(entry.get("rounds") or ()),
+                )
+            return entry
+        self.misses += 1
+        return None
+
+    def lookup_seed(
+        self, source: Optional[str], client_kind: Optional[str]
+    ) -> Optional[dict]:
+        """Clause-tier lookup: the latest entry recorded for the same
+        submission source and client kind (the lightly-edited-program
+        path).  Does not count toward hit/miss — the exact lookup that
+        preceded it already counted the miss; a seed hit emits its own
+        ``store_hit`` event with ``tier="clauses"``."""
+        if not source or not client_kind:
+            return None
+        entry = self._by_source.get((source, client_kind))
+        if entry is not None and obs.active():
+            obs.event(
+                "store_hit",
+                tier="clauses",
+                digest=(entry.get("digest") or "")[:12],
+                source=source,
+                queries=len(entry.get("queries") or ()),
+            )
+        return entry
+
+    def record(
+        self,
+        digest: str,
+        source: Optional[str],
+        client_info: dict,
+        config: Tuple,
+        query_ids: Sequence[str],
+        rounds: List[dict],
+        results: Dict[str, dict],
+        witnesses: Dict[str, List[dict]],
+    ) -> dict:
+        """Append one finished search's knowledge (fsync'd before
+        return) and index it for this process's own lookups."""
+        entry = {
+            "type": "entry",
+            "digest": digest,
+            "source": source,
+            "client": dict(client_info),
+            "config": list(config),
+            "queries": list(query_ids),
+            "rounds": list(rounds),
+            "results": dict(results),
+            "witnesses": dict(witnesses),
+        }
+        self._appender.append(entry)
+        self._index(entry)
+        return entry
+
+    def forget(self, entry: dict) -> None:
+        """Drop a stale entry from the in-memory index (it stays in the
+        file, shadowed by whatever is recorded next), so a failed warm
+        start is not retried forever."""
+        key = self._exact_key(
+            entry.get("digest"),
+            tuple(entry.get("config") or ()),
+            entry.get("queries") or (),
+        )
+        if self._exact.get(key) is entry:
+            del self._exact[key]
+        source = entry.get("source")
+        kind = (entry.get("client") or {}).get("kind")
+        if source and kind and self._by_source.get((source, kind)) is entry:
+            del self._by_source[(source, kind)]
+
+    def close(self) -> None:
+        self._appender.close()
+
+    def __enter__(self) -> "KnowledgeStore":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -126,3 +126,38 @@ class TestMerge:
     def test_merge_of_empty_streams(self):
         merged = merge_streams([])
         assert validate_events(merged) == []
+
+
+class TestKnownEventNames:
+    def test_every_emit_site_is_registered(self):
+        """Scan the source tree for ``obs.event("name", ...)`` call
+        sites and check each name against the registry — a typo'd or
+        unregistered name fails here, not in a consumer."""
+        import pathlib
+        import re
+
+        from repro.obs.events import KNOWN_EVENT_NAMES
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        pattern = re.compile(r'\bevent\(\s*\n?\s*"([a-z_]+)"')
+        emitted = set()
+        for path in root.rglob("*.py"):
+            emitted.update(pattern.findall(path.read_text()))
+        assert emitted, "no emit sites found — the scan regex broke"
+        unregistered = emitted - KNOWN_EVENT_NAMES
+        assert not unregistered, (
+            f"event names emitted but not in KNOWN_EVENT_NAMES: "
+            f"{sorted(unregistered)}"
+        )
+
+    def test_serving_events_are_registered(self):
+        from repro.obs.events import KNOWN_EVENT_NAMES
+
+        assert {
+            "session_opened",
+            "warm_start",
+            "store_hit",
+            "request_served",
+        } <= KNOWN_EVENT_NAMES

@@ -1,0 +1,228 @@
+"""The serve daemon: in-process request handling (all ops, all three
+solve kinds, budget clamping, error envelopes) plus one socket
+round-trip through the real asyncio server and ServeClient."""
+
+import threading
+
+import pytest
+
+from repro.core.tracer import TracerConfig
+from repro.serve.server import AnalysisServer, _tightest
+
+TYPESTATE_TEXT = """
+x = new File
+x.open()
+x.close()
+observe check1
+"""
+
+ESCAPE_TEXT = """
+u = new h1
+v = new h2
+v.f = u
+observe pc
+"""
+
+PROVENANCE_TEXT = """
+u = new h1
+v = new h2
+observe pc
+"""
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = AnalysisServer(
+        str(tmp_path / "serve.sock"),
+        store_path=str(tmp_path / "store.jsonl"),
+        config=TracerConfig(k=5, max_iterations=30),
+    )
+    yield instance
+    instance.store.close()
+
+
+class TestOps:
+    def test_ping(self, server):
+        reply = server.handle_request({"op": "ping"})
+        assert reply["ok"] and reply["pong"]
+        assert server.requests_served == 1
+
+    def test_stats_reports_session_and_store(self, server):
+        reply = server.handle_request({"op": "stats"})
+        assert reply["ok"]
+        assert reply["session"]["solves"] == 0
+        assert reply["store"]["entries"] == 0
+        assert reply["store"]["hit_rate"] == 0.0
+
+    def test_unknown_op_is_an_error_envelope(self, server):
+        reply = server.handle_request({"op": "frobnicate"})
+        assert reply["ok"] is False
+        assert "unknown op" in reply["error"]
+        # Bad requests still count as served and never raise.
+        assert server.requests_served == 1
+
+    def test_every_response_carries_seconds(self, server):
+        assert server.handle_request({"op": "ping"})["seconds"] >= 0.0
+
+
+class TestSolve:
+    def test_typestate_solve_and_replay(self, server):
+        request = {
+            "op": "solve",
+            "kind": "typestate",
+            "program": TYPESTATE_TEXT,
+            "query": "check1",
+        }
+        cold = server.handle_request(request)
+        assert cold["ok"] and cold["mode"] == "cold"
+        assert cold["results"][0]["verdict"] == "proven"
+        assert cold["results"][0]["query"] == "typestate:check1"
+        warm = server.handle_request(request)
+        assert warm["ok"] and warm["mode"] == "replay" and warm["store_hit"]
+        assert warm["results"] == cold["results"]
+        assert warm["digest"] == cold["digest"]
+
+    def test_escape_solve(self, server):
+        reply = server.handle_request({
+            "op": "solve",
+            "kind": "escape",
+            "program": ESCAPE_TEXT,
+            "query": "pc",
+            "var": "u",
+        })
+        assert reply["ok"]
+        assert reply["results"][0]["verdict"] in (
+            "proven", "impossible", "exhausted",
+        )
+
+    def test_provenance_solve_defaults_allowed_to_all_sites(self, server):
+        reply = server.handle_request({
+            "op": "solve",
+            "kind": "provenance",
+            "program": PROVENANCE_TEXT,
+            "query": "pc",
+            "var": "u",
+        })
+        assert reply["ok"]
+        assert reply["results"][0]["verdict"] == "proven"
+
+    def test_solve_bench_cold_then_warm(self, server):
+        request = {
+            "op": "solve-bench",
+            "benchmark": "tsp",
+            "analysis": "typestate",
+        }
+        cold = server.handle_request(request)
+        assert cold["ok"] and cold["modes"] == ["cold"]
+        assert cold["store_hits"] == 0 and cold["units"] > 0
+        warm = server.handle_request(request)
+        assert warm["modes"] == ["replay"]
+        assert warm["store_hits"] == warm["units"]
+        assert warm["results"] == cold["results"]
+
+    def test_bad_inputs_are_error_envelopes(self, server):
+        bad = [
+            {"op": "solve", "kind": "typestate"},  # no program
+            {"op": "solve", "kind": "mystery", "program": TYPESTATE_TEXT},
+            {"op": "solve", "kind": "typestate",
+             "program": TYPESTATE_TEXT},  # no query
+            {"op": "solve", "kind": "typestate",
+             "program": TYPESTATE_TEXT, "query": "nope"},
+            {"op": "solve", "kind": "typestate",
+             "program": TYPESTATE_TEXT, "query": "check1",
+             "allowed": ["molten"]},
+            {"op": "solve", "kind": "escape",
+             "program": ESCAPE_TEXT, "query": "pc", "var": "ghost"},
+            {"op": "solve", "kind": "typestate",
+             "program": "x = ???", "query": "check1"},  # parse error
+            {"op": "solve-bench", "benchmark": "tsp"},  # no analysis
+            {"op": "solve-bench", "benchmark": "atlantis",
+             "analysis": "typestate"},
+        ]
+        for request in bad:
+            reply = server.handle_request(request)
+            assert reply["ok"] is False, request
+            assert reply["error"]
+
+
+class TestBudgets:
+    def test_tightest_picks_the_smaller_bound(self):
+        assert _tightest(None, None) is None
+        assert _tightest(5.0, None) == 5.0
+        assert _tightest(None, 3.0) == 3.0
+        assert _tightest(5.0, 3.0) == 3.0
+        assert _tightest(2.0, 3.0) == 2.0
+
+    def test_request_may_tighten_but_not_exceed_ceilings(self, tmp_path):
+        server = AnalysisServer(
+            str(tmp_path / "s.sock"),
+            config=TracerConfig(max_seconds=10.0, max_steps=1000),
+        )
+        config = server._request_config(
+            {"config": {"max_seconds": 99.0, "max_steps": 5}}
+        )
+        assert config.max_seconds == 10.0  # clamped to the ceiling
+        assert config.max_steps == 5  # tightened below it
+
+    def test_unknown_override_is_rejected(self, server):
+        reply = server.handle_request({
+            "op": "solve",
+            "kind": "typestate",
+            "program": TYPESTATE_TEXT,
+            "query": "check1",
+            "config": {"engine": "compiled"},
+        })
+        assert reply["ok"] is False
+        assert "unknown config overrides" in reply["error"]
+
+    def test_overrides_preserve_server_strictness_and_engine(self, tmp_path):
+        server = AnalysisServer(
+            str(tmp_path / "s.sock"),
+            config=TracerConfig(strict=False, engine="compiled"),
+        )
+        config = server._request_config({"config": {"k": 3}})
+        assert config.k == 3
+        assert config.strict is False
+        assert config.engine == "compiled"
+
+
+class TestSocketRoundTrip:
+    def test_client_against_live_daemon(self, tmp_path):
+        import asyncio
+
+        from repro.serve.client import ServeClient, ServeError
+
+        socket_path = str(tmp_path / "serve.sock")
+        server = AnalysisServer(
+            socket_path, store_path=str(tmp_path / "store.jsonl")
+        )
+        ready = threading.Event()
+
+        def run():
+            async def main():
+                task = asyncio.ensure_future(server.run())
+                while not (
+                    server._server is not None and server._server.is_serving()
+                ):
+                    await asyncio.sleep(0.01)
+                ready.set()
+                await task
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=30)
+
+        client = ServeClient(socket_path, timeout=120)
+        assert client.ping()["pong"]
+        reply = client.solve(
+            "typestate", TYPESTATE_TEXT, query="check1"
+        )
+        assert reply["ok"] and reply["results"][0]["verdict"] == "proven"
+        with pytest.raises(ServeError):
+            client.request({"op": "nonsense"})
+        assert client.stats()["requests_served"] >= 2
+        client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()

@@ -1,0 +1,285 @@
+"""The resident session: warm-start identity (store-seeded searches are
+bit-identical to cold ones) across all three bundled clients, the
+clause tier on edited programs, stale-entry fallback, and journal
+precedence."""
+
+import json
+
+import pytest
+
+from repro.core.tracer import TracerConfig
+from repro.escape.client import EscapeQuery
+from repro.provenance.client import ProvenanceQuery
+from repro.robust.certify import CertificateStore
+from repro.robust.journal import SearchJournal
+from repro.serve.session import AnalysisSession, describe_client
+from repro.serve.store import KnowledgeStore
+from repro.typestate.client import TypestateQuery
+
+CONFIG = TracerConfig(k=5, max_iterations=30)
+
+TYPESTATE_TEXT = """
+x = new File
+y = x
+x.open()
+y.close()
+observe check1
+observe check2
+"""
+
+ESCAPE_TEXT = """
+u = new h1
+v = new h2
+v.f = u
+observe pc
+"""
+
+PROVENANCE_TEXT = """
+u = new h1
+v = new h2
+w = u
+observe pc
+"""
+
+
+def _typestate(session):
+    client, *_rest = session.typestate_client(TYPESTATE_TEXT)
+    return client, [
+        TypestateQuery("check1", frozenset({"closed"})),
+        TypestateQuery("check2", frozenset({"closed"})),
+    ]
+
+
+def _escape(session):
+    client, _universe = session.escape_client(ESCAPE_TEXT)
+    return client, [EscapeQuery("pc", "u")]
+
+
+def _provenance(session):
+    client, _universe = session.provenance_client(PROVENANCE_TEXT)
+    return client, [ProvenanceQuery("pc", "u", frozenset({"h1"}))]
+
+
+CLIENTS = {
+    "typestate": _typestate,
+    "escape": _escape,
+    "provenance": _provenance,
+}
+
+
+def _solve_pass(tmp_path, store_path, build, tag):
+    """One store-attached solve in a fresh session (fresh forward
+    cache), with a journal and a certificate store; returns everything
+    the identity assertions compare."""
+    journal_path = str(tmp_path / f"journal-{tag}.jsonl")
+    with KnowledgeStore(store_path) as store:
+        session = AnalysisSession(store=store)
+        client, queries = build(session)
+        certs = CertificateStore()
+        with SearchJournal(journal_path) as journal:
+            result = session.solve(
+                client,
+                queries,
+                CONFIG,
+                journal=journal,
+                certificates=certs,
+                source="test:prog",
+            )
+        verdicts = {
+            str(q): (r.status.value, r.iterations, r.abstraction)
+            for q, r in result.records.items()
+        }
+    return result, verdicts, certs, journal_path
+
+
+class TestWarmStartIdentity:
+    @pytest.mark.parametrize("kind", sorted(CLIENTS))
+    def test_replay_tier_is_bit_identical_to_cold(self, tmp_path, kind):
+        store_path = str(tmp_path / "store.jsonl")
+        build = CLIENTS[kind]
+        cold, cold_verdicts, cold_certs, cold_journal = _solve_pass(
+            tmp_path, store_path, build, "cold"
+        )
+        warm, warm_verdicts, warm_certs, warm_journal = _solve_pass(
+            tmp_path, store_path, build, "warm"
+        )
+        assert cold.mode == "cold" and not cold.store_hit
+        assert warm.mode == "replay" and warm.store_hit
+        assert warm_verdicts == cold_verdicts
+        # Certificates (including annotation digests and witness
+        # evidence) must be byte-identical.
+        assert json.dumps(
+            warm_certs.certificates, sort_keys=True
+        ) == json.dumps(cold_certs.certificates, sort_keys=True)
+        # The warm journal is written through, so the file on disk is
+        # bit-identical to the cold run's.
+        with open(cold_journal, "rb") as a, open(warm_journal, "rb") as b:
+            assert a.read() == b.read()
+
+    @pytest.mark.parametrize("kind", sorted(CLIENTS))
+    def test_replay_tier_runs_zero_forward_fixpoints(self, tmp_path, kind):
+        store_path = str(tmp_path / "store.jsonl")
+        build = CLIENTS[kind]
+        _solve_pass(tmp_path, store_path, build, "cold")
+        with KnowledgeStore(store_path) as store:
+            session = AnalysisSession(store=store)
+            client, queries = build(session)
+
+            def boom(_p):
+                raise AssertionError(
+                    "replay tier must not run the forward fixpoint"
+                )
+
+            client.run_forward = boom
+            certs = CertificateStore()
+            result = session.solve(
+                client, queries, CONFIG,
+                certificates=certs, source="test:prog",
+            )
+        assert result.mode == "replay"
+        assert len(certs.certificates) == len(queries)
+
+    def test_warm_without_store_is_plain_cold(self):
+        session = AnalysisSession()
+        client, queries = _typestate(session)
+        result = session.solve(client, queries, CONFIG)
+        assert result.mode == "cold"
+        assert result.digest is None
+        assert result.rounds == []
+
+
+class TestClauseTier:
+    def test_edited_program_seeds_from_prior_witnesses(self, tmp_path):
+        store_path = str(tmp_path / "store.jsonl")
+        with KnowledgeStore(store_path) as store:
+            session = AnalysisSession(store=store)
+            client, queries = _typestate(session)
+            cold = session.solve(
+                client, queries, CONFIG, source="test:prog"
+            )
+        edited = TYPESTATE_TEXT + "z = new Sock\n"
+        with KnowledgeStore(store_path) as store:
+            session = AnalysisSession(store=store)
+            client, *_rest = session.typestate_client(edited)
+            warm = session.solve(
+                client, queries, CONFIG, source="test:prog"
+            )
+        assert warm.mode == "clauses"
+        assert session.stats["warm_seeded_clauses"] > 0
+        # Same verdicts as a cold solve of the edited program.
+        baseline_session = AnalysisSession()
+        baseline_client, *_rest = baseline_session.typestate_client(edited)
+        baseline = baseline_session.solve(baseline_client, queries, CONFIG)
+        for query in queries:
+            assert (
+                warm.records[query].status
+                is baseline.records[query].status
+            )
+            assert (
+                warm.records[query].abstraction
+                == baseline.records[query].abstraction
+            )
+        # Seeded clauses prune refuted abstractions, so the warm search
+        # never takes more rounds than the cold one.
+        for query in queries:
+            assert (
+                warm.records[query].iterations
+                <= baseline.records[query].iterations
+            )
+
+    def test_different_source_does_not_seed(self, tmp_path):
+        store_path = str(tmp_path / "store.jsonl")
+        with KnowledgeStore(store_path) as store:
+            session = AnalysisSession(store=store)
+            client, queries = _typestate(session)
+            session.solve(client, queries, CONFIG, source="test:a")
+        with KnowledgeStore(store_path) as store:
+            session = AnalysisSession(store=store)
+            client, *_rest = session.typestate_client(
+                TYPESTATE_TEXT + "z = new Sock\n"
+            )
+            result = session.solve(client, queries, CONFIG, source="test:b")
+        assert result.mode == "cold"
+
+
+class TestStaleEntries:
+    def test_tampered_entry_falls_back_to_cold(self, tmp_path):
+        store_path = str(tmp_path / "store.jsonl")
+        with KnowledgeStore(store_path) as store:
+            session = AnalysisSession(store=store)
+            client, queries = _typestate(session)
+            session.solve(client, queries, CONFIG, source="test:prog")
+            digest = describe_client(client)
+            from repro.serve.store import config_key, program_digest
+
+            entry = store.lookup(
+                program_digest(client.program, digest),
+                config_key(CONFIG),
+                [str(q) for q in queries],
+            )
+            assert entry is not None
+            # Tamper with the recorded rounds: the replay integrity
+            # checks must reject the entry, forget it, and re-run cold
+            # — a bad store costs time, never answers.
+            entry["rounds"][0]["queries"] = ["typestate:bogus"]
+            fresh = AnalysisSession(store=store)
+            client2, _ = _typestate(fresh)
+            certs = CertificateStore()
+            result = fresh.solve(
+                client2, queries, CONFIG,
+                certificates=certs, source="test:prog",
+            )
+            assert result.mode == "stale"
+            assert fresh.stats["stale_entries"] == 1
+            assert len(certs.certificates) == len(queries)
+            for query in queries:
+                assert result.records[query].status.value in (
+                    "proven", "impossible", "exhausted",
+                )
+
+
+class TestJournalPrecedence:
+    def test_resuming_journal_skips_the_store(self, tmp_path):
+        store_path = str(tmp_path / "store.jsonl")
+        journal_path = str(tmp_path / "journal.jsonl")
+        session = AnalysisSession()
+        client, queries = _typestate(session)
+        with SearchJournal(journal_path) as journal:
+            session.solve(client, queries, CONFIG, journal=journal)
+        with KnowledgeStore(store_path) as store:
+            warm_session = AnalysisSession(store=store)
+            client2, _ = _typestate(warm_session)
+            with SearchJournal(journal_path, resume=True) as journal:
+                result = warm_session.solve(
+                    client2, queries, CONFIG,
+                    journal=journal, source="test:prog",
+                )
+            # The resumed journal takes precedence: no store lookup,
+            # no re-recording of replayed knowledge.
+            assert result.mode == "cold"
+            assert store.hits == 0 and store.misses == 0
+            assert len(store) == 0
+
+
+class TestSessionMemos:
+    def test_prepare_is_memoized_per_name(self):
+        session = AnalysisSession()
+        assert session.prepare("tsp") is session.prepare("tsp")
+        assert session.stats["programs_prepared"] == 1
+
+    def test_seed_and_instance_round_trip(self):
+        session = AnalysisSession()
+        bench = session.prepare("tsp")
+        token = session.seed(bench)
+        assert session.instance("tsp", token) is bench
+        # A token the session never saw falls back to the standard
+        # memo for suite benchmarks.
+        assert session.instance("tsp", token + 999) is bench
+
+    def test_client_builders_are_memoized_by_text(self):
+        session = AnalysisSession()
+        first = session.typestate_client(TYPESTATE_TEXT)
+        second = session.typestate_client(TYPESTATE_TEXT)
+        assert first[0] is second[0]
+        third = session.typestate_client(TYPESTATE_TEXT + "z = new Sock\n")
+        assert third[0] is not first[0]
