@@ -329,7 +329,13 @@ def serve_warm():
     if os.path.exists(store_path):
         os.remove(store_path)
 
+    from repro.obs.metrics import Histogram
+
     def run_pass():
+        # Per-unit latencies feed a fixed-bucket Histogram (the same
+        # class the daemon scrapes), so the smoke report carries the
+        # p50/p95/p99 shape, not just the total.
+        histogram = Histogram("bench_unit_seconds")
         with KnowledgeStore(store_path) as store:
             session = AnalysisSession(store=store)
             verdicts = {}
@@ -337,9 +343,13 @@ def serve_warm():
             started = time.perf_counter()
             for name in SMOKE_BENCHMARKS:
                 for analysis in SMOKE_ANALYSES:
+                    unit_started = time.perf_counter()
                     for index, queries, result in session.solve_benchmark(
                         name, analysis, config
                     ):
+                        now = time.perf_counter()
+                        histogram.observe(now - unit_started)
+                        unit_started = now
                         modes.append(result.mode)
                         for query in queries:
                             record = result.records[query]
@@ -349,10 +359,20 @@ def serve_warm():
                             )
             seconds = time.perf_counter() - started
             hit_rate = store.hit_rate
-        return seconds, verdicts, modes, hit_rate
+        return seconds, verdicts, modes, hit_rate, histogram
 
-    cold_seconds, cold_verdicts, cold_modes, _ = run_pass()
-    warm_seconds, warm_verdicts, warm_modes, warm_hit_rate = run_pass()
+    def latency_summary(histogram):
+        return {
+            "count": histogram.merged().count,
+            "p50": round(histogram.quantile(0.50) or 0.0, 6),
+            "p95": round(histogram.quantile(0.95) or 0.0, 6),
+            "p99": round(histogram.quantile(0.99) or 0.0, 6),
+        }
+
+    cold_seconds, cold_verdicts, cold_modes, _, cold_hist = run_pass()
+    warm_seconds, warm_verdicts, warm_modes, warm_hit_rate, warm_hist = (
+        run_pass()
+    )
     os.remove(store_path)
     return {
         "benchmarks": list(SMOKE_BENCHMARKS),
@@ -366,6 +386,10 @@ def serve_warm():
         "warm_modes": sorted(set(warm_modes)),
         "warm_store_hit_rate": round(warm_hit_rate, 4),
         "warm_matches_cold": warm_verdicts == cold_verdicts,
+        "latency": {
+            "cold": latency_summary(cold_hist),
+            "warm": latency_summary(warm_hist),
+        },
     }
 
 

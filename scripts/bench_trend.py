@@ -35,9 +35,17 @@ DEFAULT_HISTORY = os.path.join(REPO_ROOT, "BENCH_history.jsonl")
 
 
 def history_entry(report: dict) -> dict:
-    """The compact history line distilled from one smoke report."""
+    """The compact history line distilled from one smoke report.
+
+    Every section read is ``.get``-tolerant: sections accrete over
+    PRs, so older reports (and older history lines) legitimately lack
+    newer ones — a missing section means "not measured", never an
+    error.
+    """
     evaluation = report.get("evaluation", {})
-    return {
+    serve = report.get("serve_warm", {})
+    latency = serve.get("latency", {})
+    entry = {
         "timestamp": report.get("timestamp"),
         "python": report.get("python"),
         "micro_seconds": report.get("micro_seconds", {}),
@@ -45,6 +53,15 @@ def history_entry(report: dict) -> dict:
         "serial_seconds": evaluation.get("serial_seconds"),
         "parallel_seconds_jobs2": evaluation.get("parallel_seconds_jobs2"),
     }
+    if serve:
+        entry["serve_warm"] = {
+            "speedup": serve.get("speedup"),
+            "warm_seconds": serve.get("warm_seconds"),
+            "warm_p50": latency.get("warm", {}).get("p50"),
+            "warm_p95": latency.get("warm", {}).get("p95"),
+            "warm_p99": latency.get("warm", {}).get("p99"),
+        }
+    return entry
 
 
 def load_history(path: str) -> list:
@@ -64,14 +81,26 @@ def compare(previous: dict, current: dict, threshold: float) -> list:
     ``(kernel, old_seconds, new_seconds, ratio)`` rows where the new
     median exceeds the old by more than ``threshold``."""
     regressions = []
-    old_micros = previous.get("micro_seconds", {})
-    for kernel, new_seconds in sorted(current.get("micro_seconds", {}).items()):
+    old_micros = previous.get("micro_seconds") or {}
+    for kernel, new_seconds in sorted(
+        (current.get("micro_seconds") or {}).items()
+    ):
         old_seconds = old_micros.get(kernel)
         if not old_seconds or not new_seconds:
             continue  # new kernel, or a zero reading — nothing to compare
         ratio = new_seconds / old_seconds
         if ratio > 1.0 + threshold:
             regressions.append((kernel, old_seconds, new_seconds, ratio))
+    # Serve-layer warm latency: only comparable when both entries carry
+    # the section (it first appeared after the earliest history lines).
+    old_warm = (previous.get("serve_warm") or {}).get("warm_seconds")
+    new_warm = (current.get("serve_warm") or {}).get("warm_seconds")
+    if old_warm and new_warm:
+        ratio = new_warm / old_warm
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                ("serve_warm_seconds", old_warm, new_warm, ratio)
+            )
     return regressions
 
 
@@ -115,10 +144,21 @@ def main(argv=None):
         f"history: {len(history) + 1} entries in "
         f"{os.path.relpath(args.history, REPO_ROOT)}"
     )
-    for kernel, seconds in sorted(entry["micro_seconds"].items()):
+    for kernel, seconds in sorted((entry.get("micro_seconds") or {}).items()):
         print(f"  {kernel:<24} {seconds * 1000:9.3f} ms")
     if entry.get("forward_speedup") is not None:
         print(f"  {'forward speedup':<24} {entry['forward_speedup']:9.2f} x")
+    serve = entry.get("serve_warm") or {}
+    if serve.get("warm_seconds") is not None:
+        print(
+            f"  {'serve warm pass':<24} "
+            f"{serve['warm_seconds'] * 1000:9.3f} ms"
+            + (
+                f"  (p95 {serve['warm_p95'] * 1000:.3f} ms)"
+                if serve.get("warm_p95") is not None
+                else ""
+            )
+        )
 
     if not history:
         print("no previous entry — baseline recorded, nothing to compare")

@@ -189,7 +189,12 @@ def _run_unit(
                 ).solve_all(queries)
 
         if sink is not None:
-            with obs.tracing(sink):
+            # The unit's stable identity doubles as the schema v2
+            # trace id, so merged worker streams stay correlated per
+            # unit (and `repro trace profile --by-trace` can attribute
+            # time to units).
+            trace_id = f"unit:{unit.benchmark}:{unit.analysis}:{unit.index}"
+            with obs.tracing(sink, trace_id=trace_id):
                 solved = run()
         else:
             solved = run()

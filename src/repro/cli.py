@@ -13,8 +13,14 @@ Commands:
 * ``selfcheck ANALYSIS FILE`` — machine-check a client analysis's
   transfer/wp contracts on a program (``docs/WRITING_A_CLIENT.md``);
 * ``info NAME`` — print one benchmark's Table 1 row and query counts;
-* ``trace validate|summarize|transcript FILE`` — work with recorded
-  JSONL traces (see ``--trace-out`` and ``docs/OBSERVABILITY.md``).
+* ``serve`` / ``submit`` — the analysis daemon and its client
+  (``docs/SERVING.md``);
+* ``top`` — live TTY dashboard over a running daemon (QPS, tier mix,
+  latency quantiles; ``--once`` for a single snapshot frame);
+* ``trace validate|summarize|profile|transcript FILE...`` — work with
+  recorded JSONL traces (see ``--trace-out`` and
+  ``docs/OBSERVABILITY.md``); ``summarize`` and ``profile`` accept
+  multiple files and merge the streams deterministically.
 
 Variable/site/field universes are inferred from the program text, so a
 minimal invocation is just::
@@ -59,7 +65,8 @@ from repro.core.stats import QueryStatus
 from repro.core.tracer import TracerConfig
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
-from repro.obs.events import SCHEMA_VERSION
+from repro.obs.aggregate import profile_trace, render_profile
+from repro.obs.events import SCHEMA_VERSION, merge_streams
 from repro.obs.sinks import JsonlSink, MultiSink, Sink, TtySink
 from repro.obs.summarize import (
     load_trace,
@@ -653,14 +660,38 @@ def _cmd_trace_validate(args) -> int:
     return 0
 
 
+def _load_merged_traces(paths: List[str]) -> List[dict]:
+    """Load one or more trace files; multiple files are merged through
+    ``merge_streams`` (worker/daemon traces need no hand-merging)."""
+    streams = [_load_trace_or_die(path) for path in paths]
+    if len(streams) == 1:
+        return streams[0]
+    return merge_streams(streams)
+
+
 def _cmd_trace_summarize(args) -> int:
-    records = _load_trace_or_die(args.file)
+    records = _load_merged_traces(args.files)
     errors = validate_trace(records)
     if errors:
         for error in errors:
             print(f"invalid: {error}", file=sys.stderr)
         return 1
     print(render_summary(summarize_trace(records)))
+    return 0
+
+
+def _cmd_trace_profile(args) -> int:
+    streams = [_load_trace_or_die(path) for path in args.files]
+    for path, stream in zip(args.files, streams):
+        errors = validate_trace(
+            stream if len(streams) == 1 else merge_streams([stream])
+        )
+        if errors:
+            for error in errors:
+                print(f"invalid ({path}): {error}", file=sys.stderr)
+            return 1
+    profile = profile_trace(streams)
+    print(render_profile(profile, top=args.top, by_trace=args.by_trace))
     return 0
 
 
@@ -711,7 +742,13 @@ def _cmd_serve(args) -> int:
         engine=args.engine,
     )
     try:
-        server = AnalysisServer(args.socket, args.store, config)
+        server = AnalysisServer(
+            args.socket,
+            args.store,
+            config,
+            metrics_out=args.metrics_out,
+            metrics_interval=args.metrics_interval,
+        )
     except (ValueError, OSError) as error:
         _die(str(error))
     print(
@@ -730,6 +767,23 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     return EXIT_OK
+
+
+def _cmd_top(args) -> int:
+    from repro.serve.client import ServeError
+    from repro.serve.top import run_top
+
+    try:
+        return run_top(
+            args.socket,
+            interval=args.interval,
+            frames=1 if args.once else args.frames,
+            clear=not args.no_clear and sys.stdout.isatty(),
+        )
+    except ServeError as error:
+        _die(str(error))
+    except KeyboardInterrupt:
+        return EXIT_OK
 
 
 def _worst_verdict_code(results: List[dict]) -> int:
@@ -760,6 +814,10 @@ def _cmd_submit(args) -> int:
             reply = client.stats()
             print(json.dumps(reply, indent=2, sort_keys=True))
             return EXIT_OK
+        if args.metrics:
+            reply = client.metrics()
+            sys.stdout.write(reply["prometheus"])
+            return EXIT_OK
         if args.shutdown:
             client.shutdown()
             print("daemon stopping")
@@ -786,7 +844,7 @@ def _cmd_submit(args) -> int:
             return _worst_verdict_code(reply["results"])
         if not args.file or not args.query:
             _die("submit needs a FILE and --query "
-                 "(or --ping/--stats/--shutdown/--benchmark)")
+                 "(or --ping/--stats/--metrics/--shutdown/--benchmark)")
         params = {"source": f"cli:{args.file}"}
         if args.kind == "typestate":
             params["automaton"] = args.automaton
@@ -981,7 +1039,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE",
         help="record a JSONL trace of every served request",
     )
+    serve.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="periodically write a Prometheus text-format snapshot of "
+             "the metrics registry to FILE (atomic replace)",
+    )
+    serve.add_argument(
+        "--metrics-interval", type=float, default=5.0, metavar="S",
+        help="seconds between --metrics-out snapshots (default: 5)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = commands.add_parser(
+        "top",
+        help="live dashboard over a running daemon (QPS, tier mix, "
+             "latency quantiles, in-flight request)",
+    )
+    top.add_argument("--socket", required=True, metavar="PATH")
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between polls (default: 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot frame and exit (non-interactive)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    top.set_defaults(func=_cmd_top)
 
     submit = commands.add_parser(
         "submit",
@@ -993,6 +1084,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "--shutdown/--benchmark)")
     submit.add_argument("--ping", action="store_true")
     submit.add_argument("--stats", action="store_true")
+    submit.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus text scrape and exit")
     submit.add_argument("--shutdown", action="store_true")
     submit.add_argument("--benchmark", metavar="NAME",
                         help="solve a bundled suite benchmark on the daemon")
@@ -1030,8 +1123,29 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize",
         help="per-phase wall-clock breakdown (forward / backward / synthesis)",
     )
-    summarize.add_argument("file")
+    summarize.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="trace file(s); multiple files are merged deterministically",
+    )
     summarize.set_defaults(func=_cmd_trace_summarize)
+
+    profile = trace_commands.add_parser(
+        "profile",
+        help="per-site self/total wall-clock flat profile",
+    )
+    profile.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="trace file(s); multiple files are merged deterministically",
+    )
+    profile.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N hottest sites",
+    )
+    profile.add_argument(
+        "--by-trace", action="store_true",
+        help="add a per-trace-id (per-request / per-unit) roll-up",
+    )
+    profile.set_defaults(func=_cmd_trace_profile)
 
     transcript = trace_commands.add_parser(
         "transcript",

@@ -881,7 +881,12 @@ def run_query_group(
                                 f"journal records round {rec.get('round')!r} "
                                 f"where the search reached round {round_index}"
                             )
-                        apply_replay(group, rec, next_groups)
+                        with obs.span(
+                            "replay_round",
+                            phase="synthesis",
+                            round=round_index,
+                        ):
+                            apply_replay(group, rec, next_groups)
                         continue
                 elif warm is not None and warm.replaying:
                     rec = warm.replay_round([str(q) for q in group.queries])
@@ -892,7 +897,12 @@ def run_query_group(
                                 f"{rec.get('round')!r} where the search "
                                 f"reached round {round_index}"
                             )
-                        apply_replay(group, rec, next_groups)
+                        with obs.span(
+                            "replay_round",
+                            phase="synthesis",
+                            round=round_index,
+                        ):
+                            apply_replay(group, rec, next_groups)
                         if journal is not None:
                             # Write the replayed round through, so a
                             # warm-started journal is bit-identical to

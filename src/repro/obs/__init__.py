@@ -9,23 +9,45 @@ Sub-modules:
 * :mod:`repro.obs.sinks` — where records go: no-op, in-memory, JSONL
   file, live TTY progress;
 * :mod:`repro.obs.metrics` — the cache-counter registry (single
-  source of truth for hit/miss statistics);
+  source of truth for hit/miss statistics) plus labelled counters,
+  gauges, and fixed-bucket histograms on the same pull model;
+* :mod:`repro.obs.export` — the Prometheus text-format exporter over
+  the registry (behind the daemon's ``metrics`` op and
+  ``--metrics-out``);
 * :mod:`repro.obs.summarize` — post-hoc trace analysis behind
-  ``repro trace validate / summarize``.
+  ``repro trace validate / summarize``;
+* :mod:`repro.obs.aggregate` — the per-site flat profiler behind
+  ``repro trace profile``.
 
 See ``docs/OBSERVABILITY.md`` for the full story.
 """
 
+from repro.obs.aggregate import (
+    TraceProfile,
+    profile_trace,
+    render_profile,
+)
 from repro.obs.events import (
     PHASES,
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     merge_streams,
     validate_events,
 )
+from repro.obs.export import (
+    parse_prometheus,
+    render_prometheus,
+)
 from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
     MetricsRegistry,
     current_registry,
+    quantile_from_buckets,
     register_cache,
+    register_instrument,
     scoped_registry,
 )
 from repro.obs.sinks import (
@@ -44,42 +66,62 @@ from repro.obs.summarize import (
     summarize_trace,
 )
 from repro.obs.trace import (
+    PhaseTimer,
     TraceContext,
     active,
     current,
+    current_phase_timer,
     detail_enabled,
     event,
     metric,
+    phase_timing,
     span,
+    trace_scope,
     tracing,
 )
 
 __all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
     "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
     "MultiSink",
     "NullSink",
     "PHASES",
+    "PhaseTimer",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "Sink",
     "TraceContext",
+    "TraceProfile",
     "TraceSummary",
     "TtySink",
     "active",
     "current",
+    "current_phase_timer",
     "current_registry",
     "detail_enabled",
     "event",
     "load_trace",
     "merge_streams",
     "metric",
+    "parse_prometheus",
     "phase_durations",
+    "phase_timing",
+    "profile_trace",
+    "quantile_from_buckets",
     "register_cache",
+    "register_instrument",
+    "render_profile",
+    "render_prometheus",
     "render_summary",
     "scoped_registry",
     "span",
     "summarize_trace",
+    "trace_scope",
     "tracing",
     "validate_events",
 ]

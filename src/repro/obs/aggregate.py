@@ -1,0 +1,163 @@
+"""Post-hoc trace profiling: ``repro trace profile``.
+
+Where ``repro trace summarize`` answers "how much time per *phase*",
+the profiler answers "how much time per *call site*": it folds one or
+more JSONL traces (parallel-worker streams are merged through
+:func:`~repro.obs.events.merge_streams` first, so trace ids stay
+correlated) into a flat-profile table with, per span name,
+
+* ``count`` — how many spans ran,
+* ``total`` — wall-clock with children included (inclusive), and
+* ``self``  — wall-clock minus direct children (exclusive),
+
+sorted by self time, which is the classic "where does the time
+actually go" view.  ``--by-trace`` adds a per-request roll-up keyed by
+the schema v2 trace id (daemon request ids, parallel unit ids), which
+is how operators go from a latency outlier in the histograms to the
+spans that caused it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.events import SPAN_END, SPAN_START, merge_streams
+
+__all__ = [
+    "SiteProfile",
+    "TraceProfile",
+    "profile_trace",
+    "render_profile",
+]
+
+
+@dataclass
+class SiteProfile:
+    """One row of the flat profile."""
+
+    name: str
+    count: int
+    total_seconds: float
+    self_seconds: float
+
+
+@dataclass
+class TraceProfile:
+    sites: List[SiteProfile]
+    traces: Dict[str, Dict[str, float]]
+    span_count: int
+
+    @property
+    def self_total(self) -> float:
+        return sum(site.self_seconds for site in self.sites)
+
+
+def _folded_spans(records: Sequence[dict]):
+    """``(name, trace, duration, self_duration)`` per finished span."""
+    spans: Dict[int, list] = {}  # id -> [name, trace, start, end, child_sec]
+    for record in records:
+        rtype = record.get("type")
+        if rtype == SPAN_START:
+            spans[record["id"]] = [
+                record.get("name", "?"),
+                record.get("trace"),
+                record["t"],
+                None,
+                0.0,
+                record.get("parent"),
+            ]
+        elif rtype == SPAN_END:
+            info = spans.get(record.get("id"))
+            if info is not None:
+                info[3] = record["t"]
+    for info in spans.values():
+        if info[3] is None:
+            continue
+        parent = spans.get(info[5])
+        if parent is not None:
+            parent[4] += info[3] - info[2]
+    for name, trace, start, end, child_seconds, _parent in spans.values():
+        if end is None:
+            continue
+        duration = end - start
+        yield name, trace, duration, max(0.0, duration - child_seconds)
+
+
+def profile_trace(
+    streams: Sequence[Sequence[dict]],
+) -> TraceProfile:
+    """Fold one or more record streams into a :class:`TraceProfile`.
+
+    Multiple streams (separate worker/daemon trace files) are merged
+    deterministically first; a single stream is profiled as-is.
+    """
+    if len(streams) == 1:
+        records: Sequence[dict] = streams[0]
+    else:
+        records = merge_streams(streams)
+    by_site: Dict[str, SiteProfile] = {}
+    by_trace: Dict[str, Dict[str, float]] = {}
+    span_count = 0
+    for name, trace, total, self_seconds in _folded_spans(records):
+        span_count += 1
+        site = by_site.get(name)
+        if site is None:
+            site = by_site[name] = SiteProfile(name, 0, 0.0, 0.0)
+        site.count += 1
+        site.total_seconds += total
+        site.self_seconds += self_seconds
+        if trace is not None:
+            entry = by_trace.setdefault(
+                trace, {"spans": 0, "self_seconds": 0.0}
+            )
+            entry["spans"] += 1
+            entry["self_seconds"] += self_seconds
+    sites = sorted(
+        by_site.values(), key=lambda s: (-s.self_seconds, s.name)
+    )
+    return TraceProfile(sites=sites, traces=by_trace, span_count=span_count)
+
+
+def render_profile(
+    profile: TraceProfile,
+    top: Optional[int] = None,
+    by_trace: bool = False,
+) -> str:
+    """The ``repro trace profile`` report."""
+    lines: List[str] = []
+    total = profile.self_total
+    lines.append(
+        f"{'site':<24} {'count':>7} {'total s':>10} {'self s':>10} "
+        f"{'self %':>7}"
+    )
+    shown = profile.sites if top is None else profile.sites[:top]
+    for site in shown:
+        share = site.self_seconds / total if total else 0.0
+        lines.append(
+            f"{site.name:<24} {site.count:>7} {site.total_seconds:>10.4f} "
+            f"{site.self_seconds:>10.4f} {share:>7.1%}"
+        )
+    dropped = len(profile.sites) - len(shown)
+    if dropped > 0:
+        lines.append(f"... {dropped} more site(s); use --top to widen")
+    lines.append(
+        f"{'all sites':<24} {profile.span_count:>7} {'':>10} "
+        f"{total:>10.4f}"
+    )
+    if by_trace:
+        lines.append("")
+        if profile.traces:
+            lines.append(f"{'trace':<40} {'spans':>7} {'self s':>10}")
+            ordered = sorted(
+                profile.traces.items(),
+                key=lambda item: (-item[1]["self_seconds"], item[0]),
+            )
+            for trace_id, entry in ordered:
+                lines.append(
+                    f"{trace_id:<40} {int(entry['spans']):>7} "
+                    f"{entry['self_seconds']:>10.4f}"
+                )
+        else:
+            lines.append("no trace ids in this stream (schema v1 trace?)")
+    return "\n".join(lines)

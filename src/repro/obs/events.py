@@ -6,7 +6,17 @@ file).  Record types:
 ``trace_header``
     First record of every stream: ``{"type": "trace_header",
     "schema": SCHEMA_VERSION, "producer": "repro"}``.  Consumers must
-    reject streams whose major schema version they do not know.
+    reject streams whose major schema version they do not know;
+    :func:`validate_events` accepts every version in
+    :data:`SUPPORTED_SCHEMA_VERSIONS` (version 1 streams predate trace
+    ids and remain valid).
+
+Schema version 2 adds an optional ``"trace"`` key — a string trace id
+— to every non-header record.  All records emitted while one daemon
+request (or one parallel work unit) is active carry the same trace id,
+so spans from one logical request can be correlated across merged
+streams and across the client/server boundary (the daemon uses the
+request's ``request_id`` as the trace id).
 
 ``span_start`` / ``span_end``
     A timed interval: ``{"type": "span_start", "id": N,
@@ -47,7 +57,14 @@ file).  Record types:
     ``"clauses"``), ``store_hit`` (a knowledge-store lookup answered;
     ``tier`` is ``"replay"`` or ``"clauses"``), and ``request_served``
     (the daemon finished one request; carries ``op``, ``ok``, ``mode``,
-    ``seconds``).  Event names are open — new ones carry no schema
+    ``seconds``).  The telemetry layer adds three more:
+    ``request_received`` (the daemon dequeued one request; carries
+    ``request_id``, ``op``, ``queue_seconds``), ``request_finished``
+    (the full per-request summary: ``request_id``, ``op``, ``ok``,
+    ``mode``, ``seconds``, ``queue_seconds``, per-phase ``phases``),
+    and ``metrics_scraped`` (the ``metrics`` op or the ``--metrics-out``
+    writer rendered the registry; carries ``bytes``).  Event names are
+    open — new ones carry no schema
     change — but every name the codebase emits is registered in
     :data:`KNOWN_EVENT_NAMES` so tools (and tests) can spot typos.
 
@@ -67,7 +84,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`validate_events` accepts.  Version 1 streams (no
+#: trace ids) remain readable by every consumer.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
 
 TRACE_HEADER = "trace_header"
 SPAN_START = "span_start"
@@ -102,6 +123,10 @@ KNOWN_EVENT_NAMES = frozenset({
     "warm_start",
     "store_hit",
     "request_served",
+    # serving telemetry (docs/OBSERVABILITY.md)
+    "request_received",
+    "request_finished",
+    "metrics_scraped",
 })
 
 
@@ -131,10 +156,11 @@ def validate_events(records: Iterable[dict]) -> List[str]:
         if index == 0:
             if rtype != TRACE_HEADER:
                 errors.append(f"{where}: first record must be a trace_header")
-            elif record.get("schema") != SCHEMA_VERSION:
+            elif record.get("schema") not in SUPPORTED_SCHEMA_VERSIONS:
                 errors.append(
                     f"{where}: unsupported schema version "
-                    f"{record.get('schema')!r} (expected {SCHEMA_VERSION})"
+                    f"{record.get('schema')!r} (supported: "
+                    f"{sorted(SUPPORTED_SCHEMA_VERSIONS)})"
                 )
             seen_header = True
             continue
@@ -146,6 +172,9 @@ def validate_events(records: Iterable[dict]) -> List[str]:
             continue
         if not isinstance(record.get("t"), (int, float)):
             errors.append(f"{where}: missing numeric timestamp 't'")
+        trace = record.get("trace")
+        if trace is not None and not isinstance(trace, str):
+            errors.append(f"{where}: non-string trace id {trace!r}")
         if rtype == SPAN_START:
             span_id = record.get("id")
             if not isinstance(span_id, int):
@@ -202,8 +231,11 @@ def merge_streams(streams: Sequence[Sequence[dict]]) -> List[dict]:
     passes them in work-unit order, which is the serial evaluation
     order), span ids are remapped into disjoint ranges, per-stream
     headers are dropped in favour of a single leading header, and each
-    record gains a ``"stream"`` key naming its origin.  Timestamps are
-    left untouched: they are only comparable within one stream.
+    record gains a ``"stream"`` key naming its origin.  Timestamps and
+    ``"trace"`` ids are left untouched: timestamps are only comparable
+    within one stream, while trace ids are global — records from
+    different streams that share a trace id belong to one logical
+    request and stay correlated across the merge.
     """
     merged: List[dict] = [header()]
     offset = 0

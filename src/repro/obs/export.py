@@ -1,0 +1,264 @@
+"""Prometheus text-format exporter for the metrics registry.
+
+Renders everything a :class:`~repro.obs.metrics.MetricsRegistry` knows
+— the serving instruments (counters, gauges, histograms) plus the
+legacy cache hit/miss sources — in the Prometheus text exposition
+format (version 0.0.4): ``# HELP`` / ``# TYPE`` comment lines followed
+by one sample per line, histograms as cumulative ``_bucket{le=...}``
+series with ``_sum`` and ``_count``.
+
+The module also ships a deliberately small :func:`parse_prometheus`
+for the consumers *inside* this repo (tests, ``repro top``, the serve
+smoke script) — it understands exactly what :func:`render_prometheus`
+emits, not the full exposition grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    quantile_from_buckets,
+)
+
+__all__ = [
+    "histogram_from_samples",
+    "parse_prometheus",
+    "quantile_from_parsed",
+    "render_prometheus",
+]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_counter(lines: List[str], counter: Counter) -> None:
+    if counter.help:
+        lines.append(f"# HELP {counter.name} {counter.help}")
+    lines.append(f"# TYPE {counter.name} counter")
+    samples = counter.samples()
+    if not samples:
+        samples = [({}, 0.0)]
+    for labels, value in samples:
+        lines.append(
+            f"{counter.name}{_labels_text(labels)} {_format_value(value)}"
+        )
+
+
+def _render_gauge(lines: List[str], gauge: Gauge) -> None:
+    if gauge.help:
+        lines.append(f"# HELP {gauge.name} {gauge.help}")
+    lines.append(f"# TYPE {gauge.name} gauge")
+    samples = gauge.samples()
+    if not samples:
+        samples = [({}, 0.0)]
+    for labels, value in samples:
+        lines.append(
+            f"{gauge.name}{_labels_text(labels)} {_format_value(value)}"
+        )
+
+
+def _render_histogram(lines: List[str], hist: Histogram) -> None:
+    if hist.help:
+        lines.append(f"# HELP {hist.name} {hist.help}")
+    lines.append(f"# TYPE {hist.name} histogram")
+    samples = hist.samples()
+    if not samples:
+        samples = [({}, None)]
+    for labels, series in samples:
+        cumulative = 0
+        counts = (
+            series.counts if series is not None
+            else [0] * (len(hist.bounds) + 1)
+        )
+        for bound, count in zip(hist.bounds, counts):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_value(float(bound))
+            lines.append(
+                f"{hist.name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+            )
+        cumulative += counts[-1]
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = "+Inf"
+        lines.append(
+            f"{hist.name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+        )
+        total_sum = series.sum if series is not None else 0.0
+        total_count = series.count if series is not None else 0
+        lines.append(
+            f"{hist.name}_sum{_labels_text(labels)} "
+            f"{_format_value(total_sum)}"
+        )
+        lines.append(f"{hist.name}_count{_labels_text(labels)} {total_count}")
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry as Prometheus text exposition.
+
+    Instruments render natively; the legacy cache hit/miss sources
+    render as two labelled counter families,
+    ``repro_cache_hits_total{cache=...}`` and
+    ``repro_cache_misses_total{cache=...}``.
+    """
+    registry = registry if registry is not None else current_registry()
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        if isinstance(instrument, Counter):
+            _render_counter(lines, instrument)
+        elif isinstance(instrument, Gauge):
+            _render_gauge(lines, instrument)
+        elif isinstance(instrument, Histogram):
+            _render_histogram(lines, instrument)
+    caches = registry.snapshot()
+    if caches:
+        lines.append(
+            "# HELP repro_cache_hits_total Cache hits by registry name."
+        )
+        lines.append("# TYPE repro_cache_hits_total counter")
+        for name, counters in caches.items():
+            lines.append(
+                f'repro_cache_hits_total{{cache="{_escape_label(name)}"}} '
+                f"{counters.hits}"
+            )
+        lines.append(
+            "# HELP repro_cache_misses_total Cache misses by registry name."
+        )
+        lines.append("# TYPE repro_cache_misses_total counter")
+        for name, counters in caches.items():
+            lines.append(
+                f'repro_cache_misses_total{{cache="{_escape_label(name)}"}} '
+                f"{counters.misses}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+#: A parsed exposition: sample name -> list of (labels, value).
+Parsed = Dict[str, List[Tuple[Dict[str, str], float]]]
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",")
+        assert text[eq + 1] == '"', f"malformed label value at {text[eq:]!r}"
+        j = eq + 2
+        value: List[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                j += 1
+                value.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(text[j], text[j])
+                )
+            else:
+                value.append(text[j])
+            j += 1
+        labels[name] = "".join(value)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> Parsed:
+    """Parse text exposition back into ``{name: [(labels, value)]}``.
+
+    Covers the subset :func:`render_prometheus` produces (which is the
+    subset ``repro top`` and the tests need); comment lines are
+    skipped.
+    """
+    parsed: Parsed = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, value_text = line.rsplit(" ", 1)
+        if "{" in body:
+            name, rest = body.split("{", 1)
+            labels = _parse_labels(rest.rstrip("}"))
+        else:
+            name, labels = body, {}
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        parsed.setdefault(name, []).append((labels, value))
+    return parsed
+
+
+def histogram_from_samples(
+    parsed: Parsed, name: str, **match_labels
+) -> Optional[Tuple[List[float], List[int], int, float]]:
+    """Reassemble one histogram from parsed exposition samples, summed
+    across every label combination matching ``match_labels``.
+
+    Returns ``(bounds, per_bucket_counts, count, sum)`` ready for
+    :func:`~repro.obs.metrics.quantile_from_buckets`, or ``None`` if
+    the histogram is absent.  ``per_bucket_counts`` are *de-cumulated*
+    (one extra overflow entry past the last finite bound).
+    """
+    bucket_samples = parsed.get(name + "_bucket")
+    if not bucket_samples:
+        return None
+    by_le: Dict[float, float] = {}
+    for labels, value in bucket_samples:
+        if any(labels.get(k) != str(v) for k, v in match_labels.items()):
+            continue
+        le = (
+            float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+        )
+        by_le[le] = by_le.get(le, 0.0) + value
+    if not by_le:
+        return None
+    bounds = sorted(le for le in by_le if le != float("inf"))
+    cumulative = [by_le[le] for le in bounds] + [by_le.get(float("inf"), 0.0)]
+    counts = [int(cumulative[0])] + [
+        int(cumulative[i] - cumulative[i - 1])
+        for i in range(1, len(cumulative))
+    ]
+    total_count = 0
+    total_sum = 0.0
+    for labels, value in parsed.get(name + "_count", []):
+        if all(labels.get(k) == str(v) for k, v in match_labels.items()):
+            total_count += int(value)
+    for labels, value in parsed.get(name + "_sum", []):
+        if all(labels.get(k) == str(v) for k, v in match_labels.items()):
+            total_sum += value
+    return bounds, counts, total_count, total_sum
+
+
+def quantile_from_parsed(
+    parsed: Parsed, name: str, q: float, **match_labels
+) -> Optional[float]:
+    """Estimated ``q``-quantile of a scraped histogram (``None`` when
+    absent or empty)."""
+    assembled = histogram_from_samples(parsed, name, **match_labels)
+    if assembled is None:
+        return None
+    bounds, counts, _count, _sum = assembled
+    if not bounds:
+        return None
+    return quantile_from_buckets(bounds, counts, q)

@@ -19,6 +19,18 @@ The runtime is deliberately process-local and not thread-safe: the
 evaluation parallelises across *processes* (``repro.bench.parallel``),
 each of which owns its own context, and worker streams are merged
 deterministically afterwards (:func:`repro.obs.events.merge_streams`).
+
+Two serving-layer additions ride the same ambient-state design:
+
+* **Trace ids** — a context may carry a ``trace_id`` (schema v2);
+  every record emitted while it is set gains a ``"trace"`` key.  The
+  daemon wraps each request in :func:`trace_scope` with the request id,
+  so all spans/events of one request share one trace id end to end.
+* **Phase timing without a sink** — :func:`phase_timing` installs a
+  :class:`PhaseTimer` that accumulates exclusive per-phase wall-clock
+  from the same ``span(..., phase=...)`` call sites, whether or not a
+  sink is installed.  The no-op fast path stays near-free: an
+  unphased ``span()`` with no sink still reads a single module global.
 """
 
 from __future__ import annotations
@@ -37,13 +49,17 @@ from repro.obs.events import (
 from repro.obs.sinks import Sink
 
 __all__ = [
+    "PhaseTimer",
     "TraceContext",
     "active",
     "current",
+    "current_phase_timer",
     "detail_enabled",
     "event",
     "metric",
+    "phase_timing",
     "span",
+    "trace_scope",
     "tracing",
 ]
 
@@ -92,17 +108,21 @@ class _Span:
 class TraceContext:
     """One tracing session: a sink, a span stack, and an id counter."""
 
-    __slots__ = ("sink", "detail", "clock", "_next_id", "_stack")
+    __slots__ = ("sink", "detail", "clock", "trace_id", "_next_id", "_stack")
 
     def __init__(
         self,
         sink: Sink,
         detail: bool = False,
         clock: Callable[[], float] = time.perf_counter,
+        trace_id: Optional[str] = None,
     ):
         self.sink = sink
         self.detail = detail
         self.clock = clock
+        #: Stamped as ``"trace"`` on every emitted record while set —
+        #: the schema v2 correlation key (see :func:`trace_scope`).
+        self.trace_id = trace_id
         self._next_id = 0
         self._stack: List[int] = []
 
@@ -128,6 +148,8 @@ class TraceContext:
             record["phase"] = phase
         if attrs:
             record["attrs"] = attrs
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
         self._stack.append(span_id)
         self.sink.emit(record)
         return _Span(self, span_id, {})
@@ -137,7 +159,12 @@ class TraceContext:
         # an exception) so the stream stays well-nested.
         while self._stack and self._stack[-1] != span_id:
             dangling = self._stack.pop()
-            self.sink.emit({"type": SPAN_END, "id": dangling, "t": self.clock()})
+            closer: Dict[str, object] = {
+                "type": SPAN_END, "id": dangling, "t": self.clock(),
+            }
+            if self.trace_id is not None:
+                closer["trace"] = self.trace_id
+            self.sink.emit(closer)
         if self._stack:
             self._stack.pop()
         record: Dict[str, object] = {
@@ -147,6 +174,8 @@ class TraceContext:
         }
         if attrs:
             record["attrs"] = attrs
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
         self.sink.emit(record)
 
     def emit_event(self, name: str, attrs: dict) -> None:
@@ -158,6 +187,8 @@ class TraceContext:
         }
         if attrs:
             record["attrs"] = attrs
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
         self.sink.emit(record)
 
     def emit_metric(self, name: str, hits: int, misses: int, **extra) -> None:
@@ -169,6 +200,8 @@ class TraceContext:
             "t": self.clock(),
         }
         record.update(extra)
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
         self.sink.emit(record)
 
     def ingest(self, records) -> None:
@@ -199,8 +232,86 @@ class TraceContext:
             self.sink.emit(record)
 
 
+class _PhaseSpan:
+    """A live phase-timing interval (no sink involved)."""
+
+    __slots__ = ("_timer", "_entry")
+
+    def __init__(self, timer: "PhaseTimer", entry: list):
+        self._timer = timer
+        self._entry = entry
+
+    def __enter__(self):
+        return self
+
+    def set(self, **attrs) -> None:
+        """Discard attributes (phase timing keeps durations only)."""
+
+    def __exit__(self, *exc):
+        self._timer._end(self._entry)
+        return False
+
+
+class PhaseTimer:
+    """Accumulates *exclusive* wall-clock per phase from the same
+    ``span(..., phase=...)`` call sites the tracer instruments — no
+    sink required.  Exclusive means a phased span is charged its
+    duration minus its phased children, matching the attribution of
+    :func:`repro.obs.summarize.phase_durations`."""
+
+    __slots__ = ("totals", "clock", "_stack")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.totals: Dict[str, float] = {}
+        self.clock = clock
+        self._stack: List[list] = []  # [phase, start_t, child_seconds]
+
+    def start(self, phase: str) -> _PhaseSpan:
+        entry = [phase, self.clock(), 0.0]
+        self._stack.append(entry)
+        return _PhaseSpan(self, entry)
+
+    def _end(self, entry: list) -> None:
+        now = self.clock()
+        # Pop down to (and including) ``entry`` so intervals abandoned
+        # by an exception still get charged.
+        while self._stack:
+            top = self._stack.pop()
+            duration = now - top[1]
+            self.totals[top[0]] = self.totals.get(top[0], 0.0) + max(
+                0.0, duration - top[2]
+            )
+            if self._stack:
+                self._stack[-1][2] += duration
+            if top is entry:
+                break
+
+
+class _DualSpan:
+    """A traced span that also feeds the installed phase timer."""
+
+    __slots__ = ("_traced", "_timed")
+
+    def __init__(self, traced: _Span, timed: _PhaseSpan):
+        self._traced = traced
+        self._timed = timed
+
+    def __enter__(self):
+        return self
+
+    def set(self, **attrs) -> None:
+        self._traced.set(**attrs)
+
+    def __exit__(self, *exc):
+        self._timed.__exit__(*exc)
+        return self._traced.__exit__(*exc)
+
+
 #: The installed context, or ``None`` (tracing off — the default).
 _CURRENT: Optional[TraceContext] = None
+
+#: The installed phase timer, or ``None`` (the default).
+_PHASES: Optional[PhaseTimer] = None
 
 
 def current() -> Optional[TraceContext]:
@@ -222,15 +333,31 @@ def detail_enabled() -> bool:
     return ctx is not None and ctx.detail
 
 
+def current_phase_timer() -> Optional[PhaseTimer]:
+    """The installed :class:`PhaseTimer`, or ``None``."""
+    return _PHASES
+
+
 def span(name: str, phase: Optional[str] = None, **attrs):
     """Open a span; use as ``with span("forward", phase="forward"):``.
 
     Returns a no-op singleton when tracing is inactive, so the call is
-    safe (and cheap) on hot paths."""
+    safe (and cheap) on hot paths.  Phased spans additionally feed the
+    installed :class:`PhaseTimer` (if any), sink or no sink."""
     ctx = _CURRENT
+    if phase is None:
+        if ctx is None:
+            return _NOOP_SPAN
+        return ctx.start_span(name, phase, attrs)
+    timer = _PHASES
     if ctx is None:
-        return _NOOP_SPAN
-    return ctx.start_span(name, phase, attrs)
+        if timer is None:
+            return _NOOP_SPAN
+        return timer.start(phase)
+    traced = ctx.start_span(name, phase, attrs)
+    if timer is None:
+        return traced
+    return _DualSpan(traced, timer.start(phase))
 
 
 def event(name: str, **attrs) -> None:
@@ -261,8 +388,11 @@ class tracing:
         sink: Sink,
         detail: bool = False,
         clock: Callable[[], float] = time.perf_counter,
+        trace_id: Optional[str] = None,
     ):
-        self._context = TraceContext(sink, detail=detail, clock=clock)
+        self._context = TraceContext(
+            sink, detail=detail, clock=clock, trace_id=trace_id
+        )
         self._previous: Optional[TraceContext] = None
 
     def __enter__(self) -> TraceContext:
@@ -276,4 +406,54 @@ class tracing:
         global _CURRENT
         _CURRENT = self._previous
         self._context.close()
+        return False
+
+
+class trace_scope:
+    """Set the ambient context's trace id for a ``with`` block.
+
+    All records emitted inside the block carry ``"trace": trace_id``;
+    the previous id (usually ``None``) is restored on exit.  A no-op
+    when tracing is inactive — the scope is safe to enter
+    unconditionally, which is how the daemon wraps every request."""
+
+    def __init__(self, trace_id: Optional[str]):
+        self.trace_id = trace_id
+        self._previous: Optional[str] = None
+        self._context: Optional[TraceContext] = None
+
+    def __enter__(self) -> "trace_scope":
+        self._context = _CURRENT
+        if self._context is not None:
+            self._previous = self._context.trace_id
+            self._context.trace_id = self.trace_id
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._context is not None:
+            self._context.trace_id = self._previous
+        return False
+
+
+class phase_timing:
+    """Install a :class:`PhaseTimer` for a ``with`` block.
+
+    ``with phase_timing() as timer: ...`` — afterwards
+    ``timer.totals`` maps each phase to its exclusive wall-clock.
+    Nested installations stack (the inner timer shadows the outer one
+    for its duration), mirroring :func:`tracing`."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._timer = PhaseTimer(clock=clock)
+        self._previous: Optional[PhaseTimer] = None
+
+    def __enter__(self) -> PhaseTimer:
+        global _PHASES
+        self._previous = _PHASES
+        _PHASES = self._timer
+        return self._timer
+
+    def __exit__(self, *exc) -> bool:
+        global _PHASES
+        _PHASES = self._previous
         return False

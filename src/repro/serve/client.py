@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import socket
+import uuid
 from typing import Optional
 
 __all__ = ["ServeClient", "ServeError"]
@@ -37,7 +38,14 @@ class ServeClient:
 
     def request(self, payload: dict) -> dict:
         """Send one request and return the decoded response; raises
-        :class:`ServeError` on ``ok: false`` or transport failure."""
+        :class:`ServeError` on ``ok: false`` or transport failure.
+
+        A ``request_id`` is minted client-side when the payload has
+        none; the daemon uses it as the trace id for every span/event
+        the request produces and echoes it in the response, so a
+        client log line can be joined against the daemon's trace."""
+        payload = dict(payload)
+        payload.setdefault("request_id", uuid.uuid4().hex[:16])
         try:
             with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
                 sock.settimeout(self.timeout)
@@ -65,6 +73,11 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
+
+    def metrics(self) -> dict:
+        """Scrape the daemon's Prometheus text exposition (the
+        ``prometheus`` field of the reply)."""
+        return self.request({"op": "metrics"})
 
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})

@@ -7,6 +7,7 @@ newline-delimited JSON objects, one response line per request::
 
     {"op": "ping"}
     {"op": "stats"}
+    {"op": "metrics"}
     {"op": "shutdown"}
     {"op": "solve", "kind": "typestate" | "escape" | "provenance",
      "program": <text>, "query": <label>, ...,
@@ -26,30 +27,49 @@ Solve responses carry one entry per query::
 Errors come back as ``{"ok": false, "error": <message>}`` — a bad
 request never kills the daemon.
 
-Execution is strictly FIFO: analysis runs on a single worker thread
-behind an asyncio lock (the session is single-threaded state), while
-the event loop keeps accepting and queueing connections.  Per-request
-budgets ride the existing :mod:`repro.robust.budget` layer through
-``TracerConfig.max_seconds`` / ``max_steps``; a request may *tighten*
-the server's ceilings, never exceed them.  Every served request emits
-a ``request_served`` event (see ``docs/OBSERVABILITY.md``).
+Analysis execution is strictly FIFO: solves run on a single worker
+thread behind an asyncio lock (the session is single-threaded state),
+while the event loop keeps accepting and queueing connections.  The
+read-only ops — ``ping``, ``stats``, ``metrics`` — bypass the lock so
+a dashboard stays live while a long solve holds the worker.
+Per-request budgets ride the existing :mod:`repro.robust.budget` layer
+through ``TracerConfig.max_seconds`` / ``max_steps``; a request may
+*tighten* the server's ceilings, never exceed them.
+
+Every request carries a ``request_id`` (client-supplied or minted
+here) that doubles as the schema v2 *trace id*: all spans and events
+recorded while the request runs — down through the session and the
+TRACER driver — share it, and it is echoed in the response.  Each
+request emits ``request_received`` / ``request_served`` /
+``request_finished`` events and feeds the
+:class:`~repro.serve.telemetry.ServingTelemetry` histograms; the
+``metrics`` op (and ``--metrics-out``) exports the registry in
+Prometheus text format (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import os
 import time
+import uuid
 from typing import Optional
 
 from repro.core.stats import QueryStatus
 from repro.core.tracer import TracerConfig
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
+from repro.obs.export import render_prometheus
 from repro.serve.session import AnalysisSession
 from repro.serve.store import KnowledgeStore
+from repro.serve.telemetry import ServingTelemetry
 
 __all__ = ["AnalysisServer", "serve"]
+
+#: Ops that never touch session state and run without the FIFO lock.
+_LOCK_FREE_OPS = frozenset({"ping", "stats", "metrics"})
 
 #: Per-request config overrides a client may send (``max_seconds`` and
 #: ``max_steps`` are additionally clamped to the server's ceilings).
@@ -74,6 +94,8 @@ class AnalysisServer:
         socket_path: str,
         store_path: Optional[str] = None,
         config: TracerConfig = TracerConfig(),
+        metrics_out: Optional[str] = None,
+        metrics_interval: float = 5.0,
     ):
         self.socket_path = socket_path
         self.store = (
@@ -81,7 +103,11 @@ class AnalysisServer:
         )
         self.session = AnalysisSession(store=self.store)
         self.config = config
+        self.metrics_out = metrics_out
+        self.metrics_interval = metrics_interval
         self.requests_served = 0
+        self.started = time.time()
+        self.telemetry = ServingTelemetry(store=self.store)
         self._lock: Optional[asyncio.Lock] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping: Optional[asyncio.Event] = None
@@ -165,6 +191,7 @@ class AnalysisServer:
         result = self.session.solve(
             client, queries, config, source=source
         )
+        self.telemetry.count_tier(result.mode)
         return _solve_response(queries, result)
 
     def _solve_bench(self, request: dict) -> dict:
@@ -180,6 +207,7 @@ class AnalysisServer:
         for _index, queries, unit in units:
             modes.add(unit.mode)
             hits += int(unit.store_hit)
+            self.telemetry.count_tier(unit.mode)
             results.extend(_solve_response(queries, unit)["results"])
         return {
             "ok": True,
@@ -196,7 +224,9 @@ class AnalysisServer:
             "ok": True,
             "pid": os.getpid(),
             "requests_served": self.requests_served,
+            "uptime_seconds": time.time() - self.started,
             "session": dict(self.session.stats),
+            "telemetry": self.telemetry.snapshot(),
         }
         if self.store is not None:
             body["store"] = {
@@ -209,34 +239,85 @@ class AnalysisServer:
             }
         return body
 
-    def handle_request(self, request: dict) -> dict:
-        """Serve one decoded request (synchronous; runs on the worker
-        thread).  Exposed for in-process tests."""
-        op = request.get("op")
-        started = time.perf_counter()
-        try:
-            if op == "ping":
-                response = {"ok": True, "pong": True, "pid": os.getpid()}
-            elif op == "stats":
-                response = self._stats()
-            elif op == "solve":
-                response = self._solve(request)
-            elif op == "solve-bench":
-                response = self._solve_bench(request)
-            else:
-                raise ValueError(f"unknown op {op!r}")
-        except Exception as error:  # a bad request must not kill the daemon
-            response = {"ok": False, "error": str(error)}
-        response.setdefault("seconds", time.perf_counter() - started)
-        self.requests_served += 1
+    def _metrics(self) -> dict:
+        text = render_prometheus(obs_metrics.current_registry())
         if obs.active():
-            obs.event(
-                "request_served",
-                op=op,
-                ok=response.get("ok", False),
-                mode=response.get("mode"),
-                seconds=response["seconds"],
-            )
+            obs.event("metrics_scraped", bytes=len(text))
+        return {
+            "ok": True,
+            "format": "prometheus-text-0.0.4",
+            "prometheus": text,
+        }
+
+    def handle_request(
+        self, request: dict, queued_at: Optional[float] = None
+    ) -> dict:
+        """Serve one decoded request (synchronous; runs on the worker
+        thread).  Exposed for in-process tests.  ``queued_at`` is the
+        ``perf_counter`` reading at enqueue time — the gap to now is
+        the queue wait the request spent behind the FIFO lock."""
+        op = request.get("op")
+        request_id = request.get("request_id")
+        if not isinstance(request_id, str) or not request_id:
+            request_id = uuid.uuid4().hex[:16]
+        started = time.perf_counter()
+        queue_wait = (
+            max(0.0, started - queued_at) if queued_at is not None else 0.0
+        )
+        self.telemetry.begin(request_id, op)
+        with obs.trace_scope(request_id), obs.phase_timing() as phases:
+            if obs.active():
+                obs.event(
+                    "request_received",
+                    request_id=request_id,
+                    op=op,
+                    queue_seconds=queue_wait,
+                )
+            try:
+                if op == "ping":
+                    response = {"ok": True, "pong": True, "pid": os.getpid()}
+                elif op == "stats":
+                    response = self._stats()
+                elif op == "metrics":
+                    response = self._metrics()
+                elif op == "solve":
+                    response = self._solve(request)
+                elif op == "solve-bench":
+                    response = self._solve_bench(request)
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+            except Exception as error:  # a bad request must not kill the daemon
+                response = {"ok": False, "error": str(error)}
+            seconds = time.perf_counter() - started
+            response.setdefault("seconds", seconds)
+            response["request_id"] = request_id
+            ok = response.get("ok", False)
+            mode = response.get("mode")
+            if obs.active():
+                obs.event(
+                    "request_served",
+                    op=op,
+                    ok=ok,
+                    mode=mode,
+                    seconds=response["seconds"],
+                )
+                obs.event(
+                    "request_finished",
+                    request_id=request_id,
+                    op=op,
+                    ok=ok,
+                    mode=mode,
+                    seconds=seconds,
+                    queue_seconds=queue_wait,
+                    phases={
+                        phase: round(sec, 6)
+                        for phase, sec in phases.totals.items()
+                    },
+                )
+        self.requests_served += 1
+        self.telemetry.finish(
+            request_id, op, ok, mode, seconds, queue_wait, phases.totals
+        )
         return response
 
     # -- the asyncio shell ----------------------------------------------------
@@ -261,13 +342,20 @@ class AnalysisServer:
                         self._stopping.set()
                         break
                     loop = asyncio.get_running_loop()
-                    # FIFO: the lock serialises requests across
-                    # connections; the executor keeps the loop free to
-                    # accept and queue meanwhile.
-                    async with self._lock:
-                        response = await loop.run_in_executor(
-                            None, self.handle_request, request
-                        )
+                    queued_at = time.perf_counter()
+                    call = functools.partial(
+                        self.handle_request, request, queued_at=queued_at
+                    )
+                    if request.get("op") in _LOCK_FREE_OPS:
+                        # Read-only ops skip the queue so dashboards
+                        # stay live during a long solve.
+                        response = await loop.run_in_executor(None, call)
+                    else:
+                        # FIFO: the lock serialises requests across
+                        # connections; the executor keeps the loop free
+                        # to accept and queue meanwhile.
+                        async with self._lock:
+                            response = await loop.run_in_executor(None, call)
                 writer.write(_encode(response))
                 await writer.drain()
         finally:
@@ -276,6 +364,21 @@ class AnalysisServer:
                 await writer.wait_closed()
             except (ConnectionError, BrokenPipeError):
                 pass
+
+    def write_metrics_snapshot(self) -> None:
+        """Atomically (re)write the ``--metrics-out`` file."""
+        if self.metrics_out is None:
+            return
+        text = render_prometheus(obs_metrics.current_registry())
+        tmp = self.metrics_out + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, self.metrics_out)
+
+    async def _metrics_writer(self) -> None:
+        while True:
+            await asyncio.sleep(self.metrics_interval)
+            self.write_metrics_snapshot()
 
     async def run(self) -> None:
         """Listen until a ``shutdown`` request arrives."""
@@ -291,9 +394,16 @@ class AnalysisServer:
                 socket=self.socket_path,
                 store=self.store.path if self.store is not None else None,
             )
+        writer_task = None
+        if self.metrics_out is not None:
+            self.write_metrics_snapshot()
+            writer_task = asyncio.ensure_future(self._metrics_writer())
         try:
             await self._stopping.wait()
         finally:
+            if writer_task is not None:
+                writer_task.cancel()
+                self.write_metrics_snapshot()
             self._server.close()
             await self._server.wait_closed()
             if self.store is not None:
@@ -360,7 +470,15 @@ def serve(
     socket_path: str,
     store_path: Optional[str] = None,
     config: TracerConfig = TracerConfig(),
+    metrics_out: Optional[str] = None,
+    metrics_interval: float = 5.0,
 ) -> None:
     """Blocking entry point behind ``repro serve``."""
-    server = AnalysisServer(socket_path, store_path, config)
+    server = AnalysisServer(
+        socket_path,
+        store_path,
+        config,
+        metrics_out=metrics_out,
+        metrics_interval=metrics_interval,
+    )
     asyncio.run(server.run())

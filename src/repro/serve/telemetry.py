@@ -1,0 +1,180 @@
+"""Per-request telemetry for the ``repro serve`` daemon.
+
+One :class:`ServingTelemetry` per :class:`~repro.serve.server.AnalysisServer`
+owns the serving instruments — latency/queue/phase histograms, request
+and warm-tier counters, in-flight and store gauges — plus a bounded
+in-memory ring of recent request summaries (surfaced through the
+``stats`` op and rendered by ``repro top``).
+
+The instruments register *weakly* with the current
+:class:`~repro.obs.metrics.MetricsRegistry`; the telemetry object
+holds the only strong references, so when a server is collected its
+metrics drop out of scrapes exactly like a collected cache's counters
+do.  Everything here is updated from the daemon's single worker thread
+(plus the lock-free ``ping``/``stats``/``metrics`` ops, whose updates
+are simple dict/deque mutations — atomic under the GIL).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+)
+
+__all__ = ["ServingTelemetry"]
+
+#: Queue waits are short unless the daemon is saturated; keep the same
+#: shape as the latency buckets.
+QUEUE_BUCKETS = DEFAULT_LATENCY_BUCKETS
+
+#: The warm-start outcome tiers a solve can report.
+TIERS = ("cold", "replay", "clauses", "stale")
+
+
+class ServingTelemetry:
+    """The daemon's instruments and recent-request ring."""
+
+    def __init__(
+        self,
+        store=None,
+        recent: int = 64,
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
+        clock=time.time,
+    ):
+        registry = (
+            registry if registry is not None
+            else obs_metrics.current_registry()
+        )
+        self.clock = clock
+        self.request_seconds = Histogram(
+            "repro_request_seconds",
+            help="End-to-end request latency by op.",
+            labelnames=("op",),
+        )
+        self.queue_seconds = Histogram(
+            "repro_request_queue_seconds",
+            help="Time a request waited for the worker thread.",
+            buckets=QUEUE_BUCKETS,
+        )
+        self.phase_seconds = Histogram(
+            "repro_phase_seconds",
+            help="Exclusive per-phase wall-clock within one request.",
+            labelnames=("phase",),
+        )
+        self.requests_total = Counter(
+            "repro_requests_total",
+            help="Requests served, by op and outcome.",
+            labelnames=("op", "ok"),
+        )
+        self.warm_tier_total = Counter(
+            "repro_warm_tier_total",
+            help="Solved units by warm-start tier.",
+            labelnames=("tier",),
+        )
+        self.in_flight = Gauge(
+            "repro_in_flight_requests",
+            help="Requests currently being handled.",
+        )
+        self.store_hit_rate = Gauge(
+            "repro_store_hit_rate",
+            help="Knowledge-store replay-tier hit rate.",
+        )
+        self.store_entries = Gauge(
+            "repro_store_entries",
+            help="Entries in the knowledge store.",
+        )
+        if store is not None:
+            self.store_hit_rate.set_function(lambda: store.hit_rate)
+            self.store_entries.set_function(lambda: len(store))
+        self.recent = deque(maxlen=recent)
+        self._in_flight: Dict[str, dict] = {}
+        for instrument in (
+            self.request_seconds,
+            self.queue_seconds,
+            self.phase_seconds,
+            self.requests_total,
+            self.warm_tier_total,
+            self.in_flight,
+            self.store_hit_rate,
+            self.store_entries,
+        ):
+            registry.register_instrument(instrument)
+
+    # -- the request lifecycle --------------------------------------------
+
+    def begin(self, request_id: str, op: str) -> None:
+        self._in_flight[request_id] = {
+            "request_id": request_id,
+            "op": op,
+            "started": self.clock(),
+        }
+        self.in_flight.inc()
+
+    def finish(
+        self,
+        request_id: str,
+        op: str,
+        ok: bool,
+        mode: Optional[str],
+        seconds: float,
+        queue_seconds: float,
+        phases: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self._in_flight.pop(request_id, None)
+        self.in_flight.dec()
+        self.request_seconds.observe(seconds, op=str(op))
+        self.queue_seconds.observe(queue_seconds)
+        if phases:
+            for phase, phase_sec in phases.items():
+                self.phase_seconds.observe(phase_sec, phase=phase)
+        self.requests_total.inc(op=str(op), ok=str(bool(ok)).lower())
+        summary = {
+            "request_id": request_id,
+            "op": op,
+            "ok": bool(ok),
+            "mode": mode,
+            "seconds": round(seconds, 6),
+            "queue_seconds": round(queue_seconds, 6),
+            "finished": self.clock(),
+        }
+        if phases:
+            summary["phases"] = {
+                phase: round(sec, 6) for phase, sec in phases.items()
+            }
+        self.recent.append(summary)
+
+    def count_tier(self, mode: Optional[str], units: int = 1) -> None:
+        """Record ``units`` solved units answered from tier ``mode``."""
+        if mode in TIERS:
+            self.warm_tier_total.inc(units, tier=mode)
+
+    # -- snapshots for the stats op ---------------------------------------
+
+    def tier_counts(self) -> Dict[str, int]:
+        return {
+            tier: int(self.warm_tier_total.value(tier=tier))
+            for tier in TIERS
+        }
+
+    def snapshot(self) -> dict:
+        """The ``stats`` op's ``telemetry`` section."""
+        in_flight = sorted(
+            self._in_flight.values(), key=lambda e: e["started"]
+        )
+        now = self.clock()
+        return {
+            "in_flight": [
+                {**entry, "running_seconds": round(now - entry["started"], 6)}
+                for entry in in_flight
+            ],
+            "recent": list(self.recent),
+            "tiers": self.tier_counts(),
+        }

@@ -1,0 +1,206 @@
+"""``repro top`` — a live TTY dashboard over a running daemon.
+
+Polls the daemon's ``stats`` and ``metrics`` ops (both lock-free
+server-side, so the dashboard stays live while a solve holds the
+worker thread) and renders one frame per interval: QPS, warm-tier
+mix, p50/p95/p99 latency from the scraped histograms, per-phase time
+shares, the in-flight request, and the recent-request ring.
+
+Rendering is a pure function of two samples (:func:`render_frame`), so
+tests and the CI smoke run it non-interactively with ``--once``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs.export import (
+    Parsed,
+    parse_prometheus,
+    quantile_from_parsed,
+)
+from repro.serve.client import ServeClient
+from repro.serve.telemetry import TIERS
+
+__all__ = ["Sample", "render_frame", "run_top", "take_sample"]
+
+
+@dataclass
+class Sample:
+    """One poll: wall-clock, the ``stats`` body, parsed metrics."""
+
+    at: float
+    stats: dict
+    metrics: Parsed
+
+    @classmethod
+    def from_parts(
+        cls, stats: dict, prometheus_text: str, at: Optional[float] = None
+    ) -> "Sample":
+        return cls(
+            at=at if at is not None else time.monotonic(),
+            stats=stats,
+            metrics=parse_prometheus(prometheus_text),
+        )
+
+
+def take_sample(client: ServeClient) -> Sample:
+    stats = client.stats()
+    scraped = client.metrics()
+    return Sample.from_parts(stats, scraped["prometheus"])
+
+
+def _counter_total(parsed: Parsed, name: str, **match) -> float:
+    total = 0.0
+    for labels, value in parsed.get(name, []):
+        if all(labels.get(k) == str(v) for k, v in match.items()):
+            total += value
+    return total
+
+
+def _fmt_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _fmt_uptime(seconds: float) -> str:
+    seconds = int(seconds)
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+def render_frame(sample: Sample, previous: Optional[Sample] = None) -> str:
+    """One dashboard frame (no terminal control codes)."""
+    stats = sample.stats
+    parsed = sample.metrics
+    requests = stats.get("requests_served", 0)
+    uptime = stats.get("uptime_seconds", 0.0)
+    if previous is not None and sample.at > previous.at:
+        qps = (
+            requests - previous.stats.get("requests_served", 0)
+        ) / (sample.at - previous.at)
+    elif uptime:
+        qps = requests / uptime
+    else:
+        qps = 0.0
+    lines: List[str] = []
+    lines.append(
+        f"repro top — pid {stats.get('pid', '?')}  "
+        f"uptime {_fmt_uptime(uptime)}  "
+        f"requests {requests}  qps {qps:.1f}"
+    )
+
+    telemetry = stats.get("telemetry", {})
+    tiers: Dict[str, int] = telemetry.get("tiers", {})
+    solved = sum(tiers.values())
+    if solved:
+        mix = "  ".join(
+            f"{tier} {tiers.get(tier, 0)} "
+            f"({tiers.get(tier, 0) / solved:.0%})"
+            for tier in TIERS
+            if tiers.get(tier, 0)
+        )
+    else:
+        mix = "no solves yet"
+    lines.append(f"tiers: {mix}")
+
+    p50 = quantile_from_parsed(parsed, "repro_request_seconds", 0.50)
+    p95 = quantile_from_parsed(parsed, "repro_request_seconds", 0.95)
+    p99 = quantile_from_parsed(parsed, "repro_request_seconds", 0.99)
+    queue_p95 = quantile_from_parsed(
+        parsed, "repro_request_queue_seconds", 0.95
+    )
+    lines.append(
+        f"latency: p50 {_fmt_seconds(p50)}  p95 {_fmt_seconds(p95)}  "
+        f"p99 {_fmt_seconds(p99)}  queue p95 {_fmt_seconds(queue_p95)}"
+    )
+
+    phase_sums = {
+        labels.get("phase", "?"): value
+        for labels, value in parsed.get("repro_phase_seconds_sum", [])
+    }
+    phase_total = sum(phase_sums.values())
+    if phase_total:
+        shares = "  ".join(
+            f"{phase} {phase_sums[phase] / phase_total:.0%}"
+            for phase in sorted(phase_sums, key=phase_sums.get, reverse=True)
+        )
+        lines.append(f"phases: {shares}")
+
+    store = stats.get("store")
+    if store:
+        lines.append(
+            f"store: {store['entries']} entries  "
+            f"hit rate {store['hit_rate']:.1%}"
+        )
+
+    in_flight = telemetry.get("in_flight", [])
+    # The dashboard's own stats request is always in flight; show the
+    # others (the interesting ones are solves held by the worker).
+    others = [e for e in in_flight if e.get("op") != "stats"]
+    if others:
+        busy = ", ".join(
+            f"{e.get('op')} [{e.get('request_id', '?')}] "
+            f"{_fmt_seconds(e.get('running_seconds'))}"
+            for e in others
+        )
+        lines.append(f"in-flight: {busy}")
+    else:
+        lines.append("in-flight: idle")
+
+    recent = telemetry.get("recent", [])
+    if recent:
+        lines.append("")
+        lines.append(
+            f"{'request':<18} {'op':<12} {'mode':<8} {'ok':<4} "
+            f"{'queue':>8} {'total':>9}"
+        )
+        for entry in list(recent)[-8:][::-1]:
+            lines.append(
+                f"{entry.get('request_id', '?'):<18} "
+                f"{str(entry.get('op')):<12} "
+                f"{str(entry.get('mode') or '-'):<8} "
+                f"{'yes' if entry.get('ok') else 'NO':<4} "
+                f"{_fmt_seconds(entry.get('queue_seconds')):>8} "
+                f"{_fmt_seconds(entry.get('seconds')):>9}"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    socket_path: str,
+    interval: float = 2.0,
+    frames: Optional[int] = None,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """Poll and render until interrupted (or for ``frames`` frames —
+    ``frames=1`` is the non-interactive ``--once`` snapshot)."""
+    out = out if out is not None else sys.stdout
+    client = ServeClient(socket_path)
+    previous: Optional[Sample] = None
+    rendered = 0
+    while True:
+        sample = take_sample(client)
+        frame = render_frame(sample, previous)
+        if clear and rendered > 0:
+            out.write("\x1b[2J\x1b[H")
+        out.write(frame + "\n")
+        out.flush()
+        previous = sample
+        rendered += 1
+        if frames is not None and rendered >= frames:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -1,0 +1,100 @@
+"""The per-site trace profiler (`repro.obs.aggregate`)."""
+
+from repro.obs.aggregate import profile_trace, render_profile
+from repro.obs.events import SCHEMA_VERSION
+
+
+def header():
+    return {"type": "trace_header", "schema": SCHEMA_VERSION, "producer": "t"}
+
+
+def span(span_id, name, start, end, parent=None, trace=None):
+    start_record = {
+        "type": "span_start", "id": span_id, "parent": parent,
+        "name": name, "t": start,
+    }
+    end_record = {"type": "span_end", "id": span_id, "t": end}
+    if trace is not None:
+        start_record["trace"] = trace
+        end_record["trace"] = trace
+    return [start_record, end_record]
+
+
+class TestProfile:
+    def test_self_excludes_direct_children(self):
+        records = [header()]
+        records += span(1, "outer", 0.0, 10.0)
+        records += span(2, "inner", 1.0, 4.0, parent=1)
+        profile = profile_trace([records])
+        by_name = {site.name: site for site in profile.sites}
+        assert by_name["outer"].total_seconds == 10.0
+        assert by_name["outer"].self_seconds == 7.0
+        assert by_name["inner"].self_seconds == 3.0
+        assert profile.span_count == 2
+        assert profile.self_total == 10.0
+
+    def test_sites_aggregate_and_sort_by_self_time(self):
+        records = [header()]
+        records += span(1, "cheap", 0.0, 1.0)
+        records += span(2, "hot", 1.0, 6.0)
+        records += span(3, "hot", 6.0, 11.0)
+        profile = profile_trace([records])
+        assert [site.name for site in profile.sites] == ["hot", "cheap"]
+        assert profile.sites[0].count == 2
+        assert profile.sites[0].self_seconds == 10.0
+
+    def test_unfinished_spans_are_dropped(self):
+        records = [header()]
+        records += span(1, "done", 0.0, 2.0)
+        records.append(
+            {"type": "span_start", "id": 2, "parent": None,
+             "name": "dangling", "t": 1.0}
+        )
+        profile = profile_trace([records])
+        assert [site.name for site in profile.sites] == ["done"]
+
+    def test_traces_roll_up_by_id(self):
+        records = [header()]
+        records += span(1, "solve", 0.0, 3.0, trace="req-a")
+        records += span(2, "solve", 3.0, 5.0, trace="req-b")
+        records += span(3, "solve", 5.0, 6.0, trace="req-a")
+        profile = profile_trace([records])
+        assert profile.traces["req-a"] == {"spans": 2, "self_seconds": 4.0}
+        assert profile.traces["req-b"] == {"spans": 1, "self_seconds": 2.0}
+
+    def test_multiple_streams_merge_and_keep_trace_ids(self):
+        first = [header()] + span(1, "unit", 0.0, 2.0, trace="unit:0")
+        second = [header()] + span(1, "unit", 0.0, 3.0, trace="unit:1")
+        profile = profile_trace([first, second])
+        # Identically-numbered span ids from different workers must not
+        # collide after the merge.
+        assert profile.span_count == 2
+        assert profile.sites[0].count == 2
+        assert set(profile.traces) == {"unit:0", "unit:1"}
+
+
+class TestRender:
+    def test_table_columns_and_totals(self):
+        records = [header()] + span(1, "forward_run", 0.0, 2.0)
+        text = render_profile(profile_trace([records]))
+        assert "site" in text and "self %" in text
+        assert "forward_run" in text
+        assert "100.0%" in text
+        assert "all sites" in text
+
+    def test_top_truncates_with_a_hint(self):
+        records = [header()]
+        for index in range(5):
+            records += span(index + 1, f"site{index}", index, index + 1.0)
+        text = render_profile(profile_trace([records]), top=2)
+        assert "... 3 more site(s); use --top to widen" in text
+
+    def test_by_trace_section(self):
+        records = [header()] + span(1, "solve", 0.0, 2.0, trace="req-a")
+        text = render_profile(profile_trace([records]), by_trace=True)
+        assert "req-a" in text and "spans" in text
+
+    def test_by_trace_without_ids_explains(self):
+        records = [header()] + span(1, "solve", 0.0, 2.0)
+        text = render_profile(profile_trace([records]), by_trace=True)
+        assert "no trace ids" in text

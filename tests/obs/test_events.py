@@ -161,3 +161,57 @@ class TestKnownEventNames:
             "store_hit",
             "request_served",
         } <= KNOWN_EVENT_NAMES
+
+    def test_telemetry_events_are_registered(self):
+        from repro.obs.events import KNOWN_EVENT_NAMES
+
+        assert {
+            "request_received",
+            "request_finished",
+            "metrics_scraped",
+        } <= KNOWN_EVENT_NAMES
+
+    def test_scan_reaches_the_serving_emit_sites(self):
+        """The emit-site scan must keep covering the daemon and the
+        obs helper modules, where the telemetry events are emitted."""
+        import pathlib
+        import re
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        pattern = re.compile(r'\bevent\(\s*\n?\s*"([a-z_]+)"')
+        serve_names = set()
+        for path in (root / "serve").rglob("*.py"):
+            serve_names.update(pattern.findall(path.read_text()))
+        assert "metrics_scraped" in serve_names
+        assert "request_finished" in serve_names
+
+
+class TestSchemaVersions:
+    def test_current_version_is_2(self):
+        from repro.obs.events import SUPPORTED_SCHEMA_VERSIONS
+
+        assert SCHEMA_VERSION == 2
+        assert SCHEMA_VERSION in SUPPORTED_SCHEMA_VERSIONS
+
+    def test_v1_streams_still_validate(self):
+        v1_header = {"type": "trace_header", "schema": 1, "producer": "old"}
+        records = [v1_header, span_start(0), span_end(0)]
+        assert validate_events(records) == []
+
+    def test_trace_id_key_is_valid_on_every_record_type(self):
+        records = stream(
+            {**span_start(0), "trace": "req-1"},
+            {"type": "event", "name": "e", "span": 0, "t": 0.5,
+             "trace": "req-1"},
+            {"type": "metric", "name": "c", "hits": 0, "misses": 0,
+             "t": 0.6, "trace": "req-1"},
+            {**span_end(0), "trace": "req-1"},
+        )
+        assert validate_events(records) == []
+
+    def test_non_string_trace_id_is_an_error(self):
+        records = stream({**span_start(0), "trace": 17}, span_end(0))
+        errors = validate_events(records)
+        assert any("trace id" in e for e in errors)

@@ -1,0 +1,143 @@
+"""The Prometheus exporter round-trips (`repro.obs.export`)."""
+
+from repro.obs.export import (
+    histogram_from_samples,
+    parse_prometheus,
+    quantile_from_parsed,
+    render_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    scoped_registry,
+)
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    instruments = [
+        Counter("repro_requests_total", "requests", labelnames=("op", "ok")),
+        Gauge("repro_in_flight_requests", "in flight"),
+        Histogram(
+            "repro_request_seconds", "latency",
+            buckets=(0.1, 1.0), labelnames=("op",),
+        ),
+    ]
+    for instrument in instruments:
+        registry.register_instrument(instrument)
+    return registry, instruments
+
+
+class TestRender:
+    def test_counter_family(self):
+        registry, (counter, _gauge, _hist) = build_registry()
+        counter.inc(2, op="solve", ok="true")
+        text = render_prometheus(registry)
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{ok="true",op="solve"} 2' in text
+
+    def test_integer_values_render_without_decimal_point(self):
+        registry, (counter, gauge, _hist) = build_registry()
+        counter.inc(op="a", ok="true")
+        gauge.set(2.0)
+        text = render_prometheus(registry)
+        assert 'repro_requests_total{ok="true",op="a"} 1\n' in text
+        assert "repro_in_flight_requests 2\n" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry, (_c, _g, histogram) = build_registry()
+        histogram.observe(0.05, op="solve")
+        histogram.observe(0.5, op="solve")
+        histogram.observe(5.0, op="solve")
+        text = render_prometheus(registry)
+        assert 'repro_request_seconds_bucket{le="0.1",op="solve"} 1' in text
+        # integer-valued bounds render canonically without the ".0"
+        assert 'repro_request_seconds_bucket{le="1",op="solve"} 2' in text
+        assert 'repro_request_seconds_bucket{le="+Inf",op="solve"} 3' in text
+        assert 'repro_request_seconds_count{op="solve"} 3' in text
+        assert 'repro_request_seconds_sum{op="solve"} 5.55' in text
+
+    def test_empty_instruments_render_zero_samples(self):
+        registry, _instruments = build_registry()
+        text = render_prometheus(registry)
+        assert "repro_requests_total 0" in text
+        assert 'repro_request_seconds_bucket{le="+Inf"} 0' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = Counter("c_total", labelnames=("path",))
+        registry.register_instrument(counter)
+        counter.inc(path='a"b\\c\nd')
+        text = render_prometheus(registry)
+        assert '{path="a\\"b\\\\c\\nd"}' in text
+        # ... and the parser undoes the escaping exactly.
+        ((labels, value),) = parse_prometheus(text)["c_total"]
+        assert labels == {"path": 'a"b\\c\nd'}
+        assert value == 1
+
+    def test_cache_counters_exported_as_labeled_families(self):
+        class FakeCache:
+            hits = 7
+            misses = 3
+
+        cache = FakeCache()
+        with scoped_registry() as registry:
+            registry.register("forward_run", cache)
+            text = render_prometheus(registry)
+        assert 'repro_cache_hits_total{cache="forward_run"} 7' in text
+        assert 'repro_cache_misses_total{cache="forward_run"} 3' in text
+
+    def test_uses_ambient_registry_by_default(self):
+        with scoped_registry() as registry:
+            counter = Counter("ambient_total")
+            registry.register_instrument(counter)
+            counter.inc()
+            assert "ambient_total 1" in render_prometheus()
+
+
+class TestParse:
+    def test_round_trip(self):
+        registry, (counter, gauge, histogram) = build_registry()
+        counter.inc(4, op="solve", ok="true")
+        gauge.set(2)
+        histogram.observe(0.5, op="solve")
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["repro_requests_total"] == [
+            ({"ok": "true", "op": "solve"}, 4)
+        ]
+        assert parsed["repro_in_flight_requests"] == [({}, 2)]
+        assert ({"op": "solve"}, 1) in parsed["repro_request_seconds_count"]
+
+    def test_inf_bucket_parses(self):
+        parsed = parse_prometheus('h_bucket{le="+Inf"} 3\n')
+        ((labels, value),) = parsed["h_bucket"]
+        assert labels["le"] == "+Inf"
+        assert value == 3
+
+    def test_histogram_from_samples_decumulates(self):
+        registry, (_c, _g, histogram) = build_registry()
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value, op="solve")
+        parsed = parse_prometheus(render_prometheus(registry))
+        bounds, counts, count, total = histogram_from_samples(
+            parsed, "repro_request_seconds", op="solve"
+        )
+        assert bounds == [0.1, 1.0]
+        assert counts == [1, 2, 1]  # per-bucket again, not cumulative
+        assert count == 4
+        assert abs(total - 6.05) < 1e-9
+
+    def test_quantile_from_parsed_matches_instrument(self):
+        registry, (_c, _g, histogram) = build_registry()
+        for _ in range(100):
+            histogram.observe(0.5, op="solve")
+        parsed = parse_prometheus(render_prometheus(registry))
+        from_text = quantile_from_parsed(
+            parsed, "repro_request_seconds", 0.5, op="solve"
+        )
+        assert from_text == histogram.quantile(0.5, op="solve")
+
+    def test_quantile_from_parsed_missing_family_is_none(self):
+        assert quantile_from_parsed({}, "nope", 0.5) is None

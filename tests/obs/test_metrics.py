@@ -104,3 +104,178 @@ class TestRealCachesRegister:
             assert registry.source_count("forward_run") == 1
             cache.misses += 1  # simulate one cold fetch
             assert registry.counters("forward_run").misses == 1
+
+
+class TestCounter:
+    def test_unlabeled(self):
+        from repro.obs.metrics import Counter
+
+        counter = Counter("requests", "served requests")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+        assert counter.samples() == [({}, 3)]
+
+    def test_labeled_series_are_independent(self):
+        from repro.obs.metrics import Counter
+
+        counter = Counter("tiers", labelnames=("tier",))
+        counter.inc(tier="cold")
+        counter.inc(3, tier="replay")
+        assert counter.value(tier="cold") == 1
+        assert counter.value(tier="replay") == 3
+        assert counter.value(tier="clauses") == 0
+        assert dict(
+            (labels["tier"], value) for labels, value in counter.samples()
+        ) == {"cold": 1, "replay": 3}
+
+    def test_rejects_negative_and_wrong_labels(self):
+        import pytest
+
+        from repro.obs.metrics import Counter
+
+        counter = Counter("c", labelnames=("op",))
+        with pytest.raises(ValueError):
+            counter.inc(-1, op="x")
+        with pytest.raises(ValueError):
+            counter.inc(wrong="x")
+        with pytest.raises(ValueError):
+            counter.inc()  # missing the declared label
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        from repro.obs.metrics import Gauge
+
+        gauge = Gauge("in_flight")
+        gauge.set(5)
+        gauge.dec()
+        gauge.inc(3)
+        assert gauge.value() == 7
+
+    def test_callback_gauge_reads_at_sample_time(self):
+        from repro.obs.metrics import Gauge
+
+        state = {"rate": 0.25}
+        gauge = Gauge("hit_rate")
+        gauge.set_function(lambda: state["rate"])
+        assert gauge.value() == 0.25
+        state["rate"] = 0.75  # pulled, never copied
+        assert gauge.samples() == [({}, 0.75)]
+
+
+class TestHistogram:
+    def test_buckets_and_sum(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        ((labels, series),) = histogram.samples()
+        assert labels == {}
+        assert series.counts == [1, 2, 1]  # <=0.1, <=1.0, overflow
+        assert series.count == 4
+        assert series.sum == 6.05
+
+    def test_quantile_interpolates_within_bucket(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            histogram.observe(1.5)
+        # All mass is in (1, 2]; the median interpolates to mid-bucket.
+        assert 1.0 < histogram.quantile(0.5) <= 2.0
+
+    def test_quantile_overflow_clamps_to_top_bound(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("lat", buckets=(1.0,))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_quantile_empty_is_none(self):
+        from repro.obs.metrics import Histogram
+
+        assert Histogram("lat", buckets=(1.0,)).quantile(0.5) is None
+
+    def test_merged_sums_label_series(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("lat", buckets=(1.0,), labelnames=("op",))
+        histogram.observe(0.5, op="solve")
+        histogram.observe(2.0, op="ping")
+        merged = histogram.merged()
+        assert merged.count == 2
+        assert merged.counts == [1, 1]
+
+
+class TestQuantileFromBuckets:
+    def test_linear_interpolation(self):
+        from repro.obs.metrics import quantile_from_buckets
+
+        # 10 observations uniformly in (0, 10]: one bucket.
+        assert quantile_from_buckets((10.0,), [10, 0], 0.5) == 5.0
+
+    def test_empty_returns_none(self):
+        from repro.obs.metrics import quantile_from_buckets
+
+        assert quantile_from_buckets((1.0,), [0, 0], 0.5) is None
+
+
+class TestInstrumentRegistration:
+    def test_registration_is_weak(self):
+        from repro.obs.metrics import Counter, MetricsRegistry
+
+        registry = MetricsRegistry()
+        counter = Counter("c")
+        registry.register_instrument(counter)
+        assert registry.instruments() == [counter]
+        del counter
+        gc.collect()
+        assert registry.instruments() == []
+
+    def test_registration_order_is_preserved(self):
+        from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+
+        registry = MetricsRegistry()
+        a, b = Counter("a"), Gauge("b")
+        registry.register_instrument(a)
+        registry.register_instrument(b)
+        assert [i.name for i in registry.instruments()] == ["a", "b"]
+
+
+class TestSessionLifecycle:
+    """The satellite contract: a resident session's metrics persist
+    across solves; a collected session's drop out of later scrapes."""
+
+    TEXT = "x = new File\nx.open()\nx.close()\nobserve check1\n"
+
+    def _solve(self, session):
+        from repro.core.tracer import TracerConfig
+        from repro.typestate.client import TypestateQuery
+
+        client, *_rest = session.typestate_client(self.TEXT)
+        return session.solve(
+            client,
+            [TypestateQuery("check1", frozenset({"closed"}))],
+            TracerConfig(k=5, max_iterations=30),
+        )
+
+    def test_resident_session_metrics_persist_then_drop(self):
+        from repro.serve.session import AnalysisSession
+
+        with scoped_registry() as registry:
+            session = AnalysisSession()
+            self._solve(session)
+            first = registry.source_count("forward_run")
+            assert first == 1  # the session's resident forward cache
+            hits_before = registry.counters("wp_memo").hits
+            self._solve(session)
+            # Reuse, not re-registration: still one source, counters
+            # monotone across the second solve.
+            assert registry.source_count("forward_run") == 1
+            assert registry.counters("wp_memo").hits >= hits_before
+            del session
+            gc.collect()
+            # The collected session's caches vanish from the scrape.
+            assert registry.source_count("forward_run") == 0

@@ -127,3 +127,112 @@ class TestIngest:
         ingested = [r for r in records if r.get("name") == "worker_event"]
         worker_start = next(r for r in records if r.get("name") == "worker_span")
         assert ingested[0]["span"] == worker_start["id"]
+
+
+class TestTraceIds:
+    def test_trace_scope_stamps_every_record(self):
+        sink = MemorySink()
+        with obs.tracing(sink):
+            with obs.trace_scope("req-1"):
+                with obs.span("outer"):
+                    obs.event("ping")
+                    obs.metric("cache", 1, 2)
+            with obs.span("after"):
+                pass
+        stamped = [r for r in sink.events if r.get("trace") == "req-1"]
+        # outer start/end + event + metric, nothing after the scope.
+        assert len(stamped) == 4
+        after = [r for r in sink.events
+                 if r.get("type") == "span_start" and r["name"] == "after"]
+        assert "trace" not in after[0]
+
+    def test_trace_scope_restores_previous_id(self):
+        sink = MemorySink()
+        with obs.tracing(sink, trace_id="outer-id"):
+            with obs.trace_scope("inner-id"):
+                obs.event("inner")
+            obs.event("outer")
+        by_name = {r.get("name"): r for r in sink.events
+                   if r.get("type") == "event"}
+        assert by_name["inner"]["trace"] == "inner-id"
+        assert by_name["outer"]["trace"] == "outer-id"
+
+    def test_trace_scope_without_context_is_a_noop(self):
+        with obs.trace_scope("nobody-listening"):
+            obs.event("dropped")  # must not raise
+
+    def test_tracing_trace_id_parameter(self):
+        sink = MemorySink()
+        with obs.tracing(sink, trace_id="run-7"):
+            with obs.span("work"):
+                pass
+        starts = [r for r in sink.events if r.get("type") == "span_start"]
+        assert starts[0]["trace"] == "run-7"
+        # The header itself is never stamped (it is stream metadata).
+        assert "trace" not in sink.events[0]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestPhaseTiming:
+    def test_exclusive_attribution(self):
+        clock = FakeClock()
+        with obs.phase_timing(clock=clock) as timer:
+            with obs.span("outer", phase="forward"):
+                clock.now = 1.0
+                with obs.span("inner", phase="backward"):
+                    clock.now = 4.0
+                clock.now = 6.0
+        # outer ran 0..6 with 3s of phased child: 3s exclusive.
+        assert timer.totals == {"forward": 3.0, "backward": 3.0}
+
+    def test_same_phase_nesting_does_not_double_count(self):
+        clock = FakeClock()
+        with obs.phase_timing(clock=clock) as timer:
+            with obs.span("outer", phase="forward"):
+                with obs.span("inner", phase="forward"):
+                    clock.now = 2.0
+        assert timer.totals == {"forward": 2.0}
+
+    def test_unphased_spans_are_invisible_to_the_timer(self):
+        clock = FakeClock()
+        with obs.phase_timing(clock=clock) as timer:
+            with obs.span("plain"):
+                clock.now = 5.0
+        assert timer.totals == {}
+
+    def test_timer_works_without_a_sink(self):
+        assert obs.active() is False
+        with obs.phase_timing() as timer:
+            with obs.span("work", phase="synthesis"):
+                pass
+        assert "synthesis" in timer.totals
+
+    def test_dual_span_feeds_both_sink_and_timer(self):
+        sink = MemorySink()
+        clock = FakeClock()
+        with obs.tracing(sink):
+            with obs.phase_timing(clock=clock) as timer:
+                with obs.span("work", phase="forward") as handle:
+                    handle.set(steps=3)
+                    clock.now = 2.0
+        assert timer.totals == {"forward": 2.0}
+        ends = [r for r in sink.events if r.get("type") == "span_end"]
+        assert ends[0]["attrs"] == {"steps": 3}
+
+    def test_nested_phase_timers_stack(self):
+        clock = FakeClock()
+        with obs.phase_timing(clock=clock) as outer:
+            with obs.phase_timing(clock=clock) as inner:
+                with obs.span("work", phase="forward"):
+                    clock.now = 1.0
+                assert obs.current_phase_timer() is inner
+            assert obs.current_phase_timer() is outer
+        assert inner.totals == {"forward": 1.0}
+        assert outer.totals == {}  # only the innermost timer observes

@@ -226,3 +226,107 @@ class TestSocketRoundTrip:
         client.shutdown()
         thread.join(timeout=30)
         assert not thread.is_alive()
+
+
+class TestTelemetry:
+    def test_request_id_minted_and_echoed(self, server):
+        reply = server.handle_request({"op": "ping"})
+        assert len(reply["request_id"]) == 16
+        echoed = server.handle_request(
+            {"op": "ping", "request_id": "client-chose-me"}
+        )
+        assert echoed["request_id"] == "client-chose-me"
+
+    def test_spans_of_one_solve_share_the_request_trace_id(self, server):
+        from repro.obs import MemorySink, tracing
+
+        sink = MemorySink()
+        with tracing(sink):
+            reply = server.handle_request({
+                "op": "solve",
+                "kind": "typestate",
+                "program": TYPESTATE_TEXT,
+                "query": "check1",
+            })
+        request_id = reply["request_id"]
+        spans = [r for r in sink.events if r.get("type") == "span_start"]
+        events = [r for r in sink.events if r.get("type") == "event"]
+        # The search itself ran inside the request scope...
+        assert any(s["name"] == "query_group" for s in spans)
+        # ...and every span and event carries the request id end to end.
+        assert spans and all(s.get("trace") == request_id for s in spans)
+        assert events and all(e.get("trace") == request_id for e in events)
+        names = {e["name"] for e in events}
+        assert {"request_received", "request_finished"} <= names
+
+    def test_metrics_op_returns_parseable_prometheus_text(self, tmp_path):
+        from repro.obs.export import parse_prometheus
+        from repro.obs.metrics import scoped_registry
+
+        with scoped_registry():
+            fresh = AnalysisServer(
+                str(tmp_path / "fresh.sock"),
+                store_path=str(tmp_path / "fresh-store.jsonl"),
+                config=TracerConfig(k=5, max_iterations=30),
+            )
+            request = {
+                "op": "solve",
+                "kind": "typestate",
+                "program": TYPESTATE_TEXT,
+                "query": "check1",
+            }
+            fresh.handle_request(request)
+            fresh.handle_request(request)  # replay tier
+            reply = fresh.handle_request({"op": "metrics"})
+            assert reply["ok"]
+            assert reply["format"] == "prometheus-text-0.0.4"
+            parsed = parse_prometheus(reply["prometheus"])
+            fresh.store.close()
+        tiers = {
+            labels["tier"]: value
+            for labels, value in parsed["repro_warm_tier_total"]
+        }
+        assert tiers["cold"] == 1 and tiers["replay"] == 1
+        latency = {
+            labels.get("op"): value
+            for labels, value in parsed["repro_request_seconds_count"]
+        }
+        assert latency["solve"] == 2
+        assert "repro_request_queue_seconds_bucket" in parsed
+        assert "repro_phase_seconds_sum" in parsed
+        # The scrape itself is the one in-flight request when rendered.
+        assert parsed["repro_in_flight_requests"] == [({}, 1)]
+
+    def test_stats_carries_telemetry_snapshot(self, server):
+        server.handle_request({"op": "ping"})
+        reply = server.handle_request({"op": "stats"})
+        assert reply["uptime_seconds"] >= 0.0
+        telemetry = reply["telemetry"]
+        # The only in-flight request is the stats call reading the
+        # snapshot (dashboards filter it out client-side).
+        assert [e["op"] for e in telemetry["in_flight"]] == ["stats"]
+        assert telemetry["recent"][0]["op"] == "ping"
+        assert telemetry["recent"][0]["ok"] is True
+
+    def test_queue_wait_measured_from_enqueue_time(self, server):
+        import time
+
+        queued_at = time.perf_counter() - 0.25
+        server.handle_request({"op": "ping"}, queued_at=queued_at)
+        recent = server.telemetry.recent[-1]
+        assert recent["queue_seconds"] >= 0.25
+
+    def test_recent_ring_is_bounded(self, server):
+        for _ in range(80):
+            server.handle_request({"op": "ping"})
+        assert len(server.telemetry.recent) == 64
+
+    def test_request_finished_reports_failures_too(self, server):
+        from repro.obs import MemorySink, tracing
+
+        sink = MemorySink()
+        with tracing(sink):
+            server.handle_request({"op": "frobnicate"})
+        finished = [r for r in sink.events
+                    if r.get("name") == "request_finished"]
+        assert finished[0]["attrs"]["ok"] is False

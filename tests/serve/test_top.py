@@ -1,0 +1,130 @@
+"""The ``repro top`` dashboard: frame rendering is a pure function of
+two samples, so everything here runs without a daemon."""
+
+from repro.serve.top import Sample, render_frame
+
+PROMETHEUS = """\
+# TYPE repro_request_seconds histogram
+repro_request_seconds_bucket{le="0.1",op="solve"} 90
+repro_request_seconds_bucket{le="1",op="solve"} 100
+repro_request_seconds_bucket{le="+Inf",op="solve"} 100
+repro_request_seconds_sum{op="solve"} 12.5
+repro_request_seconds_count{op="solve"} 100
+# TYPE repro_request_queue_seconds histogram
+repro_request_queue_seconds_bucket{le="0.001"} 100
+repro_request_queue_seconds_bucket{le="+Inf"} 100
+repro_request_queue_seconds_sum 0.05
+repro_request_queue_seconds_count 100
+# TYPE repro_phase_seconds histogram
+repro_phase_seconds_sum{phase="forward"} 8.0
+repro_phase_seconds_sum{phase="backward"} 2.0
+"""
+
+
+def stats_body(requests=100, **overrides):
+    body = {
+        "requests_served": requests,
+        "uptime_seconds": 50.0,
+        "pid": 1234,
+        "store": {"entries": 37, "hit_rate": 0.5},
+        "telemetry": {
+            "tiers": {"cold": 30, "replay": 70},
+            "in_flight": [
+                {"op": "stats", "request_id": "me", "running_seconds": 0.0}
+            ],
+            "recent": [
+                {"request_id": "abc", "op": "solve", "mode": "replay",
+                 "ok": True, "queue_seconds": 0.001, "seconds": 0.02},
+            ],
+        },
+    }
+    body.update(overrides)
+    return body
+
+
+class TestRenderFrame:
+    def test_single_sample_uses_lifetime_qps(self):
+        frame = render_frame(Sample.from_parts(stats_body(), PROMETHEUS))
+        assert "repro top — pid 1234" in frame
+        assert "qps 2.0" in frame  # 100 requests / 50s uptime
+
+    def test_qps_is_delta_between_polls(self):
+        first = Sample.from_parts(stats_body(requests=100), PROMETHEUS, at=0.0)
+        second = Sample.from_parts(
+            stats_body(requests=130), PROMETHEUS, at=10.0
+        )
+        frame = render_frame(second, previous=first)
+        assert "qps 3.0" in frame  # 30 new requests / 10s
+
+    def test_tier_mix_and_store_lines(self):
+        frame = render_frame(Sample.from_parts(stats_body(), PROMETHEUS))
+        assert "cold 30 (30%)" in frame
+        assert "replay 70 (70%)" in frame
+        assert "store: 37 entries  hit rate 50.0%" in frame
+
+    def test_latency_quantiles_come_from_the_histograms(self):
+        frame = render_frame(Sample.from_parts(stats_body(), PROMETHEUS))
+        # 90/100 under 0.1s: the median interpolates inside that bucket.
+        assert "p50 55.6ms" in frame
+        assert "queue p95" in frame
+
+    def test_phase_shares(self):
+        frame = render_frame(Sample.from_parts(stats_body(), PROMETHEUS))
+        assert "forward 80%" in frame
+        assert "backward 20%" in frame
+
+    def test_own_stats_request_is_filtered_from_in_flight(self):
+        frame = render_frame(Sample.from_parts(stats_body(), PROMETHEUS))
+        assert "in-flight: idle" in frame
+
+    def test_running_solve_shows_in_flight(self):
+        stats = stats_body()
+        stats["telemetry"]["in_flight"].append(
+            {"op": "solve-bench", "request_id": "busy1", "running_seconds": 3.2}
+        )
+        frame = render_frame(Sample.from_parts(stats, PROMETHEUS))
+        assert "in-flight: solve-bench [busy1] 3.20s" in frame
+
+    def test_recent_table(self):
+        frame = render_frame(Sample.from_parts(stats_body(), PROMETHEUS))
+        assert "request" in frame and "queue" in frame
+        assert "abc" in frame and "replay" in frame and "yes" in frame
+
+    def test_empty_daemon_renders_without_data(self):
+        stats = {"requests_served": 0, "uptime_seconds": 0.0, "pid": 1,
+                 "telemetry": {}}
+        frame = render_frame(Sample.from_parts(stats, ""))
+        assert "no solves yet" in frame
+        assert "p50 -" in frame
+
+
+class TestRunTop:
+    def test_frames_bound_polls_without_sleeping(self, monkeypatch):
+        import io
+
+        from repro.serve import top as top_module
+
+        samples = iter([
+            Sample.from_parts(stats_body(requests=10), PROMETHEUS, at=0.0),
+            Sample.from_parts(stats_body(requests=20), PROMETHEUS, at=1.0),
+        ])
+        monkeypatch.setattr(
+            top_module, "take_sample", lambda client: next(samples)
+        )
+        monkeypatch.setattr(
+            top_module, "ServeClient", lambda path: object()
+        )
+        slept = []
+        monkeypatch.setattr(
+            top_module.time, "sleep", lambda s: slept.append(s)
+        )
+        out = io.StringIO()
+        code = top_module.run_top(
+            "/nonexistent.sock", interval=0.5, frames=2, clear=False, out=out
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert text.count("repro top —") == 2
+        assert "qps 10.0" in text  # second frame: 10 new / 1s
+        assert slept == [0.5]  # slept once, between the two frames
+        assert "\x1b[" not in text  # --no-clear: no control codes

@@ -283,6 +283,68 @@ class TestTracing:
         capsys.readouterr()
         assert main(["trace", "validate", trace_path]) == 0
 
+    def test_trace_summarize_merges_multiple_files(
+        self, file_prog, tmp_path, capsys
+    ):
+        first = self.solve_with_trace(file_prog, tmp_path)
+        second = str(tmp_path / "second.jsonl")
+        import shutil
+
+        shutil.copy(first, second)
+        capsys.readouterr()
+        code = main(["trace", "summarize", first, second])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Per-phase wall-clock breakdown" in out
+        assert "(streams: 2)" in out
+        # Two merged copies report twice the iterations of one file.
+        main(["trace", "summarize", first])
+        single = capsys.readouterr().out
+
+        def iteration_count(text):
+            for line in text.splitlines():
+                if line.startswith("iterations:"):
+                    return int(line.split()[1])
+            raise AssertionError(f"no iteration count in {text!r}")
+
+        assert iteration_count(out) == 2 * iteration_count(single)
+
+    def test_trace_profile_reports_sites(self, file_prog, tmp_path, capsys):
+        trace_path = self.solve_with_trace(file_prog, tmp_path)
+        capsys.readouterr()
+        code = main(["trace", "profile", trace_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "site" in out and "self %" in out
+        assert "forward_run" in out
+        assert "all sites" in out
+
+    def test_trace_profile_top_and_by_trace(
+        self, file_prog, tmp_path, capsys
+    ):
+        trace_path = self.solve_with_trace(file_prog, tmp_path)
+        capsys.readouterr()
+        code = main(
+            ["trace", "profile", trace_path, "--top", "1", "--by-trace"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "more site(s); use --top" in out
+        # A solo solve sets no trace ids; the report says so.
+        assert "no trace ids" in out
+
+    def test_trace_profile_by_trace_on_parallel_eval(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "eval.jsonl")
+        assert main(
+            ["eval", "--quick", "--jobs", "2", "--trace-out", trace_path]
+        ) == 0
+        capsys.readouterr()
+        code = main(["trace", "profile", trace_path, "--by-trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Each parallel work unit rolled up under its own trace id.
+        assert "unit:" in out
+
 
 class TestInfo:
     def test_benchmark_info(self, capsys):
