@@ -393,6 +393,98 @@ def serve_warm():
     }
 
 
+def serve_burst():
+    """Admission control under a concurrent burst (docs/SERVING.md,
+    "Operating the daemon").
+
+    Runs an in-thread daemon with a single execution slot and a
+    shallow admission queue, then fires a burst of concurrent clients
+    at it — more than the queue can hold.  Some requests are shed with
+    a retryable ``overloaded`` envelope and succeed on a backoff
+    retry; all of them must finish.  Records the burst wall time, the
+    queue-wait percentiles, and the shed/retry counts so
+    ``bench_trend`` can spot an admission-control regression (a queue
+    that stops shedding, or queue waits growing across PRs).
+    """
+    import asyncio
+    import tempfile
+    import threading
+
+    from repro.core.tracer import TracerConfig
+    from repro.serve.client import ServeClient
+    from repro.serve.server import AnalysisServer
+
+    burst = 8
+    workdir = tempfile.mkdtemp(prefix="bench_serve_burst_")
+    server = AnalysisServer(
+        os.path.join(workdir, "serve.sock"),
+        store_path=os.path.join(workdir, "store.jsonl"),
+        config=TracerConfig(k=5, max_iterations=30),
+        queue_depth=2,
+    )
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            task = asyncio.ensure_future(server.run())
+            while not (
+                server._server is not None and server._server.is_serving()
+            ):
+                await asyncio.sleep(0.01)
+            ready.set()
+            await task
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    ready.wait(timeout=30)
+
+    program = "u = new h1\nv = new h2\nv.f = u\nobserve pc\n"
+    clients = [
+        ServeClient(server.socket_path, timeout=120, retries=8)
+        for _ in range(burst)
+    ]
+    outcomes = []
+
+    def submit(index):
+        # Distinct sources → distinct cold solves: every request does
+        # real work, so the queue actually backs up.
+        reply = clients[index].solve(
+            "escape", program, query="pc", var="u", source=f"burst{index}"
+        )
+        outcomes.append(reply["ok"])
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=submit, args=(i,)) for i in range(burst)
+    ]
+    for worker in threads:
+        worker.start()
+    for worker in threads:
+        worker.join(120)
+    seconds = time.perf_counter() - started
+
+    shed = server.telemetry.shed_counts()
+    queue = server.telemetry.queue_seconds
+    retries = sum(client.retries_made for client in clients)
+    ServeClient(server.socket_path, timeout=30).shutdown()
+    thread.join(timeout=30)
+    return {
+        "burst": burst,
+        "queue_depth": 2,
+        "completed": sum(1 for ok in outcomes if ok),
+        "burst_seconds": round(seconds, 4),
+        "shed": shed,
+        "client_retries": retries,
+        "queue_wait": {
+            "count": queue.merged().count,
+            "p50": round(queue.quantile(0.50) or 0.0, 6),
+            "p95": round(queue.quantile(0.95) or 0.0, 6),
+        },
+    }
+
+
 def tracing_overhead():
     """Cost of the observability layer on one fixed workload.
 
@@ -473,6 +565,7 @@ def main(argv=None):
         },
         "evaluation": smoke_evaluation(),
         "serve_warm": serve_warm(),
+        "serve_burst": serve_burst(),
         "tracing_overhead": tracing_overhead(),
     }
     report["total_seconds"] = round(time.perf_counter() - started, 4)

@@ -61,6 +61,15 @@ def history_entry(report: dict) -> dict:
             "warm_p95": latency.get("warm", {}).get("p95"),
             "warm_p99": latency.get("warm", {}).get("p99"),
         }
+    burst = report.get("serve_burst", {})
+    if burst:
+        entry["serve_burst"] = {
+            "burst_seconds": burst.get("burst_seconds"),
+            "completed": burst.get("completed"),
+            "shed": sum((burst.get("shed") or {}).values()),
+            "client_retries": burst.get("client_retries"),
+            "queue_p95": burst.get("queue_wait", {}).get("p95"),
+        }
     return entry
 
 

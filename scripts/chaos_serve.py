@@ -1,0 +1,234 @@
+"""Chaos check for the hardened daemon: faults on, answers unchanged.
+
+Starts a ``repro serve`` daemon with one supervised worker and two
+injected faults — the worker's first solve is delayed and the parent
+SIGKILLs it mid-solve — plus a client-side transport flake, then
+asserts the resilience contract (docs/ROBUSTNESS.md, "The daemon's
+fault sites"):
+
+1. the cold pass completes every benchmark despite the mid-solve
+   worker kill and the dropped connection: the client retried, the
+   supervisor respawned, and the daemon's shed/respawn telemetry
+   recorded both;
+2. ``repro store verify`` is clean after the faulted pass and
+   ``repro store compact`` rewrites the store without losing a key
+   (SIGKILL-safe by construction; the kill matrix itself lives in
+   tests/serve/test_store_lifecycle.py);
+3. the warm pass against the *compacted* store answers every unit
+   from the replay tier with verdicts identical to the cold pass;
+4. the served verdicts match a one-shot in-process evaluation of the
+   same workloads — chaos must never change an answer.
+
+Exit code 0 on success, 1 with a diagnostic on any violation::
+
+    PYTHONPATH=src python scripts/chaos_serve.py [--analysis typestate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.suite import BENCHMARK_NAMES  # noqa: E402
+from repro.robust import faults  # noqa: E402
+from repro.serve.client import ServeClient, ServeError  # noqa: E402
+
+MAX_ITERATIONS = 30
+
+# The validated mid-solve kill recipe: the worker's first attempt-0
+# solve sleeps half a second (each worker process fires this once),
+# and the parent kills the worker 50ms into its first pooled call —
+# squarely inside that sleep.  The client's retry (attempt 1) lands
+# on a freshly-respawned worker with no delay.
+DAEMON_FAULTS = [
+    "serve.worker:delay:delay=0.5,attempt=0,times=1",
+    "serve.worker_kill:corrupt:at=1,times=1",
+]
+# Client-side: the third connection attempt of the cold pass dies
+# with ECONNREFUSED-style trouble; the retry must recover it.
+CLIENT_FAULTS = ["serve.transport:raise:error=connection,at=3,times=1"]
+
+
+def start_daemon(socket_path: str, store_path: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--socket", socket_path,
+        "--store", store_path,
+        "--workers", "1",
+        "--max-iterations", str(MAX_ITERATIONS),
+    ]
+    for spec in DAEMON_FAULTS:
+        argv.extend(["--inject", spec])
+    daemon = subprocess.Popen(
+        argv, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if daemon.poll() is not None:
+            stderr = daemon.stderr.read().decode()
+            raise RuntimeError(f"daemon died on startup:\n{stderr}")
+        if os.path.exists(socket_path):
+            try:
+                ServeClient(socket_path, timeout=5).ping()
+                return daemon
+            except ServeError:
+                pass
+        time.sleep(0.1)
+    daemon.kill()
+    raise RuntimeError("daemon did not come up within 30s")
+
+
+def submit_pass(client: ServeClient, analysis: str):
+    verdicts = {}
+    modes = []
+    hits = 0
+    for name in BENCHMARK_NAMES:
+        reply = client.solve_benchmark(name, analysis)
+        modes.extend(reply["modes"])
+        hits += reply["store_hits"]
+        for entry in reply["results"]:
+            verdicts[f"{name}:{entry['query']}"] = entry["verdict"]
+    return verdicts, modes, hits
+
+
+def one_shot_verdicts(analysis: str):
+    from repro.bench.harness import evaluate_benchmark, prepare
+    from repro.core.tracer import TracerConfig
+
+    config = TracerConfig(k=5, max_iterations=MAX_ITERATIONS)
+    verdicts = {}
+    for name in BENCHMARK_NAMES:
+        result = evaluate_benchmark(prepare(name), analysis, config)
+        for record in result.records:
+            verdicts[f"{name}:{record.query_id}"] = record.status.value
+    return verdicts
+
+
+def run_cli(args, what, failures):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        failures.append(
+            f"{what} exited {proc.returncode}: {proc.stderr.strip()[:300]}"
+        )
+        return ""
+    return proc.stdout
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--analysis", default="typestate")
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-serve-")
+    socket_path = os.path.join(workdir, "serve.sock")
+    store_path = os.path.join(workdir, "store.jsonl")
+    failures = []
+
+    daemon = start_daemon(socket_path, store_path)
+    client = ServeClient(socket_path, timeout=120, retries=3)
+    client_plan = faults.FaultPlan.from_specs(CLIENT_FAULTS)
+    try:
+        # -- cold pass under fire ------------------------------------------
+        with faults.fault_scope(client_plan):
+            cold, cold_modes, cold_hits = submit_pass(client, args.analysis)
+        stats = client.stats()
+        robustness = stats["telemetry"]["robustness"]
+        print(f"cold pass: {len(cold)} queries, "
+              f"modes={sorted(set(cold_modes))}, hits={cold_hits}")
+        print(f"client: attempts={client.attempts_made} "
+              f"retries={client.retries_made}")
+        print(f"daemon: respawns={robustness['respawns']} "
+              f"shed={robustness['shed']}")
+        if client.retries_made < 2:
+            failures.append(
+                f"expected >=2 client retries (worker kill + transport "
+                f"flake), saw {client.retries_made}"
+            )
+        if robustness["respawns"] < 1:
+            failures.append("the supervisor never respawned a worker")
+        if set(cold_modes) != {"cold"}:
+            failures.append(
+                f"cold pass modes {sorted(set(cold_modes))}, "
+                "expected all 'cold'"
+            )
+
+        # -- verify + compact between passes -------------------------------
+        verify_out = run_cli(
+            ["store", "verify", store_path], "repro store verify", failures
+        )
+        if verify_out:
+            summary = json.loads(verify_out)
+            print(f"store verify: {summary}")
+            if summary["entries"] < 1:
+                failures.append("store is empty after the cold pass")
+        compact_out = run_cli(
+            ["store", "compact", store_path], "repro store compact", failures
+        )
+        if compact_out:
+            print(f"store compact: {compact_out.strip()}")
+
+        # -- warm pass against the compacted store -------------------------
+        warm_client = ServeClient(socket_path, timeout=120, retries=3)
+        warm, warm_modes, warm_hits = submit_pass(warm_client, args.analysis)
+        print(f"warm pass: modes={sorted(set(warm_modes))}, "
+              f"hits={warm_hits}")
+        if set(warm_modes) != {"replay"}:
+            failures.append(
+                f"warm pass modes {sorted(set(warm_modes))}, expected all "
+                "'replay' — compaction lost warm state"
+            )
+        if warm_hits == 0:
+            failures.append("warm pass had zero store hits after compaction")
+        if warm != cold:
+            diff = {
+                k for k in set(cold) | set(warm)
+                if cold.get(k) != warm.get(k)
+            }
+            failures.append(
+                f"warm verdicts differ from cold: {sorted(diff)[:5]}"
+            )
+    finally:
+        try:
+            client.shutdown()
+            daemon.wait(timeout=15)
+        except (ServeError, subprocess.TimeoutExpired):
+            daemon.kill()
+
+    baseline = one_shot_verdicts(args.analysis)
+    if cold != baseline:
+        diff = {
+            k for k in set(cold) | set(baseline)
+            if cold.get(k) != baseline.get(k)
+        }
+        failures.append(
+            f"chaos verdicts differ from one-shot oracle: {sorted(diff)[:5]}"
+        )
+    else:
+        print("chaos verdicts match one-shot in-process evaluation")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos serve OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

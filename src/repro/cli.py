@@ -748,22 +748,42 @@ def _cmd_serve(args) -> int:
             config,
             metrics_out=args.metrics_out,
             metrics_interval=args.metrics_interval,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            max_deadline_ms=args.max_deadline_ms,
+            request_timeout=args.request_timeout,
+            max_request_bytes=args.max_request_bytes,
+            compact_ratio=args.compact_ratio,
+            compact_min_entries=args.compact_min_entries,
+            fault_specs=tuple(args.inject or ()),
         )
     except (ValueError, OSError) as error:
         _die(str(error))
     print(
         f"repro daemon listening on {args.socket}"
-        + (f" (store: {args.store})" if args.store else ""),
+        + (f" (store: {args.store})" if args.store else "")
+        + (f" ({args.workers} supervised workers)" if args.workers else
+           " (inline execution)"),
         file=sys.stderr,
     )
+    from repro.robust import faults
+
+    # The daemon-side fault plan (chaos testing): sites like
+    # serve.worker_kill and store.compact.* fire in this process; the
+    # same specs ship to each pool worker, whose plan counts afresh.
+    plan = (
+        faults.FaultPlan.from_specs(list(args.inject))
+        if args.inject else None
+    )
     try:
-        if args.trace_out:
-            # The trace context is a module global, so the worker
-            # thread the requests run on sees it too.
-            with obs.tracing(JsonlSink(args.trace_out)):
+        with faults.fault_scope(plan):
+            if args.trace_out:
+                # The trace context is a module global, so the worker
+                # thread the requests run on sees it too.
+                with obs.tracing(JsonlSink(args.trace_out)):
+                    asyncio.run(server.run())
+            else:
                 asyncio.run(server.run())
-        else:
-            asyncio.run(server.run())
     except KeyboardInterrupt:
         pass
     return EXIT_OK
@@ -786,6 +806,44 @@ def _cmd_top(args) -> int:
         return EXIT_OK
 
 
+def _cmd_store(args) -> int:
+    import os
+
+    from repro.serve.store import KnowledgeStore, verify_store
+
+    if not os.path.exists(args.file):
+        _die(f"no such store: {args.file}")
+    if args.store_command == "verify":
+        problems, summary = verify_store(args.file)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        if problems:
+            print(f"{len(problems)} problem(s) found", file=sys.stderr)
+            return EXIT_FAILED_UNITS
+        print("store is healthy", file=sys.stderr)
+        return EXIT_OK
+    # compact and stats open the store in shared mode: flock-
+    # coordinated, safe while a daemon is serving from the same file.
+    try:
+        with KnowledgeStore(args.file, shared=True) as store:
+            if args.store_command == "stats":
+                print(json.dumps(store.stats(), indent=2, sort_keys=True))
+            else:
+                result = store.compact()
+                print(json.dumps(result, indent=2, sort_keys=True))
+                print(
+                    f"compacted: {result['entries_before']} -> "
+                    f"{result['entries_after']} entries, "
+                    f"{result['bytes_before']} -> "
+                    f"{result['bytes_after']} bytes",
+                    file=sys.stderr,
+                )
+    except ValueError as error:
+        _die(str(error))
+    return EXIT_OK
+
+
 def _worst_verdict_code(results: List[dict]) -> int:
     code = EXIT_OK
     for entry in results:
@@ -799,12 +857,16 @@ def _worst_verdict_code(results: List[dict]) -> int:
 def _cmd_submit(args) -> int:
     from repro.serve.client import ServeClient, ServeError
 
-    client = ServeClient(args.socket, timeout=args.timeout)
+    client = ServeClient(args.socket, timeout=args.timeout,
+                         retries=args.retries)
     config = {}
     if args.max_seconds is not None:
         config["max_seconds"] = args.max_seconds
     if args.max_steps is not None:
         config["max_steps"] = args.max_steps
+    extra = {}
+    if args.deadline_ms is not None:
+        extra["deadline_ms"] = args.deadline_ms
     try:
         if args.ping:
             reply = client.ping()
@@ -824,7 +886,7 @@ def _cmd_submit(args) -> int:
             return EXIT_OK
         if args.benchmark:
             reply = client.solve_benchmark(
-                args.benchmark, args.analysis, config or None
+                args.benchmark, args.analysis, config or None, **extra
             )
             by_verdict: dict = {}
             for entry in reply["results"]:
@@ -863,6 +925,7 @@ def _cmd_submit(args) -> int:
             _read_program_file(args.file),
             query=args.query,
             config=config or None,
+            **extra,
             **params,
         )
     except ServeError as error:
@@ -1048,6 +1111,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-interval", type=float, default=5.0, metavar="S",
         help="seconds between --metrics-out snapshots (default: 5)",
     )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="supervised worker processes for solve ops (crashes are "
+             "isolated and workers respawned; 0 = solve inline in the "
+             "daemon process; default: 1)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="admission queue bound; arrivals beyond it are shed with "
+             "a retryable 'overloaded' error (default: 16)",
+    )
+    serve.add_argument(
+        "--max-deadline-ms", type=float, default=None, metavar="MS",
+        help="ceiling on client deadline_ms (requests may tighten it, "
+             "never exceed it)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=None, metavar="S",
+        help="per-request wall-clock limit in the worker pool; a "
+             "request past it fails 'worker_timeout' and the worker "
+             "is respawned",
+    )
+    serve.add_argument(
+        "--max-request-bytes", type=int, default=8 * 1024 * 1024,
+        metavar="N",
+        help="largest accepted request line; longer ones are answered "
+             "with an 'oversized' error (default: 8MiB)",
+    )
+    serve.add_argument(
+        "--compact-ratio", type=float, default=None, metavar="R",
+        help="compact the store when the superseded-entry ratio "
+             "reaches R (0..1; default: never)",
+    )
+    serve.add_argument(
+        "--compact-min-entries", type=int, default=16, metavar="N",
+        help="skip periodic compaction below N on-file entries "
+             "(default: 16)",
+    )
+    serve.add_argument(
+        "--inject", action="append", metavar="SPEC",
+        help="chaos-testing fault spec site:action[:k=v,...] "
+             "(repeatable; see docs/ROBUSTNESS.md)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     top = commands.add_parser(
@@ -1106,7 +1212,45 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--max-steps", type=int, default=None, metavar="N")
     submit.add_argument("--timeout", type=float, default=600.0,
                         help="client-side reply timeout in seconds")
+    submit.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="client retries on transport failures and retryable "
+             "daemon errors, same request id each attempt (default: 2)",
+    )
+    submit.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="shed the request server-side if it is still queued when "
+             "this many milliseconds have passed",
+    )
     submit.set_defaults(func=_cmd_submit)
+
+    store = commands.add_parser(
+        "store",
+        help="inspect and maintain a knowledge store file offline",
+    )
+    store_commands = store.add_subparsers(dest="store_command",
+                                          required=True)
+    store_compact = store_commands.add_parser(
+        "compact",
+        help="rewrite the store keeping latest-wins survivors "
+             "(atomic rename; crash-safe at any instant)",
+    )
+    store_compact.add_argument("file", help="knowledge store JSONL file")
+    store_compact.set_defaults(func=_cmd_store)
+    store_verify = store_commands.add_parser(
+        "verify",
+        help="check header version, record structure, and per-entry "
+             "content checksums",
+    )
+    store_verify.add_argument("file", help="knowledge store JSONL file")
+    store_verify.set_defaults(func=_cmd_store)
+    store_stats = store_commands.add_parser(
+        "stats",
+        help="print size, live/superseded entry counts, and the "
+             "superseded ratio",
+    )
+    store_stats.add_argument("file", help="knowledge store JSONL file")
+    store_stats.set_defaults(func=_cmd_store)
 
     trace = commands.add_parser(
         "trace", help="validate, summarize, or replay a recorded JSONL trace"

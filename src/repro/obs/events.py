@@ -63,7 +63,17 @@ request's ``request_id`` as the trace id).
     (the full per-request summary: ``request_id``, ``op``, ``ok``,
     ``mode``, ``seconds``, ``queue_seconds``, per-phase ``phases``),
     and ``metrics_scraped`` (the ``metrics`` op or the ``--metrics-out``
-    writer rendered the registry; carries ``bytes``).  Event names are
+    writer rendered the registry; carries ``bytes``).  The hardened
+    serving layer adds four more: ``request_shed`` (admission control
+    refused a request; ``reason`` is ``"overloaded"``,
+    ``"deadline_exceeded"``, or ``"oversized"``), ``request_retried``
+    (a retried request id was answered from the dedup ring or coalesced
+    onto the in-flight execution; ``replay`` says which),
+    ``worker_respawned`` (a supervised pool worker was restarted after
+    a crash or hang; carries ``reason``, ``backoff_seconds``,
+    ``consecutive_failures``), and ``store_compacted`` (the knowledge
+    store was rewritten latest-wins; carries ``entries_before``,
+    ``entries_after``, ``dropped``, byte counts).  Event names are
     open — new ones carry no schema
     change — but every name the codebase emits is registered in
     :data:`KNOWN_EVENT_NAMES` so tools (and tests) can spot typos.
@@ -127,6 +137,11 @@ KNOWN_EVENT_NAMES = frozenset({
     "request_received",
     "request_finished",
     "metrics_scraped",
+    # hardened serving (docs/ROBUSTNESS.md, "The daemon's fault sites")
+    "request_shed",
+    "request_retried",
+    "worker_respawned",
+    "store_compacted",
 })
 
 

@@ -6,7 +6,14 @@ formula blow-up, a hung or killed worker — is exercised through a
 on the *site names* the codebase already uses for its observability
 spans (``"forward_run"``, ``"extract"``, ``"choose"``, ``"backward"``)
 plus the bench-harness unit sites (``"unit"`` and
-``"unit:<benchmark>:<analysis>:<index>"``).
+``"unit:<benchmark>:<analysis>:<index>"``) and the serving layer's
+sites (``"serve.worker"`` — evaluated inside a pool worker per
+request; ``"serve.worker_kill"`` — a ``corrupt`` match tells the
+supervisor to SIGKILL the in-flight worker mid-solve;
+``"serve.reply"`` — a ``corrupt`` match truncates the daemon's reply
+bytes; ``"serve.transport"`` — evaluated client-side per attempt;
+``"store.compact.write"`` / ``"store.compact.rename"`` /
+``"store.compact.done"`` — the compaction kill-matrix windows).
 
 Rules fire on deterministic per-process hit counters — "the Nth time
 this site is reached" — and can additionally be pinned to a work-unit
@@ -77,6 +84,10 @@ def _error_class(name: str):
         from repro.core.formula import FormulaExplosion
 
         return FormulaExplosion
+    if name == "connection":
+        # An OSError subclass: what a flaky transport raises, so the
+        # serve client's retry-on-OSError path is what gets exercised.
+        return ConnectionError
     raise ValueError(f"unknown fault error kind {name!r}")
 
 

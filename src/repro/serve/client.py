@@ -1,4 +1,4 @@
-"""Blocking client for the ``repro serve`` daemon.
+"""Blocking, retrying client for the ``repro serve`` daemon.
 
 One newline-delimited JSON request/response per call, over a fresh
 ``AF_UNIX`` connection (the daemon queues requests FIFO server-side,
@@ -14,39 +14,90 @@ daemon from Python looks like::
                           query="check1", allowed=["closed"])
         for entry in reply["results"]:
             print(entry["query"], entry["verdict"])
+
+**Resilience.**  :meth:`request` retries — with capped exponential
+backoff and jitter — on transport failures (connection refused or
+reset, a closed-without-reply socket, an undecodable reply line) and
+on the daemon's *retryable* error envelopes (``worker_crashed`` while
+the supervisor respawns, ``overloaded`` while the queue drains; a
+``retry_after_ms`` hint in the envelope overrides the backoff).
+Every attempt reuses the same ``request_id``, so a retry of a request
+whose first reply was lost in flight is answered from the daemon's
+dedup ring (``"deduped": true``) instead of re-solving — retries are
+exactly-once-ish by construction.  Non-retryable failures
+(``bad_request``, ``deadline_exceeded``, ``internal``) raise
+immediately as :class:`ServeError`, which carries the envelope's
+machine-readable ``code`` alongside the message.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 import uuid
 from typing import Optional
+
+from repro.robust import faults
 
 __all__ = ["ServeClient", "ServeError"]
 
 
 class ServeError(RuntimeError):
     """The daemon answered ``{"ok": false}`` (the message is its
-    ``error`` field) or the transport failed."""
+    ``error`` field) or the transport failed after every retry.
+
+    ``code`` is the envelope's machine-readable failure class
+    (``"transport"`` and ``"bad_reply"`` are minted client-side);
+    ``retryable`` says whether the client exhausted retries getting
+    here; ``response`` is the full envelope when there was one."""
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "error",
+        retryable: bool = False,
+        retry_after_ms: Optional[int] = None,
+        response: Optional[dict] = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable
+        self.retry_after_ms = retry_after_ms
+        self.response = response
 
 
 class ServeClient:
-    def __init__(self, socket_path: str, timeout: Optional[float] = 600.0):
+    def __init__(
+        self,
+        socket_path: str,
+        timeout: Optional[float] = 600.0,
+        retries: int = 2,
+        backoff_seconds: float = 0.05,
+        backoff_cap: float = 2.0,
+        sleep=time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
         self.socket_path = socket_path
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap = backoff_cap
+        self.attempts_made = 0  # across the client's lifetime
+        self.retries_made = 0
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
 
-    def request(self, payload: dict) -> dict:
-        """Send one request and return the decoded response; raises
-        :class:`ServeError` on ``ok: false`` or transport failure.
+    # -- the wire ---------------------------------------------------------
 
-        A ``request_id`` is minted client-side when the payload has
-        none; the daemon uses it as the trace id for every span/event
-        the request produces and echoes it in the response, so a
-        client log line can be joined against the daemon's trace."""
-        payload = dict(payload)
-        payload.setdefault("request_id", uuid.uuid4().hex[:16])
+    def _once(self, payload: dict) -> dict:
+        """One attempt: connect, send, read one line, decode.  Raises
+        :class:`ServeError` with a retryable ``transport`` /
+        ``bad_reply`` code on wire trouble; envelope handling is the
+        caller's."""
         try:
+            faults.inject("serve.transport")
             with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
                 sock.settimeout(self.timeout)
                 sock.connect(self.socket_path)
@@ -57,14 +108,81 @@ class ServeClient:
                     line = stream.readline()
         except OSError as error:
             raise ServeError(
-                f"cannot reach daemon at {self.socket_path}: {error}"
+                f"cannot reach daemon at {self.socket_path}: {error}",
+                code="transport",
+                retryable=True,
             ) from error
         if not line:
-            raise ServeError("daemon closed the connection without a reply")
-        response = json.loads(line)
-        if not response.get("ok"):
-            raise ServeError(response.get("error", "request failed"))
-        return response
+            raise ServeError(
+                "daemon closed the connection without a reply",
+                code="transport",
+                retryable=True,
+            )
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as error:
+            # A truncated or garbled reply line: show what actually
+            # arrived (prefix-bounded) instead of a bare decode error.
+            prefix = line[:120] + ("..." if len(line) > 120 else "")
+            raise ServeError(
+                f"undecodable reply from daemon "
+                f"(JSON error: {error}): {prefix!r}",
+                code="bad_reply",
+                retryable=True,
+            ) from error
+
+    def backoff(self, attempt: int) -> float:
+        """Capped exponential backoff with jitter for retry number
+        ``attempt`` (0-based): ``base * 2^attempt``, capped, then
+        scaled by a uniform factor in [0.5, 1.5)."""
+        delay = min(self.backoff_cap, self.backoff_seconds * (2 ** attempt))
+        return delay * (0.5 + self._rng.random())
+
+    def request(self, payload: dict) -> dict:
+        """Send one request and return the decoded response; raises
+        :class:`ServeError` on ``ok: false`` or on transport failure
+        that survives every retry.
+
+        A ``request_id`` is minted client-side when the payload has
+        none; the daemon uses it as the trace id for every span/event
+        the request produces and echoes it in the response, so a
+        client log line can be joined against the daemon's trace —
+        and every retry reuses it, so the daemon can dedup."""
+        payload = dict(payload)
+        payload.setdefault("request_id", uuid.uuid4().hex[:16])
+        last: Optional[ServeError] = None
+        for attempt in range(self.retries + 1):
+            self.attempts_made += 1
+            if attempt > 0:
+                self.retries_made += 1
+            try:
+                response = self._once(payload)
+            except ServeError as error:
+                last = error
+                if attempt < self.retries:
+                    self._sleep(self.backoff(attempt))
+                    continue
+                raise
+            if response.get("ok"):
+                return response
+            error = ServeError(
+                response.get("error", "request failed"),
+                code=response.get("code", "error"),
+                retryable=bool(response.get("retryable")),
+                retry_after_ms=response.get("retry_after_ms"),
+                response=response,
+            )
+            if error.retryable and attempt < self.retries:
+                last = error
+                hint = error.retry_after_ms
+                delay = (
+                    hint / 1000.0 if hint is not None
+                    else self.backoff(attempt)
+                )
+                self._sleep(min(delay, self.backoff_cap))
+                continue
+            raise error
+        raise last  # unreachable: the loop raises or returns
 
     # -- convenience wrappers -------------------------------------------------
 
@@ -110,6 +228,7 @@ class ServeClient:
         benchmark: str,
         analysis: str,
         config: Optional[dict] = None,
+        **params,
     ) -> dict:
         payload = {
             "op": "solve-bench",
@@ -118,6 +237,7 @@ class ServeClient:
         }
         if config:
             payload["config"] = config
+        payload.update(params)
         return self.request(payload)
 
     def __enter__(self) -> "ServeClient":

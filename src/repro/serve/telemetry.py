@@ -91,6 +91,32 @@ class ServingTelemetry:
             "repro_store_entries",
             help="Entries in the knowledge store.",
         )
+        self.queue_depth = Gauge(
+            "repro_queue_depth",
+            help="Requests waiting in the admission queue.",
+        )
+        self.pool_workers = Gauge(
+            "repro_pool_workers",
+            help="Supervised worker processes currently alive.",
+        )
+        self.shed_total = Counter(
+            "repro_requests_shed_total",
+            help="Requests shed by admission control, by reason.",
+            labelnames=("reason",),
+        )
+        self.dedup_total = Counter(
+            "repro_requests_deduped_total",
+            help="Retried requests answered from the dedup ring "
+            "or coalesced onto an in-flight execution.",
+        )
+        self.respawn_total = Counter(
+            "repro_worker_respawns_total",
+            help="Supervised worker respawns after a crash or hang.",
+        )
+        self.compact_total = Counter(
+            "repro_store_compactions_total",
+            help="Knowledge-store compactions triggered by the daemon.",
+        )
         if store is not None:
             self.store_hit_rate.set_function(lambda: store.hit_rate)
             self.store_entries.set_function(lambda: len(store))
@@ -105,6 +131,12 @@ class ServingTelemetry:
             self.in_flight,
             self.store_hit_rate,
             self.store_entries,
+            self.queue_depth,
+            self.pool_workers,
+            self.shed_total,
+            self.dedup_total,
+            self.respawn_total,
+            self.compact_total,
         ):
             registry.register_instrument(instrument)
 
@@ -156,6 +188,31 @@ class ServingTelemetry:
         if mode in TIERS:
             self.warm_tier_total.inc(units, tier=mode)
 
+    # -- robustness machinery ---------------------------------------------
+
+    def shed(self, reason: str) -> None:
+        """One request refused by admission control (queue full,
+        deadline expired while queued, oversized line)."""
+        self.shed_total.inc(reason=str(reason))
+
+    def deduped(self) -> None:
+        """One retried request answered without re-solving."""
+        self.dedup_total.inc()
+
+    def respawned(self) -> None:
+        """One supervised worker respawn."""
+        self.respawn_total.inc()
+
+    def compacted(self) -> None:
+        """One daemon-triggered store compaction."""
+        self.compact_total.inc()
+
+    def shed_counts(self) -> Dict[str, int]:
+        return {
+            labels.get("reason", ""): int(value)
+            for labels, value in self.shed_total.samples()
+        }
+
     # -- snapshots for the stats op ---------------------------------------
 
     def tier_counts(self) -> Dict[str, int]:
@@ -177,4 +234,10 @@ class ServingTelemetry:
             ],
             "recent": list(self.recent),
             "tiers": self.tier_counts(),
+            "robustness": {
+                "shed": self.shed_counts(),
+                "deduped": int(self.dedup_total.value()),
+                "respawns": int(self.respawn_total.value()),
+                "compactions": int(self.compact_total.value()),
+            },
         }

@@ -138,9 +138,29 @@ def render_frame(sample: Sample, previous: Optional[Sample] = None) -> str:
 
     store = stats.get("store")
     if store:
-        lines.append(
+        line = (
             f"store: {store['entries']} entries  "
             f"hit rate {store['hit_rate']:.1%}"
+        )
+        superseded = store.get("superseded_ratio")
+        if superseded:
+            line += f"  superseded {superseded:.0%}"
+        if store.get("compactions"):
+            line += f"  compactions {store['compactions']}"
+        lines.append(line)
+
+    serving = stats.get("serving")
+    robustness = telemetry.get("robustness", {})
+    if serving or robustness:
+        serving = serving or {}
+        shed = sum(robustness.get("shed", {}).values())
+        lines.append(
+            f"pool: {serving.get('workers', 0)} workers  "
+            f"queued {serving.get('queued', 0)}"
+            f"/{serving.get('queue_depth', 0)}  "
+            f"shed {shed}  deduped {robustness.get('deduped', 0)}  "
+            f"respawns {robustness.get('respawns', 0)}"
+            + ("  DRAINING" if serving.get("draining") else "")
         )
 
     in_flight = telemetry.get("in_flight", [])

@@ -1,0 +1,145 @@
+"""The supervised worker: crash isolation, timeout kills, respawn
+backoff, and the chaos kill hook."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.robust.pool import SupervisedWorker, WorkerCrash, WorkerTimeout
+
+
+def _echo_worker(conn):
+    while True:
+        try:
+            payload = conn.recv()
+        except EOFError:
+            break
+        if payload is None:
+            break
+        if payload == "die":
+            os._exit(13)
+        if payload == "hang":
+            time.sleep(60)
+        conn.send(("echo", payload))
+    conn.close()
+
+
+class TestCallAndCrash:
+    def test_round_trip_and_warm_process(self):
+        with SupervisedWorker(_echo_worker, name="echo") as worker:
+            assert worker.call("one") == ("echo", "one")
+            pid = worker.pid
+            assert worker.alive and pid is not None
+            assert worker.call("two") == ("echo", "two")
+            assert worker.pid == pid  # same process: warm state survives
+            assert worker.spawns == 1
+
+    def test_crash_fails_one_call_and_respawns_on_next(self):
+        respawns = []
+        worker = SupervisedWorker(
+            _echo_worker,
+            name="echo",
+            backoff_seconds=0.01,
+            on_respawn=lambda reason, delay, failures: respawns.append(
+                (reason, delay, failures)
+            ),
+        )
+        try:
+            assert worker.call("warm") == ("echo", "warm")
+            with pytest.raises(WorkerCrash):
+                worker.call("die")
+            assert worker.consecutive_failures == 1
+            assert not worker.alive
+            # The next call pays the backoff, respawns, and succeeds.
+            assert worker.call("after") == ("echo", "after")
+            assert worker.respawns == 1
+            assert worker.consecutive_failures == 0
+            assert respawns == [("crash", pytest.approx(0.01), 1)]
+        finally:
+            worker.close()
+
+    def test_timeout_kills_the_worker(self):
+        worker = SupervisedWorker(
+            _echo_worker, name="echo", backoff_seconds=0.01
+        )
+        try:
+            with pytest.raises(WorkerTimeout):
+                worker.call("hang", timeout=0.2)
+            # Killed, not left running: a late reply must never sit in
+            # the pipe to answer the next request.
+            assert not worker.alive
+            assert worker.call("next") == ("echo", "next")
+            assert worker.respawns == 1
+        finally:
+            worker.close()
+
+    def test_kill_process_mid_call_surfaces_as_crash(self):
+        worker = SupervisedWorker(
+            _echo_worker, name="echo", backoff_seconds=0.01
+        )
+        try:
+            assert worker.call("warm") == ("echo", "warm")
+            killer = threading.Timer(0.1, worker.kill_process)
+            killer.daemon = True
+            killer.start()
+            with pytest.raises(WorkerCrash):
+                worker.call("hang", timeout=10)
+            assert worker.call("after") == ("echo", "after")
+        finally:
+            worker.close()
+
+
+class TestBackoff:
+    def test_backoff_grows_exponentially_and_caps(self):
+        slept = []
+        worker = SupervisedWorker(
+            _echo_worker,
+            name="echo",
+            backoff_seconds=0.05,
+            backoff_factor=2.0,
+            backoff_cap=0.15,
+            sleep=slept.append,
+        )
+        try:
+            for expected in (0.05, 0.10, 0.15, 0.15):
+                with pytest.raises(WorkerCrash):
+                    worker.call("die")
+                assert worker.backoff() == pytest.approx(expected)
+            worker.call("recovered")
+            assert slept[:3] == [
+                pytest.approx(0.05),
+                pytest.approx(0.10),
+                pytest.approx(0.15),
+            ]
+            # Success resets the ladder.
+            assert worker.backoff() == 0.0
+        finally:
+            worker.close()
+
+    def test_first_spawn_is_silent(self):
+        respawns = []
+        worker = SupervisedWorker(
+            _echo_worker,
+            name="echo",
+            on_respawn=lambda *a: respawns.append(a),
+        )
+        try:
+            worker.call("first")
+            assert respawns == []
+            assert worker.spawns == 1 and worker.respawns == 0
+        finally:
+            worker.close()
+
+
+class TestClose:
+    def test_close_stops_the_child(self):
+        worker = SupervisedWorker(_echo_worker, name="echo")
+        worker.call("warm")
+        pid = worker.pid
+        worker.close()
+        assert not worker.alive
+        # Closing again is a no-op.
+        worker.close()
+        assert pid is not None

@@ -1,0 +1,314 @@
+"""Admission control and the supervised pool over a live socket:
+bounded-queue shedding, deadline expiry, oversized lines, the dedup
+ring, graceful drain, worker crash/timeout isolation, and corrupted
+replies recovered through retry + dedup."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core.tracer import TracerConfig
+from repro.robust import faults
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import AnalysisServer
+
+ESCAPE_TEXT = """
+u = new h1
+v = new h2
+v.f = u
+observe pc
+"""
+
+
+class LiveServer:
+    """One AnalysisServer running in a thread, with an optional
+    ambient fault plan installed in that thread."""
+
+    def __init__(self, tmp_path, fault_specs=(), **kwargs):
+        self.socket_path = str(tmp_path / "serve.sock")
+        kwargs.setdefault("store_path", str(tmp_path / "store.jsonl"))
+        kwargs.setdefault("config", TracerConfig(k=5, max_iterations=30))
+        kwargs.setdefault("fault_specs", tuple(fault_specs))
+        self.server = AnalysisServer(self.socket_path, **kwargs)
+        self.plan = (
+            faults.FaultPlan.from_specs(list(fault_specs))
+            if fault_specs else None
+        )
+        ready = threading.Event()
+
+        def run():
+            async def main():
+                task = asyncio.ensure_future(self.server.run())
+                while not (
+                    self.server._server is not None
+                    and self.server._server.is_serving()
+                ):
+                    await asyncio.sleep(0.01)
+                ready.set()
+                await task
+
+            with faults.fault_scope(self.plan):
+                asyncio.run(main())
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert ready.wait(timeout=30)
+
+    def client(self, **kwargs):
+        kwargs.setdefault("timeout", 120)
+        kwargs.setdefault("retries", 0)
+        return ServeClient(self.socket_path, **kwargs)
+
+    def stop(self):
+        try:
+            self.client(retries=2).shutdown()
+        except ServeError:
+            pass
+        self.thread.join(timeout=30)
+        assert not self.thread.is_alive()
+
+
+def _solve_payload(request_id=None, source="t1", **extra):
+    payload = dict(
+        op="solve", kind="escape", program=ESCAPE_TEXT,
+        query="pc", var="u", source=source,
+    )
+    payload.update(extra)
+    if request_id is not None:
+        payload["request_id"] = request_id
+    return payload
+
+
+class TestAdmission:
+    def test_oversized_line_is_rejected_structurally(self, tmp_path):
+        live = LiveServer(tmp_path, max_request_bytes=1024)
+        try:
+            client = live.client()
+            with pytest.raises(ServeError) as excinfo:
+                client.request(_solve_payload(program="x" * 4096))
+            assert excinfo.value.code == "oversized"
+            # The daemon survives and still answers on a new connection.
+            assert client.ping()["pong"]
+        finally:
+            live.stop()
+
+    def test_queue_full_sheds_with_retry_hint(self, tmp_path):
+        live = LiveServer(
+            tmp_path,
+            fault_specs=("serve.worker:delay:delay=0.8,times=2",),
+            queue_depth=1,
+        )
+        try:
+            results = {}
+
+            def submit(key):
+                try:
+                    results[key] = live.client().request(
+                        _solve_payload(source=key)
+                    )
+                except ServeError as error:
+                    results[key] = error
+
+            first = threading.Thread(target=submit, args=("a",))
+            first.start()
+            time.sleep(0.3)  # "a" is executing, queue empty
+            second = threading.Thread(target=submit, args=("b",))
+            second.start()
+            time.sleep(0.2)  # "b" occupies the queue's only slot
+            with pytest.raises(ServeError) as excinfo:
+                live.client().request(_solve_payload(source="c"))
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.retryable
+            assert excinfo.value.retry_after_ms >= 50
+            first.join(30)
+            second.join(30)
+            assert results["a"]["ok"] and results["b"]["ok"]
+            stats = live.client().stats()
+            assert stats["telemetry"]["robustness"]["shed"] == {
+                "overloaded": 1
+            }
+        finally:
+            live.stop()
+
+    def test_deadline_expires_while_queued(self, tmp_path):
+        live = LiveServer(
+            tmp_path,
+            fault_specs=("serve.worker:delay:delay=0.8,times=1",),
+        )
+        try:
+            background = threading.Thread(
+                target=lambda: live.client().request(
+                    _solve_payload(source="slow")
+                )
+            )
+            background.start()
+            time.sleep(0.3)  # the slow solve holds the slot
+            with pytest.raises(ServeError) as excinfo:
+                live.client().request(
+                    _solve_payload(source="hurry", deadline_ms=50)
+                )
+            assert excinfo.value.code == "deadline_exceeded"
+            assert not excinfo.value.retryable
+            background.join(30)
+            stats = live.client().stats()
+            assert stats["telemetry"]["robustness"]["shed"] == {
+                "deadline_exceeded": 1
+            }
+        finally:
+            live.stop()
+
+    def test_server_ceiling_clamps_client_deadline(self, tmp_path):
+        live = LiveServer(
+            tmp_path,
+            fault_specs=("serve.worker:delay:delay=0.8,times=1",),
+            max_deadline_ms=50,
+        )
+        try:
+            background = threading.Thread(
+                target=lambda: live.client().request(
+                    _solve_payload(source="slow")
+                )
+            )
+            background.start()
+            time.sleep(0.3)
+            with pytest.raises(ServeError) as excinfo:
+                # Asks for 100s, but the server ceiling is 50ms.
+                live.client().request(
+                    _solve_payload(source="hurry", deadline_ms=100_000)
+                )
+            assert excinfo.value.code == "deadline_exceeded"
+            background.join(30)
+        finally:
+            live.stop()
+
+    def test_bad_deadline_is_a_bad_request(self, tmp_path):
+        live = LiveServer(tmp_path)
+        try:
+            with pytest.raises(ServeError) as excinfo:
+                live.client().request(
+                    _solve_payload(deadline_ms="soonish")
+                )
+            assert excinfo.value.code == "bad_request"
+        finally:
+            live.stop()
+
+    def test_dedup_ring_replays_completed_response(self, tmp_path):
+        live = LiveServer(tmp_path)
+        try:
+            client = live.client()
+            first = client.request(_solve_payload(request_id="rid-1"))
+            again = client.request(_solve_payload(request_id="rid-1"))
+            assert first["ok"] and again["ok"]
+            assert "deduped" not in first
+            assert again["deduped"] is True
+            assert again["results"] == first["results"]
+            stats = client.stats()
+            assert stats["telemetry"]["robustness"]["deduped"] == 1
+        finally:
+            live.stop()
+
+    def test_drain_finishes_inflight_work(self, tmp_path):
+        live = LiveServer(
+            tmp_path,
+            fault_specs=("serve.worker:delay:delay=0.4,times=1",),
+        )
+        results = {}
+
+        def submit():
+            results["slow"] = live.client().request(
+                _solve_payload(source="slow")
+            )
+
+        background = threading.Thread(target=submit)
+        background.start()
+        time.sleep(0.15)  # the solve is running when shutdown arrives
+        live.client().shutdown()
+        background.join(30)
+        live.thread.join(timeout=30)
+        assert not live.thread.is_alive()
+        assert results["slow"]["ok"]
+
+
+class TestSupervisedPool:
+    def test_worker_crash_is_isolated_and_retried(self, tmp_path):
+        specs = (
+            "serve.worker:delay:delay=0.5,attempt=0",
+            "serve.worker_kill:corrupt:at=1,times=1",
+        )
+        live = LiveServer(tmp_path, fault_specs=specs, workers=1)
+        try:
+            client = live.client(retries=3)
+            reply = client.request(_solve_payload())
+            assert reply["ok"]
+            assert reply["results"][0]["verdict"] == "proven"
+            assert client.retries_made >= 1
+            stats = client.stats()
+            assert stats["serving"]["worker_respawns"] >= 1
+            assert stats["telemetry"]["robustness"]["respawns"] >= 1
+            # The respawned worker keeps serving, now warm via the store.
+            warm = client.request(_solve_payload())
+            assert warm["ok"] and warm["mode"] == "replay"
+        finally:
+            live.stop()
+
+    def test_worker_crash_without_retries_is_structured(self, tmp_path):
+        specs = (
+            "serve.worker:delay:delay=0.5,attempt=0",
+            "serve.worker_kill:corrupt:at=1,times=1",
+        )
+        live = LiveServer(tmp_path, fault_specs=specs, workers=1)
+        try:
+            with pytest.raises(ServeError) as excinfo:
+                live.client(retries=0).request(_solve_payload())
+            assert excinfo.value.code == "worker_crashed"
+            assert excinfo.value.retryable
+            assert excinfo.value.retry_after_ms >= 50
+        finally:
+            live.stop()
+
+    def test_worker_timeout_kills_and_respawns(self, tmp_path):
+        live = LiveServer(
+            tmp_path,
+            fault_specs=("serve.worker:delay:delay=5,attempt=0",),
+            workers=1,
+            request_timeout=0.3,
+        )
+        try:
+            with pytest.raises(ServeError) as excinfo:
+                live.client(retries=0).request(
+                    _solve_payload(request_id="rid-t")
+                )
+            assert excinfo.value.code == "worker_timeout"
+            # The hung worker was killed.  A manual retry of the same
+            # request id advances the server's attempt counter past the
+            # pinned delay, and the respawned worker answers it.
+            ok = live.client(retries=0).request(
+                _solve_payload(request_id="rid-t")
+            )
+            assert ok["ok"]
+            stats = live.client().stats()
+            assert stats["serving"]["worker_respawns"] >= 1
+        finally:
+            live.stop()
+
+    def test_corrupt_reply_recovered_via_dedup(self, tmp_path):
+        live = LiveServer(
+            tmp_path,
+            fault_specs=("serve.reply:corrupt:at=2,times=1",),
+            workers=1,
+        )
+        try:
+            client = live.client(retries=2)
+            first = client.request(_solve_payload(request_id="rid-x"))
+            assert first["ok"]
+            # This reply line is truncated on the wire; the retry is
+            # answered from the dedup ring without re-solving.
+            second = client.request(_solve_payload(request_id="rid-y"))
+            assert second["ok"]
+            assert second["deduped"] is True
+            assert second["results"] == first["results"]
+            assert client.retries_made == 1
+        finally:
+            live.stop()

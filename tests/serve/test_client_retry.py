@@ -1,0 +1,190 @@
+"""The retrying client: backoff on transport failures and retryable
+envelopes, request-id reuse across attempts, and structured
+:class:`ServeError` for everything that finally fails."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.robust import faults
+from repro.serve.client import ServeClient, ServeError
+
+
+class ScriptedDaemon:
+    """A unix-socket stub that plays one scripted behaviour per
+    accepted connection and records every request line it read.
+
+    Script entries: ``("reply", dict)`` sends a JSON line, ``("echo",
+    dict)`` merges the request's request_id into the reply first,
+    ``("raw", bytes)`` sends bytes verbatim, ``("close", None)`` reads
+    the request then closes without replying."""
+
+    def __init__(self, path, script):
+        self.path = path
+        self.script = list(script)
+        self.requests = []
+        self._server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._server.bind(path)
+        self._server.listen(8)
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for action, body in self.script:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return
+            with conn:
+                line = conn.makefile("rb").readline()
+                try:
+                    self.requests.append(json.loads(line))
+                except ValueError:
+                    self.requests.append(line)
+                if action == "close":
+                    continue
+                if action == "raw":
+                    conn.sendall(body)
+                    continue
+                reply = dict(body)
+                if action == "echo":
+                    reply["request_id"] = self.requests[-1].get("request_id")
+                conn.sendall((json.dumps(reply) + "\n").encode())
+
+    def close(self):
+        self._server.close()
+        self._thread.join(5)
+
+
+@pytest.fixture
+def daemon_at(tmp_path):
+    made = []
+
+    def make(script):
+        stub = ScriptedDaemon(str(tmp_path / f"stub{len(made)}.sock"), script)
+        made.append(stub)
+        return stub
+
+    yield make
+    for stub in made:
+        stub.close()
+
+
+def _no_sleep_client(path, retries=2):
+    return ServeClient(path, timeout=5, retries=retries, sleep=lambda s: None)
+
+
+class TestRetryableEnvelopes:
+    def test_retries_until_ok_with_same_request_id(self, daemon_at):
+        overloaded = {
+            "ok": False, "error": "queue full", "code": "overloaded",
+            "retryable": True, "retry_after_ms": 1,
+        }
+        stub = daemon_at([
+            ("reply", overloaded),
+            ("reply", overloaded),
+            ("echo", {"ok": True, "pong": True, "pid": 1}),
+        ])
+        client = _no_sleep_client(stub.path)
+        reply = client.ping()
+        assert reply["pong"] is True
+        assert client.retries_made == 2
+        ids = {request["request_id"] for request in stub.requests}
+        assert len(ids) == 1  # every attempt reused the same id
+
+    def test_non_retryable_envelope_raises_immediately(self, daemon_at):
+        stub = daemon_at([
+            ("reply", {"ok": False, "error": "no such label",
+                       "code": "bad_request", "retryable": False}),
+        ])
+        client = _no_sleep_client(stub.path)
+        with pytest.raises(ServeError) as excinfo:
+            client.ping()
+        assert excinfo.value.code == "bad_request"
+        assert not excinfo.value.retryable
+        assert "no such label" in str(excinfo.value)
+        assert client.retries_made == 0
+
+    def test_retryable_error_exhausts_retries_then_raises(self, daemon_at):
+        envelope = {"ok": False, "error": "worker died",
+                    "code": "worker_crashed", "retryable": True}
+        stub = daemon_at([("reply", envelope)] * 3)
+        client = _no_sleep_client(stub.path, retries=2)
+        with pytest.raises(ServeError) as excinfo:
+            client.ping()
+        assert excinfo.value.code == "worker_crashed"
+        assert excinfo.value.retryable
+        assert len(stub.requests) == 3
+
+
+class TestTransportFailures:
+    def test_connection_refused_retries_then_raises_transport(self, tmp_path):
+        client = _no_sleep_client(str(tmp_path / "nowhere.sock"), retries=2)
+        with pytest.raises(ServeError) as excinfo:
+            client.ping()
+        assert excinfo.value.code == "transport"
+        assert client.attempts_made == 3
+
+    def test_closed_without_reply_is_retried(self, daemon_at):
+        stub = daemon_at([
+            ("close", None),
+            ("echo", {"ok": True, "pong": True, "pid": 1}),
+        ])
+        client = _no_sleep_client(stub.path)
+        assert client.ping()["pong"] is True
+        assert client.retries_made == 1
+
+    def test_injected_transport_fault_is_retried(self, daemon_at):
+        stub = daemon_at([("echo", {"ok": True, "pong": True, "pid": 1})])
+        plan = faults.FaultPlan.from_specs(
+            ["serve.transport:raise:error=connection,at=1,times=1"]
+        )
+        client = _no_sleep_client(stub.path)
+        with faults.fault_scope(plan):
+            assert client.ping()["pong"] is True
+        assert client.retries_made == 1
+
+
+class TestBadReplies:
+    def test_undecodable_reply_carries_the_offending_prefix(self, daemon_at):
+        stub = daemon_at([("raw", b'{"ok": true, "resu\n')] * 2)
+        client = _no_sleep_client(stub.path, retries=1)
+        with pytest.raises(ServeError) as excinfo:
+            client.ping()
+        assert excinfo.value.code == "bad_reply"
+        assert '{"ok": true, "resu' in str(excinfo.value)
+
+    def test_truncated_reply_retry_recovers(self, daemon_at):
+        stub = daemon_at([
+            ("raw", b'{"ok": true, "pong"\n'),
+            ("echo", {"ok": True, "pong": True, "pid": 1}),
+        ])
+        client = _no_sleep_client(stub.path)
+        assert client.ping()["pong"] is True
+        assert client.retries_made == 1
+
+
+class TestBackoff:
+    def test_backoff_caps_and_jitters(self):
+        client = ServeClient(
+            "/nonexistent", retries=5,
+            backoff_seconds=0.1, backoff_cap=0.4,
+        )
+        for attempt in range(6):
+            delay = client.backoff(attempt)
+            uncapped = min(0.4, 0.1 * (2 ** attempt))
+            assert 0.5 * uncapped <= delay < 1.5 * uncapped
+
+    def test_retry_after_hint_overrides_backoff(self, daemon_at):
+        slept = []
+        stub = daemon_at([
+            ("reply", {"ok": False, "error": "busy", "code": "overloaded",
+                       "retryable": True, "retry_after_ms": 123}),
+            ("echo", {"ok": True, "pong": True, "pid": 1}),
+        ])
+        client = ServeClient(stub.path, timeout=5, retries=1,
+                             sleep=slept.append)
+        assert client.ping()["pong"] is True
+        assert slept == [pytest.approx(0.123)]
