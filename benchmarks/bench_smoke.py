@@ -303,6 +303,90 @@ def smoke_evaluation():
     }
 
 
+def scheduler_bench():
+    """Wave pool vs lease scheduler on the smoke workloads, plus a
+    faulted lease run (docs/ROBUSTNESS.md, "Leases and work stealing").
+
+    Three 2-worker evaluations of the same workloads: the PR 4
+    lock-step wave pool, the lease-based work-stealing scheduler, and
+    the lease scheduler with one worker SIGKILLed on its first claim —
+    the last one records how many leases were stolen and recovered
+    through parent force-release/TTL expiry, and asserts the faulted
+    run's records still match the clean one.  ``bench_trend`` watches
+    the waves/leases wall-clock ratio for scheduler overhead creep.
+    """
+    from repro.bench.harness import prepare
+    from repro.bench.parallel import (
+        RunOptions,
+        evaluate_many,
+        last_scheduler_stats,
+    )
+    from repro.core.tracer import TracerConfig
+
+    config = TracerConfig(k=5, max_iterations=30)
+    instances = {name: prepare(name) for name in SMOKE_BENCHMARKS}
+
+    def keys(results):
+        return [
+            (name, analysis, r.query_id, r.status.value, r.iterations)
+            for name in SMOKE_BENCHMARKS
+            for analysis in SMOKE_ANALYSES
+            for r in results[name][analysis].records
+        ]
+
+    started = time.perf_counter()
+    waves = evaluate_many(
+        instances, SMOKE_ANALYSES, config, jobs=2,
+        options=RunOptions(scheduler="waves"),
+    )
+    waves_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    leases = evaluate_many(
+        instances, SMOKE_ANALYSES, config, jobs=2,
+        options=RunOptions(scheduler="leases"),
+    )
+    leases_seconds = time.perf_counter() - started
+    clean_stats = last_scheduler_stats()
+
+    started = time.perf_counter()
+    faulted = evaluate_many(
+        instances, SMOKE_ANALYSES, config, jobs=2,
+        options=RunOptions(
+            scheduler="leases",
+            heartbeat_interval=0.1,
+            lease_ttl=1.0,
+            worker_faults=(("scheduler.task:kill:at=1",), None),
+        ),
+    )
+    faulted_seconds = time.perf_counter() - started
+    faulted_stats = last_scheduler_stats()
+
+    return {
+        "benchmarks": list(SMOKE_BENCHMARKS),
+        "analyses": list(SMOKE_ANALYSES),
+        "waves_seconds_jobs2": round(waves_seconds, 4),
+        "leases_seconds_jobs2": round(leases_seconds, 4),
+        "leases_vs_waves": (
+            round(leases_seconds / waves_seconds, 4) if waves_seconds else 0.0
+        ),
+        "clean": {
+            "claims": clean_stats.get("claims"),
+            "steals": clean_stats.get("steals"),
+            "expiries": clean_stats.get("expiries"),
+        },
+        "faulted_kill_seconds": round(faulted_seconds, 4),
+        "faulted": {
+            "claims": faulted_stats.get("claims"),
+            "steals": faulted_stats.get("steals"),
+            "expiries": faulted_stats.get("expiries"),
+            "respawns": faulted_stats.get("respawns"),
+        },
+        "leases_match_waves": keys(leases) == keys(waves),
+        "faulted_matches_clean": keys(faulted) == keys(leases),
+    }
+
+
 def serve_warm():
     """Warm-vs-cold serving through the resident session + knowledge
     store (docs/SERVING.md).
@@ -564,6 +648,7 @@ def main(argv=None):
             for key, value in forward.items()
         },
         "evaluation": smoke_evaluation(),
+        "scheduler": scheduler_bench(),
         "serve_warm": serve_warm(),
         "serve_burst": serve_burst(),
         "tracing_overhead": tracing_overhead(),

@@ -70,6 +70,17 @@ def history_entry(report: dict) -> dict:
             "client_retries": burst.get("client_retries"),
             "queue_p95": burst.get("queue_wait", {}).get("p95"),
         }
+    scheduler = report.get("scheduler", {})
+    if scheduler:
+        entry["scheduler"] = {
+            "waves_seconds_jobs2": scheduler.get("waves_seconds_jobs2"),
+            "leases_seconds_jobs2": scheduler.get("leases_seconds_jobs2"),
+            "leases_vs_waves": scheduler.get("leases_vs_waves"),
+            "faulted_steals": (scheduler.get("faulted") or {}).get("steals"),
+            "faulted_expiries": (
+                (scheduler.get("faulted") or {}).get("expiries")
+            ),
+        }
     return entry
 
 

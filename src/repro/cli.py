@@ -477,6 +477,11 @@ def _cmd_eval(args) -> int:
         resume=args.resume,
         fault_plan=plan,
         certify=bool(args.certify_out),
+        scheduler=args.scheduler,
+        group_size=max(0, args.group_size),
+        heartbeat_interval=args.heartbeat_interval,
+        lease_ttl=args.lease_ttl,
+        clause_bus=not args.no_clause_bus,
     )
 
     config = TracerConfig(
@@ -791,9 +796,21 @@ def _cmd_serve(args) -> int:
 
 def _cmd_top(args) -> int:
     from repro.serve.client import ServeError
-    from repro.serve.top import run_top
+    from repro.serve.top import run_lease_top, run_top
 
+    if args.leases and args.socket:
+        _die("--socket and --leases are mutually exclusive")
+    if not args.leases and not args.socket:
+        _die("top needs --socket PATH (daemon) or --leases FILE (scheduler)")
     try:
+        if args.leases:
+            return run_lease_top(
+                args.leases,
+                ttl=args.lease_ttl,
+                interval=args.interval,
+                frames=1 if args.once else args.frames,
+                clear=not args.no_clear and sys.stdout.isatty(),
+            )
         return run_top(
             args.socket,
             interval=args.interval,
@@ -1031,6 +1048,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection (repeatable; see docs/ROBUSTNESS.md)",
     )
     evaluation.add_argument(
+        "--scheduler", choices=("leases", "waves"), default="leases",
+        help="parallel scheduling model: lease-based work stealing "
+             "(default) or the lock-step wave pool",
+    )
+    evaluation.add_argument(
+        "--group-size", type=int, default=0, metavar="N",
+        help="lease scheduler: split each unit's queries into groups of "
+             "at most N for sub-unit stealing/resume (0 = whole units)",
+    )
+    evaluation.add_argument(
+        "--heartbeat-interval", type=float, default=0.25, metavar="S",
+        help="lease scheduler: worker heartbeat period",
+    )
+    evaluation.add_argument(
+        "--lease-ttl", type=float, default=5.0, metavar="S",
+        help="lease scheduler: a lease is stealable after its worker "
+             "has been silent this long",
+    )
+    evaluation.add_argument(
+        "--no-clause-bus", action="store_true",
+        help="lease scheduler: disable cross-worker clause sharing",
+    )
+    evaluation.add_argument(
         "--certify-out", metavar="FILE",
         help="write one verdict certificate per resolved query to FILE "
              "(validate with 'repro certify FILE')",
@@ -1159,9 +1199,18 @@ def build_parser() -> argparse.ArgumentParser:
     top = commands.add_parser(
         "top",
         help="live dashboard over a running daemon (QPS, tier mix, "
-             "latency quantiles, in-flight request)",
+             "latency quantiles, in-flight request) or over a lease "
+             "log (--leases: task states, steals, worker liveness)",
     )
-    top.add_argument("--socket", required=True, metavar="PATH")
+    top.add_argument("--socket", metavar="PATH")
+    top.add_argument(
+        "--leases", metavar="FILE",
+        help="watch a lease log (checkpoint.leases) instead of a daemon",
+    )
+    top.add_argument(
+        "--lease-ttl", type=float, default=5.0, metavar="S",
+        help="TTL used to call a watched lease expired (default: 5)",
+    )
     top.add_argument(
         "--interval", type=float, default=2.0, metavar="S",
         help="seconds between polls (default: 2)",

@@ -65,6 +65,7 @@ from repro.robust.certify import (
     annotation_digest,
     build_certificate,
 )
+from repro.robust.clausebus import ClauseFeedMismatch
 from repro.robust.degrade import run_with_degradation
 from repro.robust.journal import (
     JournalMismatch,
@@ -430,6 +431,7 @@ class Tracer:
         journal: Optional[SearchJournal] = None,
         certificates: Optional[CertificateStore] = None,
         warm_start: Optional[WarmStart] = None,
+        clause_feed=None,
     ):
         self.client = client
         self.config = config
@@ -437,6 +439,7 @@ class Tracer:
         self.journal = journal
         self.certificates = certificates
         self.warm_start = warm_start
+        self.clause_feed = clause_feed
 
     def solve(self, query: Query) -> QueryRecord:
         """Resolve a single query (Algorithm 1)."""
@@ -452,6 +455,7 @@ class Tracer:
             journal=self.journal,
             certificates=self.certificates,
             warm_start=self.warm_start,
+            clause_feed=self.clause_feed,
         )
 
 
@@ -486,6 +490,7 @@ def run_query_group(
     journal: Optional[SearchJournal] = None,
     certificates: Optional[CertificateStore] = None,
     warm_start: Optional[WarmStart] = None,
+    clause_feed=None,
 ) -> Dict[Query, QueryRecord]:
     """The grouped TRACER driver; see :class:`Tracer`.
 
@@ -513,6 +518,22 @@ def run_query_group(
     viability store with validated clauses.  A journal opened with
     ``resume=True`` takes precedence — its recorded rounds already are
     this exact search's knowledge — and ``warm_start`` is ignored.
+
+    ``clause_feed`` plugs the search into a cross-worker clause bus
+    (see :class:`~repro.robust.clausebus.ClauseFeed`): each successful
+    round is published as it is recorded, and before solving a round
+    the feed is drained — a sibling worker's publication of this exact
+    ``(scope, round, queries)`` is replayed through the same
+    re-validation machinery as journal resume (every imported clause
+    re-proved against this process's own viability store) instead of
+    re-running the forward fixpoint.  Records stay bit-identical to an
+    uninterrupted run's: drained rounds restore charges and counters
+    from the record, and abstractions they would have left in the
+    forward cache are remembered so later live rounds report the same
+    ``cached`` flag the uninterrupted search would.  A drained record
+    that fails re-validation raises
+    :class:`~repro.robust.clausebus.ClauseFeedMismatch` — callers
+    retry the whole group cold rather than trust the import.
     """
     theory = client.meta.theory
     if not isinstance(theory, ParamTheory):
@@ -590,9 +611,17 @@ def run_query_group(
     evidence: Dict[Query, QueryEvidence] = {q: QueryEvidence() for q in queries}
     #: Survivor traces/clauses are serialised only when someone will
     #: read them (the journal, or certificate evidence).
-    recording = journal is not None or certificates is not None
+    recording = (
+        journal is not None
+        or certificates is not None
+        or clause_feed is not None
+    )
     if journal is not None:
         journal.begin([str(q) for q in queries])
+    #: Abstractions of bus-drained rounds: the uninterrupted search ran
+    #: them live and left their fixpoints in its forward cache, so a
+    #: later live round re-choosing one must still report ``cached``.
+    feed_phantom: set = set()
 
     def digest_for(p: FrozenSet[str], label: str) -> str:
         if forward_cache is not None:
@@ -909,6 +938,36 @@ def run_query_group(
                             # the cold search's journal.
                             journal.record_round(rec)
                         continue
+                elif clause_feed is not None:
+                    rec = clause_feed.drain(
+                        round_index, [str(q) for q in group.queries]
+                    )
+                    if rec is not None:
+                        with obs.span(
+                            "replay_round",
+                            phase="synthesis",
+                            round=round_index,
+                            source="bus",
+                        ):
+                            try:
+                                apply_replay(group, rec, next_groups)
+                            except JournalMismatch as exc:
+                                raise ClauseFeedMismatch(str(exc)) from exc
+                        if rec.get("abstraction"):
+                            feed_phantom.add(frozenset(rec["abstraction"]))
+                        if journal is not None:
+                            journal.record_round(rec)
+                        if obs.active():
+                            obs.event(
+                                "clause_imported",
+                                round=round_index,
+                                queries=len(group.queries),
+                                clauses=sum(
+                                    len(entry.get("clauses", []))
+                                    for entry in rec.get("survivors", [])
+                                ),
+                            )
+                        continue
                 with obs.span(
                     "iteration",
                     round=round_index,
@@ -962,6 +1021,17 @@ def run_query_group(
                         if config.strict:
                             raise
                         failure = ("error", exc)
+                    if (
+                        not round_was_cached
+                        and p is not None
+                        and forward_cache is not None
+                        and frozenset(p) in feed_phantom
+                    ):
+                        # A bus-drained round already ran this
+                        # abstraction's fixpoint in the publishing
+                        # worker; the uninterrupted search would have
+                        # hit its forward cache here.
+                        round_was_cached = True
                     # Selection + forward-run time (and budget steps)
                     # is shared by every member; charge it *before*
                     # resolving so queries proven this round carry
@@ -1292,6 +1362,20 @@ def run_query_group(
                     )
                     if journal is not None:
                         journal.record_round(round_record)
+                    if clause_feed is not None:
+                        before = clause_feed.published
+                        clause_feed.publish(round_record)
+                        if clause_feed.published > before:
+                            if obs.active():
+                                obs.event(
+                                    "clause_published",
+                                    round=round_index,
+                                    queries=len(group.queries),
+                                    clauses=sum(
+                                        len(entry.get("clauses", []))
+                                        for entry in round_record["survivors"]
+                                    ),
+                                )
             groups = next_groups
     return records
 

@@ -142,6 +142,13 @@ KNOWN_EVENT_NAMES = frozenset({
     "request_retried",
     "worker_respawned",
     "store_compacted",
+    # the work-stealing scheduler + clause bus (docs/ROBUSTNESS.md,
+    # "Leases and work stealing")
+    "lease_claimed",
+    "lease_expired",
+    "lease_stolen",
+    "clause_published",
+    "clause_imported",
 })
 
 

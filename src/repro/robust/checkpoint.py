@@ -22,6 +22,15 @@ Crash semantics, shared with the search journal
 * a corrupt *interior* line raises: that is data loss, not a crash
   tail, and silently dropping completed units would be worse than
   failing loudly.
+
+Granularity: this file checkpoints *whole units*, and stays at that
+granularity so existing checkpoints and tooling keep working.  The
+lease scheduler (:mod:`repro.robust.scheduler`) layers a second,
+finer-grained durability record next to it — the lease log at
+``checkpoint_path + ".leases"`` records each durably-completed *query
+group*, so ``--resume`` after a crash mid-unit re-solves only the
+groups that never completed, then re-checkpoints the finished unit
+here (see :func:`repro.bench.parallel._run_leased`).
 """
 
 from __future__ import annotations

@@ -25,7 +25,14 @@ from repro.obs.export import (
 from repro.serve.client import ServeClient
 from repro.serve.telemetry import TIERS
 
-__all__ = ["Sample", "render_frame", "run_top", "take_sample"]
+__all__ = [
+    "Sample",
+    "render_frame",
+    "render_lease_frame",
+    "run_lease_top",
+    "run_top",
+    "take_sample",
+]
 
 
 @dataclass
@@ -194,6 +201,89 @@ def render_frame(sample: Sample, previous: Optional[Sample] = None) -> str:
                 f"{_fmt_seconds(entry.get('seconds')):>9}"
             )
     return "\n".join(lines)
+
+
+def render_lease_frame(
+    summary: dict, path: str, now: Optional[float] = None
+) -> str:
+    """One frame over a lease-log summary (see
+    :func:`repro.robust.leases.lease_summary`) — task states, scheduler
+    counters, per-worker heartbeat age.  Pure, like
+    :func:`render_frame`."""
+    now = time.time() if now is None else now
+    counters = summary.get("counters", {})
+    by_status = summary.get("by_status", {})
+    tasks = summary.get("tasks", {})
+    workers = summary.get("workers", {})
+    lines: List[str] = []
+    lines.append(
+        f"repro top — leases {path}  tasks {len(tasks)}  "
+        + "  ".join(
+            f"{status} {count}"
+            for status, count in sorted(by_status.items())
+        )
+    )
+    lines.append(
+        f"scheduler: claims {counters.get('claims', 0)}  "
+        f"steals {counters.get('steals', 0)}  "
+        f"releases {counters.get('releases', 0)}  "
+        f"completions {counters.get('completions', 0)}  "
+        f"duplicates {counters.get('duplicates', 0)}"
+    )
+    if workers:
+        beat = "  ".join(
+            f"{worker} {max(0.0, now - last):.1f}s ago"
+            for worker, last in sorted(workers.items())
+        )
+        lines.append(f"heartbeats: {beat}")
+    active = [
+        (key, state)
+        for key, state in tasks.items()
+        if state.get("status") in ("running", "expired", "released")
+    ]
+    if active:
+        lines.append("")
+        lines.append(
+            f"{'task':<40} {'status':<10} {'worker':<14} "
+            f"{'attempts':>8} {'stolen':>7}"
+        )
+        for key, state in active[:12]:
+            lines.append(
+                f"{key:<40} {str(state.get('status')):<10} "
+                f"{str(state.get('worker') or '-'):<14} "
+                f"{state.get('attempts', 0):>8} {state.get('stolen', 0):>7}"
+            )
+    return "\n".join(lines)
+
+
+def run_lease_top(
+    lease_path: str,
+    ttl: float = 5.0,
+    interval: float = 2.0,
+    frames: Optional[int] = None,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """Watch a scheduler's lease log (lock-free, torn-tail tolerant —
+    never delays the workers) and render task/worker state per frame."""
+    from repro.robust.leases import lease_summary, load_lease_records
+
+    out = out if out is not None else sys.stdout
+    rendered = 0
+    while True:
+        summary = lease_summary(load_lease_records(lease_path), ttl=ttl)
+        frame = render_lease_frame(summary, lease_path)
+        if clear and rendered > 0:
+            out.write("\x1b[2J\x1b[H")
+        out.write(frame + "\n")
+        out.flush()
+        rendered += 1
+        if frames is not None and rendered >= frames:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def run_top(
